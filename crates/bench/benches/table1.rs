@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the paper's Table 1 (predicate learning):
+//! HDPLL with and without the static learning pass on representative BMC
+//! cases. The full table (all bounds up to 300 frames, wall-clock
+//! timings) is produced by the `table1` binary; these benches give
+//! statistically robust timings on the small/medium rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtl_hdpll::{LearnConfig, Solver, SolverConfig};
+use rtl_itc99::cases::table1_cases;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for case in table1_cases()
+        .into_iter()
+        .filter(|case| case.frames <= 20)
+    {
+        let bmc = case.build();
+        group.bench_function(format!("{}/hdpll", case.name()), |b| {
+            b.iter(|| {
+                let mut solver = Solver::new(&bmc.netlist, SolverConfig::hdpll());
+                std::hint::black_box(solver.solve(bmc.bad))
+            });
+        });
+        group.bench_function(format!("{}/hdpll+pred", case.name()), |b| {
+            b.iter(|| {
+                let config = SolverConfig {
+                    learn: Some(LearnConfig::with_threshold(2500)),
+                    ..SolverConfig::hdpll()
+                };
+                let mut solver = Solver::new(&bmc.netlist, config);
+                std::hint::black_box(solver.solve(bmc.bad))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the paper's Table 2 (structural decision
+//! strategy): the three HDPLL variants and the eager baseline on
+//! representative BMC cases. The lazy (ICS-like) baseline is exponential
+//! without learning and is only benchmarked on the smallest control-only
+//! case; the full comparison with timeouts is produced by the `table2`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtl_baselines::{BaselineLimits, EagerSolver, LazyCdpSolver};
+use rtl_hdpll::{LearnConfig, Solver, SolverConfig};
+use rtl_itc99::cases::{table2_cases, BmcCase, Circuit};
+
+fn representative() -> Vec<BmcCase> {
+    // The 13-frame SAT case plus every circuit's smallest Table 2 row.
+    table2_cases()
+        .into_iter()
+        .filter(|c| c.frames <= 50)
+        .collect()
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for case in representative() {
+        let bmc = case.build();
+        let configs = [
+            ("hdpll", SolverConfig::hdpll()),
+            ("hdpll+S", SolverConfig::structural()),
+            (
+                "hdpll+S+P",
+                SolverConfig::structural_with_learning(LearnConfig::table2_for(&bmc.netlist)),
+            ),
+        ];
+        for (label, config) in configs {
+            group.bench_function(format!("{}/{label}", case.name()), |b| {
+                b.iter(|| {
+                    let mut solver = Solver::new(&bmc.netlist, config);
+                    std::hint::black_box(solver.solve(bmc.bad))
+                });
+            });
+        }
+        group.bench_function(format!("{}/uclid-like", case.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    EagerSolver::new(BaselineLimits::default()).solve(&bmc.netlist, bmc.bad),
+                )
+            });
+        });
+        // The learning-free lazy baseline only on the small control case.
+        if case.circuit == Circuit::B02 && case.frames <= 50 {
+            group.bench_function(format!("{}/ics-like", case.name()), |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        LazyCdpSolver::new(BaselineLimits::default())
+                            .solve(&bmc.netlist, bmc.bad),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

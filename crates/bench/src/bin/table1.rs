@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table 1 (run-time analysis of predicate
+//! learning, §3.1).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p rtl-bench --release --bin table1 [-- --timeout <secs>] [--max-frames <n>] [--csv]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = rtl_bench::parse_options(&args);
+    let csv = args.iter().any(|a| a == "--csv");
+    eprintln!(
+        "Table 1 — predicate learning (timeout {:?}, max frames {})",
+        opts.timeout,
+        if opts.max_frames == usize::MAX {
+            "∞".to_string()
+        } else {
+            opts.max_frames.to_string()
+        }
+    );
+    let rows = rtl_bench::run_table1(&opts);
+    if csv {
+        print!("{}", rtl_bench::table1_csv(&rows));
+    } else {
+        print!("{}", rtl_bench::render_table1(&rows));
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table 2 (run-time analysis of the structural
+//! decision strategy and the CDP comparison, §5).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p rtl-bench --release --bin table2 [-- --timeout <secs>] [--max-frames <n>] [--csv]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = rtl_bench::parse_options(&args);
+    let csv = args.iter().any(|a| a == "--csv");
+    eprintln!(
+        "Table 2 — structural decision strategy (timeout {:?}, max frames {})",
+        opts.timeout,
+        if opts.max_frames == usize::MAX {
+            "∞".to_string()
+        } else {
+            opts.max_frames.to_string()
+        }
+    );
+    let rows = rtl_bench::run_table2(&opts);
+    if csv {
+        print!("{}", rtl_bench::table2_csv(&rows));
+    } else {
+        print!("{}", rtl_bench::render_table2(&rows));
+    }
+}

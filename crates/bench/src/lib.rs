@@ -1,0 +1,452 @@
+//! Experiment harness regenerating the paper's Table 1 and Table 2.
+//!
+//! The two result tables of the paper are reproduced by the binaries in
+//! this crate:
+//!
+//! * `cargo run -p rtl-bench --release --bin table1` — §3.1, *Run-Time
+//!   Analysis of Predicate Learning*: for each BMC case, the number of
+//!   relations learned, the learning time, and HDPLL runtime with and
+//!   without predicate learning.
+//! * `cargo run -p rtl-bench --release --bin table2` — §5, *Run-Time
+//!   Analysis of the Structural Decision Strategy*: operator counts and
+//!   the five solver columns (HDPLL, HDPLL+S, HDPLL+S+P, the eager
+//!   UCLID-like baseline, the lazy ICS-like baseline).
+//!
+//! Both binaries accept `--timeout <secs>` (default scaled down from the
+//! paper's 1200 s; pass `--timeout 1200` for the paper's budget) and
+//! `--max-frames <n>` to cap the unrolling depth for quick runs.
+//!
+//! The library part exposes the runners so the Criterion benches and
+//! integration tests drive exactly the same code path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rtl_baselines::{BaselineLimits, EagerSolver, LazyCdpSolver};
+use rtl_hdpll::{HdpllResult, LearnConfig, Limits, Solver, SolverConfig};
+use rtl_ir::analysis;
+use rtl_itc99::cases::{table1_cases, table2_cases, BmcCase, Expected};
+
+/// Harness options shared by both tables.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOptions {
+    /// Per-case, per-solver wall-clock budget (the paper's 1200 s).
+    pub timeout: Duration,
+    /// Skip cases deeper than this many frames (full tables take a while).
+    pub max_frames: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(60),
+            max_frames: usize::MAX,
+        }
+    }
+}
+
+/// Outcome of one solver run: verdict plus wall-clock time.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// The verdict (`Unknown` = timeout, printed as `-to-`).
+    pub verdict: Verdict,
+    /// Wall-clock time of the run.
+    pub time: Duration,
+}
+
+/// A solver verdict in table form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted (the paper's `-to-`).
+    Timeout,
+}
+
+impl Verdict {
+    fn from_result(r: &HdpllResult) -> Self {
+        match r {
+            HdpllResult::Sat(_) => Verdict::Sat,
+            HdpllResult::Unsat => Verdict::Unsat,
+            HdpllResult::Unknown => Verdict::Timeout,
+        }
+    }
+
+    /// `true` if the verdict matches the expected table verdict.
+    #[must_use]
+    pub fn matches(self, expected: Expected) -> bool {
+        matches!(
+            (self, expected),
+            (Verdict::Sat, Expected::Sat) | (Verdict::Unsat, Expected::Unsat)
+        )
+    }
+}
+
+fn fmt_time(t: &Timing) -> String {
+    match t.verdict {
+        Verdict::Timeout => "-to-".to_string(),
+        _ => format!("{:.2}", t.time.as_secs_f64()),
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Case name in the paper's notation, e.g. `b13_5(100)`.
+    pub name: String,
+    /// Expected verdict (paper's `Type` column).
+    pub expected: Expected,
+    /// Number of relations learned (paper column 3).
+    pub relations: usize,
+    /// Learning time (paper column 4).
+    pub learn_time: Duration,
+    /// HDPLL without predicate learning (paper column 5).
+    pub plain: Timing,
+    /// HDPLL with predicate learning (paper column 6).
+    pub learned: Timing,
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Case name in the paper's notation.
+    pub name: String,
+    /// Expected verdict (paper's `Rslt` column).
+    pub expected: Expected,
+    /// Arithmetic operator count (paper column 3).
+    pub arith_ops: usize,
+    /// Boolean operator count (paper column 4).
+    pub bool_ops: usize,
+    /// HDPLL \[9\] (paper column 5).
+    pub hdpll: Timing,
+    /// HDPLL+S (paper column 6).
+    pub hdpll_s: Timing,
+    /// HDPLL+S+P (paper column 7).
+    pub hdpll_sp: Timing,
+    /// UCLID-like eager baseline (paper column 8).
+    pub uclid: Timing,
+    /// ICS-like lazy baseline (paper column 9).
+    pub ics: Timing,
+}
+
+fn run_hdpll(case: &BmcCase, config: SolverConfig) -> (Timing, Option<Duration>, usize) {
+    let bmc = case.build();
+    let mut solver = Solver::new(&bmc.netlist, config);
+    let start = Instant::now();
+    let result = solver.solve(bmc.bad);
+    let time = start.elapsed();
+    let learn_time = solver.learn_report().map(|r| r.time);
+    let relations = solver.learn_report().map_or(0, |r| r.relations);
+    (
+        Timing {
+            verdict: Verdict::from_result(&result),
+            time: time.saturating_sub(learn_time.unwrap_or(Duration::ZERO)),
+        },
+        learn_time,
+        relations,
+    )
+}
+
+/// Runs one Table 1 row: HDPLL with and without predicate learning
+/// (activity decisions, as in the paper's §3.1 experiment; the learning
+/// threshold is the paper's 2500).
+#[must_use]
+pub fn run_table1_case(case: &BmcCase, opts: &HarnessOptions) -> Table1Row {
+    let limits = Limits {
+        max_time: Some(opts.timeout),
+        ..Limits::default()
+    };
+    let (plain, _, _) = run_hdpll(case, SolverConfig::hdpll().with_limits(limits));
+    let (learned, learn_time, relations) = run_hdpll(
+        case,
+        SolverConfig {
+            learn: Some(LearnConfig::with_threshold(2500)),
+            ..SolverConfig::hdpll()
+        }
+        .with_limits(limits),
+    );
+    Table1Row {
+        name: case.name(),
+        expected: case.expected,
+        relations,
+        learn_time: learn_time.unwrap_or(Duration::ZERO),
+        plain,
+        learned,
+    }
+}
+
+/// Runs one Table 2 row: the three HDPLL variants and both baselines.
+#[must_use]
+pub fn run_table2_case(case: &BmcCase, opts: &HarnessOptions) -> Table2Row {
+    let bmc = case.build();
+    let stats = analysis::stats(&bmc.netlist);
+    let limits = Limits {
+        max_time: Some(opts.timeout),
+        ..Limits::default()
+    };
+    let (hdpll, _, _) = run_hdpll(case, SolverConfig::hdpll().with_limits(limits));
+    let (hdpll_s, _, _) = run_hdpll(case, SolverConfig::structural().with_limits(limits));
+    let learn = LearnConfig::table2_for(&bmc.netlist);
+    let (hdpll_sp, _, _) = run_hdpll(
+        case,
+        SolverConfig::structural_with_learning(learn).with_limits(limits),
+    );
+
+    let blimits = BaselineLimits {
+        max_time: Some(opts.timeout),
+        max_conflicts: None,
+    };
+    let start = Instant::now();
+    let uclid_result = EagerSolver::new(blimits).solve(&bmc.netlist, bmc.bad);
+    let uclid = Timing {
+        verdict: Verdict::from_result(&uclid_result),
+        time: start.elapsed(),
+    };
+    let start = Instant::now();
+    let ics_result = LazyCdpSolver::new(blimits).solve(&bmc.netlist, bmc.bad);
+    let ics = Timing {
+        verdict: Verdict::from_result(&ics_result),
+        time: start.elapsed(),
+    };
+
+    Table2Row {
+        name: case.name(),
+        expected: case.expected,
+        arith_ops: stats.arith_ops,
+        bool_ops: stats.bool_ops,
+        hdpll,
+        hdpll_s,
+        hdpll_sp,
+        uclid,
+        ics,
+    }
+}
+
+/// Runs all Table 1 rows within the frame cap.
+#[must_use]
+pub fn run_table1(opts: &HarnessOptions) -> Vec<Table1Row> {
+    table1_cases()
+        .iter()
+        .filter(|c| c.frames <= opts.max_frames)
+        .map(|c| {
+            let row = run_table1_case(c, opts);
+            eprintln!("  done {}", row.name);
+            row
+        })
+        .collect()
+}
+
+/// Runs all Table 2 rows within the frame cap.
+#[must_use]
+pub fn run_table2(opts: &HarnessOptions) -> Vec<Table2Row> {
+    table2_cases()
+        .iter()
+        .filter(|c| c.frames <= opts.max_frames)
+        .map(|c| {
+            let row = run_table2_case(c, opts);
+            eprintln!("  done {}", row.name);
+            row
+        })
+        .collect()
+}
+
+fn expected_str(e: Expected) -> &'static str {
+    match e {
+        Expected::Sat => "S",
+        Expected::Unsat => "U",
+    }
+}
+
+fn verdict_ok(t: &Timing, e: Expected) -> &'static str {
+    match t.verdict {
+        Verdict::Timeout => " ",
+        v if v.matches(e) => " ",
+        _ => "!",
+    }
+}
+
+/// Renders Table 1 in the paper's layout.
+#[must_use]
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>4} {:>6} {:>8} {:>10} {:>12}",
+        "Ckt", "Type", "Rels", "Learn", "HDPLL", "HDPLL+Pred"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>4} {:>6} {:>8} {:>10} {:>12}",
+        "", "", "", "Time", "", "Learn"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>4} {:>6} {:>8.2} {:>10}{} {:>11}{}",
+            r.name,
+            expected_str(r.expected),
+            r.relations,
+            r.learn_time.as_secs_f64(),
+            fmt_time(&r.plain),
+            verdict_ok(&r.plain, r.expected),
+            fmt_time(&r.learned),
+            verdict_ok(&r.learned, r.expected),
+        );
+    }
+    out
+}
+
+/// Renders Table 2 in the paper's layout.
+#[must_use]
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>4} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Test-case", "Rslt", "Arith", "Bool", "HDPLL", "+S", "+S+P", "UCLID~", "ICS~"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>4} {:>7} {:>7} {:>8}{} {:>8}{} {:>8}{} {:>8}{} {:>8}{}",
+            r.name,
+            expected_str(r.expected),
+            r.arith_ops,
+            r.bool_ops,
+            fmt_time(&r.hdpll),
+            verdict_ok(&r.hdpll, r.expected),
+            fmt_time(&r.hdpll_s),
+            verdict_ok(&r.hdpll_s, r.expected),
+            fmt_time(&r.hdpll_sp),
+            verdict_ok(&r.hdpll_sp, r.expected),
+            fmt_time(&r.uclid),
+            verdict_ok(&r.uclid, r.expected),
+            fmt_time(&r.ics),
+            verdict_ok(&r.ics, r.expected),
+        );
+    }
+    out
+}
+
+/// Renders rows as CSV (for EXPERIMENTS.md bookkeeping).
+#[must_use]
+pub fn table2_csv(rows: &[Table2Row]) -> String {
+    let mut out = String::from("case,expected,arith,bool,hdpll,hdpll_s,hdpll_sp,uclid,ics\n");
+    let cell = |t: &Timing| match t.verdict {
+        Verdict::Timeout => "timeout".to_string(),
+        _ => format!("{:.4}", t.time.as_secs_f64()),
+    };
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            r.name,
+            expected_str(r.expected),
+            r.arith_ops,
+            r.bool_ops,
+            cell(&r.hdpll),
+            cell(&r.hdpll_s),
+            cell(&r.hdpll_sp),
+            cell(&r.uclid),
+            cell(&r.ics),
+        );
+    }
+    out
+}
+
+/// Renders Table 1 rows as CSV.
+#[must_use]
+pub fn table1_csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from("case,expected,relations,learn_time,hdpll,hdpll_pred\n");
+    let cell = |t: &Timing| match t.verdict {
+        Verdict::Timeout => "timeout".to_string(),
+        _ => format!("{:.4}", t.time.as_secs_f64()),
+    };
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{},{}",
+            r.name,
+            expected_str(r.expected),
+            r.relations,
+            r.learn_time.as_secs_f64(),
+            cell(&r.plain),
+            cell(&r.learned),
+        );
+    }
+    out
+}
+
+/// Parses `--timeout <secs>` and `--max-frames <n>` from CLI arguments.
+#[must_use]
+pub fn parse_options(args: &[String]) -> HarnessOptions {
+    let mut opts = HarnessOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timeout" => {
+                if let Some(v) = it.next().and_then(|s| s.parse::<u64>().ok()) {
+                    opts.timeout = Duration::from_secs(v);
+                }
+            }
+            "--max-frames" => {
+                if let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) {
+                    opts.max_frames = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse() {
+        let args: Vec<String> = ["--timeout", "7", "--max-frames", "20"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let opts = parse_options(&args);
+        assert_eq!(opts.timeout, Duration::from_secs(7));
+        assert_eq!(opts.max_frames, 20);
+        let empty = parse_options(&[]);
+        assert_eq!(empty.max_frames, usize::MAX);
+    }
+
+    #[test]
+    fn smallest_rows_run_and_match() {
+        let opts = HarnessOptions {
+            timeout: Duration::from_secs(30),
+            max_frames: 10,
+        };
+        let rows = run_table1(&opts);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.plain.verdict.matches(r.expected),
+                "{}: plain verdict {:?}",
+                r.name,
+                r.plain.verdict
+            );
+            assert!(
+                r.learned.verdict.matches(r.expected),
+                "{}: learned verdict {:?}",
+                r.name,
+                r.learned.verdict
+            );
+        }
+        let rendered = render_table1(&rows);
+        assert!(rendered.contains("b01_1(10)"));
+        let csv = table1_csv(&rows);
+        assert!(csv.lines().count() > 1);
+    }
+}

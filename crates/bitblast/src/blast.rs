@@ -1,0 +1,410 @@
+//! The Tseitin encoder.
+
+use std::collections::HashMap;
+
+use rtl_ir::{Netlist, Op, SignalId};
+use rtl_sat::{Limits, Lit, Model, SatResult, Solver};
+
+/// Encodes a netlist into CNF inside a [`Solver`], keeping the mapping from
+/// signals to bit literals (LSB first).
+///
+/// A `Blaster` can encode several constraint roots and solve incrementally;
+/// each call to [`Blaster::assert_true`] adds a unit clause on a signal's
+/// encoded literal.
+#[derive(Debug)]
+pub struct Blaster {
+    solver: Solver,
+    /// Per signal: its bits, LSB first (length 1 for Booleans).
+    bits: Vec<Vec<Lit>>,
+    lit_true: Lit,
+}
+
+impl Blaster {
+    /// Encodes every signal of `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut solver = Solver::new();
+        let t = solver.new_var();
+        let lit_true = Lit::pos(t);
+        solver.add_clause(&[lit_true]);
+        let mut b = Blaster {
+            solver,
+            bits: Vec::with_capacity(netlist.len()),
+            lit_true,
+        };
+        for id in netlist.signal_ids() {
+            let enc = b.encode_signal(netlist, id);
+            debug_assert_eq!(enc.len(), netlist.ty(id).width() as usize);
+            b.bits.push(enc);
+        }
+        b
+    }
+
+    /// The bit literals (LSB first) of a signal.
+    #[must_use]
+    pub fn bits(&self, id: SignalId) -> &[Lit] {
+        &self.bits[id.index()]
+    }
+
+    /// Asserts that the Boolean signal `id` is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a single-bit signal.
+    pub fn assert_true(&mut self, id: SignalId) {
+        assert_eq!(self.bits[id.index()].len(), 1, "assert_true needs a Boolean");
+        let l = self.bits[id.index()][0];
+        self.solver.add_clause(&[l]);
+    }
+
+    /// Asserts an arbitrary encoded literal (e.g. a specific bit of a word),
+    /// useful for forcing input values.
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.solver.add_clause(&[lit]);
+    }
+
+    /// Solves the accumulated CNF under a budget.
+    pub fn solve_limited(&mut self, limits: Limits) -> SatResult {
+        self.solver.solve_limited(limits)
+    }
+
+    /// Access to the underlying solver (e.g. for statistics).
+    #[must_use]
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Decodes the value of a signal from a SAT model.
+    #[must_use]
+    pub fn decode(&self, id: SignalId, model: &Model) -> i64 {
+        let mut v = 0i64;
+        for (i, &l) in self.bits[id.index()].iter().enumerate() {
+            if model.satisfies(l) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    // -- encoding helpers ----------------------------------------------------
+
+    fn fresh(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    fn lit_false(&self) -> Lit {
+        !self.lit_true
+    }
+
+    fn const_bit(&self, b: bool) -> Lit {
+        if b {
+            self.lit_true
+        } else {
+            self.lit_false()
+        }
+    }
+
+    /// Tseitin AND: out ⇔ (∧ ins).
+    fn enc_and(&mut self, ins: &[Lit]) -> Lit {
+        match ins {
+            [] => self.lit_true,
+            [single] => *single,
+            _ => {
+                let out = self.fresh();
+                let mut long = vec![out];
+                for &i in ins {
+                    self.solver.add_clause(&[!out, i]);
+                    long.push(!i);
+                }
+                self.solver.add_clause(&long);
+                out
+            }
+        }
+    }
+
+    /// Tseitin OR: out ⇔ (∨ ins).
+    fn enc_or(&mut self, ins: &[Lit]) -> Lit {
+        let neg: Vec<Lit> = ins.iter().map(|&l| !l).collect();
+        !self.enc_and(&neg)
+    }
+
+    /// Tseitin XOR: out ⇔ a ⊕ b.
+    fn enc_xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.solver.add_clause(&[!out, a, b]);
+        self.solver.add_clause(&[!out, !a, !b]);
+        self.solver.add_clause(&[out, !a, b]);
+        self.solver.add_clause(&[out, a, !b]);
+        out
+    }
+
+    /// out ⇔ (a ⇔ b).
+    fn enc_xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.enc_xor(a, b)
+    }
+
+    /// out ⇔ (s ? t : e).
+    fn enc_mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let out = self.fresh();
+        self.solver.add_clause(&[!s, !t, out]);
+        self.solver.add_clause(&[!s, t, !out]);
+        self.solver.add_clause(&[s, !e, out]);
+        self.solver.add_clause(&[s, e, !out]);
+        out
+    }
+
+    /// Full adder: returns (sum, carry).
+    fn enc_full_adder(&mut self, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+        let ab = self.enc_xor(a, b);
+        let sum = self.enc_xor(ab, c);
+        // carry = majority(a, b, c)
+        let ab_and = self.enc_and(&[a, b]);
+        let ac_and = self.enc_and(&[a, c]);
+        let bc_and = self.enc_and(&[b, c]);
+        let carry = self.enc_or(&[ab_and, ac_and, bc_and]);
+        (sum, carry)
+    }
+
+    /// Ripple-carry addition of equal-length vectors with carry-in; the
+    /// final carry is dropped (modular semantics).
+    fn enc_add_vec(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.enc_full_adder(x, y, carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    /// Widens or truncates a bit-vector to `w` bits with the given fill.
+    fn resize(&self, bits: &[Lit], w: usize, fill: Lit) -> Vec<Lit> {
+        let mut out: Vec<Lit> = bits.iter().copied().take(w).collect();
+        while out.len() < w {
+            out.push(fill);
+        }
+        out
+    }
+
+    /// Unsigned a < b over equal-length vectors (borrow chain from LSB).
+    fn enc_ult(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut lt = self.lit_false();
+        for (&x, &y) in a.iter().zip(b) {
+            // lt' = (¬x ∧ y) ∨ ((x ⇔ y) ∧ lt)
+            let nx_y = {
+                let nx = !x;
+                self.enc_and(&[nx, y])
+            };
+            let eq = self.enc_xnor(x, y);
+            let keep = self.enc_and(&[eq, lt]);
+            lt = self.enc_or(&[nx_y, keep]);
+        }
+        lt
+    }
+
+    /// a = b over equal-length vectors.
+    fn enc_eq(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let xnors: Vec<Lit> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.enc_xnor(x, y))
+            .collect();
+        self.enc_and(&xnors)
+    }
+
+    fn encode_signal(&mut self, n: &Netlist, id: SignalId) -> Vec<Lit> {
+        let w_out = n.ty(id).width() as usize;
+        let f = self.lit_false();
+        let get = |b: &Blaster, s: SignalId| b.bits[s.index()].clone();
+        match n.op(id) {
+            Op::Input => (0..w_out).map(|_| self.fresh()).collect(),
+            Op::Const(c) => (0..w_out).map(|i| self.const_bit((c >> i) & 1 == 1)).collect(),
+            Op::Not(a) => vec![!self.bits[a.index()][0]],
+            Op::And(ops) => {
+                let ins: Vec<Lit> = ops.iter().map(|o| self.bits[o.index()][0]).collect();
+                vec![self.enc_and(&ins)]
+            }
+            Op::Or(ops) => {
+                let ins: Vec<Lit> = ops.iter().map(|o| self.bits[o.index()][0]).collect();
+                vec![self.enc_or(&ins)]
+            }
+            Op::Xor(a, b) => {
+                let (x, y) = (self.bits[a.index()][0], self.bits[b.index()][0]);
+                vec![self.enc_xor(x, y)]
+            }
+            Op::Add(a, b) => {
+                let av = self.resize(&get(self, *a), w_out, f);
+                let bv = self.resize(&get(self, *b), w_out, f);
+                self.enc_add_vec(&av, &bv, f)
+            }
+            Op::Sub(a, b) => {
+                // a − b = a + ¬b + 1 (two's complement)
+                let av = self.resize(&get(self, *a), w_out, f);
+                let bv = self.resize(&get(self, *b), w_out, f);
+                let nb: Vec<Lit> = bv.iter().map(|&l| !l).collect();
+                self.enc_add_vec(&av, &nb, self.lit_true)
+            }
+            Op::MulConst(a, k) => {
+                // shift-and-add over the set bits of k
+                let av = self.resize(&get(self, *a), w_out, f);
+                let mut acc: Vec<Lit> = vec![f; w_out];
+                for bit in 0..w_out {
+                    if (k >> bit) & 1 == 1 {
+                        // acc += a << bit
+                        let mut shifted: Vec<Lit> = vec![f; bit];
+                        shifted.extend(av.iter().copied().take(w_out - bit));
+                        acc = self.enc_add_vec(&acc, &shifted, f);
+                    }
+                }
+                acc
+            }
+            Op::Shl(a, k) => {
+                let av = get(self, *a);
+                let k = *k as usize;
+                let mut out: Vec<Lit> = vec![f; k.min(w_out)];
+                out.extend(av.iter().copied().take(w_out.saturating_sub(k)));
+                self.resize(&out, w_out, f)
+            }
+            Op::Shr(a, k) => {
+                let av = get(self, *a);
+                let out: Vec<Lit> = av.iter().copied().skip(*k as usize).collect();
+                self.resize(&out, w_out, f)
+            }
+            Op::Extract { src, hi: _, lo } => {
+                let sv = get(self, *src);
+                sv[*lo as usize..*lo as usize + w_out].to_vec()
+            }
+            Op::Concat(hi, lo) => {
+                let mut out = get(self, *lo);
+                out.extend(get(self, *hi));
+                out
+            }
+            Op::ZeroExt(a) => self.resize(&get(self, *a), w_out, f),
+            Op::SignExt(a) => {
+                let av = get(self, *a);
+                let sign = *av.last().expect("non-empty");
+                self.resize(&av, w_out, sign)
+            }
+            Op::Ite { sel, t, e } => {
+                let s = self.bits[sel.index()][0];
+                let tv = get(self, *t);
+                let ev = get(self, *e);
+                tv.iter()
+                    .zip(&ev)
+                    .map(|(&a, &b)| self.enc_mux(s, a, b))
+                    .collect()
+            }
+            Op::Min(a, b) | Op::Max(a, b) => {
+                let is_min = matches!(n.op(id), Op::Min(..));
+                let w = w_out;
+                let av = self.resize(&get(self, *a), w, f);
+                let bv = self.resize(&get(self, *b), w, f);
+                let a_lt_b = self.enc_ult(&av, &bv);
+                av.iter()
+                    .zip(&bv)
+                    .map(|(&x, &y)| {
+                        if is_min {
+                            self.enc_mux(a_lt_b, x, y)
+                        } else {
+                            self.enc_mux(a_lt_b, y, x)
+                        }
+                    })
+                    .collect()
+            }
+            Op::Cmp { op, a, b } => {
+                let w = n.ty(*a).width().max(n.ty(*b).width()) as usize;
+                let av = self.resize(&get(self, *a), w, f);
+                let bv = self.resize(&get(self, *b), w, f);
+                use rtl_ir::CmpOp;
+                let lit = match op {
+                    CmpOp::Eq => self.enc_eq(&av, &bv),
+                    CmpOp::Ne => !self.enc_eq(&av, &bv),
+                    CmpOp::Lt => self.enc_ult(&av, &bv),
+                    CmpOp::Ge => !self.enc_ult(&av, &bv),
+                    CmpOp::Gt => self.enc_ult(&bv, &av),
+                    CmpOp::Le => !self.enc_ult(&bv, &av),
+                };
+                vec![lit]
+            }
+            Op::BoolToWord(a) => vec![self.bits[a.index()][0]],
+        }
+    }
+}
+
+/// The outcome of [`solve_netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlastOutcome {
+    /// Satisfiable, with an input assignment witnessing it.
+    Sat(HashMap<SignalId, i64>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The budget was exhausted.
+    Unknown,
+}
+
+impl BlastOutcome {
+    /// The witnessing input assignment, if satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&HashMap<SignalId, i64>> {
+        match self {
+            BlastOutcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`BlastOutcome::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, BlastOutcome::Unsat)
+    }
+}
+
+/// Bit-blasts `netlist` with `constraint` asserted and renders the CNF as
+/// DIMACS text, for use with external SAT solvers.
+///
+/// # Panics
+///
+/// Panics if `constraint` is not a Boolean signal of `netlist`.
+#[must_use]
+pub fn to_dimacs(netlist: &Netlist, constraint: SignalId) -> String {
+    let mut blaster = Blaster::new(netlist);
+    blaster.assert_true(constraint);
+    let solver = blaster.solver();
+    let mut cnf = rtl_sat::dimacs::Cnf {
+        num_vars: solver.num_vars(),
+        clauses: solver
+            .problem_clauses()
+            .map(<[Lit]>::to_vec)
+            .collect(),
+    };
+    for lit in solver.level0_assignments() {
+        cnf.clauses.push(vec![lit]);
+    }
+    rtl_sat::dimacs::to_text(&cnf)
+}
+
+/// Bit-blasts `netlist`, asserts the Boolean signal `constraint`, and
+/// solves. On SAT, returns values for every *input* signal (a witness the
+/// simulator will accept).
+///
+/// # Panics
+///
+/// Panics if `constraint` is not a Boolean signal of `netlist`.
+#[must_use]
+pub fn solve_netlist(netlist: &Netlist, constraint: SignalId, limits: Limits) -> BlastOutcome {
+    let mut blaster = Blaster::new(netlist);
+    blaster.assert_true(constraint);
+    match blaster.solve_limited(limits) {
+        SatResult::Sat(model) => {
+            let inputs = rtl_ir::eval::input_ids(netlist)
+                .into_iter()
+                .map(|id| (id, blaster.decode(id, &model)))
+                .collect();
+            BlastOutcome::Sat(inputs)
+        }
+        SatResult::Unsat => BlastOutcome::Unsat,
+        SatResult::Unknown => BlastOutcome::Unknown,
+    }
+}

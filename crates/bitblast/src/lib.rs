@@ -1,0 +1,44 @@
+//! Bit-level (Tseitin CNF) translation of RTL netlists.
+//!
+//! This crate implements "the most popular method of solving a satisfiability
+//! problem on RTL": translating the word-level circuit into propositional
+//! CNF and running a Boolean SAT solver on it (paper §1, and the
+//! architecture of the UCLID `-sat 0 chaff` baseline of §5.3). It is the
+//! *eager* path the paper's hybrid solver is measured against — fast when
+//! properties are control-dominated, but scaling poorly with data-path
+//! width because every adder and comparator becomes a bit-level circuit.
+//!
+//! Every signal of the netlist is encoded as a vector of literals (LSB
+//! first); each operator contributes its standard Tseitin encoding
+//! (ripple-carry adders, borrow-chain comparators, per-bit multiplexers).
+//!
+//! # Example
+//!
+//! ```
+//! use rtl_bitblast::solve_netlist;
+//! use rtl_ir::{CmpOp, Netlist};
+//! use rtl_sat::Limits;
+//!
+//! # fn main() -> Result<(), rtl_ir::NetlistError> {
+//! // Is there an x with x + 3 = 10 (mod 16)?
+//! let mut n = Netlist::new("probe");
+//! let x = n.input_word("x", 4)?;
+//! let three = n.const_word(3, 4)?;
+//! let sum = n.add(x, three)?;
+//! let goal = n.eq_const(sum, 10)?;
+//! let outcome = solve_netlist(&n, goal, Limits::default());
+//! let model = outcome.model().expect("satisfiable");
+//! assert_eq!(model[&x], 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blast;
+
+pub use crate::blast::{solve_netlist, to_dimacs, BlastOutcome, Blaster};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,223 @@
+//! Bit-blasting correctness: per-operator equivalence with the simulator,
+//! and end-to-end SAT/UNSAT cross-checks against brute force.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use crate::{solve_netlist, Blaster};
+use rtl_ir::{eval, CmpOp, Netlist, SignalId};
+use rtl_sat::{Limits, SatResult};
+
+/// Forces input signals to concrete values (unit clauses on their bits),
+/// solves, and returns the decoded value of every signal.
+fn run_forced(netlist: &Netlist, inputs: &HashMap<SignalId, i64>) -> HashMap<SignalId, i64> {
+    let mut b2 = Blaster::new(netlist);
+    let lits: Vec<_> = inputs
+        .iter()
+        .flat_map(|(&id, &val)| {
+            b2.bits(id)
+                .iter()
+                .enumerate()
+                .map(move |(i, &lit)| if (val >> i) & 1 == 1 { lit } else { !lit })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for l in lits {
+        b2.assert_lit(l);
+    }
+    match b2.solve_limited(Limits::default()) {
+        SatResult::Sat(model) => netlist
+            .signal_ids()
+            .map(|id| (id, b2.decode(id, &model)))
+            .collect(),
+        other => panic!("forced evaluation must be SAT, got {other:?}"),
+    }
+}
+
+#[test]
+fn quickstart_example() {
+    let mut n = Netlist::new("probe");
+    let x = n.input_word("x", 4).unwrap();
+    let three = n.const_word(3, 4).unwrap();
+    let sum = n.add(x, three).unwrap();
+    let goal = n.eq_const(sum, 10).unwrap();
+    let outcome = solve_netlist(&n, goal, Limits::default());
+    assert_eq!(outcome.model().unwrap()[&x], 7);
+}
+
+#[test]
+fn unsat_detection() {
+    // x < 3 ∧ x > 10 over 4 bits
+    let mut n = Netlist::new("empty");
+    let x = n.input_word("x", 4).unwrap();
+    let c3 = n.const_word(3, 4).unwrap();
+    let c10 = n.const_word(10, 4).unwrap();
+    let lt = n.cmp(CmpOp::Lt, x, c3).unwrap();
+    let gt = n.cmp(CmpOp::Gt, x, c10).unwrap();
+    let both = n.and(&[lt, gt]).unwrap();
+    assert!(solve_netlist(&n, both, Limits::default()).is_unsat());
+}
+
+#[test]
+fn budget_gives_unknown() {
+    // A moderately hard UNSAT instance: a + b = b + a + 1 (mod 2^16)
+    let mut n = Netlist::new("comm");
+    let a = n.input_word("a", 16).unwrap();
+    let b = n.input_word("b", 16).unwrap();
+    let ab = n.add(a, b).unwrap();
+    let ba = n.add(b, a).unwrap();
+    let one = n.const_word(1, 16).unwrap();
+    let ba1 = n.add(ba, one).unwrap();
+    let eq = n.cmp(CmpOp::Eq, ab, ba1).unwrap();
+    let out = solve_netlist(
+        &n,
+        eq,
+        Limits {
+            max_conflicts: Some(1),
+            max_propagations: Some(1),
+        },
+    );
+    assert_eq!(out, crate::BlastOutcome::Unknown);
+}
+
+#[test]
+fn model_is_accepted_by_simulator() {
+    let mut n = Netlist::new("mix");
+    let a = n.input_word("a", 6).unwrap();
+    let b = n.input_word("b", 6).unwrap();
+    let s = n.input_bool("s").unwrap();
+    let m = n.ite(s, a, b).unwrap();
+    let shifted = n.shl(m, 2).unwrap();
+    let t = n.const_word(44, 6).unwrap();
+    let hit = n.cmp(CmpOp::Eq, shifted, t).unwrap();
+    let outcome = solve_netlist(&n, hit, Limits::default());
+    let model = outcome.model().expect("satisfiable");
+    assert!(eval::check_model(&n, model, hit).unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator equivalence with the simulator on random inputs
+// ---------------------------------------------------------------------------
+
+/// Builds one netlist exercising every operator at small widths.
+fn all_ops_netlist() -> Netlist {
+    let mut n = Netlist::new("allops");
+    let a = n.input_word("a", 5).unwrap();
+    let b = n.input_word("b", 5).unwrap();
+    let p = n.input_bool("p").unwrap();
+    let q = n.input_bool("q").unwrap();
+
+    let add = n.add(a, b).unwrap();
+    n.set_output(add, "add").unwrap();
+    let wide = n.add_into(a, b, 7).unwrap();
+    n.set_output(wide, "wide_add").unwrap();
+    let sub = n.sub(a, b).unwrap();
+    n.set_output(sub, "sub").unwrap();
+    let mc = n.mul_const(a, 5).unwrap();
+    n.set_output(mc, "mulc").unwrap();
+    let shl = n.shl(a, 2).unwrap();
+    n.set_output(shl, "shl").unwrap();
+    let shr = n.shr(a, 1).unwrap();
+    n.set_output(shr, "shr").unwrap();
+    let ex = n.extract(a, 3, 1).unwrap();
+    n.set_output(ex, "extract").unwrap();
+    let cc = n.concat(a, b).unwrap();
+    n.set_output(cc, "concat").unwrap();
+    let ze = n.zext(a, 8).unwrap();
+    n.set_output(ze, "zext").unwrap();
+    let se = n.sext(a, 8).unwrap();
+    n.set_output(se, "sext").unwrap();
+    let ite = n.ite(p, a, b).unwrap();
+    n.set_output(ite, "ite").unwrap();
+    let mn = n.min(a, b).unwrap();
+    n.set_output(mn, "min").unwrap();
+    let mx = n.max(a, b).unwrap();
+    n.set_output(mx, "max").unwrap();
+    for (i, op) in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+        .into_iter()
+        .enumerate()
+    {
+        let c = n.cmp(op, a, b).unwrap();
+        n.set_output(c, format!("cmp{i}")).unwrap();
+    }
+    let bw = n.bool_to_word(q).unwrap();
+    n.set_output(bw, "b2w").unwrap();
+    let g1 = n.and(&[p, q]).unwrap();
+    n.set_output(g1, "and").unwrap();
+    let g2 = n.or(&[p, q]).unwrap();
+    n.set_output(g2, "or").unwrap();
+    let g3 = n.xor(p, q).unwrap();
+    n.set_output(g3, "xor").unwrap();
+    let g4 = n.not(p).unwrap();
+    n.set_output(g4, "not").unwrap();
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forcing inputs in the CNF reproduces the simulator value on every
+    /// signal — the encodings of all operators are exact.
+    #[test]
+    fn encoding_matches_simulator(a in 0i64..32, b in 0i64..32, p in 0i64..2, q in 0i64..2) {
+        let n = all_ops_netlist();
+        let inputs: HashMap<SignalId, i64> = [
+            (n.find("a").unwrap(), a),
+            (n.find("b").unwrap(), b),
+            (n.find("p").unwrap(), p),
+            (n.find("q").unwrap(), q),
+        ]
+        .into();
+        let sim = eval::eval(&n, &inputs).unwrap();
+        let sat = run_forced(&n, &inputs);
+        for id in n.signal_ids() {
+            prop_assert_eq!(sim[id], sat[&id], "signal {} differs", id);
+        }
+    }
+
+    /// SAT/UNSAT agrees with brute-force input enumeration on a small
+    /// parametric constraint.
+    #[test]
+    fn sat_answer_matches_brute_force(target in 0i64..64, width in 3u32..6) {
+        // constraint: (a + b) · 3 mod 2^w = target ∧ a < b
+        let mut n = Netlist::new("bf");
+        let a = n.input_word("a", width).unwrap();
+        let b = n.input_word("b", width).unwrap();
+        let sum = n.add(a, b).unwrap();
+        let tripled = n.mul_const(sum, 3).unwrap();
+        let tmax = (1i64 << width) - 1;
+        let goal = if target <= tmax {
+            let t = n.const_word(target, width).unwrap();
+            n.cmp(CmpOp::Eq, tripled, t).unwrap()
+        } else {
+            // out-of-range target: compare against truncated constant
+            let t = n.const_word(target & tmax, width).unwrap();
+            n.cmp(CmpOp::Eq, tripled, t).unwrap()
+        };
+        let lt = n.cmp(CmpOp::Lt, a, b).unwrap();
+        let both = n.and(&[goal, lt]).unwrap();
+
+        // brute force
+        let mut expected = false;
+        'outer: for av in 0..=tmax {
+            for bv in 0..=tmax {
+                let inputs: HashMap<SignalId, i64> = [(a, av), (b, bv)].into();
+                if eval::eval(&n, &inputs).unwrap()[both] == 1 {
+                    expected = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        let outcome = solve_netlist(&n, both, Limits::default());
+        match outcome {
+            crate::BlastOutcome::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(eval::check_model(&n, &model, both).unwrap());
+            }
+            crate::BlastOutcome::Unsat => prop_assert!(!expected),
+            crate::BlastOutcome::Unknown => prop_assert!(false, "no budget set"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fourier–Motzkin elimination over finite-domain integer linear
+//! constraints, with infeasible-subset extraction.
+//!
+//! This crate substitutes for the Omega library [13] used by the paper's
+//! hybrid DPLL solver: once the Boolean search has assigned all decision
+//! variables and interval constraint propagation has produced a
+//! bounds-consistent *solution box*, HDPLL "checks the solution box for a
+//! point solution using an integer-linear solver that performs
+//! Fourier-Motzkin elimination" (§2.4). Two properties of that oracle are
+//! load-bearing and both are provided here:
+//!
+//! 1. **Decision with a witness** — [`solve`] returns either an integer
+//!    point inside the box satisfying every constraint, or a verdict that
+//!    none exists. Because every RTL variable has a finite domain, the
+//!    procedure is complete: eliminations with unit coefficients are exact,
+//!    and the rare non-unit eliminations fall back to enumerating the
+//!    smallest-domain variable (sound, complete, terminating).
+//! 2. **Conflict provenance** — on UNSAT, the solver reports *which input
+//!    constraints and variable bounds* participated in the refutation
+//!    (an infeasible subset, not necessarily minimal). HDPLL turns this
+//!    into a hybrid learned clause over the Boolean literals that implied
+//!    those constraints (§2.4's "resolvent from arithmetic solving").
+//!
+//! # Example
+//!
+//! ```
+//! use rtl_fm::{FmOutcome, LinExpr, Problem};
+//! use rtl_interval::Interval;
+//!
+//! // x + y ≤ 10 ∧ x − y ≥ 4 ∧ y ≥ 2, with x, y ∈ ⟨0, 15⟩.
+//! let mut p = Problem::new(vec![Interval::new(0, 15), Interval::new(0, 15)]);
+//! p.add_le(LinExpr::terms(&[(0, 1), (1, 1)]).plus(-10), 0); // x + y − 10 ≤ 0
+//! p.add_le(LinExpr::terms(&[(0, -1), (1, 1)]).plus(4), 1);  // −x + y + 4 ≤ 0
+//! p.add_le(LinExpr::terms(&[(1, -1)]).plus(2), 2);          // −y + 2 ≤ 0
+//! match p.solve() {
+//!     FmOutcome::Sat(model) => {
+//!         assert!(model[0] + model[1] <= 10);
+//!         assert!(model[0] - model[1] >= 4);
+//!         assert!(model[1] >= 2);
+//!     }
+//!     FmOutcome::Unsat(_) => unreachable!("x=6, y=2 is a solution"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linear;
+mod solver;
+
+pub use crate::linear::LinExpr;
+pub use crate::solver::{Conflict, FmConfig, FmOutcome, Problem};
+
+#[cfg(test)]
+mod tests;

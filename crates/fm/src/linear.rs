@@ -1,0 +1,283 @@
+//! Sparse integer linear expressions.
+
+use std::fmt;
+
+/// A sparse linear expression `Σ cᵢ·xᵢ + k` over caller-numbered variables.
+///
+/// Terms are kept sorted by variable index with no zero coefficients and no
+/// duplicates — the canonical form every operation preserves.
+///
+/// # Example
+///
+/// ```
+/// use rtl_fm::LinExpr;
+///
+/// let e = LinExpr::terms(&[(0, 2), (3, -1)]).plus(7); // 2x₀ − x₃ + 7
+/// assert_eq!(e.coeff(0), 2);
+/// assert_eq!(e.coeff(3), -1);
+/// assert_eq!(e.coeff(1), 0);
+/// assert_eq!(e.constant(), 7);
+/// assert_eq!(e.eval(&[5, 0, 0, 3]), 2 * 5 - 3 + 7);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    /// `(variable, coefficient)`, sorted by variable, coefficients non-zero.
+    terms: Vec<(u32, i64)>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs; duplicate
+    /// variables are summed, zero coefficients dropped.
+    #[must_use]
+    pub fn terms(pairs: &[(u32, i64)]) -> Self {
+        let mut terms: Vec<(u32, i64)> = pairs.to_vec();
+        terms.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(u32, i64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match merged.last_mut() {
+                Some(last) if last.0 == v => last.1 += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0);
+        Self {
+            terms: merged,
+            constant: 0,
+        }
+    }
+
+    /// The expression `c·x`.
+    #[must_use]
+    pub fn var(x: u32, c: i64) -> Self {
+        Self::terms(&[(x, c)])
+    }
+
+    /// The constant expression `k`.
+    #[must_use]
+    pub fn constant_expr(k: i64) -> Self {
+        Self {
+            terms: Vec::new(),
+            constant: k,
+        }
+    }
+
+    /// Adds a constant (builder style).
+    #[must_use]
+    pub fn plus(mut self, k: i64) -> Self {
+        self.constant = self
+            .constant
+            .checked_add(k)
+            .expect("linear-expression constant overflow");
+        self
+    }
+
+    /// The coefficient of variable `x` (0 if absent).
+    #[must_use]
+    pub fn coeff(&self, x: u32) -> i64 {
+        self.terms
+            .binary_search_by_key(&x, |&(v, _)| v)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The constant term.
+    #[must_use]
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// The non-zero terms, sorted by variable.
+    #[must_use]
+    pub fn iter_terms(&self) -> &[(u32, i64)] {
+        &self.terms
+    }
+
+    /// `true` if the expression has no variables.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of variables with non-zero coefficient.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluates the expression under a dense assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is out of range of `assignment`, or
+    /// on `i64` overflow (not expected for RTL-scale values).
+    #[must_use]
+    pub fn eval(&self, assignment: &[i64]) -> i64 {
+        let mut acc = self.constant as i128;
+        for &(v, c) in &self.terms {
+            acc += c as i128 * assignment[v as usize] as i128;
+        }
+        i64::try_from(acc).expect("linear-expression evaluation overflow")
+    }
+
+    /// `self + scale · other`, exact in `i128`, saturating coefficients back
+    /// to `i64` is *not* performed — overflow panics (callers normalize).
+    #[must_use]
+    pub fn add_scaled(&self, other: &Self, scale: i64) -> Self {
+        let mut terms: Vec<(u32, i64)> = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        let checked = |a: i128| -> i64 { i64::try_from(a).expect("coefficient overflow") };
+        while i < self.terms.len() || j < other.terms.len() {
+            let left = self.terms.get(i);
+            let right = other.terms.get(j);
+            match (left, right) {
+                (Some(&(lv, lc)), Some(&(rv, rc))) => {
+                    if lv == rv {
+                        let c = checked(lc as i128 + scale as i128 * rc as i128);
+                        if c != 0 {
+                            terms.push((lv, c));
+                        }
+                        i += 1;
+                        j += 1;
+                    } else if lv < rv {
+                        terms.push((lv, lc));
+                        i += 1;
+                    } else {
+                        let c = checked(scale as i128 * rc as i128);
+                        if c != 0 {
+                            terms.push((rv, c));
+                        }
+                        j += 1;
+                    }
+                }
+                (Some(&(lv, lc)), None) => {
+                    terms.push((lv, lc));
+                    i += 1;
+                }
+                (None, Some(&(rv, rc))) => {
+                    let c = checked(scale as i128 * rc as i128);
+                    if c != 0 {
+                        terms.push((rv, c));
+                    }
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        Self {
+            terms,
+            constant: checked(self.constant as i128 + scale as i128 * other.constant as i128),
+        }
+    }
+
+    /// Multiplies all coefficients and the constant by `scale`.
+    #[must_use]
+    pub fn scaled(&self, scale: i64) -> Self {
+        LinExpr::constant_expr(0).add_scaled(self, scale)
+    }
+
+    /// Substitutes `x := replacement` (which must not mention `x`).
+    #[must_use]
+    pub fn substitute(&self, x: u32, replacement: &Self) -> Self {
+        let c = self.coeff(x);
+        if c == 0 {
+            return self.clone();
+        }
+        debug_assert_eq!(replacement.coeff(x), 0, "substitution must eliminate x");
+        let mut without = self.clone();
+        without.terms.retain(|&(v, _)| v != x);
+        without.add_scaled(replacement, c)
+    }
+
+    /// Divides every coefficient and the constant by their (positive) GCD.
+    /// For an *inequality* `e ≤ 0` the constant may be rounded toward
+    /// tightness: `Σ g·cᵢxᵢ + k ≤ 0 ⇔ Σ cᵢxᵢ + ⌈k/g⌉ ≤ 0`.
+    #[must_use]
+    pub fn normalized_le(&self) -> Self {
+        let g = self.terms.iter().fold(0i64, |g, &(_, c)| gcd(g, c.abs()));
+        if g <= 1 {
+            return self.clone();
+        }
+        Self {
+            terms: self.terms.iter().map(|&(v, c)| (v, c / g)).collect(),
+            constant: div_ceil(self.constant, g),
+        }
+    }
+
+    /// GCD of the variable coefficients (0 if constant).
+    #[must_use]
+    pub fn coeff_gcd(&self) -> i64 {
+        self.terms.iter().fold(0i64, |g, &(_, c)| gcd(g, c.abs()))
+    }
+
+    /// Largest coefficient magnitude (0 if constant).
+    #[must_use]
+    pub fn max_coeff_abs(&self) -> i64 {
+        self.terms.iter().map(|&(_, c)| c.abs()).max().unwrap_or(0)
+    }
+}
+
+pub(crate) fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+pub(crate) fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if first {
+                if c < 0 {
+                    write!(f, "-")?;
+                }
+            } else if c < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            if a != 1 {
+                write!(f, "{a}·")?;
+            }
+            write!(f, "x{v}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}

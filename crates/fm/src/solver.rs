@@ -1,0 +1,595 @@
+//! The elimination engine.
+
+use rtl_interval::Interval;
+
+use crate::linear::{div_ceil, div_floor, LinExpr};
+
+/// Provenance of a derived constraint: which caller-tagged constraints and
+/// which variable bounds it was combined from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Prov {
+    /// Caller tags, sorted, deduplicated.
+    tags: Vec<usize>,
+    /// Variables whose domain bounds participated, sorted, deduplicated.
+    bound_vars: Vec<u32>,
+}
+
+impl Prov {
+    fn from_tag(tag: usize) -> Self {
+        Prov {
+            tags: vec![tag],
+            bound_vars: Vec::new(),
+        }
+    }
+
+    fn from_bound(var: u32) -> Self {
+        Prov {
+            tags: Vec::new(),
+            bound_vars: vec![var],
+        }
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        Prov {
+            tags: merge_sorted(&self.tags, &other.tags),
+            bound_vars: merge_sorted(&self.bound_vars, &other.bound_vars),
+        }
+    }
+}
+
+fn merge_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// An infeasible subset of the input: the tags of participating constraints
+/// and the variables whose domain bounds participated.
+///
+/// Not necessarily minimal, but sufficient: the conjunction of the tagged
+/// constraints with the bounds of the listed variables is unsatisfiable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Conflict {
+    /// Tags (as passed to [`Problem::add_le`] / [`Problem::add_eq`]) of the
+    /// constraints in the infeasible subset.
+    pub tags: Vec<usize>,
+    /// Variables whose interval bounds participate in the refutation.
+    pub bound_vars: Vec<u32>,
+}
+
+/// The verdict of the integer-linear oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FmOutcome {
+    /// A point solution (dense, indexed by variable).
+    Sat(Vec<i64>),
+    /// No integer point exists; an infeasible subset is attached.
+    Unsat(Conflict),
+}
+
+impl FmOutcome {
+    /// The model, if satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&[i64]> {
+        match self {
+            FmOutcome::Sat(m) => Some(m),
+            FmOutcome::Unsat(_) => None,
+        }
+    }
+
+    /// `true` for [`FmOutcome::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, FmOutcome::Unsat(_))
+    }
+}
+
+/// Tuning knobs for the elimination engine.
+#[derive(Clone, Copy, Debug)]
+pub struct FmConfig {
+    /// Above this coefficient magnitude, elimination switches to
+    /// enumeration (guards against coefficient blow-up).
+    pub max_coeff: i64,
+    /// Above this many derived constraints, elimination switches to
+    /// enumeration.
+    pub max_constraints: usize,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        Self {
+            max_coeff: 1 << 40,
+            max_constraints: 200_000,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Cons {
+    /// Interpreted as `expr ≤ 0`.
+    expr: LinExpr,
+    prov: Prov,
+}
+
+/// An integer-linear satisfiability problem over finite-domain variables.
+///
+/// Variables are dense indices `0..bounds.len()`, each with a mandatory
+/// finite [`Interval`] domain (the solver's completeness relies on this).
+/// Constraints are added in the form `expr ≤ 0` or `expr = 0`, each with a
+/// caller-chosen `tag` used in conflict reporting.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    bounds: Vec<Interval>,
+    les: Vec<(LinExpr, usize)>,
+    eqs: Vec<(LinExpr, usize)>,
+    config: FmConfig,
+}
+
+impl Problem {
+    /// Creates a problem over `bounds.len()` variables with the given
+    /// domains.
+    #[must_use]
+    pub fn new(bounds: Vec<Interval>) -> Self {
+        Self {
+            bounds,
+            les: Vec::new(),
+            eqs: Vec::new(),
+            config: FmConfig::default(),
+        }
+    }
+
+    /// Replaces the engine configuration.
+    pub fn set_config(&mut self, config: FmConfig) {
+        self.config = config;
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Adds the constraint `expr ≤ 0` with conflict tag `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a variable outside the domain
+    /// vector.
+    pub fn add_le(&mut self, expr: LinExpr, tag: usize) {
+        self.check_vars(&expr);
+        self.les.push((expr, tag));
+    }
+
+    /// Adds the constraint `expr = 0` with conflict tag `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a variable outside the domain
+    /// vector.
+    pub fn add_eq(&mut self, expr: LinExpr, tag: usize) {
+        self.check_vars(&expr);
+        self.eqs.push((expr, tag));
+    }
+
+    fn check_vars(&self, expr: &LinExpr) {
+        for &(v, _) in expr.iter_terms() {
+            assert!(
+                (v as usize) < self.bounds.len(),
+                "constraint references unknown variable x{v}"
+            );
+        }
+    }
+
+    /// Decides the problem: returns an integer point satisfying every
+    /// constraint inside every domain, or an infeasible subset.
+    #[must_use]
+    pub fn solve(&self) -> FmOutcome {
+        let mut state = State {
+            bounds: &self.bounds,
+            config: self.config,
+            les: Vec::new(),
+            eqs: Vec::new(),
+        };
+        // Materialize domain bounds as constraints so they participate in
+        // elimination and provenance uniformly.
+        for (i, b) in self.bounds.iter().enumerate() {
+            let v = i as u32;
+            // x − hi ≤ 0
+            state.les.push(Cons {
+                expr: LinExpr::var(v, 1).plus(-b.hi()),
+                prov: Prov::from_bound(v),
+            });
+            // lo − x ≤ 0
+            state.les.push(Cons {
+                expr: LinExpr::var(v, -1).plus(b.lo()),
+                prov: Prov::from_bound(v),
+            });
+        }
+        for (e, tag) in &self.les {
+            state.les.push(Cons {
+                expr: e.clone(),
+                prov: Prov::from_tag(*tag),
+            });
+        }
+        for (e, tag) in &self.eqs {
+            state.eqs.push(Cons {
+                expr: e.clone(),
+                prov: Prov::from_tag(*tag),
+            });
+        }
+        match state.solve() {
+            Ok(assignment) => {
+                // Fill unconstrained variables with their lower bounds.
+                let model: Vec<i64> = (0..self.bounds.len())
+                    .map(|i| assignment[i].unwrap_or_else(|| self.bounds[i].lo()))
+                    .collect();
+                debug_assert!(self.verify(&model), "FM produced an invalid model");
+                FmOutcome::Sat(model)
+            }
+            Err(prov) => FmOutcome::Unsat(Conflict {
+                tags: prov.tags,
+                bound_vars: prov.bound_vars,
+            }),
+        }
+    }
+
+    /// Checks a candidate model against every constraint and domain.
+    #[must_use]
+    pub fn verify(&self, model: &[i64]) -> bool {
+        if model.len() != self.bounds.len() {
+            return false;
+        }
+        for (i, b) in self.bounds.iter().enumerate() {
+            if !b.contains(model[i]) {
+                return false;
+            }
+        }
+        self.les.iter().all(|(e, _)| e.eval(model) <= 0)
+            && self.eqs.iter().all(|(e, _)| e.eval(model) == 0)
+    }
+}
+
+struct State<'a> {
+    bounds: &'a [Interval],
+    config: FmConfig,
+    les: Vec<Cons>,
+    eqs: Vec<Cons>,
+}
+
+/// Per-variable model under construction: `None` = not yet assigned.
+type PartialModel = Vec<Option<i64>>;
+
+impl State<'_> {
+    fn solve(&mut self) -> Result<PartialModel, Prov> {
+        // --- 1. equality preprocessing ---------------------------------
+        let mut subs: Vec<(u32, LinExpr)> = Vec::new();
+        loop {
+            // Normalize equalities; detect contradictions.
+            let mut substitution: Option<(usize, u32, LinExpr)> = None;
+            for (i, c) in self.eqs.iter().enumerate() {
+                if c.expr.is_constant() {
+                    if c.expr.constant() != 0 {
+                        return Err(c.prov.clone());
+                    }
+                    continue;
+                }
+                let g = c.expr.coeff_gcd();
+                if g > 1 && c.expr.constant() % g != 0 {
+                    return Err(c.prov.clone()); // no integer solution
+                }
+                // Find a ±1 coefficient to solve for.
+                if let Some(&(v, coef)) = c.expr.iter_terms().iter().find(|&&(_, c)| c.abs() == 1)
+                {
+                    // coef·v + r = 0  ⇒  v = −r/coef
+                    let mut r = c.expr.clone();
+                    r = r.add_scaled(&LinExpr::var(v, coef), -1);
+                    let replacement = r.scaled(-coef); // −r when coef = 1, r when coef = −1
+                    substitution = Some((i, v, replacement));
+                    break;
+                }
+            }
+            let Some((idx, var, replacement)) = substitution else {
+                break;
+            };
+            let eq = self.eqs.remove(idx);
+            subs.push((var, replacement.clone()));
+            for c in self.eqs.iter_mut().chain(self.les.iter_mut()) {
+                if c.expr.coeff(var) != 0 {
+                    c.expr = c.expr.substitute(var, &replacement);
+                    c.prov = c.prov.union(&eq.prov);
+                }
+            }
+        }
+        // Remaining equalities: split into two inequalities.
+        for c in self.eqs.drain(..) {
+            self.les.push(Cons {
+                expr: c.expr.clone(),
+                prov: c.prov.clone(),
+            });
+            self.les.push(Cons {
+                expr: c.expr.scaled(-1),
+                prov: c.prov,
+            });
+        }
+
+        // --- 2. Fourier–Motzkin elimination ------------------------------
+        let mut frames: Vec<Frame> = Vec::new();
+        let conflict = loop {
+            // Normalize, drop trivially-true, find contradictions.
+            let mut contradiction: Option<Prov> = None;
+            self.les.retain_mut(|c| {
+                c.expr = c.expr.normalized_le();
+                if c.expr.is_constant() {
+                    if c.expr.constant() > 0 && contradiction.is_none() {
+                        contradiction = Some(c.prov.clone());
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(p) = contradiction {
+                break Some(p);
+            }
+            let Some(var) = self.pick_exact_var() else {
+                // No variable admits exact elimination.
+                if self.les.is_empty() {
+                    break None;
+                }
+                return self.enumerate(subs, frames);
+            };
+            if self.eliminate(var, &mut frames).is_err() {
+                // Resource guard tripped: fall back to enumeration.
+                return self.enumerate(subs, frames);
+            }
+        };
+        if let Some(prov) = conflict {
+            return Err(prov);
+        }
+
+        // --- 3. back-substitution -----------------------------------------
+        let mut model: PartialModel = vec![None; self.bounds.len()];
+        for frame in frames.iter().rev() {
+            let x = frame.var as usize;
+            let mut lo = i64::MIN;
+            let mut hi = i64::MAX;
+            for c in &frame.upper {
+                // a·x + r ≤ 0, a > 0  ⇒  x ≤ ⌊−r/a⌋
+                let a = c.expr.coeff(frame.var);
+                let r = residual_eval(&c.expr, frame.var, &model);
+                hi = hi.min(div_floor(-r, a));
+            }
+            for c in &frame.lower {
+                // −b·x + r ≤ 0, b > 0  ⇒  x ≥ ⌈r/b⌉
+                let b = -c.expr.coeff(frame.var);
+                let r = residual_eval(&c.expr, frame.var, &model);
+                lo = lo.max(div_ceil(r, b));
+            }
+            debug_assert!(
+                lo <= hi,
+                "exact elimination must leave an integer gap for x{}",
+                frame.var
+            );
+            model[x] = Some(lo.clamp(i64::MIN, hi));
+        }
+        // Apply equality substitutions in reverse.
+        for (var, replacement) in subs.iter().rev() {
+            let value = eval_partial(replacement, &model, self.bounds);
+            model[*var as usize] = Some(value);
+        }
+        Ok(model)
+    }
+
+    /// A variable for which FM elimination is *exact* (all positive
+    /// coefficients are 1, or all negative coefficients are −1), choosing
+    /// the one with the fewest pair combinations.
+    fn pick_exact_var(&self) -> Option<u32> {
+        use std::collections::HashMap;
+        let mut occ: HashMap<u32, (usize, usize, i64, i64)> = HashMap::new();
+        for c in &self.les {
+            for &(v, coef) in c.expr.iter_terms() {
+                let e = occ.entry(v).or_insert((0, 0, 0, 0));
+                if coef > 0 {
+                    e.0 += 1;
+                    e.2 = e.2.max(coef);
+                } else {
+                    e.1 += 1;
+                    e.3 = e.3.max(-coef);
+                }
+            }
+        }
+        occ.iter()
+            .filter(|(_, &(_, _, maxpos, maxneg))| maxpos <= 1 || maxneg <= 1)
+            .min_by_key(|(v, &(np, nn, _, _))| (np * nn, **v))
+            .map(|(&v, _)| v)
+    }
+
+    /// Eliminates `var`; pushes a back-substitution frame. `Err` if the
+    /// resource guard trips.
+    fn eliminate(&mut self, var: u32, frames: &mut Vec<Frame>) -> Result<(), ()> {
+        let mut upper = Vec::new(); // positive coefficient on var
+        let mut lower = Vec::new(); // negative coefficient
+        let mut rest = Vec::new();
+        for c in self.les.drain(..) {
+            match c.expr.coeff(var) {
+                0 => rest.push(c),
+                c_pos if c_pos > 0 => upper.push(c),
+                _ => lower.push(c),
+            }
+        }
+        let combos = upper.len() * lower.len();
+        let too_big = rest.len() + combos > self.config.max_constraints
+            || upper
+                .iter()
+                .chain(&lower)
+                .any(|c| c.expr.max_coeff_abs() > self.config.max_coeff);
+        if too_big {
+            // Restore the original constraint set and let the caller fall
+            // back to enumeration.
+            self.les = rest;
+            self.les.append(&mut upper);
+            self.les.append(&mut lower);
+            return Err(());
+        }
+        for u in &upper {
+            let a = u.expr.coeff(var);
+            for l in &lower {
+                let b = -l.expr.coeff(var);
+                debug_assert!(a >= 1 && b >= 1);
+                debug_assert!(a == 1 || b == 1, "elimination must be exact");
+                // From a·x + r1 ≤ 0 and −b·x + r2 ≤ 0:  b·r1 + a·r2 ≤ 0
+                // (with min(a,b) = 1 this is exact for integers: the var
+                // term cancels, b·a − a·b = 0).
+                let expr = u.expr.scaled(b).add_scaled(&l.expr, a);
+                debug_assert_eq!(expr.coeff(var), 0);
+                self.les.push(Cons {
+                    expr: expr.normalized_le(),
+                    prov: u.prov.union(&l.prov),
+                });
+            }
+        }
+        self.les.extend(rest);
+        frames.push(Frame { var, upper, lower });
+        Ok(())
+    }
+
+    /// Enumeration fallback: branch on the unresolved variable with the
+    /// smallest domain. Complete because domains are finite.
+    fn enumerate(
+        &mut self,
+        subs: Vec<(u32, LinExpr)>,
+        frames: Vec<Frame>,
+    ) -> Result<PartialModel, Prov> {
+        // Choose the variable with the smallest domain among those still
+        // appearing in constraints.
+        let var = self
+            .les
+            .iter()
+            .flat_map(|c| c.expr.iter_terms().iter().map(|&(v, _)| v))
+            .min_by_key(|&v| self.bounds[v as usize].count())
+            .expect("enumerate called with constraints present");
+        let domain = self.bounds[var as usize];
+        let mut conflict = Prov::from_bound(var);
+        for value in domain.iter() {
+            let mut branch = State {
+                bounds: self.bounds,
+                config: self.config,
+                les: Vec::new(),
+                eqs: Vec::new(),
+            };
+            let replacement = LinExpr::constant_expr(value);
+            for c in &self.les {
+                if c.expr.coeff(var) != 0 {
+                    branch.les.push(Cons {
+                        expr: c.expr.substitute(var, &replacement),
+                        prov: c.prov.union(&Prov::from_bound(var)),
+                    });
+                } else {
+                    branch.les.push(c.clone());
+                }
+            }
+            match branch.solve() {
+                Ok(mut model) => {
+                    model[var as usize] = Some(value);
+                    // Re-apply outer frames and substitutions.
+                    return finish_outer(model, &frames, &subs, self.bounds);
+                }
+                Err(p) => conflict = conflict.union(&p),
+            }
+        }
+        Err(conflict)
+    }
+}
+
+/// Completes a model produced by an inner enumeration branch: replays the
+/// outer elimination frames and equality substitutions.
+fn finish_outer(
+    mut model: PartialModel,
+    frames: &[Frame],
+    subs: &[(u32, LinExpr)],
+    bounds: &[Interval],
+) -> Result<PartialModel, Prov> {
+    for frame in frames.iter().rev() {
+        if model[frame.var as usize].is_some() {
+            continue;
+        }
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        for c in &frame.upper {
+            let a = c.expr.coeff(frame.var);
+            let r = residual_eval(&c.expr, frame.var, &model);
+            hi = hi.min(div_floor(-r, a));
+        }
+        for c in &frame.lower {
+            let b = -c.expr.coeff(frame.var);
+            let r = residual_eval(&c.expr, frame.var, &model);
+            lo = lo.max(div_ceil(r, b));
+        }
+        debug_assert!(lo <= hi, "exact outer frame must admit a value");
+        model[frame.var as usize] = Some(lo);
+    }
+    for (var, replacement) in subs.iter().rev() {
+        let value = eval_partial(replacement, &model, bounds);
+        model[*var as usize] = Some(value);
+    }
+    Ok(model)
+}
+
+/// One elimination step, kept for back-substitution.
+#[derive(Clone, Debug)]
+struct Frame {
+    var: u32,
+    /// Constraints with positive coefficient on `var` (upper bounds).
+    upper: Vec<Cons>,
+    /// Constraints with negative coefficient on `var` (lower bounds).
+    lower: Vec<Cons>,
+}
+
+/// Evaluates `expr` minus its `var` term under a partial model (unassigned
+/// variables default to their domain's lower bound — they are unconstrained
+/// at this point).
+fn residual_eval(expr: &LinExpr, var: u32, model: &PartialModel) -> i64 {
+    let mut acc = expr.constant() as i128;
+    for &(v, c) in expr.iter_terms() {
+        if v == var {
+            continue;
+        }
+        let value = model[v as usize].expect("residual variable must be assigned");
+        acc += c as i128 * value as i128;
+    }
+    i64::try_from(acc).expect("residual overflow")
+}
+
+fn eval_partial(expr: &LinExpr, model: &PartialModel, bounds: &[Interval]) -> i64 {
+    let mut acc = expr.constant() as i128;
+    for &(v, c) in expr.iter_terms() {
+        let value = model[v as usize].unwrap_or_else(|| bounds[v as usize].lo());
+        acc += c as i128 * value as i128;
+    }
+    i64::try_from(acc).expect("substitution overflow")
+}

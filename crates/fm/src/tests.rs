@@ -1,0 +1,369 @@
+//! FM solver tests: crafted systems, conflict provenance, and randomized
+//! cross-checking against brute-force enumeration.
+
+use proptest::prelude::*;
+use rtl_interval::Interval;
+
+use crate::{FmOutcome, LinExpr, Problem};
+
+// ---------------------------------------------------------------------------
+// LinExpr unit tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn linexpr_canonical_form() {
+    let e = LinExpr::terms(&[(3, 2), (1, 5), (3, -2), (0, 1)]);
+    // x3 terms cancel
+    assert_eq!(e.coeff(3), 0);
+    assert_eq!(e.coeff(1), 5);
+    assert_eq!(e.coeff(0), 1);
+    assert_eq!(e.num_terms(), 2);
+    assert!(!e.is_constant());
+    assert!(LinExpr::constant_expr(4).is_constant());
+}
+
+#[test]
+fn linexpr_arithmetic() {
+    let a = LinExpr::terms(&[(0, 1), (1, 2)]).plus(3);
+    let b = LinExpr::terms(&[(0, -1), (2, 1)]).plus(1);
+    let sum = a.add_scaled(&b, 2);
+    assert_eq!(sum.coeff(0), -1);
+    assert_eq!(sum.coeff(1), 2);
+    assert_eq!(sum.coeff(2), 2);
+    assert_eq!(sum.constant(), 5);
+    let scaled = a.scaled(-3);
+    assert_eq!(scaled.coeff(0), -3);
+    assert_eq!(scaled.constant(), -9);
+}
+
+#[test]
+fn linexpr_substitute() {
+    // e = 2x + y + 1; x := y − 3  ⇒  e = 3y − 5
+    let e = LinExpr::terms(&[(0, 2), (1, 1)]).plus(1);
+    let r = LinExpr::terms(&[(1, 1)]).plus(-3);
+    let s = e.substitute(0, &r);
+    assert_eq!(s.coeff(0), 0);
+    assert_eq!(s.coeff(1), 3);
+    assert_eq!(s.constant(), -5);
+}
+
+#[test]
+fn linexpr_normalization_tightens() {
+    // 2x − 5 ≤ 0  ⇒  x ≤ 2  (integer tightening: x − 2 ≤ 0 ⇔ x + ⌈−5/2⌉ ≤ 0)
+    let e = LinExpr::terms(&[(0, 2)]).plus(-5).normalized_le();
+    assert_eq!(e.coeff(0), 1);
+    assert_eq!(e.constant(), -2);
+}
+
+#[test]
+fn linexpr_display() {
+    let e = LinExpr::terms(&[(0, 1), (1, -2)]).plus(7);
+    assert_eq!(e.to_string(), "x0 - 2·x1 + 7");
+    assert_eq!(LinExpr::constant_expr(-3).to_string(), "-3");
+}
+
+// ---------------------------------------------------------------------------
+// Solver unit tests
+// ---------------------------------------------------------------------------
+
+fn boxed(n: usize, lo: i64, hi: i64) -> Vec<Interval> {
+    vec![Interval::new(lo, hi); n]
+}
+
+#[test]
+fn empty_problem_is_sat() {
+    let p = Problem::new(boxed(3, 0, 7));
+    match p.solve() {
+        FmOutcome::Sat(m) => assert_eq!(m.len(), 3),
+        FmOutcome::Unsat(_) => panic!("empty problem must be SAT"),
+    }
+}
+
+#[test]
+fn doc_example() {
+    let mut p = Problem::new(boxed(2, 0, 15));
+    p.add_le(LinExpr::terms(&[(0, 1), (1, 1)]).plus(-10), 0);
+    p.add_le(LinExpr::terms(&[(0, -1), (1, 1)]).plus(4), 1);
+    p.add_le(LinExpr::terms(&[(1, -1)]).plus(2), 2);
+    let m = match p.solve() {
+        FmOutcome::Sat(m) => m,
+        FmOutcome::Unsat(c) => panic!("should be SAT, got conflict {c:?}"),
+    };
+    assert!(p.verify(&m));
+}
+
+#[test]
+fn equality_chain_substitution() {
+    // x0 = x1 + 1, x1 = x2 + 1, x2 = 5 ⇒ x0 = 7
+    let mut p = Problem::new(boxed(3, 0, 100));
+    p.add_eq(LinExpr::terms(&[(0, 1), (1, -1)]).plus(-1), 0);
+    p.add_eq(LinExpr::terms(&[(1, 1), (2, -1)]).plus(-1), 1);
+    p.add_eq(LinExpr::terms(&[(2, 1)]).plus(-5), 2);
+    match p.solve() {
+        FmOutcome::Sat(m) => assert_eq!(m, vec![7, 6, 5]),
+        FmOutcome::Unsat(_) => panic!("consistent chain"),
+    }
+}
+
+#[test]
+fn parity_equality_unsat() {
+    // 2x = 7 has no integer solution.
+    let mut p = Problem::new(boxed(1, 0, 100));
+    p.add_eq(LinExpr::terms(&[(0, 2)]).plus(-7), 42);
+    match p.solve() {
+        FmOutcome::Unsat(c) => assert_eq!(c.tags, vec![42]),
+        FmOutcome::Sat(_) => panic!("2x = 7 must be UNSAT"),
+    }
+}
+
+#[test]
+fn bounds_participate_in_conflicts() {
+    // x ≥ 20 with x ∈ ⟨0, 15⟩: conflict must cite x's bound and the tag.
+    let mut p = Problem::new(boxed(1, 0, 15));
+    p.add_le(LinExpr::terms(&[(0, -1)]).plus(20), 7);
+    match p.solve() {
+        FmOutcome::Unsat(c) => {
+            assert_eq!(c.tags, vec![7]);
+            assert_eq!(c.bound_vars, vec![0]);
+        }
+        FmOutcome::Sat(_) => panic!("must be UNSAT"),
+    }
+}
+
+#[test]
+fn conflict_identifies_subset() {
+    // Irrelevant constraint (tag 0) plus an infeasible pair (tags 1, 2):
+    // x1 ≥ 10, x1 ≤ 3. Conflict must not cite tag 0.
+    let mut p = Problem::new(boxed(2, 0, 100));
+    p.add_le(LinExpr::terms(&[(0, 1)]).plus(-50), 0); // x0 ≤ 50 (irrelevant)
+    p.add_le(LinExpr::terms(&[(1, -1)]).plus(10), 1); // x1 ≥ 10
+    p.add_le(LinExpr::terms(&[(1, 1)]).plus(-3), 2); // x1 ≤ 3
+    match p.solve() {
+        FmOutcome::Unsat(c) => {
+            assert!(c.tags.contains(&1) && c.tags.contains(&2));
+            assert!(!c.tags.contains(&0), "irrelevant constraint cited: {c:?}");
+        }
+        FmOutcome::Sat(_) => panic!("must be UNSAT"),
+    }
+}
+
+#[test]
+fn dark_corner_integer_gap() {
+    // 2x ≥ 5 ∧ 2x ≤ 6 admits only x = 3 (2x = 5 impossible). SAT.
+    let mut p = Problem::new(boxed(1, 0, 100));
+    p.add_le(LinExpr::terms(&[(0, -2)]).plus(5), 0);
+    p.add_le(LinExpr::terms(&[(0, 2)]).plus(-6), 1);
+    match p.solve() {
+        FmOutcome::Sat(m) => assert_eq!(m[0], 3),
+        FmOutcome::Unsat(_) => panic!("x = 3 works"),
+    }
+
+    // 3x ≥ 4 ∧ 3x ≤ 5: real shadow non-empty (4/3..5/3) but no integer. UNSAT.
+    let mut p = Problem::new(boxed(1, 0, 100));
+    p.add_le(LinExpr::terms(&[(0, -3)]).plus(4), 0);
+    p.add_le(LinExpr::terms(&[(0, 3)]).plus(-5), 1);
+    assert!(p.solve().is_unsat(), "no integer in (4/3, 5/3)");
+}
+
+#[test]
+fn wrap_around_adder_model() {
+    // RTL wrapping adder: a + b = q·16 + s, q ∈ {0,1}, with s = 1 and a = 9.
+    // The only solutions have b = 8 (9 + 8 = 17 = 16 + 1).
+    let bounds = vec![
+        Interval::new(9, 9),  // a
+        Interval::new(0, 15), // b
+        Interval::new(1, 1),  // s
+        Interval::new(0, 1),  // q
+    ];
+    let mut p = Problem::new(bounds);
+    // a + b − 16q − s = 0
+    p.add_eq(LinExpr::terms(&[(0, 1), (1, 1), (3, -16), (2, -1)]), 0);
+    match p.solve() {
+        FmOutcome::Sat(m) => {
+            assert_eq!(m[1], 8);
+            assert_eq!(m[3], 1);
+        }
+        FmOutcome::Unsat(_) => panic!("b = 8 is a solution"),
+    }
+}
+
+#[test]
+fn non_unit_coefficients_enumerate() {
+    // 3x + 5y = 22, x,y ∈ ⟨0,7⟩: solutions (4,2) (x=4: 12+10=22). Forces the
+    // enumeration fallback since no ±1 coefficient exists.
+    let mut p = Problem::new(boxed(2, 0, 7));
+    p.add_eq(LinExpr::terms(&[(0, 3), (1, 5)]).plus(-22), 0);
+    match p.solve() {
+        FmOutcome::Sat(m) => {
+            assert_eq!(3 * m[0] + 5 * m[1], 22);
+        }
+        FmOutcome::Unsat(_) => panic!("(4, 2) is a solution"),
+    }
+}
+
+#[test]
+fn verify_rejects_bad_models() {
+    let mut p = Problem::new(boxed(1, 0, 10));
+    p.add_le(LinExpr::terms(&[(0, 1)]).plus(-5), 0); // x ≤ 5
+    assert!(p.verify(&[5]));
+    assert!(!p.verify(&[6]));
+    assert!(!p.verify(&[-1]));
+    assert!(!p.verify(&[]));
+}
+
+#[test]
+#[should_panic(expected = "unknown variable")]
+fn unknown_variable_rejected() {
+    let mut p = Problem::new(boxed(1, 0, 10));
+    p.add_le(LinExpr::var(5, 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-check against brute force
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RandCons {
+    coeffs: Vec<i64>,
+    konst: i64,
+    is_eq: bool,
+}
+
+fn cons_strategy(nvars: usize) -> impl Strategy<Value = RandCons> {
+    (
+        proptest::collection::vec(-3i64..=3, nvars),
+        -20i64..=20,
+        any::<bool>(),
+    )
+        .prop_map(|(coeffs, konst, is_eq)| RandCons {
+            coeffs,
+            konst,
+            is_eq,
+        })
+}
+
+fn brute_force(bounds: &[Interval], cons: &[RandCons]) -> Option<Vec<i64>> {
+    fn rec(
+        bounds: &[Interval],
+        cons: &[RandCons],
+        acc: &mut Vec<i64>,
+    ) -> Option<Vec<i64>> {
+        if acc.len() == bounds.len() {
+            for c in cons {
+                let v: i64 = c
+                    .coeffs
+                    .iter()
+                    .zip(acc.iter())
+                    .map(|(&k, &x)| k * x)
+                    .sum::<i64>()
+                    + c.konst;
+                let ok = if c.is_eq { v == 0 } else { v <= 0 };
+                if !ok {
+                    return None;
+                }
+            }
+            return Some(acc.clone());
+        }
+        let b = bounds[acc.len()];
+        for v in b.iter() {
+            acc.push(v);
+            if let Some(m) = rec(bounds, cons, acc) {
+                return Some(m);
+            }
+            acc.pop();
+        }
+        None
+    }
+    rec(bounds, cons, &mut Vec::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FM verdict matches brute force on random small systems; SAT models
+    /// verify.
+    #[test]
+    fn agrees_with_brute_force(
+        cons in proptest::collection::vec(cons_strategy(3), 0..6),
+        lo in 0i64..3,
+        span in 1i64..7,
+    ) {
+        let bounds = vec![Interval::new(lo, lo + span); 3];
+        let mut p = Problem::new(bounds.clone());
+        for (i, c) in cons.iter().enumerate() {
+            let expr = LinExpr::terms(
+                &c.coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &k)| (v as u32, k))
+                    .collect::<Vec<_>>(),
+            )
+            .plus(c.konst);
+            if c.is_eq {
+                p.add_eq(expr, i);
+            } else {
+                p.add_le(expr, i);
+            }
+        }
+        let expected = brute_force(&bounds, &cons);
+        match p.solve() {
+            FmOutcome::Sat(m) => {
+                prop_assert!(expected.is_some(), "FM said SAT, brute force says UNSAT");
+                prop_assert!(p.verify(&m), "model {m:?} fails verification");
+            }
+            FmOutcome::Unsat(c) => {
+                prop_assert!(expected.is_none(), "FM said UNSAT {c:?}, brute force found {expected:?}");
+            }
+        }
+    }
+
+    /// The reported conflict subset is itself unsatisfiable: re-solving with
+    /// only the cited constraints must still be UNSAT.
+    #[test]
+    fn conflict_subset_is_infeasible(
+        cons in proptest::collection::vec(cons_strategy(3), 1..6),
+        lo in 0i64..3,
+        span in 1i64..7,
+    ) {
+        let bounds = vec![Interval::new(lo, lo + span); 3];
+        let mut p = Problem::new(bounds.clone());
+        for (i, c) in cons.iter().enumerate() {
+            let expr = LinExpr::terms(
+                &c.coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &k)| (v as u32, k))
+                    .collect::<Vec<_>>(),
+            )
+            .plus(c.konst);
+            if c.is_eq {
+                p.add_eq(expr, i);
+            } else {
+                p.add_le(expr, i);
+            }
+        }
+        if let FmOutcome::Unsat(conflict) = p.solve() {
+            let mut sub = Problem::new(bounds);
+            for &tag in &conflict.tags {
+                let c = &cons[tag];
+                let expr = LinExpr::terms(
+                    &c.coeffs
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &k)| (v as u32, k))
+                        .collect::<Vec<_>>(),
+                )
+                .plus(c.konst);
+                if c.is_eq {
+                    sub.add_eq(expr, tag);
+                } else {
+                    sub.add_le(expr, tag);
+                }
+            }
+            prop_assert!(
+                sub.solve().is_unsat(),
+                "conflict subset {conflict:?} is satisfiable"
+            );
+        }
+    }
+}

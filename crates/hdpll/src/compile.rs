@@ -1,0 +1,320 @@
+//! Compilation of a netlist into the hybrid constraint store.
+//!
+//! Every netlist operator becomes one (or a few) constraints over solver
+//! variables. Linear data-path operators — including the modular ones —
+//! compile to a single universal form `Σ cᵢ·vᵢ + k = 0` ([`CKind::Lin`]);
+//! wrap-around and bit-slicing introduce *auxiliary* word variables
+//! (quotients/remainders), following the paper's §2.1 ("non-linear
+//! operations … are modeled as arithmetic constraints by adding auxiliary
+//! variables").
+
+use rtl_interval::{Interval, Tribool};
+use rtl_ir::{analysis, CmpOp, Netlist, Op, SignalType};
+
+use crate::types::{Dom, VarId};
+
+/// A compiled constraint kind.
+#[derive(Clone, Debug)]
+pub(crate) enum CKind {
+    /// `out = ¬a` (Boolean).
+    Not { out: VarId, a: VarId },
+    /// `out = ∧ ins` (Boolean).
+    And { out: VarId, ins: Vec<VarId> },
+    /// `out = ∨ ins` (Boolean).
+    Or { out: VarId, ins: Vec<VarId> },
+    /// `out = a ⊕ b` (Boolean).
+    Xor { out: VarId, a: VarId, b: VarId },
+    /// Reified predicate `out ⇔ (a op b)`.
+    CmpReif {
+        op: CmpOp,
+        out: VarId,
+        a: VarId,
+        b: VarId,
+    },
+    /// Word multiplexer `out = sel ? t : e`.
+    Ite {
+        out: VarId,
+        sel: VarId,
+        t: VarId,
+        e: VarId,
+    },
+    /// `out = min(a, b)`.
+    Min { out: VarId, a: VarId, b: VarId },
+    /// `out = max(a, b)`.
+    Max { out: VarId, a: VarId, b: VarId },
+    /// Universal linear equality `Σ cᵢ·vᵢ + k = 0`. Boolean variables
+    /// participate with their `{0,1}` interval image.
+    Lin {
+        terms: Vec<(VarId, i64)>,
+        constant: i64,
+    },
+}
+
+/// A compiled constraint: its kind plus the cached list of participating
+/// variables (for watch lists and implication-graph antecedents).
+#[derive(Clone, Debug)]
+pub(crate) struct Constraint {
+    pub kind: CKind,
+    pub vars: Vec<VarId>,
+}
+
+/// The full compiled form of a netlist.
+#[derive(Clone, Debug)]
+pub(crate) struct Compiled {
+    /// Initial (type) domain of every variable, auxiliaries included.
+    pub init_dom: Vec<Dom>,
+    /// All constraints.
+    pub cons: Vec<Constraint>,
+    /// `var → constraint ids watching it`.
+    pub watch: Vec<Vec<u32>>,
+    /// Boolean decision variables (netlist Boolean signals that are free to
+    /// decide on, i.e. not constants).
+    pub decision_vars: Vec<VarId>,
+    /// Activity seed per variable (netlist fanout; 0 for auxiliaries).
+    pub fanout_seed: Vec<f64>,
+}
+
+struct Builder {
+    init_dom: Vec<Dom>,
+    cons: Vec<Constraint>,
+}
+
+impl Builder {
+    fn aux_word(&mut self, iv: Interval) -> VarId {
+        let v = VarId(u32::try_from(self.init_dom.len()).expect("variable count fits"));
+        self.init_dom.push(Dom::W(iv));
+        v
+    }
+
+    fn push(&mut self, kind: CKind) {
+        // Normalize linear constraints: drop zero-coefficient terms (e.g.
+        // from multiplication by 0) and skip trivially-true constraints.
+        let kind = match kind {
+            CKind::Lin { mut terms, constant } => {
+                terms.retain(|&(_, c)| c != 0);
+                if terms.is_empty() {
+                    debug_assert_eq!(constant, 0, "trivially false constraint compiled");
+                    return;
+                }
+                CKind::Lin { terms, constant }
+            }
+            other => other,
+        };
+        let vars = kind_vars(&kind);
+        self.cons.push(Constraint { kind, vars });
+    }
+
+    /// Adds `Σ terms + k = q·2^width + out`, introducing the quotient
+    /// auxiliary only when the expression can actually leave the output
+    /// domain. `range` is the static range of `Σ terms + k`.
+    fn push_modular(
+        &mut self,
+        out: VarId,
+        width: u32,
+        mut terms: Vec<(VarId, i64)>,
+        constant: i64,
+        range: Interval,
+    ) {
+        let modulus = 1i64 << width;
+        let q_lo = range.lo().div_euclid(modulus);
+        let q_hi = range.hi().div_euclid(modulus);
+        terms.push((out, -1));
+        if q_lo != 0 || q_hi != 0 {
+            let q = self.aux_word(Interval::new(q_lo, q_hi));
+            terms.push((q, -modulus));
+        }
+        self.push(CKind::Lin { terms, constant });
+    }
+}
+
+fn kind_vars(kind: &CKind) -> Vec<VarId> {
+    match kind {
+        CKind::Not { out, a } => vec![*out, *a],
+        CKind::And { out, ins } | CKind::Or { out, ins } => {
+            let mut v = vec![*out];
+            v.extend(ins);
+            v
+        }
+        CKind::Xor { out, a, b } => vec![*out, *a, *b],
+        CKind::CmpReif { out, a, b, .. } => vec![*out, *a, *b],
+        CKind::Ite { out, sel, t, e } => vec![*out, *sel, *t, *e],
+        CKind::Min { out, a, b } | CKind::Max { out, a, b } => vec![*out, *a, *b],
+        CKind::Lin { terms, .. } => terms.iter().map(|&(v, _)| v).collect(),
+    }
+}
+
+/// Static type-domain of a signal's variable.
+fn type_range(n: &Netlist, sig: rtl_ir::SignalId) -> Interval {
+    match n.ty(sig) {
+        SignalType::Bool => Interval::boolean(),
+        SignalType::Word { width } => Interval::of_width(width),
+    }
+}
+
+/// Compiles `netlist` into the constraint store.
+pub(crate) fn compile(netlist: &Netlist) -> Compiled {
+    let mut b = Builder {
+        init_dom: Vec::with_capacity(netlist.len()),
+        cons: Vec::new(),
+    };
+
+    // Variables for every signal, with initial domains.
+    for id in netlist.signal_ids() {
+        let dom = match (netlist.ty(id), netlist.op(id)) {
+            (SignalType::Bool, Op::Const(c)) => Dom::B(Tribool::from(*c == 1)),
+            (SignalType::Bool, _) => Dom::B(Tribool::Unknown),
+            (SignalType::Word { .. }, Op::Const(c)) => Dom::W(Interval::point(*c)),
+            (SignalType::Word { width }, _) => Dom::W(Interval::of_width(width)),
+        };
+        b.init_dom.push(dom);
+    }
+    // One constraint per operator.
+    for id in netlist.signal_ids() {
+        let out = VarId::from_signal(id);
+        let v = VarId::from_signal;
+        let w_out = netlist.ty(id).width();
+        match netlist.op(id) {
+            Op::Input | Op::Const(_) => {}
+            Op::Not(a) => b.push(CKind::Not { out, a: v(*a) }),
+            Op::And(ins) => b.push(CKind::And {
+                out,
+                ins: ins.iter().copied().map(v).collect(),
+            }),
+            Op::Or(ins) => b.push(CKind::Or {
+                out,
+                ins: ins.iter().copied().map(v).collect(),
+            }),
+            Op::Xor(x, y) => b.push(CKind::Xor {
+                out,
+                a: v(*x),
+                b: v(*y),
+            }),
+            Op::Add(x, y) => {
+                let range = type_range(netlist, *x).add(type_range(netlist, *y));
+                b.push_modular(out, w_out, vec![(v(*x), 1), (v(*y), 1)], 0, range);
+            }
+            Op::Sub(x, y) => {
+                let range = type_range(netlist, *x).sub(type_range(netlist, *y));
+                b.push_modular(out, w_out, vec![(v(*x), 1), (v(*y), -1)], 0, range);
+            }
+            Op::MulConst(x, k) => {
+                let range = type_range(netlist, *x).mul_const(*k);
+                b.push_modular(out, w_out, vec![(v(*x), *k)], 0, range);
+            }
+            Op::Shl(x, k) => {
+                let f = 1i64 << (*k).min(62);
+                let range = type_range(netlist, *x).mul_const(f);
+                b.push_modular(out, w_out, vec![(v(*x), f)], 0, range);
+            }
+            Op::Shr(x, k) => {
+                // x = out·2^k + r, r ∈ ⟨0, 2^k − 1⟩
+                let f = 1i64 << (*k).min(62);
+                let r = b.aux_word(Interval::new(0, f - 1));
+                b.push(CKind::Lin {
+                    terms: vec![(v(*x), 1), (out, -f), (r, -1)],
+                    constant: 0,
+                });
+            }
+            Op::Extract { src, hi, lo } => {
+                // src = q·2^(hi+1) + out·2^lo + r
+                let w_src = netlist.ty(*src).width();
+                let upper = 1i64 << (hi + 1).min(62);
+                let low = 1i64 << (*lo).min(62);
+                let mut terms = vec![(v(*src), 1), (out, -low)];
+                if hi + 1 < w_src {
+                    let q = b.aux_word(Interval::new(0, (1i64 << (w_src - hi - 1)) - 1));
+                    terms.push((q, -upper));
+                }
+                if *lo > 0 {
+                    let r = b.aux_word(Interval::new(0, low - 1));
+                    terms.push((r, -1));
+                }
+                b.push(CKind::Lin { terms, constant: 0 });
+            }
+            Op::Concat(hi, lo) => {
+                let wl = netlist.ty(*lo).width();
+                b.push(CKind::Lin {
+                    terms: vec![(v(*hi), 1i64 << wl), (v(*lo), 1), (out, -1)],
+                    constant: 0,
+                });
+            }
+            Op::ZeroExt(a) | Op::BoolToWord(a) => {
+                b.push(CKind::Lin {
+                    terms: vec![(v(*a), 1), (out, -1)],
+                    constant: 0,
+                });
+            }
+            Op::SignExt(a) => {
+                // a = q·2^(w_in − 1) + r;  out = a + q·(2^w_out − 2^w_in)
+                let w_in = netlist.ty(*a).width();
+                let half = 1i64 << (w_in - 1);
+                let q = b.aux_word(Interval::new(0, 1));
+                let r = b.aux_word(Interval::new(0, half - 1));
+                b.push(CKind::Lin {
+                    terms: vec![(v(*a), 1), (q, -half), (r, -1)],
+                    constant: 0,
+                });
+                let offset = (1i64 << w_out) - (1i64 << w_in);
+                b.push(CKind::Lin {
+                    terms: vec![(v(*a), 1), (q, offset), (out, -1)],
+                    constant: 0,
+                });
+            }
+            Op::Ite { sel, t, e } => b.push(CKind::Ite {
+                out,
+                sel: v(*sel),
+                t: v(*t),
+                e: v(*e),
+            }),
+            Op::Min(x, y) => b.push(CKind::Min {
+                out,
+                a: v(*x),
+                b: v(*y),
+            }),
+            Op::Max(x, y) => b.push(CKind::Max {
+                out,
+                a: v(*x),
+                b: v(*y),
+            }),
+            Op::Cmp { op, a, b: rhs } => b.push(CKind::CmpReif {
+                op: *op,
+                out,
+                a: v(*a),
+                b: v(*rhs),
+            }),
+        }
+    }
+
+    // Watch lists.
+    let mut watch: Vec<Vec<u32>> = vec![Vec::new(); b.init_dom.len()];
+    for (ci, c) in b.cons.iter().enumerate() {
+        for &var in &c.vars {
+            let list = &mut watch[var.index()];
+            if list.last() != Some(&(ci as u32)) {
+                list.push(ci as u32);
+            }
+        }
+    }
+
+    // Decision variables: free Boolean netlist signals.
+    let decision_vars: Vec<VarId> = netlist
+        .signal_ids()
+        .filter(|&id| netlist.ty(id).is_bool() && !matches!(netlist.op(id), Op::Const(_)))
+        .map(VarId::from_signal)
+        .collect();
+
+    // Fanout-seeded activities (paper §2.4).
+    let fanouts = analysis::fanout_counts(netlist);
+    let mut fanout_seed = vec![0.0f64; b.init_dom.len()];
+    for id in netlist.signal_ids() {
+        fanout_seed[id.index()] = f64::from(fanouts[id.index()]);
+    }
+
+    Compiled {
+        init_dom: b.init_dom,
+        cons: b.cons,
+        watch,
+        decision_vars,
+        fanout_seed,
+    }
+}

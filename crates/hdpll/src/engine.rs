@@ -1,0 +1,597 @@
+//! The hybrid search engine: trail, event-driven interval constraint
+//! propagation (`Ddeduce()`), the hybrid implication graph, and conflict
+//! analysis producing hybrid learned clauses (paper §2.4).
+
+use std::collections::VecDeque;
+
+use rtl_interval::{Interval, Tribool};
+
+use crate::compile::Compiled;
+use crate::propagate::{step, PropResult};
+use crate::types::{Dom, HClause, HLit, Reason, TrailEntry, VarId};
+
+/// A conflict discovered during deduction: the trail entries that directly
+/// participate (the antecedent cut seeds of the hybrid implication graph).
+#[derive(Clone, Debug)]
+pub(crate) struct ConflictInfo {
+    pub antecedents: Vec<u32>,
+}
+
+/// The result of conflict analysis.
+#[derive(Clone, Debug)]
+pub(crate) struct Analyzed {
+    /// Learned hybrid clause (asserting literal first).
+    pub lits: Vec<HLit>,
+    /// Non-chronological backtrack level.
+    pub blevel: u32,
+}
+
+/// Cumulative engine statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Constraint propagation steps executed.
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Hybrid clauses learned from conflicts.
+    pub learned: u64,
+    /// Calls to the arithmetic (FM) final check.
+    pub fm_calls: u64,
+    /// J-conflicts found by the structural decision strategy.
+    pub j_conflicts: u64,
+}
+
+pub(crate) struct Engine {
+    pub compiled: Compiled,
+    pub doms: Vec<Dom>,
+    pub trail: Vec<TrailEntry>,
+    pub trail_lim: Vec<usize>,
+    /// Per decision level: whether the decision was already flipped
+    /// (used by the chronological, learning-free search mode).
+    flipped: Vec<bool>,
+    /// `var → latest trail-entry index`.
+    pub latest: Vec<Option<u32>>,
+    /// Next trail entry whose watchers have not yet been scheduled.
+    qhead: usize,
+    /// Constraint worklist (deduplicated).
+    cqueue: VecDeque<u32>,
+    in_cqueue: Vec<bool>,
+    /// Hybrid clause database (static-learned + conflict-learned).
+    pub clauses: Vec<HClause>,
+    /// `var → clause ids containing it`.
+    clause_watch: Vec<Vec<u32>>,
+    /// Clause worklist.
+    clqueue: VecDeque<u32>,
+    in_clqueue: Vec<bool>,
+    /// VSIDS-style activities (fanout-seeded, paper §2.4).
+    pub activity: Vec<f64>,
+    var_inc: f64,
+    pub stats: EngineStats,
+}
+
+impl Engine {
+    pub fn new(compiled: Compiled) -> Self {
+        let n = compiled.init_dom.len();
+        let ncons = compiled.cons.len();
+        let doms = compiled.init_dom.clone();
+        let activity = compiled.fanout_seed.clone();
+        Engine {
+            compiled,
+            doms,
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            flipped: Vec::new(),
+            latest: vec![None; n],
+            qhead: 0,
+            cqueue: VecDeque::new(),
+            in_cqueue: vec![false; ncons],
+            clauses: Vec::new(),
+            clause_watch: vec![Vec::new(); n],
+            clqueue: VecDeque::new(),
+            in_clqueue: vec![false; 0],
+            activity,
+            var_inc: 1.0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    pub fn level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    pub fn dom(&self, v: VarId) -> &Dom {
+        &self.doms[v.index()]
+    }
+
+    /// Schedules every constraint for (re)propagation — used once at start.
+    pub fn schedule_all(&mut self) {
+        for ci in 0..self.compiled.cons.len() as u32 {
+            if !self.in_cqueue[ci as usize] {
+                self.in_cqueue[ci as usize] = true;
+                self.cqueue.push_back(ci);
+            }
+        }
+    }
+
+    /// Records a domain change on the trail and updates `doms`/`latest`.
+    fn apply(&mut self, var: VarId, new: Dom, reason: Reason, antecedents: Vec<u32>) {
+        let old = self.doms[var.index()];
+        debug_assert_ne!(old, new, "apply() requires a strict narrowing");
+        let idx = self.trail.len() as u32;
+        self.trail.push(TrailEntry {
+            var,
+            old,
+            new,
+            reason,
+            antecedents,
+            level: self.level(),
+            prev_latest: self.latest[var.index()],
+        });
+        self.doms[var.index()] = new;
+        self.latest[var.index()] = Some(idx);
+    }
+
+    /// Latest trail entries of `vars`, excluding `skip` and variables with
+    /// no entry (still at their initial domains).
+    fn latest_of(&self, vars: &[VarId], skip: Option<VarId>) -> Vec<u32> {
+        let mut out = Vec::with_capacity(vars.len());
+        for &v in vars {
+            if Some(v) == skip {
+                continue;
+            }
+            if let Some(i) = self.latest[v.index()] {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Makes a decision: opens a new level and applies the assignment.
+    pub fn decide(&mut self, var: VarId, value: bool) {
+        debug_assert!(!self.dom(var).is_fixed());
+        self.stats.decisions += 1;
+        self.trail_lim.push(self.trail.len());
+        self.flipped.push(false);
+        self.apply(var, Dom::B(Tribool::from(value)), Reason::Decision, Vec::new());
+    }
+
+    /// Chronological backtracking for the learning-free search mode: undoes
+    /// levels until an unflipped decision is found, re-decides it with the
+    /// opposite value, and returns `true`; `false` when the tree is
+    /// exhausted (UNSAT).
+    pub fn flip_chronological(&mut self) -> bool {
+        loop {
+            let lvl = self.level();
+            if lvl == 0 {
+                return false;
+            }
+            let first = self.trail_lim[lvl as usize - 1];
+            let e = &self.trail[first];
+            debug_assert!(matches!(e.reason, Reason::Decision));
+            let var = e.var;
+            let value = e.new.tri().to_bool().expect("decisions are Boolean");
+            let was_flipped = self.flipped[lvl as usize - 1];
+            self.backtrack(lvl - 1);
+            if !was_flipped {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.flipped.push(true);
+                self.apply(var, Dom::B(Tribool::from(!value)), Reason::Decision, Vec::new());
+                return true;
+            }
+        }
+    }
+
+    /// Asserts a fact externally (the proposition); level 0 only.
+    ///
+    /// Returns `false` if the assertion immediately contradicts the domain.
+    pub fn assert_external(&mut self, var: VarId, dom: Dom) -> bool {
+        debug_assert_eq!(self.level(), 0);
+        let cur = self.doms[var.index()];
+        let met = match (cur, dom) {
+            (Dom::B(c), Dom::B(w)) => match (c.to_bool(), w.to_bool()) {
+                (Some(a), Some(b)) if a != b => return false,
+                _ => Dom::B(if c.is_assigned() { c } else { w }),
+            },
+            (Dom::W(c), Dom::W(w)) => match c.intersect(w) {
+                Some(m) => Dom::W(m),
+                None => return false,
+            },
+            _ => panic!("kind mismatch in assert_external"),
+        };
+        if met != cur {
+            self.apply(var, met, Reason::External, Vec::new());
+        }
+        true
+    }
+
+    /// Runs deduction to fixpoint. Returns the conflict, if one arises.
+    pub fn propagate(&mut self) -> Option<ConflictInfo> {
+        loop {
+            // 1. schedule watchers of fresh trail entries
+            while self.qhead < self.trail.len() {
+                let var = self.trail[self.qhead].var;
+                self.qhead += 1;
+                for &ci in &self.compiled.watch[var.index()] {
+                    if !self.in_cqueue[ci as usize] {
+                        self.in_cqueue[ci as usize] = true;
+                        self.cqueue.push_back(ci);
+                    }
+                }
+                for &cl in &self.clause_watch[var.index()] {
+                    if !self.in_clqueue[cl as usize] {
+                        self.in_clqueue[cl as usize] = true;
+                        self.clqueue.push_back(cl);
+                    }
+                }
+            }
+            // 2. one clause step (clauses are cheap and often asserting)
+            if let Some(cl) = self.clqueue.pop_front() {
+                self.in_clqueue[cl as usize] = false;
+                if let Some(conflict) = self.propagate_clause(cl) {
+                    self.drain_queues();
+                    return Some(conflict);
+                }
+                continue;
+            }
+            // 3. one constraint step
+            let Some(ci) = self.cqueue.pop_front() else {
+                if self.qhead == self.trail.len() {
+                    return None; // fixpoint
+                }
+                continue;
+            };
+            self.in_cqueue[ci as usize] = false;
+            self.stats.propagations += 1;
+            let result = step(&self.compiled.cons[ci as usize].kind, &self.doms);
+            match result {
+                PropResult::Conflict => {
+                    let vars = self.compiled.cons[ci as usize].vars.clone();
+                    let antecedents = self.latest_of(&vars, None);
+                    self.drain_queues();
+                    return Some(ConflictInfo { antecedents });
+                }
+                PropResult::Narrowed(changes) => {
+                    for (var, new) in changes {
+                        // The contractor computed against a snapshot; apply
+                        // incrementally (meets can only shrink further).
+                        let merged = match (self.doms[var.index()], new) {
+                            (Dom::W(cur), Dom::W(n)) => match cur.intersect(n) {
+                                Some(m) if m != cur => Dom::W(m),
+                                Some(_) => continue,
+                                None => {
+                                    let vars = self.compiled.cons[ci as usize].vars.clone();
+                                    let antecedents = self.latest_of(&vars, None);
+                                    self.drain_queues();
+                                    return Some(ConflictInfo { antecedents });
+                                }
+                            },
+                            (Dom::B(cur), Dom::B(n)) => {
+                                match (cur.to_bool(), n.to_bool()) {
+                                    (Some(a), Some(b)) if a == b => continue,
+                                    (Some(_), Some(_)) => {
+                                        let vars =
+                                            self.compiled.cons[ci as usize].vars.clone();
+                                        let antecedents = self.latest_of(&vars, None);
+                                        self.drain_queues();
+                                        return Some(ConflictInfo { antecedents });
+                                    }
+                                    (None, Some(_)) => Dom::B(n),
+                                    _ => continue,
+                                }
+                            }
+                            _ => unreachable!("contractor changed domain kind"),
+                        };
+                        let vars = &self.compiled.cons[ci as usize].vars;
+                        let mut ants = self.latest_of(vars, Some(var));
+                        if let Some(own) = self.latest[var.index()] {
+                            ants.push(own);
+                        }
+                        self.apply(var, merged, Reason::Constraint(ci), ants);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_queues(&mut self) {
+        while let Some(ci) = self.cqueue.pop_front() {
+            self.in_cqueue[ci as usize] = false;
+        }
+        while let Some(cl) = self.clqueue.pop_front() {
+            self.in_clqueue[cl as usize] = false;
+        }
+        self.qhead = self.trail.len();
+    }
+
+    /// Evaluates one hybrid clause; implies its last unknown literal or
+    /// reports a conflict.
+    fn propagate_clause(&mut self, cl: u32) -> Option<ConflictInfo> {
+        let clause = &self.clauses[cl as usize];
+        let mut unknown: Option<HLit> = None;
+        for lit in &clause.lits {
+            match lit.eval(&self.doms[lit.var().index()]) {
+                Tribool::True => return None, // satisfied
+                Tribool::False => {}
+                Tribool::Unknown => {
+                    if unknown.is_some() {
+                        return None; // ≥ 2 unknowns: nothing to do
+                    }
+                    unknown = Some(*lit);
+                }
+            }
+        }
+        let vars: Vec<VarId> = clause.lits.iter().map(HLit::var).collect();
+        match unknown {
+            None => {
+                // all falsified
+                let antecedents = self.latest_of(&vars, None);
+                Some(ConflictInfo { antecedents })
+            }
+            Some(lit) => {
+                let var = lit.var();
+                let ants = self.latest_of(&vars, Some(var));
+                match lit {
+                    HLit::Bool { value, .. } => {
+                        self.apply(var, Dom::B(Tribool::from(value)), Reason::Clause(cl), ants);
+                    }
+                    HLit::Word { iv, positive, .. } => {
+                        let cur = self.doms[var.index()].iv();
+                        let new = if positive {
+                            cur.intersect(iv)
+                        } else {
+                            subtract_interval(cur, iv)
+                        };
+                        match new {
+                            Some(n) if n != cur => {
+                                let mut ants = ants;
+                                if let Some(own) = self.latest[var.index()] {
+                                    ants.push(own);
+                                }
+                                self.apply(var, Dom::W(n), Reason::Clause(cl), ants);
+                            }
+                            Some(_) => {} // not representable / no change
+                            None => {
+                                let antecedents = self.latest_of(&vars, None);
+                                return Some(ConflictInfo { antecedents });
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Adds a hybrid clause to the database; schedules it for propagation.
+    pub fn add_clause(&mut self, lits: Vec<HLit>, learned: bool) -> u32 {
+        let id = self.clauses.len() as u32;
+        for lit in &lits {
+            self.clause_watch[lit.var().index()].push(id);
+        }
+        self.clauses.push(HClause { lits, learned });
+        self.in_clqueue.push(false);
+        if !self.in_clqueue[id as usize] {
+            self.in_clqueue[id as usize] = true;
+            self.clqueue.push_back(id);
+        }
+        if learned {
+            self.stats.learned += 1;
+        }
+        id
+    }
+
+    /// Undoes all entries above `level`.
+    pub fn backtrack(&mut self, level: u32) {
+        debug_assert!(level <= self.level());
+        if level == self.level() {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for i in (target..self.trail.len()).rev() {
+            let e = &self.trail[i];
+            self.doms[e.var.index()] = e.old;
+            self.latest[e.var.index()] = e.prev_latest;
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.flipped.truncate(level as usize);
+        self.qhead = target;
+        self.drain_queues();
+    }
+
+    fn bump(&mut self, v: VarId) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// Exponential decay of activities after each conflict (§2.4's
+    /// "exponentially decaying function").
+    pub fn decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// Hybrid conflict analysis on the implication graph: walks back from
+    /// the conflicting entries to a unique-implication-point cut whose
+    /// asserting literal is Boolean (decisions are Boolean, so such a cut
+    /// always exists), producing a hybrid learned clause.
+    ///
+    /// Returns `None` when the conflict is independent of all decisions —
+    /// the instance is UNSAT.
+    pub fn analyze(&mut self, conflict: &ConflictInfo) -> Option<Analyzed> {
+        self.analyze_mode(conflict, false)
+    }
+
+    /// Like [`Engine::analyze`], but with `bool_only = true` every word
+    /// entry is expanded into its Boolean ancestry so the learned clause
+    /// contains only Boolean literals (the weaker, pre-hybrid learning of
+    /// classical lazy combined decision procedures).
+    pub fn analyze_mode(&mut self, conflict: &ConflictInfo, bool_only: bool) -> Option<Analyzed> {
+        self.stats.conflicts += 1;
+        let mut marked = vec![false; self.trail.len()];
+        let mut visited = vec![false; self.trail.len()];
+        let mut nmarked = 0usize;
+        // Marks an entry; in bool-only mode word entries are transitively
+        // replaced by their antecedents.
+        macro_rules! mark {
+            ($idx:expr) => {{
+                let mut stack: Vec<u32> = vec![$idx];
+                while let Some(i) = stack.pop() {
+                    let e = &self.trail[i as usize];
+                    if e.level == 0 || visited[i as usize] {
+                        continue;
+                    }
+                    visited[i as usize] = true;
+                    if bool_only && !e.is_bool() {
+                        stack.extend(e.antecedents.iter().copied());
+                    } else {
+                        marked[i as usize] = true;
+                        nmarked += 1;
+                        let var = e.var;
+                        self.bump(var);
+                    }
+                }
+            }};
+        }
+        for &i in &conflict.antecedents {
+            mark!(i);
+        }
+        if nmarked == 0 {
+            return None;
+        }
+
+        loop {
+            // Current analysis level = max level among marked entries.
+            let lmax = marked
+                .iter()
+                .enumerate()
+                .filter(|&(_, &m)| m)
+                .map(|(i, _)| self.trail[i].level)
+                .max()
+                .expect("marks non-empty");
+            if lmax == 0 {
+                return None;
+            }
+            let at_lmax: Vec<usize> = marked
+                .iter()
+                .enumerate()
+                .filter(|&(i, &m)| m && self.trail[i].level == lmax)
+                .map(|(i, _)| i)
+                .collect();
+            let latest = *at_lmax.last().expect("non-empty");
+            if at_lmax.len() == 1 && self.trail[latest].is_bool() {
+                // UIP found.
+                let uip = latest;
+                let mut lits = vec![self.trail[uip].as_conflict_lit()];
+                let mut blevel = 0;
+                // Other marked entries: dedup per var keeping the latest
+                // (smallest/strongest assignment → valid clause).
+                let mut best: std::collections::HashMap<VarId, usize> =
+                    std::collections::HashMap::new();
+                for (i, &m) in marked.iter().enumerate() {
+                    if m && i != uip {
+                        let e = best.entry(self.trail[i].var).or_insert(i);
+                        *e = (*e).max(i);
+                    }
+                }
+                for (_, &i) in &best {
+                    lits.push(self.trail[i].as_conflict_lit());
+                    blevel = blevel.max(self.trail[i].level);
+                }
+                debug_assert!(blevel < lmax);
+                return Some(Analyzed { lits, blevel });
+            }
+            // Expand the latest marked entry at lmax.
+            let e_idx = latest;
+            marked[e_idx] = false;
+            nmarked -= 1;
+            let ants = self.trail[e_idx].antecedents.clone();
+            // The expanded entry is never a decision: a decision is the
+            // *first* entry of its level, so with several marks at `lmax`
+            // the latest one is an implied entry, and a single non-Boolean
+            // mark is a word entry (decisions are Boolean). Implied entries
+            // always carry antecedents; if those are all at level 0 the
+            // mark set simply shrinks (towards the UNSAT verdict below).
+            debug_assert!(
+                !ants.is_empty() || !matches!(self.trail[e_idx].reason, Reason::Decision),
+                "attempted to expand a decision entry"
+            );
+            for a in ants {
+                mark!(a);
+            }
+            if nmarked == 0 {
+                return None;
+            }
+        }
+    }
+
+    /// Learns the analyzed clause, backtracks, and asserts the UIP literal.
+    pub fn learn_and_backtrack(&mut self, analyzed: Analyzed) {
+        self.backtrack(analyzed.blevel);
+        let uip = analyzed.lits[0];
+        let cid = self.add_clause(analyzed.lits, true);
+        // Assert the UIP literal immediately (the clause is unit now).
+        if let HLit::Bool { var, value } = uip {
+            if !self.dom(var).is_fixed() {
+                let vars: Vec<VarId> = self.clauses[cid as usize]
+                    .lits
+                    .iter()
+                    .map(HLit::var)
+                    .collect();
+                let ants = self.latest_of(&vars, Some(var));
+                self.apply(var, Dom::B(Tribool::from(value)), Reason::Clause(cid), ants);
+            }
+        }
+        self.decay();
+    }
+}
+
+/// `cur \ iv` when the result is a single interval (the removal overlaps an
+/// end of `cur`); `None` = empty result; `Some(cur)` = not representable or
+/// no overlap.
+fn subtract_interval(cur: Interval, iv: Interval) -> Option<Interval> {
+    if !cur.intersects(iv) {
+        return Some(cur);
+    }
+    if iv.contains_interval(cur) {
+        return None;
+    }
+    if iv.lo() <= cur.lo() {
+        return Some(Interval::new(iv.hi() + 1, cur.hi()));
+    }
+    if iv.hi() >= cur.hi() {
+        return Some(Interval::new(cur.lo(), iv.lo() - 1));
+    }
+    Some(cur) // interior hole: not representable
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn subtract_interval_cases() {
+        let cur = Interval::new(0, 10);
+        assert_eq!(
+            subtract_interval(cur, Interval::new(0, 3)),
+            Some(Interval::new(4, 10))
+        );
+        assert_eq!(
+            subtract_interval(cur, Interval::new(8, 12)),
+            Some(Interval::new(0, 7))
+        );
+        assert_eq!(subtract_interval(cur, Interval::new(4, 6)), Some(cur));
+        assert_eq!(subtract_interval(cur, Interval::new(-5, 20)), None);
+        assert_eq!(
+            subtract_interval(cur, Interval::new(20, 30)),
+            Some(cur)
+        );
+    }
+}

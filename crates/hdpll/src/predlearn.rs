@@ -1,0 +1,282 @@
+//! Predicate-based static learning (paper §3): recursive learning on the
+//! predicate logic of an RTL circuit, extended across the data-path by
+//! interval constraint propagation.
+//!
+//! The pass runs before search, at decision level 0:
+//!
+//! 1. The predicate logic is extracted by cone-of-influence analysis and
+//!    level-ordered ([`rtl_ir::analysis::predicate_logic`]).
+//! 2. For each candidate signal and each *controlling* value with more than
+//!    one justification way (e.g. `or = 1` can be satisfied by either
+//!    input), every way is propagated **in isolation** — Boolean *and*
+//!    interval propagation, so implications flow through the data-path and
+//!    back (this is how Figure 2 learns `(¬b8 ∨ b9)` through two
+//!    multiplexers and a comparator).
+//! 3. Implications common to *all* ways are learned as 2-clauses
+//!    (`val(s) → a` becomes `(¬val(s) ∨ a)`), which immediately
+//!    participate in later probes — the bootstrapping visible in
+//!    Figure 2(b), where clauses from probes 1–2 enable probes 3–4.
+//! 4. If every way of a probe conflicts, the probed assignment itself is
+//!    refuted and learned as a unit clause.
+//! 5. Learning stops at a configurable threshold (the paper uses 2500 for
+//!    Table 1 and `min(#predicate gates, 2000)` for Table 2); the learned
+//!    relations weight the decision heuristic (§3 step 5).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use rtl_ir::{analysis, Netlist, Op, SignalId};
+
+use crate::decide::LearnWeights;
+use crate::engine::Engine;
+use crate::types::{Dom, HLit, VarId};
+
+/// One learned relation: the clause literals (over solver variables whose
+/// indices match netlist signal indices).
+pub type Relation = Vec<HLit>;
+
+/// Configuration of the static learning pass.
+#[derive(Clone, Copy, Debug)]
+pub struct LearnConfig {
+    /// Stop after learning this many relations (paper: 2500 in Table 1,
+    /// `min(#predicate gates, 2000)` in Table 2).
+    pub threshold: usize,
+    /// Stop after this many value probes regardless of yield — bounds the
+    /// pass on circuits whose predicates rarely correlate (the paper notes
+    /// the incremental cost can reach 10× the solve time when uncapped).
+    pub max_probes: usize,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 2000,
+            max_probes: 20_000,
+        }
+    }
+}
+
+impl LearnConfig {
+    /// A learning configuration with the given relation threshold and the
+    /// default probe cap.
+    #[must_use]
+    pub fn with_threshold(threshold: usize) -> Self {
+        Self {
+            threshold,
+            ..Self::default()
+        }
+    }
+
+    /// The Table 2 threshold rule: `min(#predicate logic gates, 2000)`.
+    #[must_use]
+    pub fn table2_for(netlist: &Netlist) -> Self {
+        Self::with_threshold(analysis::predicate_logic(netlist).len().min(2000))
+    }
+}
+
+/// Outcome of the static learning pass (columns 3–4 of the paper's
+/// Table 1).
+#[derive(Clone, Debug, Default)]
+pub struct LearnReport {
+    /// Number of relations (clauses) learned.
+    pub relations: usize,
+    /// Wall-clock time of the pass.
+    pub time: Duration,
+    /// Number of value probes executed.
+    pub probes: usize,
+    /// `true` if learning refuted the instance outright.
+    pub proved_unsat: bool,
+    /// The learned relations themselves, in learning order (the contents
+    /// of the paper's Figure 2(b) trace).
+    pub clauses: Vec<Relation>,
+}
+
+/// One justification way: assignments to apply together with the probed
+/// value.
+type Way = Vec<(VarId, bool)>;
+
+/// The ways of satisfying `sig = value`, when there is a *choice* (≥ 2
+/// ways). Single-way values are direct implications that ordinary
+/// propagation already finds, so they are not probed.
+fn ways_of(netlist: &Netlist, sig: SignalId, value: bool) -> Option<Vec<Way>> {
+    let v = VarId::from_signal;
+    match netlist.op(sig) {
+        Op::And(ins) if !value && ins.len() >= 2 => {
+            Some(ins.iter().map(|&i| vec![(v(i), false)]).collect())
+        }
+        Op::Or(ins) if value && ins.len() >= 2 => {
+            Some(ins.iter().map(|&i| vec![(v(i), true)]).collect())
+        }
+        Op::Xor(a, b) => Some(vec![
+            vec![(v(*a), false), (v(*b), value)],
+            vec![(v(*a), true), (v(*b), !value)],
+        ]),
+        _ => None,
+    }
+}
+
+/// Runs the pass. Learned clauses are added to `engine` (static, level 0)
+/// and their literals accumulated into `weights`.
+pub(crate) fn run(
+    engine: &mut Engine,
+    netlist: &Netlist,
+    config: &LearnConfig,
+    weights: &mut LearnWeights,
+) -> LearnReport {
+    let start = Instant::now();
+    let mut report = LearnReport::default();
+    let candidates = analysis::predicate_logic(netlist);
+    let mut seen_clauses: HashSet<(VarId, bool, VarId, bool)> = HashSet::new();
+
+    'candidates: for &sig in &candidates {
+        if report.relations >= config.threshold || report.probes >= config.max_probes {
+            break;
+        }
+        let var = VarId::from_signal(sig);
+        if engine.dom(var).is_fixed() {
+            continue;
+        }
+        for value in [false, true] {
+            // Clauses learned by the previous probe may have fixed the
+            // candidate at level 0 in the meantime.
+            if engine.dom(var).is_fixed() {
+                break;
+            }
+            let Some(ways) = ways_of(netlist, sig, value) else {
+                continue;
+            };
+            report.probes += 1;
+
+            // Probe each way in isolation and intersect the implied Boolean
+            // assignments.
+            let mut common: Option<Vec<(VarId, bool)>> = None;
+            let mut all_conflict = true;
+            for way in &ways {
+                let implied = probe(engine, var, value, way);
+                match implied {
+                    None => {
+                        // This way is infeasible; it contributes no
+                        // implications but the probe value may still be
+                        // satisfiable through other ways.
+                        continue;
+                    }
+                    Some(implications) => {
+                        all_conflict = false;
+                        let set: HashSet<(VarId, bool)> = implications.into_iter().collect();
+                        common = Some(match common {
+                            None => set.into_iter().collect(),
+                            Some(prev) => {
+                                prev.into_iter().filter(|x| set.contains(x)).collect()
+                            }
+                        });
+                    }
+                }
+            }
+
+            if all_conflict {
+                // Every way conflicts: val(sig) is itself infeasible.
+                let unit = vec![HLit::Bool {
+                    var,
+                    value: !value,
+                }];
+                report.clauses.push(unit.clone());
+                engine.add_clause(unit, true);
+                report.relations += 1;
+                weights.by_value[var.index()][usize::from(!value)] += 1.0;
+                if engine.propagate().is_some() {
+                    report.proved_unsat = true;
+                    report.time = start.elapsed();
+                    return report;
+                }
+                continue;
+            }
+
+            // Learn each common implication as (¬val(sig) ∨ implication).
+            for (t_var, t_val) in common.unwrap_or_default() {
+                if t_var == var {
+                    continue;
+                }
+                if report.relations >= config.threshold {
+                    continue 'candidates;
+                }
+                if !seen_clauses.insert((var, value, t_var, t_val)) {
+                    continue;
+                }
+                let clause = vec![
+                    HLit::Bool { var, value: !value },
+                    HLit::Bool {
+                        var: t_var,
+                        value: t_val,
+                    },
+                ];
+                report.clauses.push(clause.clone());
+                engine.add_clause(clause, true);
+                report.relations += 1;
+                weights.by_value[var.index()][usize::from(!value)] += 1.0;
+                weights.by_value[t_var.index()][usize::from(t_val)] += 1.0;
+            }
+            if engine.propagate().is_some() {
+                report.proved_unsat = true;
+                report.time = start.elapsed();
+                return report;
+            }
+        }
+    }
+    report.time = start.elapsed();
+    report
+}
+
+/// Applies `sig = value` plus the way's assignments at a scratch decision
+/// level, propagates (Boolean + interval), and collects every *additional*
+/// Boolean assignment implied. `None` if the way conflicts.
+fn probe(
+    engine: &mut Engine,
+    var: VarId,
+    value: bool,
+    way: &[(VarId, bool)],
+) -> Option<Vec<(VarId, bool)>> {
+    let base_level = engine.level();
+    engine.decide(var, value);
+    let mut ok = engine.propagate().is_none();
+    if ok {
+        for &(w_var, w_val) in way {
+            match engine.dom(w_var).tri().to_bool() {
+                Some(existing) if existing != w_val => {
+                    ok = false;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    engine.decide(w_var, w_val);
+                    if engine.propagate().is_some() {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let result = if ok {
+        let seeds: HashSet<VarId> = way
+            .iter()
+            .map(|&(v, _)| v)
+            .chain(std::iter::once(var))
+            .collect();
+        let start = engine.trail_lim[base_level as usize];
+        let mut implied = Vec::new();
+        for e in &engine.trail[start..] {
+            if let Dom::B(t) = e.new {
+                if !seeds.contains(&e.var) {
+                    if let Some(b) = t.to_bool() {
+                        implied.push((e.var, b));
+                    }
+                }
+            }
+        }
+        Some(implied)
+    } else {
+        None
+    };
+    engine.backtrack(base_level);
+    result
+}

@@ -1,0 +1,410 @@
+//! Constraint contractors: one bounds-consistency propagation step per
+//! compiled constraint (the body of the paper's `Ddeduce()`).
+
+use rtl_interval::{contract, Interval, Tribool};
+
+use crate::compile::CKind;
+use crate::types::{Dom, VarId};
+
+/// Outcome of propagating one constraint against the current domains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum PropResult {
+    /// Domains to narrow (already intersected; strictly smaller than the
+    /// current ones). Empty = the constraint is (currently) at fixpoint.
+    Narrowed(Vec<(VarId, Dom)>),
+    /// The constraint is unsatisfiable under the current domains.
+    Conflict,
+}
+
+fn sat_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Collects a Boolean change if `want` differs from `cur`; `Err(())` on
+/// contradiction.
+fn meet_bool(
+    changes: &mut Vec<(VarId, Dom)>,
+    var: VarId,
+    cur: Tribool,
+    want: Tribool,
+) -> Result<(), ()> {
+    match (cur, want) {
+        (_, Tribool::Unknown) => Ok(()),
+        (Tribool::Unknown, w) => {
+            changes.push((var, Dom::B(w)));
+            Ok(())
+        }
+        (c, w) if c == w => Ok(()),
+        _ => Err(()),
+    }
+}
+
+/// Collects a word change to `cur ∩ new`; `Err(())` if the meet is empty.
+/// Boolean variables participate through their `{0,1}` interval image.
+fn meet_interval(
+    changes: &mut Vec<(VarId, Dom)>,
+    var: VarId,
+    cur: &Dom,
+    new: Interval,
+) -> Result<(), ()> {
+    match cur {
+        Dom::W(iv) => {
+            let met = iv.intersect(new).ok_or(())?;
+            if met != *iv {
+                changes.push((var, Dom::W(met)));
+            }
+            Ok(())
+        }
+        Dom::B(t) => {
+            let met = t.to_interval().intersect(new).ok_or(())?;
+            let want = Tribool::from_interval(met.intersect(Interval::boolean()).ok_or(())?);
+            meet_bool(changes, var, *t, want)
+        }
+    }
+}
+
+/// One propagation step for `kind` under `doms`.
+pub(crate) fn step(kind: &CKind, doms: &[Dom]) -> PropResult {
+    let mut changes: Vec<(VarId, Dom)> = Vec::new();
+    let tri = |v: VarId| doms[v.index()].tri();
+    let result = match kind {
+        CKind::Not { out, a } => (|| {
+            meet_bool(&mut changes, *out, tri(*out), tri(*a).not())?;
+            meet_bool(&mut changes, *a, tri(*a), tri(*out).not())
+        })(),
+        CKind::And { out, ins } => prop_and_or(&mut changes, doms, *out, ins, true),
+        CKind::Or { out, ins } => prop_and_or(&mut changes, doms, *out, ins, false),
+        CKind::Xor { out, a, b } => (|| {
+            meet_bool(&mut changes, *out, tri(*out), tri(*a).xor(tri(*b)))?;
+            meet_bool(&mut changes, *a, tri(*a), tri(*out).xor(tri(*b)))?;
+            meet_bool(&mut changes, *b, tri(*b), tri(*out).xor(tri(*a)))
+        })(),
+        CKind::CmpReif { op, out, a, b } => (|| {
+            let r = contract::cmp_reified(
+                *op,
+                tri(*out),
+                doms[a.index()].iv(),
+                doms[b.index()].iv(),
+            )
+            .ok_or(())?;
+            meet_bool(&mut changes, *out, tri(*out), r.b)?;
+            meet_interval(&mut changes, *a, &doms[a.index()], r.x)?;
+            meet_interval(&mut changes, *b, &doms[b.index()], r.y)
+        })(),
+        CKind::Ite { out, sel, t, e } => (|| {
+            let r = contract::ite(
+                tri(*sel),
+                doms[out.index()].iv(),
+                doms[t.index()].iv(),
+                doms[e.index()].iv(),
+            )
+            .ok_or(())?;
+            meet_bool(&mut changes, *sel, tri(*sel), r.sel)?;
+            meet_interval(&mut changes, *out, &doms[out.index()], r.out)?;
+            meet_interval(&mut changes, *t, &doms[t.index()], r.t)?;
+            meet_interval(&mut changes, *e, &doms[e.index()], r.e)
+        })(),
+        CKind::Min { out, a, b } => (|| {
+            let r = contract::min_op(
+                doms[out.index()].iv(),
+                doms[a.index()].iv(),
+                doms[b.index()].iv(),
+            )
+            .ok_or(())?;
+            meet_interval(&mut changes, *out, &doms[out.index()], r.0)?;
+            meet_interval(&mut changes, *a, &doms[a.index()], r.1)?;
+            meet_interval(&mut changes, *b, &doms[b.index()], r.2)
+        })(),
+        CKind::Max { out, a, b } => (|| {
+            let r = contract::max_op(
+                doms[out.index()].iv(),
+                doms[a.index()].iv(),
+                doms[b.index()].iv(),
+            )
+            .ok_or(())?;
+            meet_interval(&mut changes, *out, &doms[out.index()], r.0)?;
+            meet_interval(&mut changes, *a, &doms[a.index()], r.1)?;
+            meet_interval(&mut changes, *b, &doms[b.index()], r.2)
+        })(),
+        CKind::Lin { terms, constant } => prop_lin(&mut changes, doms, terms, *constant),
+    };
+    match result {
+        Ok(()) => PropResult::Narrowed(changes),
+        Err(()) => PropResult::Conflict,
+    }
+}
+
+fn prop_and_or(
+    changes: &mut Vec<(VarId, Dom)>,
+    doms: &[Dom],
+    out: VarId,
+    ins: &[VarId],
+    is_and: bool,
+) -> Result<(), ()> {
+    // Work in AND terms; OR is handled by De Morgan-flipping the values.
+    let flip = |t: Tribool| if is_and { t } else { t.not() };
+    let out_val = flip(doms[out.index()].tri());
+    let in_vals: Vec<Tribool> = ins.iter().map(|v| flip(doms[v.index()].tri())).collect();
+
+    // Forward.
+    let forward = in_vals.iter().fold(Tribool::True, |acc, &t| acc.and(t));
+    meet_bool(changes, out, flip(out_val), flip(forward))?;
+
+    match out_val {
+        Tribool::True => {
+            // all inputs must be 1 (AND view)
+            for (&v, &t) in ins.iter().zip(&in_vals) {
+                if t == Tribool::Unknown {
+                    meet_bool(changes, v, flip(t), flip(Tribool::True))?;
+                }
+            }
+            Ok(())
+        }
+        Tribool::False => {
+            // at least one input 0: implication only when exactly one
+            // candidate remains
+            if in_vals.iter().any(|&t| t == Tribool::False) {
+                return Ok(());
+            }
+            let unknowns: Vec<usize> = in_vals
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t == Tribool::Unknown)
+                .map(|(i, _)| i)
+                .collect();
+            match unknowns.len() {
+                0 => Err(()), // all inputs 1 but output 0
+                1 => meet_bool(
+                    changes,
+                    ins[unknowns[0]],
+                    flip(in_vals[unknowns[0]]),
+                    flip(Tribool::False),
+                ),
+                _ => Ok(()),
+            }
+        }
+        Tribool::Unknown => Ok(()),
+    }
+}
+
+fn prop_lin(
+    changes: &mut Vec<(VarId, Dom)>,
+    doms: &[Dom],
+    terms: &[(VarId, i64)],
+    constant: i64,
+) -> Result<(), ()> {
+    // Interval of Σ cᵢ·vᵢ + k.
+    let bounds: Vec<(i128, i128)> = terms
+        .iter()
+        .map(|&(v, c)| {
+            let iv = doms[v.index()].as_interval();
+            let (a, b) = (c as i128 * iv.lo() as i128, c as i128 * iv.hi() as i128);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    let total_lo: i128 = bounds.iter().map(|&(l, _)| l).sum::<i128>() + constant as i128;
+    let total_hi: i128 = bounds.iter().map(|&(_, h)| h).sum::<i128>() + constant as i128;
+    if total_lo > 0 || total_hi < 0 {
+        return Err(());
+    }
+    // For each variable: c·v ∈ [−(total_hi − c·v range), …] — i.e.
+    // c·v ∈ −(rest) where rest = total − own term.
+    for (j, &(v, c)) in terms.iter().enumerate() {
+        let (own_lo, own_hi) = bounds[j];
+        let rest_lo = total_lo - own_lo;
+        let rest_hi = total_hi - own_hi;
+        // c·v = −(rest + k') where rest ∈ [rest_lo, rest_hi] (constant is
+        // already inside total): c·v ∈ [−rest_hi, −rest_lo]
+        let (num_lo, num_hi) = (-rest_hi, -rest_lo);
+        let (lo, hi) = if c > 0 {
+            (div_ceil(num_lo, c as i128), div_floor(num_hi, c as i128))
+        } else {
+            (div_ceil(num_hi, c as i128), div_floor(num_lo, c as i128))
+        };
+        if lo > hi {
+            return Err(());
+        }
+        let new = Interval::new(sat_i64(lo), sat_i64(hi));
+        meet_interval(changes, v, &doms[v.index()], new)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn b(t: Tribool) -> Dom {
+        Dom::B(t)
+    }
+    fn w(lo: i64, hi: i64) -> Dom {
+        Dom::W(Interval::new(lo, hi))
+    }
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn and_forward_and_backward() {
+        // out = a ∧ b
+        let kind = CKind::And {
+            out: v(0),
+            ins: vec![v(1), v(2)],
+        };
+        // a=0 ⇒ out=0
+        let doms = vec![b(Tribool::Unknown), b(Tribool::False), b(Tribool::Unknown)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::False))]),
+            PropResult::Conflict => panic!(),
+        }
+        // out=1 ⇒ a=b=1
+        let doms = vec![b(Tribool::True), b(Tribool::Unknown), b(Tribool::Unknown)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => {
+                assert!(ch.contains(&(v(1), b(Tribool::True))));
+                assert!(ch.contains(&(v(2), b(Tribool::True))));
+            }
+            PropResult::Conflict => panic!(),
+        }
+        // out=0, a=1 ⇒ b=0 (last free input)
+        let doms = vec![b(Tribool::False), b(Tribool::True), b(Tribool::Unknown)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(2), b(Tribool::False))]),
+            PropResult::Conflict => panic!(),
+        }
+        // out=0 but both inputs 1: conflict
+        let doms = vec![b(Tribool::False), b(Tribool::True), b(Tribool::True)];
+        assert_eq!(step(&kind, &doms), PropResult::Conflict);
+    }
+
+    #[test]
+    fn or_justified_by_single_candidate() {
+        let kind = CKind::Or {
+            out: v(0),
+            ins: vec![v(1), v(2)],
+        };
+        // out=1, a=0 ⇒ b=1
+        let doms = vec![b(Tribool::True), b(Tribool::False), b(Tribool::Unknown)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(2), b(Tribool::True))]),
+            PropResult::Conflict => panic!(),
+        }
+        // out=1 with two candidates: no implication yet (needs a decision)
+        let doms = vec![b(Tribool::True), b(Tribool::Unknown), b(Tribool::Unknown)];
+        assert_eq!(step(&kind, &doms), PropResult::Narrowed(vec![]));
+    }
+
+    #[test]
+    fn lin_three_way_narrowing() {
+        // a + b − out = 0 (exact adder), a ∈ ⟨3,9⟩, b ∈ ⟨1,9⟩, out ∈ ⟨0,5⟩
+        let kind = CKind::Lin {
+            terms: vec![(v(0), 1), (v(1), 1), (v(2), -1)],
+            constant: 0,
+        };
+        let doms = vec![w(3, 9), w(1, 9), w(0, 5)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => {
+                assert!(ch.contains(&(v(0), w(3, 4))));
+                assert!(ch.contains(&(v(1), w(1, 2))));
+                assert!(ch.contains(&(v(2), w(4, 5))));
+            }
+            PropResult::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn lin_conflict() {
+        // a − out = 0 with disjoint domains
+        let kind = CKind::Lin {
+            terms: vec![(v(0), 1), (v(1), -1)],
+            constant: 0,
+        };
+        let doms = vec![w(0, 3), w(5, 9)];
+        assert_eq!(step(&kind, &doms), PropResult::Conflict);
+    }
+
+    #[test]
+    fn lin_divisibility_tightening() {
+        // 3a − out = 0, out ∈ ⟨7, 20⟩ ⇒ a ∈ ⟨3, 6⟩
+        let kind = CKind::Lin {
+            terms: vec![(v(0), 3), (v(1), -1)],
+            constant: 0,
+        };
+        let doms = vec![w(0, 100), w(7, 20)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => {
+                assert!(ch.contains(&(v(0), w(3, 6))), "{ch:?}");
+            }
+            PropResult::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn lin_bridges_bool_vars() {
+        // b2w: bool a − out = 0, out ∈ ⟨1,1⟩ ⇒ a = true
+        let kind = CKind::Lin {
+            terms: vec![(v(0), 1), (v(1), -1)],
+            constant: 0,
+        };
+        let doms = vec![b(Tribool::Unknown), w(1, 1)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::True))]),
+            PropResult::Conflict => panic!(),
+        }
+    }
+
+    #[test]
+    fn cmp_reified_bridging() {
+        // out ⇔ (a < b), a ∈ ⟨0,3⟩, b ∈ ⟨7,9⟩ ⇒ out = 1
+        let kind = CKind::CmpReif {
+            op: CmpOp::Lt,
+            out: v(0),
+            a: v(1),
+            b: v(2),
+        };
+        let doms = vec![b(Tribool::Unknown), w(0, 3), w(7, 9)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::True))]),
+            PropResult::Conflict => panic!(),
+        }
+    }
+
+    use rtl_ir::CmpOp;
+
+    #[test]
+    fn ite_select_implication() {
+        // out = sel ? t : e with out ∈ ⟨5,5⟩, t ∈ ⟨6,7⟩ ⇒ sel = 0, e = 5
+        let kind = CKind::Ite {
+            out: v(0),
+            sel: v(1),
+            t: v(2),
+            e: v(3),
+        };
+        let doms = vec![w(5, 5), b(Tribool::Unknown), w(6, 7), w(0, 7)];
+        match step(&kind, &doms) {
+            PropResult::Narrowed(ch) => {
+                assert!(ch.contains(&(v(1), b(Tribool::False))));
+                assert!(ch.contains(&(v(3), w(5, 5))));
+            }
+            PropResult::Conflict => panic!(),
+        }
+    }
+}

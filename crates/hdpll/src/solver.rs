@@ -1,0 +1,325 @@
+//! The public HDPLL solver API (the paper's Algorithm 1).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rtl_ir::{analysis, eval, Netlist, SignalId};
+
+use crate::compile::{compile, Compiled};
+use crate::decide::{pick_activity, LearnWeights};
+use crate::engine::{Engine, EngineStats};
+use crate::final_check::{final_check, FinalOutcome};
+use crate::justify::{pick_structural, Structural, StructuralIndex};
+use crate::predlearn::{self, LearnConfig, LearnReport};
+use crate::types::{DecisionStrategy, Dom, VarId};
+use rtl_interval::Tribool;
+
+/// Resource budget for [`Solver::solve`]; exceeding any bound returns
+/// [`HdpllResult::Unknown`] (the experiment harness's "timeout").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Maximum number of decisions.
+    pub max_decisions: Option<u64>,
+    /// Maximum number of conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of constraint propagation steps.
+    pub max_propagations: Option<u64>,
+    /// Wall-clock budget.
+    pub max_time: Option<Duration>,
+}
+
+/// How conflicts are turned into learned information.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LearningMode {
+    /// Hybrid conflict-driven learning: clauses over Boolean *and* word
+    /// literals, non-chronological backtracking (the HDPLL technique of
+    /// \[9\], §2.4).
+    #[default]
+    Hybrid,
+    /// Boolean-only learned clauses: word narrowings are expanded into
+    /// their Boolean ancestry before learning — the weaker learning of
+    /// classical lazy combined decision procedures.
+    BoolOnly,
+    /// No learning at all: chronological backtracking with decision
+    /// flipping (the architecture of pre-CDCL combined procedures; used by
+    /// the ICS-like baseline).
+    None,
+}
+
+/// Solver configuration: which paper variant to run.
+///
+/// | Paper column   | `decision`    | `learn`   |
+/// |----------------|---------------|-----------|
+/// | HDPLL \[9\]    | `Activity`    | `None`    |
+/// | HDPLL+S        | `Structural`  | `None`    |
+/// | HDPLL+S+P      | `Structural`  | `Some(_)` |
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverConfig {
+    /// The `Decide()` strategy.
+    pub decision: DecisionStrategy,
+    /// Static predicate learning, if enabled.
+    pub learn: Option<LearnConfig>,
+    /// Conflict-learning mode.
+    pub learning: LearningMode,
+    /// Resource budget.
+    pub limits: Limits,
+}
+
+impl SolverConfig {
+    /// Plain HDPLL \[9\] (Table 2 column 5).
+    #[must_use]
+    pub fn hdpll() -> Self {
+        Self::default()
+    }
+
+    /// HDPLL with the structural decision strategy (Table 2 column `+S`).
+    #[must_use]
+    pub fn structural() -> Self {
+        Self {
+            decision: DecisionStrategy::Structural,
+            ..Self::default()
+        }
+    }
+
+    /// HDPLL with structural decisions and predicate learning (Table 2
+    /// column `+S+P`).
+    #[must_use]
+    pub fn structural_with_learning(learn: LearnConfig) -> Self {
+        Self {
+            decision: DecisionStrategy::Structural,
+            learn: Some(learn),
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the resource budget (builder style).
+    #[must_use]
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// The verdict of a solve call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdpllResult {
+    /// Satisfiable; values for every primary input witnessing it (a model
+    /// the [`rtl_ir::eval`] simulator accepts).
+    Sat(HashMap<SignalId, i64>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The resource budget was exhausted.
+    Unknown,
+}
+
+impl HdpllResult {
+    /// The input witness, if satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&HashMap<SignalId, i64>> {
+        match self {
+            HdpllResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`HdpllResult::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, HdpllResult::Sat(_))
+    }
+
+    /// `true` for [`HdpllResult::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, HdpllResult::Unsat)
+    }
+}
+
+/// Search statistics of the last [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Engine counters (decisions, propagations, conflicts, …).
+    pub engine: EngineStats,
+    /// Wall-clock search time (excluding static learning).
+    pub search_time: Duration,
+    /// Wall-clock static-learning time (Table 1 column 4).
+    pub learn_time: Duration,
+}
+
+/// The hybrid DPLL solver for one netlist.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Solver {
+    netlist: Netlist,
+    compiled: Compiled,
+    config: SolverConfig,
+    stats: SolverStats,
+    learn_report: Option<LearnReport>,
+}
+
+impl Solver {
+    /// Compiles `netlist` and prepares a solver with the given
+    /// configuration.
+    #[must_use]
+    pub fn new(netlist: &Netlist, config: SolverConfig) -> Self {
+        Self {
+            netlist: netlist.clone(),
+            compiled: compile(netlist),
+            config,
+            stats: SolverStats::default(),
+            learn_report: None,
+        }
+    }
+
+    /// Statistics of the most recent solve call.
+    #[must_use]
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Report of the most recent static-learning pass (present only when
+    /// the configuration enables learning).
+    #[must_use]
+    pub fn learn_report(&self) -> Option<&LearnReport> {
+        self.learn_report.as_ref()
+    }
+
+    /// Decides the satisfiability of `constraint = 1`.
+    ///
+    /// Each call restarts from scratch (learned clauses are not carried
+    /// across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint` is not a Boolean signal of the solver's
+    /// netlist.
+    pub fn solve(&mut self, constraint: SignalId) -> HdpllResult {
+        assert!(
+            self.netlist.ty(constraint).is_bool(),
+            "proposition {constraint} must be Boolean"
+        );
+        let mut engine = Engine::new(self.compiled.clone());
+        self.stats = SolverStats::default();
+        self.learn_report = None;
+
+        // Assert the proposition and reach the initial fixpoint.
+        if !engine.assert_external(VarId::from_signal(constraint), Dom::B(Tribool::True)) {
+            return HdpllResult::Unsat;
+        }
+        engine.schedule_all();
+        if engine.propagate().is_some() {
+            return HdpllResult::Unsat;
+        }
+
+        // Static predicate learning (§3), timed separately (Table 1).
+        let mut weights = LearnWeights::new(engine.doms.len());
+        if let Some(cfg) = self.config.learn {
+            let report = predlearn::run(&mut engine, &self.netlist, &cfg, &mut weights);
+            self.stats.learn_time = report.time;
+            let unsat = report.proved_unsat;
+            self.learn_report = Some(report);
+            if unsat {
+                self.stats.engine = engine.stats;
+                return HdpllResult::Unsat;
+            }
+        }
+        let weights_ref = self.config.learn.map(|_| &weights);
+
+        let structural_index = match self.config.decision {
+            DecisionStrategy::Structural => Some(StructuralIndex::new(
+                &engine,
+                &analysis::levels(&self.netlist),
+            )),
+            DecisionStrategy::Activity => None,
+        };
+
+        // Algorithm 1 main loop.
+        let learning = self.config.learning;
+        let handle_conflict = |engine: &mut Engine, conflict: &crate::engine::ConflictInfo| -> bool {
+            match learning {
+                LearningMode::Hybrid => match engine.analyze(conflict) {
+                    None => false,
+                    Some(a) => {
+                        engine.learn_and_backtrack(a);
+                        true
+                    }
+                },
+                LearningMode::BoolOnly => match engine.analyze_mode(conflict, true) {
+                    None => false,
+                    Some(a) => {
+                        engine.learn_and_backtrack(a);
+                        true
+                    }
+                },
+                LearningMode::None => {
+                    engine.stats.conflicts += 1;
+                    engine.flip_chronological()
+                }
+            }
+        };
+        let search_start = Instant::now();
+        let result = loop {
+            if let Some(conflict) = engine.propagate() {
+                if !handle_conflict(&mut engine, &conflict) {
+                    break HdpllResult::Unsat;
+                }
+                continue;
+            }
+            if self.exceeded(&engine, search_start) {
+                break HdpllResult::Unknown;
+            }
+            let decision = match &structural_index {
+                Some(index) => match pick_structural(&engine, index, weights_ref) {
+                    Structural::Decision(var, value) => Some((var, value)),
+                    Structural::Done => None,
+                    Structural::JConflict(conflict) => {
+                        engine.stats.j_conflicts += 1;
+                        if !handle_conflict(&mut engine, &conflict) {
+                            break HdpllResult::Unsat;
+                        }
+                        continue;
+                    }
+                },
+                None => pick_activity(&engine, weights_ref),
+            };
+            match decision {
+                Some((var, value)) => engine.decide(var, value),
+                None => {
+                    // All decision variables assigned: arithmetic check of
+                    // the solution box (§2.4).
+                    match final_check(&mut engine) {
+                        FinalOutcome::Sat(values) => {
+                            let model = self.input_model(&values);
+                            break HdpllResult::Sat(model);
+                        }
+                        FinalOutcome::Conflict(conflict) => {
+                            if !handle_conflict(&mut engine, &conflict) {
+                                break HdpllResult::Unsat;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        self.stats.search_time = search_start.elapsed();
+        self.stats.engine = engine.stats;
+        result
+    }
+
+    fn exceeded(&self, engine: &Engine, start: Instant) -> bool {
+        let l = &self.config.limits;
+        l.max_decisions.is_some_and(|m| engine.stats.decisions >= m)
+            || l.max_conflicts.is_some_and(|m| engine.stats.conflicts >= m)
+            || l.max_propagations
+                .is_some_and(|m| engine.stats.propagations >= m)
+            || l.max_time.is_some_and(|m| start.elapsed() >= m)
+    }
+
+    fn input_model(&self, values: &[i64]) -> HashMap<SignalId, i64> {
+        eval::input_ids(&self.netlist)
+            .into_iter()
+            .map(|id| (id, values[id.index()]))
+            .collect()
+    }
+}

@@ -1,0 +1,606 @@
+//! Crate-level solver tests: crafted circuits for each configuration, BMC
+//! problems, and randomized cross-checks against the bit-blasting solver.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use crate::{HdpllResult, LearnConfig, LearningMode, Limits, Solver, SolverConfig};
+use rtl_ir::seq::SeqCircuit;
+use rtl_ir::{eval, CmpOp, Netlist, SignalId};
+
+fn all_configs() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("hdpll", SolverConfig::hdpll()),
+        ("hdpll+S", SolverConfig::structural()),
+        (
+            "hdpll+S+P",
+            SolverConfig::structural_with_learning(LearnConfig::default()),
+        ),
+        (
+            "hdpll(bool-learn)",
+            SolverConfig {
+                learning: LearningMode::BoolOnly,
+                ..SolverConfig::hdpll()
+            },
+        ),
+    ]
+}
+
+/// The learning-free chronological configuration (the ICS-like baseline
+/// architecture); exponential, so only exercised on small instances.
+fn no_learning_config() -> SolverConfig {
+    SolverConfig {
+        learning: LearningMode::None,
+        ..SolverConfig::hdpll()
+    }
+}
+
+#[test]
+fn no_learning_mode_agrees_on_small_instances() {
+    // SAT case
+    let mut n = Netlist::new("t");
+    let a = n.input_word("a", 4).unwrap();
+    let b = n.input_word("b", 4).unwrap();
+    let s = n.input_bool("s").unwrap();
+    let m = n.ite(s, a, b).unwrap();
+    let sum = n.add(m, a).unwrap();
+    let g = n.eq_const(sum, 9).unwrap();
+    let mut solver = Solver::new(&n, no_learning_config());
+    match solver.solve(g) {
+        HdpllResult::Sat(model) => {
+            assert!(eval::check_model(&n, &model, g).unwrap());
+        }
+        other => panic!("expected SAT, got {other:?}"),
+    }
+    // UNSAT case: route 5 through muxes but demand 6 (from the chain test)
+    let mut n = Netlist::new("chain");
+    let five = n.const_word(5, 4).unwrap();
+    let zero = n.const_word(0, 4).unwrap();
+    let mut cur = five;
+    for i in 0..4 {
+        let s = n.input_bool(&format!("s{i}")).unwrap();
+        cur = n.ite(s, cur, zero).unwrap();
+    }
+    let goal6 = n.eq_const(cur, 6).unwrap();
+    let mut solver = Solver::new(&n, no_learning_config());
+    assert!(solver.solve(goal6).is_unsat());
+}
+
+/// Solves with every configuration and checks they agree; on SAT validates
+/// the model with the simulator. Returns the common verdict (true = SAT).
+fn solve_all_validated(n: &Netlist, goal: SignalId) -> bool {
+    let mut verdicts = Vec::new();
+    for (name, config) in all_configs() {
+        let mut solver = Solver::new(n, config);
+        match solver.solve(goal) {
+            HdpllResult::Sat(model) => {
+                assert!(
+                    eval::check_model(n, &model, goal).unwrap(),
+                    "{name}: model rejected by simulator"
+                );
+                verdicts.push((name, true));
+            }
+            HdpllResult::Unsat => verdicts.push((name, false)),
+            HdpllResult::Unknown => panic!("{name}: no budget set but got Unknown"),
+        }
+    }
+    let first = verdicts[0].1;
+    for (name, v) in &verdicts {
+        assert_eq!(*v, first, "{name} disagrees: {verdicts:?}");
+    }
+    first
+}
+
+// ---------------------------------------------------------------------------
+// Crafted circuits
+// ---------------------------------------------------------------------------
+
+#[test]
+fn doc_example() {
+    let mut n = Netlist::new("probe");
+    let x = n.input_word("x", 5).unwrap();
+    let tripled = n.mul_const(x, 3).unwrap();
+    let target = n.eq_const(tripled, 21).unwrap();
+    let low = n.extract(x, 0, 0).unwrap();
+    let odd = n.eq_const(low, 1).unwrap();
+    let goal = n.and(&[target, odd]).unwrap();
+    for (name, config) in all_configs() {
+        let mut solver = Solver::new(&n, config);
+        match solver.solve(goal) {
+            HdpllResult::Sat(model) => assert_eq!(model[&x], 7, "{name}"),
+            other => panic!("{name}: expected SAT, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trivially_unsat_proposition() {
+    let mut n = Netlist::new("t");
+    let x = n.input_word("x", 4).unwrap();
+    let c14 = n.const_word(14, 4).unwrap();
+    let gt = n.cmp(CmpOp::Gt, x, c14).unwrap(); // only x = 15
+    let lt = n.eq_const(x, 3).unwrap();
+    let goal = n.and(&[gt, lt]).unwrap();
+    assert!(!solve_all_validated(&n, goal));
+}
+
+#[test]
+fn constant_false_goal() {
+    let mut n = Netlist::new("t");
+    let f = n.const_bool(false);
+    let t = n.const_bool(true);
+    let goal = n.and(&[f, t]).unwrap();
+    assert!(!solve_all_validated(&n, goal));
+}
+
+#[test]
+fn mux_chain_requires_selects() {
+    // A chain of muxes must route constant 5 to the output.
+    let mut n = Netlist::new("chain");
+    let five = n.const_word(5, 4).unwrap();
+    let zero = n.const_word(0, 4).unwrap();
+    let mut cur = five;
+    for i in 0..6 {
+        let s = n.input_bool(&format!("s{i}")).unwrap();
+        // true routes `cur`, false routes 0
+        cur = n.ite(s, cur, zero).unwrap();
+    }
+    let goal = n.eq_const(cur, 5).unwrap();
+    assert!(solve_all_validated(&n, goal));
+    // Whereas routing to 6 is impossible.
+    let goal6 = n.eq_const(cur, 6).unwrap();
+    assert!(!solve_all_validated(&n, goal6));
+}
+
+#[test]
+fn adder_comparator_interplay() {
+    // a + b = 30, a < 10, b < 25, exact adder (wider output)
+    let mut n = Netlist::new("t");
+    let a = n.input_word("a", 5).unwrap();
+    let b = n.input_word("b", 5).unwrap();
+    let sum = n.add_into(a, b, 6).unwrap();
+    let e = n.eq_const(sum, 30).unwrap();
+    let c10 = n.const_word(10, 5).unwrap();
+    let c25 = n.const_word(25, 5).unwrap();
+    let la = n.cmp(CmpOp::Lt, a, c10).unwrap();
+    let lb = n.cmp(CmpOp::Lt, b, c25).unwrap();
+    let goal = n.and(&[e, la, lb]).unwrap();
+    assert!(solve_all_validated(&n, goal));
+
+    // tighten: a < 5 and b < 25 ⇒ max sum 4 + 24 = 28 < 30: UNSAT
+    let c5 = n.const_word(5, 5).unwrap();
+    let la5 = n.cmp(CmpOp::Lt, a, c5).unwrap();
+    let goal2 = n.and(&[e, la5, lb]).unwrap();
+    assert!(!solve_all_validated(&n, goal2));
+}
+
+#[test]
+fn wrapping_arithmetic() {
+    // In 4 bits: x + 9 = 2 ⇒ x = 9 (wraps).
+    let mut n = Netlist::new("t");
+    let x = n.input_word("x", 4).unwrap();
+    let nine = n.const_word(9, 4).unwrap();
+    let sum = n.add(x, nine).unwrap();
+    let goal = n.eq_const(sum, 2).unwrap();
+    for (name, config) in all_configs() {
+        let mut solver = Solver::new(&n, config);
+        match solver.solve(goal) {
+            HdpllResult::Sat(model) => assert_eq!(model[&x], 9, "{name}"),
+            other => panic!("{name}: expected SAT, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn disequality_needs_case_split() {
+    // x ≠ 5 ∧ x ≥ 5 ∧ x ≤ 6 ⇒ x = 6
+    let mut n = Netlist::new("t");
+    let x = n.input_word("x", 4).unwrap();
+    let c5 = n.const_word(5, 4).unwrap();
+    let c6 = n.const_word(6, 4).unwrap();
+    let ne = n.cmp(CmpOp::Ne, x, c5).unwrap();
+    let ge = n.cmp(CmpOp::Ge, x, c5).unwrap();
+    let le = n.cmp(CmpOp::Le, x, c6).unwrap();
+    let goal = n.and(&[ne, ge, le]).unwrap();
+    for (name, config) in all_configs() {
+        let mut solver = Solver::new(&n, config);
+        match solver.solve(goal) {
+            HdpllResult::Sat(model) => assert_eq!(model[&x], 6, "{name}"),
+            other => panic!("{name}: expected SAT, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn min_max_operators() {
+    // min(a,b) = 3 ∧ max(a,b) = 9 has solutions {3,9}.
+    let mut n = Netlist::new("t");
+    let a = n.input_word("a", 4).unwrap();
+    let b = n.input_word("b", 4).unwrap();
+    let mn = n.min(a, b).unwrap();
+    let mx = n.max(a, b).unwrap();
+    let e1 = n.eq_const(mn, 3).unwrap();
+    let e2 = n.eq_const(mx, 9).unwrap();
+    let goal = n.and(&[e1, e2]).unwrap();
+    assert!(solve_all_validated(&n, goal));
+    // min > max impossible
+    let g1 = n.cmp(CmpOp::Gt, mn, mx).unwrap();
+    assert!(!solve_all_validated(&n, g1));
+}
+
+#[test]
+fn concat_extract_roundtrip_constraint() {
+    // {hi, lo} = 0xA5 and hi = lo ⇒ UNSAT (0xA ≠ 0x5); hi = lo + 5 ⇒ SAT.
+    let mut n = Netlist::new("t");
+    let hi = n.input_word("hi", 4).unwrap();
+    let lo = n.input_word("lo", 4).unwrap();
+    let cc = n.concat(hi, lo).unwrap();
+    let target = n.eq_const(cc, 0xA5).unwrap();
+    let same = n.cmp(CmpOp::Eq, hi, lo).unwrap();
+    let goal_bad = n.and(&[target, same]).unwrap();
+    assert!(!solve_all_validated(&n, goal_bad));
+    let five = n.const_word(5, 4).unwrap();
+    let lo5 = n.add(lo, five).unwrap();
+    let rel = n.cmp(CmpOp::Eq, hi, lo5).unwrap();
+    let goal_ok = n.and(&[target, rel]).unwrap();
+    assert!(solve_all_validated(&n, goal_ok));
+}
+
+#[test]
+fn sign_extension_constraint() {
+    // sext(x, 8) = 0xF6 needs x = −10, below the 4-bit two's-complement
+    // minimum of −8: UNSAT. 0xF8 = −8 works with x = 0b1000.
+    let mut n = Netlist::new("t");
+    let x = n.input_word("x", 4).unwrap();
+    let s = n.sext(x, 8).unwrap();
+    let bad = n.eq_const(s, 0xF6).unwrap();
+    assert!(!solve_all_validated(&n, bad));
+    let ok = n.eq_const(s, 0xF8).unwrap();
+    for (name, config) in all_configs() {
+        let mut solver = Solver::new(&n, config);
+        match solver.solve(ok) {
+            HdpllResult::Sat(model) => assert_eq!(model[&x], 0b1000, "{name}"),
+            other => panic!("{name}: expected SAT, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn limits_produce_unknown() {
+    // A nontrivial instance with an absurd budget.
+    let mut n = Netlist::new("t");
+    let a = n.input_word("a", 16).unwrap();
+    let b = n.input_word("b", 16).unwrap();
+    let s = n.add(a, b).unwrap();
+    let g = n.eq_const(s, 777).unwrap();
+    let cfg = SolverConfig::hdpll().with_limits(Limits {
+        max_propagations: Some(1),
+        ..Limits::default()
+    });
+    let mut solver = Solver::new(&n, cfg);
+    assert_eq!(solver.solve(g), HdpllResult::Unknown);
+}
+
+#[test]
+fn stats_populated() {
+    let mut n = Netlist::new("t");
+    let a = n.input_bool("a").unwrap();
+    let b = n.input_bool("b").unwrap();
+    let x = n.xor(a, b).unwrap();
+    let mut solver = Solver::new(&n, SolverConfig::hdpll());
+    assert!(solver.solve(x).is_sat());
+    assert!(solver.stats().engine.decisions >= 1);
+    assert!(solver.stats().engine.propagations >= 1);
+}
+
+#[test]
+fn learn_report_present_only_with_learning() {
+    let mut n = Netlist::new("t");
+    let a = n.input_word("a", 4).unwrap();
+    let b = n.input_word("b", 4).unwrap();
+    let s0 = n.input_bool("s0").unwrap();
+    let m = n.ite(s0, a, b).unwrap();
+    let g = n.eq_const(m, 3).unwrap();
+    let mut plain = Solver::new(&n, SolverConfig::hdpll());
+    assert!(plain.solve(g).is_sat());
+    assert!(plain.learn_report().is_none());
+    let mut learning =
+        Solver::new(&n, SolverConfig::structural_with_learning(LearnConfig::default()));
+    assert!(learning.solve(g).is_sat());
+    assert!(learning.learn_report().is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Predicate learning specifics
+// ---------------------------------------------------------------------------
+
+/// Two muxes controlled by logically-equal but structurally-different
+/// selects: the prototypical correlation predicate learning extracts
+/// (cf. the paper's Figure 2).
+#[test]
+fn predicate_learning_extracts_relations() {
+    let mut n = Netlist::new("corr");
+    let a = n.input_word("a", 4).unwrap();
+    let b = n.input_word("b", 4).unwrap();
+    let c = n.input_bool("c").unwrap();
+    let d = n.input_bool("d").unwrap();
+    // b5 = c ∨ d, b6 = d ∨ c: structurally different, logically equal.
+    let b5 = n.or(&[c, d]).unwrap();
+    let b6 = n.or(&[d, c]).unwrap();
+    let m1 = n.ite(b5, a, b).unwrap();
+    let m2 = n.ite(b6, b, a).unwrap();
+    let ne = n.cmp(CmpOp::Ne, m1, m2).unwrap();
+    let eq_ab = n.cmp(CmpOp::Eq, a, b).unwrap();
+    // goal: mux outputs differ while data inputs are equal — impossible.
+    let goal = n.and(&[ne, eq_ab]).unwrap();
+    let mut solver =
+        Solver::new(&n, SolverConfig::structural_with_learning(LearnConfig::default()));
+    assert!(solver.solve(goal).is_unsat());
+    let report = solver.learn_report().unwrap();
+    assert!(report.probes > 0, "learning must probe candidates");
+}
+
+#[test]
+fn learning_threshold_respected() {
+    let mut n = Netlist::new("wide");
+    let a = n.input_word("a", 4).unwrap();
+    let b = n.input_word("b", 4).unwrap();
+    let mut m = a;
+    for i in 0..10 {
+        let p = n.input_bool(&format!("p{i}")).unwrap();
+        let q = n.input_bool(&format!("q{i}")).unwrap();
+        let s = n.or(&[p, q]).unwrap();
+        m = n.ite(s, m, b).unwrap();
+    }
+    let goal = n.eq_const(m, 2).unwrap();
+    let mut solver = Solver::new(
+        &n,
+        SolverConfig::structural_with_learning(LearnConfig::with_threshold(3)),
+    );
+    let _ = solver.solve(goal);
+    let report = solver.learn_report().unwrap();
+    assert!(
+        report.relations <= 3,
+        "threshold exceeded: {}",
+        report.relations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// BMC problems through the sequential unroller
+// ---------------------------------------------------------------------------
+
+fn counter_circuit(width: u32, bad_at: i64) -> SeqCircuit {
+    let mut f = Netlist::new("cnt");
+    let c = f.input_word("c", width).unwrap();
+    let one = f.const_word(1, width).unwrap();
+    let next = f.add(c, one).unwrap();
+    let bad = f.eq_const(c, bad_at).unwrap();
+    let mut ckt = SeqCircuit::new(f);
+    ckt.add_register(c, next, 0).unwrap();
+    ckt.add_property("p", bad).unwrap();
+    ckt
+}
+
+#[test]
+fn bmc_counter_exact_depth() {
+    let ckt = counter_circuit(4, 5);
+    // counter reaches 5 exactly in frame 5 (0-based): 6 frames SAT
+    let sat = ckt.unroll("p", 6).unwrap();
+    assert!(solve_all_validated(&sat.netlist, sat.bad));
+    // 5 frames: counter only reaches 4: UNSAT
+    let unsat = ckt.unroll("p", 5).unwrap();
+    assert!(!solve_all_validated(&unsat.netlist, unsat.bad));
+}
+
+#[test]
+fn bmc_guarded_counter() {
+    // Counter increments only when enabled; reaching 3 within 4 frames
+    // requires enable in every step.
+    let mut f = Netlist::new("gcnt");
+    let c = f.input_word("c", 3).unwrap();
+    let en = f.input_bool("en").unwrap();
+    let one = f.const_word(1, 3).unwrap();
+    let inc = f.add(c, one).unwrap();
+    let next = f.ite(en, inc, c).unwrap();
+    let bad = f.eq_const(c, 3).unwrap();
+    let mut ckt = SeqCircuit::new(f);
+    ckt.add_register(c, next, 0).unwrap();
+    ckt.add_property("p", bad).unwrap();
+
+    let bmc = ckt.unroll("p", 4).unwrap();
+    // SAT: en=1 in frames 0..2
+    for (name, config) in all_configs() {
+        let mut solver = Solver::new(&bmc.netlist, config);
+        match solver.solve(bmc.bad) {
+            HdpllResult::Sat(model) => {
+                assert!(
+                    eval::check_model(&bmc.netlist, &model, bmc.bad).unwrap(),
+                    "{name}"
+                );
+            }
+            other => panic!("{name}: expected SAT, got {other:?}"),
+        }
+    }
+    // 3 frames: cannot reach 3: UNSAT
+    let bmc3 = ckt.unroll("p", 3).unwrap();
+    assert!(!solve_all_validated(&bmc3.netlist, bmc3.bad));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-check against the bit-blasting solver
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Step {
+    Add(usize, usize),
+    Sub(usize, usize),
+    MulConst(usize, i64),
+    Ite(usize, usize, usize),
+    Cmp(CmpOp, usize, usize),
+    Shr(usize, u32),
+    Extract(usize, u32, u32),
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Sub(a, b)),
+        (any::<usize>(), 0i64..6).prop_map(|(a, k)| Step::MulConst(a, k)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(s, a, b)| Step::Ite(s, a, b)),
+        (
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ],
+            any::<usize>(),
+            any::<usize>()
+        )
+            .prop_map(|(op, a, b)| Step::Cmp(op, a, b)),
+        (any::<usize>(), 0u32..3).prop_map(|(a, k)| Step::Shr(a, k)),
+        (any::<usize>(), 0u32..4, 0u32..4).prop_map(|(a, h, l)| Step::Extract(a, h, l)),
+        any::<usize>().prop_map(Step::Not),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::And(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Or(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Xor(a, b)),
+    ]
+}
+
+fn build_random(steps: &[Step], goal_const: i64) -> (Netlist, SignalId) {
+    let mut n = Netlist::new("random");
+    let mut words = vec![
+        n.input_word("w0", 4).unwrap(),
+        n.input_word("w1", 4).unwrap(),
+    ];
+    let mut bools = vec![n.input_bool("b0").unwrap()];
+    for step in steps {
+        let w = |i: &usize| words[i % words.len()];
+        let b = |i: &usize| bools[i % bools.len()];
+        match step {
+            Step::Add(a, c) => words.push(n.add(w(a), w(c)).unwrap()),
+            Step::Sub(a, c) => words.push(n.sub(w(a), w(c)).unwrap()),
+            Step::MulConst(a, k) => words.push(n.mul_const(w(a), *k).unwrap()),
+            Step::Ite(s, a, c) => {
+                let (wa, wc) = (w(a), w(c));
+                if n.ty(wa).width() == n.ty(wc).width() {
+                    words.push(n.ite(b(s), wa, wc).unwrap());
+                }
+            }
+            Step::Cmp(op, a, c) => bools.push(n.cmp(*op, w(a), w(c)).unwrap()),
+            Step::Shr(a, k) => words.push(n.shr(w(a), *k).unwrap()),
+            Step::Extract(a, h, l) => {
+                let src = w(a);
+                let width = n.ty(src).width();
+                let h = (*h).min(width - 1);
+                let l = (*l).min(h);
+                words.push(n.extract(src, h, l).unwrap());
+            }
+            Step::Not(a) => bools.push(n.not(b(a)).unwrap()),
+            Step::And(a, c) => bools.push(n.and(&[b(a), b(c)]).unwrap()),
+            Step::Or(a, c) => bools.push(n.or(&[b(a), b(c)]).unwrap()),
+            Step::Xor(a, c) => bools.push(n.xor(b(a), b(c)).unwrap()),
+        }
+    }
+    let last_w = *words.last().unwrap();
+    let max = n.ty(last_w).max_value();
+    let target = n.eq_const(last_w, goal_const.min(max)).unwrap();
+    let last_b = *bools.last().unwrap();
+    let goal = n.and(&[target, last_b]).unwrap();
+    (n, goal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every HDPLL configuration agrees with the bit-blasting solver on
+    /// random circuits, and SAT models are accepted by the simulator.
+    #[test]
+    fn agrees_with_bitblasting(
+        steps in proptest::collection::vec(step_strategy(), 1..25),
+        goal_const in 0i64..16,
+    ) {
+        let (n, goal) = build_random(&steps, goal_const);
+        let reference = rtl_bitblast::solve_netlist(&n, goal, rtl_sat::Limits::default());
+        let expected_sat = match &reference {
+            rtl_bitblast::BlastOutcome::Sat(_) => true,
+            rtl_bitblast::BlastOutcome::Unsat => false,
+            rtl_bitblast::BlastOutcome::Unknown => unreachable!("no budget"),
+        };
+        for (name, config) in all_configs() {
+            let mut solver = Solver::new(&n, config);
+            match solver.solve(goal) {
+                HdpllResult::Sat(model) => {
+                    prop_assert!(expected_sat, "{name} said SAT, bitblast UNSAT");
+                    prop_assert!(
+                        eval::check_model(&n, &model, goal).unwrap(),
+                        "{name}: model rejected by simulator"
+                    );
+                }
+                HdpllResult::Unsat => {
+                    prop_assert!(!expected_sat, "{name} said UNSAT, bitblast SAT");
+                }
+                HdpllResult::Unknown => prop_assert!(false, "{name}: no budget set"),
+            }
+        }
+    }
+
+    /// BMC agreement on random guarded counters: HDPLL matches bit-blasting
+    /// on unrolled sequential circuits.
+    #[test]
+    fn bmc_agrees_with_bitblasting(
+        bad_at in 1i64..8,
+        frames in 1usize..8,
+        init in 0i64..4,
+    ) {
+        let mut f = Netlist::new("rcnt");
+        let c = f.input_word("c", 3).unwrap();
+        let en = f.input_bool("en").unwrap();
+        let one = f.const_word(1, 3).unwrap();
+        let inc = f.add(c, one).unwrap();
+        let next = f.ite(en, inc, c).unwrap();
+        let bad = f.eq_const(c, bad_at).unwrap();
+        let mut ckt = SeqCircuit::new(f);
+        ckt.add_register(c, next, init).unwrap();
+        ckt.add_property("p", bad).unwrap();
+        let bmc = ckt.unroll("p", frames).unwrap();
+
+        let reference = rtl_bitblast::solve_netlist(&bmc.netlist, bmc.bad, rtl_sat::Limits::default());
+        let expected_sat = matches!(reference, rtl_bitblast::BlastOutcome::Sat(_));
+        for (name, config) in all_configs() {
+            let mut solver = Solver::new(&bmc.netlist, config);
+            let got = solver.solve(bmc.bad);
+            match got {
+                HdpllResult::Sat(model) => {
+                    prop_assert!(expected_sat, "{name}");
+                    prop_assert!(eval::check_model(&bmc.netlist, &model, bmc.bad).unwrap());
+                }
+                HdpllResult::Unsat => prop_assert!(!expected_sat, "{name}"),
+                HdpllResult::Unknown => prop_assert!(false, "{name}"),
+            }
+        }
+    }
+}
+
+// Validate the HashMap<SignalId, i64> model type is exported usefully.
+#[test]
+fn model_type_usable() {
+    let mut n = Netlist::new("t");
+    let x = n.input_word("x", 4).unwrap();
+    let g = n.eq_const(x, 11).unwrap();
+    let mut solver = Solver::new(&n, SolverConfig::hdpll());
+    if let HdpllResult::Sat(model) = solver.solve(g) {
+        let m: HashMap<SignalId, i64> = model;
+        assert_eq!(m[&x], 11);
+    } else {
+        panic!("expected SAT");
+    }
+}

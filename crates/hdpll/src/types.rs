@@ -1,0 +1,318 @@
+//! Core value, literal, and trail types of the hybrid engine.
+
+use std::fmt;
+
+use rtl_interval::{Interval, Tribool};
+use rtl_ir::SignalId;
+
+/// A solver variable.
+///
+/// The first `N` variables map one-to-one to the signals of the compiled
+/// netlist; variables beyond `N` are *auxiliary* words introduced by the
+/// compiler (wrap-around quotients, shift remainders, sign-split slices) —
+/// the auxiliary-variable modelling of non-linear bit-vector operators the
+/// paper inherits from Brinkmann & Drechsler (§2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The variable corresponding to a netlist signal.
+    #[must_use]
+    pub fn from_signal(sig: SignalId) -> Self {
+        VarId(u32::try_from(sig.index()).expect("signal index fits"))
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The domain of one variable: a three-valued Boolean or an integer
+/// interval (the paper's `D(v)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dom {
+    /// Boolean domain.
+    B(Tribool),
+    /// Word domain.
+    W(Interval),
+}
+
+impl Dom {
+    /// `true` if the domain pins a single value.
+    #[must_use]
+    pub fn is_fixed(&self) -> bool {
+        match self {
+            Dom::B(t) => t.is_assigned(),
+            Dom::W(iv) => iv.is_point(),
+        }
+    }
+
+    /// The Boolean value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a word domain.
+    #[must_use]
+    pub fn tri(&self) -> Tribool {
+        match self {
+            Dom::B(t) => *t,
+            Dom::W(_) => panic!("word domain where Boolean expected"),
+        }
+    }
+
+    /// The interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a Boolean domain.
+    #[must_use]
+    pub fn iv(&self) -> Interval {
+        match self {
+            Dom::W(iv) => *iv,
+            Dom::B(_) => panic!("Boolean domain where word expected"),
+        }
+    }
+
+    /// The domain as an interval (Booleans become `⟨0,0⟩`/`⟨1,1⟩`/`⟨0,1⟩`),
+    /// bridging control into the data-path.
+    #[must_use]
+    pub fn as_interval(&self) -> Interval {
+        match self {
+            Dom::W(iv) => *iv,
+            Dom::B(t) => t.to_interval(),
+        }
+    }
+}
+
+/// A *hybrid literal* (paper §2.1): a Boolean literal, or a word literal —
+/// a variable paired with an interval, positive (`v ∈ b`) or negative
+/// (`v ∈ D(v)\b`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HLit {
+    /// Boolean literal asserting `var = value`.
+    Bool {
+        /// The Boolean variable.
+        var: VarId,
+        /// The asserted value.
+        value: bool,
+    },
+    /// Word literal asserting `var ∈ iv` (positive) or `var ∉ iv`
+    /// (negative).
+    Word {
+        /// The word variable.
+        var: VarId,
+        /// The interval of the literal.
+        iv: Interval,
+        /// `true` for `var ∈ iv`, `false` for `var ∉ iv`.
+        positive: bool,
+    },
+}
+
+impl HLit {
+    /// The variable of the literal.
+    #[must_use]
+    pub fn var(&self) -> VarId {
+        match self {
+            HLit::Bool { var, .. } | HLit::Word { var, .. } => *var,
+        }
+    }
+
+    /// Three-valued evaluation against a domain.
+    #[must_use]
+    pub fn eval(&self, dom: &Dom) -> Tribool {
+        match (self, dom) {
+            (HLit::Bool { value, .. }, Dom::B(t)) => match t.to_bool() {
+                Some(v) => Tribool::from(v == *value),
+                None => Tribool::Unknown,
+            },
+            (HLit::Word { iv, positive, .. }, Dom::W(d)) => {
+                let inside = if iv.contains_interval(*d) {
+                    Tribool::True // domain entirely inside the literal interval
+                } else if !iv.intersects(*d) {
+                    Tribool::False
+                } else {
+                    Tribool::Unknown
+                };
+                if *positive {
+                    inside
+                } else {
+                    inside.not()
+                }
+            }
+            _ => panic!("literal/domain kind mismatch on {self:?}"),
+        }
+    }
+}
+
+impl fmt::Display for HLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HLit::Bool { var, value } => {
+                if *value {
+                    write!(f, "{var}")
+                } else {
+                    write!(f, "¬{var}")
+                }
+            }
+            HLit::Word { var, iv, positive } => {
+                if *positive {
+                    write!(f, "{var}∈{iv}")
+                } else {
+                    write!(f, "{var}∉{iv}")
+                }
+            }
+        }
+    }
+}
+
+/// Why a trail entry was made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// A search decision.
+    Decision,
+    /// The problem proposition or another external assertion at level 0.
+    External,
+    /// Implied by a compiled circuit constraint.
+    Constraint(u32),
+    /// Implied by a (learned or static) hybrid clause.
+    Clause(u32),
+}
+
+/// One node of the hybrid implication graph: a Boolean assignment or an
+/// interval narrowing, with its antecedent nodes.
+#[derive(Clone, Debug)]
+pub struct TrailEntry {
+    /// The variable affected.
+    pub var: VarId,
+    /// Domain before this entry (for undo).
+    pub old: Dom,
+    /// Domain after this entry.
+    pub new: Dom,
+    /// The producing reason.
+    pub reason: Reason,
+    /// Trail indices of the entries that implied this one (empty for
+    /// decisions/external assertions).
+    pub antecedents: Vec<u32>,
+    /// Decision level at which the entry was made.
+    pub level: u32,
+    /// The variable's previous latest-entry index (undo bookkeeping).
+    pub prev_latest: Option<u32>,
+}
+
+impl TrailEntry {
+    /// The negation of [`TrailEntry::as_assignment_lit`] — the literal this
+    /// entry contributes to a learned conflict clause.
+    #[must_use]
+    pub fn as_conflict_lit(&self) -> HLit {
+        match self.new {
+            Dom::B(t) => HLit::Bool {
+                var: self.var,
+                value: !t.to_bool().expect("boolean trail entries are assigned"),
+            },
+            Dom::W(iv) => HLit::Word {
+                var: self.var,
+                iv,
+                positive: false,
+            },
+        }
+    }
+
+    /// `true` if the entry assigns a Boolean variable.
+    #[must_use]
+    pub fn is_bool(&self) -> bool {
+        matches!(self.new, Dom::B(_))
+    }
+}
+
+/// Which decision strategy `Decide()` uses (paper Table 2 columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecisionStrategy {
+    /// Plain HDPLL \[9\]: activity ordering seeded by fanout with
+    /// exponential decay, bumped by learned-clause membership.
+    #[default]
+    Activity,
+    /// The paper's structural strategy (`+S`): J-frontier–driven RTL
+    /// justification with J-conflict learning.
+    Structural,
+}
+
+/// A hybrid clause: a disjunction of hybrid literals (paper §2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HClause {
+    /// The literals.
+    pub lits: Vec<HLit>,
+    /// `true` for clauses produced by learning (conflict analysis or the
+    /// static predicate-learning pass).
+    pub learned: bool,
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn hlit_eval_bool() {
+        let l = HLit::Bool {
+            var: VarId(0),
+            value: true,
+        };
+        assert_eq!(l.eval(&Dom::B(Tribool::True)), Tribool::True);
+        assert_eq!(l.eval(&Dom::B(Tribool::False)), Tribool::False);
+        assert_eq!(l.eval(&Dom::B(Tribool::Unknown)), Tribool::Unknown);
+    }
+
+    #[test]
+    fn hlit_eval_word() {
+        let l = HLit::Word {
+            var: VarId(1),
+            iv: Interval::new(3, 5),
+            positive: true,
+        };
+        assert_eq!(l.eval(&Dom::W(Interval::new(3, 4))), Tribool::True);
+        assert_eq!(l.eval(&Dom::W(Interval::new(7, 9))), Tribool::False);
+        assert_eq!(l.eval(&Dom::W(Interval::new(4, 8))), Tribool::Unknown);
+        let neg = HLit::Word {
+            var: VarId(1),
+            iv: Interval::new(3, 5),
+            positive: false,
+        };
+        assert_eq!(neg.eval(&Dom::W(Interval::new(3, 4))), Tribool::False);
+        assert_eq!(neg.eval(&Dom::W(Interval::new(7, 9))), Tribool::True);
+    }
+
+    #[test]
+    fn trail_entry_lits() {
+        let e = TrailEntry {
+            var: VarId(2),
+            old: Dom::W(Interval::new(0, 15)),
+            new: Dom::W(Interval::new(4, 7)),
+            reason: Reason::Decision,
+            antecedents: Vec::new(),
+            level: 1,
+            prev_latest: None,
+        };
+        assert_eq!(
+            e.as_conflict_lit(),
+            HLit::Word {
+                var: VarId(2),
+                iv: Interval::new(4, 7),
+                positive: false
+            }
+        );
+        assert!(!e.is_bool());
+    }
+}

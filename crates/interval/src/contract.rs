@@ -1,0 +1,506 @@
+//! Backward interval narrowing rules (*contractors*) for RTL constraints.
+//!
+//! Each function takes the current intervals of the variables participating
+//! in one constraint and returns the narrowed intervals, or `None` when the
+//! constraint has become unsatisfiable under the current domains (an empty
+//! interval — a propagation conflict).
+//!
+//! The rules remove only values that *cannot participate in any solution*
+//! of the single constraint (paper §2.2, Equations 2–3): they are sound
+//! (never remove a solution) and monotonic (never widen an interval), which
+//! is what makes the event-driven fixpoint iteration in the solver terminate
+//! at bounds consistency.
+//!
+//! All ternary contractors narrow *every* participating interval in one call
+//! (both the forward `out ⊆ a ◦ b` direction and the backward
+//! `a ⊆ out ◦⁻¹ b` directions); callers re-run contractors to fixpoint.
+
+use crate::{Interval, Tribool};
+
+/// A comparison operator appearing in an RTL predicate.
+///
+/// Predicates over `{<, >, ≡, ≤, ≥}` (plus `≠` for completeness) are the
+/// *first-order predicates* of the paper (§2.1): operators that return a
+/// Boolean value and interact with the data-path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=` (equality).
+    Eq,
+    /// `≠` (disequality).
+    Ne,
+    /// `<` (strictly less).
+    Lt,
+    /// `≤` (less or equal).
+    Le,
+    /// `>` (strictly greater).
+    Gt,
+    /// `≥` (greater or equal).
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator recognizing exactly the complementary pairs:
+    /// `¬(x = y) ⇔ x ≠ y`, `¬(x < y) ⇔ x ≥ y`, …
+    #[must_use]
+    pub fn negate(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with swapped operands: `x < y ⇔ y > x`.
+    #[must_use]
+    pub fn swap(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluates the comparison on concrete values.
+    #[must_use]
+    pub fn eval(self, x: i64, y: i64) -> bool {
+        match self {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Enforces `x < y` (the paper's Equation 3).
+///
+/// ```
+/// use rtl_interval::{Interval, contract};
+/// let (x, y) = contract::lt(Interval::new(0, 15), Interval::new(0, 15)).unwrap();
+/// assert_eq!((x, y), (Interval::new(0, 14), Interval::new(1, 15)));
+/// ```
+#[must_use]
+pub fn lt(x: Interval, y: Interval) -> Option<(Interval, Interval)> {
+    let nx = x.intersect(Interval::try_new(i64::MIN, y.hi().saturating_sub(1)).ok()?)?;
+    let ny = y.intersect(Interval::try_new(x.lo().saturating_add(1), i64::MAX).ok()?)?;
+    Some((nx, ny))
+}
+
+/// Enforces `x ≤ y`.
+#[must_use]
+pub fn le(x: Interval, y: Interval) -> Option<(Interval, Interval)> {
+    let nx = x.intersect(Interval::new(i64::MIN, y.hi()))?;
+    let ny = y.intersect(Interval::new(x.lo(), i64::MAX))?;
+    Some((nx, ny))
+}
+
+/// Enforces `x = y` (both narrow to the intersection).
+#[must_use]
+pub fn eq(x: Interval, y: Interval) -> Option<(Interval, Interval)> {
+    let m = x.intersect(y)?;
+    Some((m, m))
+}
+
+/// Enforces `x ≠ y`.
+///
+/// Interval domains only allow narrowing when one side is a point at an
+/// endpoint of the other; interior holes cannot be represented and are left
+/// to search. Returns `None` only when both are the same point.
+#[must_use]
+pub fn ne(x: Interval, y: Interval) -> Option<(Interval, Interval)> {
+    match (x.as_point(), y.as_point()) {
+        (Some(a), Some(b)) if a == b => None,
+        (Some(a), _) => Some((x, y.remove_endpoint(a)?)),
+        (_, Some(b)) => Some((x.remove_endpoint(b)?, y)),
+        _ => Some((x, y)),
+    }
+}
+
+/// Applies the contractor for `x ⟨op⟩ y` where `op` is any [`CmpOp`].
+#[must_use]
+pub fn cmp(op: CmpOp, x: Interval, y: Interval) -> Option<(Interval, Interval)> {
+    match op {
+        CmpOp::Eq => eq(x, y),
+        CmpOp::Ne => ne(x, y),
+        CmpOp::Lt => lt(x, y),
+        CmpOp::Le => le(x, y),
+        CmpOp::Gt => lt(y, x).map(|(ny, nx)| (nx, ny)),
+        CmpOp::Ge => le(y, x).map(|(ny, nx)| (nx, ny)),
+    }
+}
+
+/// Decides a comparison from intervals alone.
+///
+/// Returns `True`/`False` when every pair of values in `x × y`
+/// agrees, `Unknown` otherwise.
+#[must_use]
+pub fn cmp_entailed(op: CmpOp, x: Interval, y: Interval) -> Tribool {
+    match op {
+        CmpOp::Lt => {
+            if x.certainly_lt(y) {
+                Tribool::True
+            } else if y.certainly_le(x) {
+                Tribool::False
+            } else {
+                Tribool::Unknown
+            }
+        }
+        CmpOp::Le => {
+            if x.certainly_le(y) {
+                Tribool::True
+            } else if y.certainly_lt(x) {
+                Tribool::False
+            } else {
+                Tribool::Unknown
+            }
+        }
+        CmpOp::Gt => cmp_entailed(CmpOp::Lt, y, x),
+        CmpOp::Ge => cmp_entailed(CmpOp::Le, y, x),
+        CmpOp::Eq => {
+            if !x.intersects(y) {
+                Tribool::False
+            } else if x.is_point() && y.is_point() {
+                Tribool::True
+            } else {
+                Tribool::Unknown
+            }
+        }
+        CmpOp::Ne => cmp_entailed(CmpOp::Eq, x, y).not(),
+    }
+}
+
+/// Result of contracting a reified comparison `b ⇔ (x op y)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReifiedCmp {
+    /// Narrowed value of the Boolean output.
+    pub b: Tribool,
+    /// Narrowed interval of the left operand.
+    pub x: Interval,
+    /// Narrowed interval of the right operand.
+    pub y: Interval,
+}
+
+/// Contracts a reified comparison `b ⇔ (x op y)` — the paper's comparator
+/// model `(b1∨b2)(b1∨b)(b2∨b)(b1∨b2∨b)` collapsed into one constraint.
+///
+/// * If `b` is assigned, the corresponding (possibly negated) relational
+///   contractor narrows `x` and `y`.
+/// * If `b` is unassigned but the intervals entail the comparison either way,
+///   `b` is implied.
+///
+/// Returns `None` on conflict (e.g. `b = 1` but `x op y` is unsatisfiable).
+#[must_use]
+pub fn cmp_reified(op: CmpOp, b: Tribool, x: Interval, y: Interval) -> Option<ReifiedCmp> {
+    match b {
+        Tribool::True => {
+            let (nx, ny) = cmp(op, x, y)?;
+            Some(ReifiedCmp { b, x: nx, y: ny })
+        }
+        Tribool::False => {
+            let (nx, ny) = cmp(op.negate(), x, y)?;
+            Some(ReifiedCmp { b, x: nx, y: ny })
+        }
+        Tribool::Unknown => {
+            let b = cmp_entailed(op, x, y);
+            // Re-run with the implied value so x/y also narrow in one call.
+            if b.is_assigned() {
+                cmp_reified(op, b, x, y)
+            } else {
+                Some(ReifiedCmp { b, x, y })
+            }
+        }
+    }
+}
+
+/// Contracts `out = a + b` in all three directions.
+#[must_use]
+pub fn add(out: Interval, a: Interval, b: Interval) -> Option<(Interval, Interval, Interval)> {
+    let out = out.intersect(a.add(b))?;
+    let a = a.intersect(out.sub(b))?;
+    let b = b.intersect(out.sub(a))?;
+    Some((out, a, b))
+}
+
+/// Contracts `out = a − b` in all three directions.
+#[must_use]
+pub fn sub(out: Interval, a: Interval, b: Interval) -> Option<(Interval, Interval, Interval)> {
+    let out = out.intersect(a.sub(b))?;
+    let a = a.intersect(out.add(b))?;
+    let b = b.intersect(a.sub(out))?;
+    Some((out, a, b))
+}
+
+/// Exact integer bounds of `{ q : q·k ∈ out }` for a non-zero constant `k`.
+fn div_exact_const(out: Interval, k: i64) -> Option<Interval> {
+    debug_assert!(k != 0);
+    let (lo, hi) = if k > 0 {
+        (
+            div_ceil(out.lo() as i128, k as i128),
+            div_floor(out.hi() as i128, k as i128),
+        )
+    } else {
+        (
+            div_ceil(out.hi() as i128, k as i128),
+            div_floor(out.lo() as i128, k as i128),
+        )
+    };
+    Interval::try_new(clamp_i64(lo), clamp_i64(hi)).ok()
+}
+
+fn clamp_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Contracts `out = a · k` for a constant `k`.
+#[must_use]
+pub fn mul_const(out: Interval, a: Interval, k: i64) -> Option<(Interval, Interval)> {
+    if k == 0 {
+        let out = out.intersect(Interval::point(0))?;
+        return Some((out, a));
+    }
+    let out = out.intersect(a.mul_const(k))?;
+    let a = a.intersect(div_exact_const(out, k)?)?;
+    Some((out, a))
+}
+
+/// Contracts `out = a · b` (general multiplication).
+///
+/// The backward direction divides conservatively and only applies when the
+/// divisor interval excludes zero; when it straddles zero no narrowing is
+/// possible with a single interval, which is sound.
+#[must_use]
+pub fn mul(out: Interval, a: Interval, b: Interval) -> Option<(Interval, Interval, Interval)> {
+    let out = out.intersect(a.mul(b))?;
+    let a = match backward_div(out, b) {
+        Some(q) => a.intersect(q)?,
+        None => a,
+    };
+    let b = match backward_div(out, a) {
+        Some(q) => b.intersect(q)?,
+        None => b,
+    };
+    Some((out, a, b))
+}
+
+/// Conservative bounds of `{ q : ∃ v ∈ d, q·v ∈ out }` when `0 ∉ d`.
+fn backward_div(out: Interval, d: Interval) -> Option<Interval> {
+    if d.contains(0) {
+        return None;
+    }
+    let corners = [
+        (out.lo() as i128, d.lo() as i128),
+        (out.lo() as i128, d.hi() as i128),
+        (out.hi() as i128, d.lo() as i128),
+        (out.hi() as i128, d.hi() as i128),
+    ];
+    let lo = corners.iter().map(|&(n, m)| div_floor(n, m)).min()?;
+    let hi = corners.iter().map(|&(n, m)| div_ceil(n, m)).max()?;
+    Some(Interval::new(clamp_i64(lo), clamp_i64(hi)))
+}
+
+/// Contracts `out = a << k` (`out = a · 2^k`, exact).
+#[must_use]
+pub fn shl_const(out: Interval, a: Interval, k: u32) -> Option<(Interval, Interval)> {
+    mul_const(out, a, 1i64 << k.min(62))
+}
+
+/// Contracts `out = a >> k` (`out = ⌊a / 2^k⌋`).
+#[must_use]
+pub fn shr_const(out: Interval, a: Interval, k: u32) -> Option<(Interval, Interval)> {
+    let m = 1i128 << k.min(100);
+    let out = out.intersect(a.shr_const(k))?;
+    // a ∈ [out.lo · 2^k, out.hi · 2^k + 2^k − 1]
+    let a_lo = clamp_i64(out.lo() as i128 * m);
+    let a_hi = clamp_i64(out.hi() as i128 * m + (m - 1));
+    let a = a.intersect(Interval::new(a_lo, a_hi))?;
+    Some((out, a))
+}
+
+/// Contracts the power-of-two split `x = q·2^k + r` with `0 ≤ r < 2^k`.
+///
+/// This is the auxiliary-variable linearization used for bit-vector
+/// extraction and concatenation (paper §2.1, following Brinkmann &
+/// Drechsler): `q` is the upper slice `x[.. : k]` and `r` the lower slice
+/// `x[k−1 : 0]`.
+#[must_use]
+pub fn split_pow2(
+    x: Interval,
+    q: Interval,
+    r: Interval,
+    k: u32,
+) -> Option<(Interval, Interval, Interval)> {
+    let m = 1i64 << k.min(62);
+    let r = r.intersect(Interval::new(0, m - 1))?;
+    // x = q*m + r
+    let (x, qm, r) = add(x, q.mul_const(m), r)?;
+    let (_, q) = mul_const(qm, q, m)?;
+    // Re-derive q and r from x for extra tightness.
+    let (q, x) = shr_const(q, x, k)?;
+    let r = r.intersect(x.rem_const(m))?;
+    Some((x, q, r))
+}
+
+/// Contracts `out = min(a, b)`.
+#[must_use]
+pub fn min_op(out: Interval, a: Interval, b: Interval) -> Option<(Interval, Interval, Interval)> {
+    let out = out.intersect(a.min_op(b))?;
+    // min(a,b) = out  ⇒  a ≥ out.lo and b ≥ out.lo
+    let mut a = a.intersect(Interval::new(out.lo(), i64::MAX))?;
+    let mut b = b.intersect(Interval::new(out.lo(), i64::MAX))?;
+    // If b certainly exceeds out, the min is realized by a (and vice versa).
+    if b.lo() > out.hi() {
+        a = a.intersect(out)?;
+    }
+    if a.lo() > out.hi() {
+        b = b.intersect(out)?;
+    }
+    Some((out, a, b))
+}
+
+/// Contracts `out = max(a, b)`.
+#[must_use]
+pub fn max_op(out: Interval, a: Interval, b: Interval) -> Option<(Interval, Interval, Interval)> {
+    let out = out.intersect(a.max_op(b))?;
+    let mut a = a.intersect(Interval::new(i64::MIN, out.hi()))?;
+    let mut b = b.intersect(Interval::new(i64::MIN, out.hi()))?;
+    if b.hi() < out.lo() {
+        a = a.intersect(out)?;
+    }
+    if a.hi() < out.lo() {
+        b = b.intersect(out)?;
+    }
+    Some((out, a, b))
+}
+
+/// Result of contracting a multiplexer `out = sel ? t : e`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IteContraction {
+    /// Narrowed select value (may become assigned by backward inference).
+    pub sel: Tribool,
+    /// Narrowed output interval.
+    pub out: Interval,
+    /// Narrowed then-input interval (only narrowed when `sel = 1`).
+    pub t: Interval,
+    /// Narrowed else-input interval (only narrowed when `sel = 0`).
+    pub e: Interval,
+}
+
+/// Contracts the if-then-else (multiplexer) constraint `out = sel ? t : e`.
+///
+/// * `sel = 1` ⇒ `out = t`; `sel = 0` ⇒ `out = e`.
+/// * `sel` unknown: `out ⊆ hull(t, e)`, and if `out ∩ t = ∅` then `sel = 0`
+///   (resp. `out ∩ e = ∅` ⇒ `sel = 1`) — this is exactly the justification
+///   reasoning of the paper's Figure 3(b)/§4.2: an output interval can be
+///   satisfied through input `i` only when the input interval intersects it.
+///
+/// Returns `None` on conflict (no select value can produce the required
+/// output interval).
+#[must_use]
+pub fn ite(sel: Tribool, out: Interval, t: Interval, e: Interval) -> Option<IteContraction> {
+    match sel {
+        Tribool::True => {
+            let (out, t) = eq(out, t)?;
+            Some(IteContraction { sel, out, t, e })
+        }
+        Tribool::False => {
+            let (out, e) = eq(out, e)?;
+            Some(IteContraction { sel, out, t, e })
+        }
+        Tribool::Unknown => {
+            let out = out.intersect(t.hull(e))?;
+            let t_ok = out.intersects(t);
+            let e_ok = out.intersects(e);
+            match (t_ok, e_ok) {
+                (false, false) => None,
+                (true, false) => ite(Tribool::True, out, t, e),
+                (false, true) => ite(Tribool::False, out, t, e),
+                (true, true) => Some(IteContraction { sel, out, t, e }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn lt_matches_paper_equation_3() {
+        // x − z < 0 | x ∈ ⟨0,15⟩, z ∈ ⟨0,15⟩  narrows to  x ∈ ⟨0,14⟩, z ∈ ⟨1,15⟩
+        let (x, z) = lt(Interval::new(0, 15), Interval::new(0, 15)).unwrap();
+        assert_eq!(x, Interval::new(0, 14));
+        assert_eq!(z, Interval::new(1, 15));
+    }
+
+    #[test]
+    fn lt_conflict() {
+        assert_eq!(lt(Interval::new(5, 9), Interval::new(0, 5)), None);
+    }
+
+    #[test]
+    fn reified_implies_output() {
+        // x ∈ ⟨0,3⟩, y ∈ ⟨7,9⟩ certainly x < y, so b ⇔ (x<y) implies b = 1.
+        let r = cmp_reified(
+            CmpOp::Lt,
+            Tribool::Unknown,
+            Interval::new(0, 3),
+            Interval::new(7, 9),
+        )
+        .unwrap();
+        assert_eq!(r.b, Tribool::True);
+    }
+
+    #[test]
+    fn ite_unknown_select_implied() {
+        // out must be 5, then-input can only be ⟨6,7⟩ ⇒ sel = 0, else = 5.
+        let r = ite(
+            Tribool::Unknown,
+            Interval::point(5),
+            Interval::new(6, 7),
+            Interval::new(0, 7),
+        )
+        .unwrap();
+        assert_eq!(r.sel, Tribool::False);
+        assert_eq!(r.e, Interval::point(5));
+    }
+}

@@ -1,0 +1,411 @@
+//! The closed integer interval type and its forward arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+/// Saturate an `i128` into the `i64` range.
+///
+/// Interval endpoints are stored as `i64`; all interior arithmetic is done in
+/// `i128` so that operations on full-range endpoints cannot overflow, and the
+/// result is clamped back. Clamping only ever *widens* an interval relative
+/// to the exact result (the exact endpoints are inside the clamped range), so
+/// soundness of the over-approximation is preserved.
+fn sat(v: i128) -> i64 {
+    if v > i64::MAX as i128 {
+        i64::MAX
+    } else if v < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// A closed, non-empty integer interval `⟨lo, hi⟩` with `lo ≤ hi`.
+///
+/// This is the paper's *domain* `D(v)` for a word-level variable: a Boolean
+/// variable has domain `⟨0, 1⟩` and a word variable of bit-width `w` has
+/// domain `⟨0, 2^w − 1⟩` (see [`Interval::of_width`]).
+///
+/// `Interval` is always non-empty; operations that can produce an empty
+/// result (such as [`Interval::intersect`]) return `Option<Interval>`, with
+/// `None` meaning the empty interval — a propagation *conflict* in the
+/// solver.
+///
+/// # Example
+///
+/// ```
+/// use rtl_interval::Interval;
+///
+/// let a = Interval::new(2, 5);
+/// let b = Interval::new(4, 9);
+/// assert_eq!(a.add(b), Interval::new(6, 14));
+/// assert_eq!(a.intersect(b), Some(Interval::new(4, 5)));
+/// assert_eq!(a.intersect(Interval::new(7, 9)), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+/// Error returned by [`Interval::try_new`] when `lo > hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalEmptyError {
+    /// The lower endpoint that was supplied.
+    pub lo: i64,
+    /// The upper endpoint that was supplied.
+    pub hi: i64,
+}
+
+impl fmt::Display for IntervalEmptyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "empty interval: lo {} exceeds hi {}", self.lo, self.hi)
+    }
+}
+
+impl Error for IntervalEmptyError {}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{}⟩", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "⟨{}⟩", self.lo)
+        } else {
+            write!(f, "⟨{},{}⟩", self.lo, self.hi)
+        }
+    }
+}
+
+impl Interval {
+    /// Creates the interval `⟨lo, hi⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`. Use [`Interval::try_new`] for fallible
+    /// construction.
+    ///
+    /// ```
+    /// use rtl_interval::Interval;
+    /// let i = Interval::new(-3, 7);
+    /// assert_eq!(i.lo(), -3);
+    /// assert_eq!(i.hi(), 7);
+    /// ```
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty interval: lo {lo} exceeds hi {hi}");
+        Self { lo, hi }
+    }
+
+    /// Creates the interval `⟨lo, hi⟩`, or returns an error if `lo > hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalEmptyError`] if `lo > hi`.
+    pub fn try_new(lo: i64, hi: i64) -> Result<Self, IntervalEmptyError> {
+        if lo <= hi {
+            Ok(Self { lo, hi })
+        } else {
+            Err(IntervalEmptyError { lo, hi })
+        }
+    }
+
+    /// Creates the singleton (point) interval `⟨v, v⟩`.
+    #[must_use]
+    pub fn point(v: i64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// The full unsigned domain of a word of bit-width `width`:
+    /// `⟨0, 2^width − 1⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `width > 62` (endpoints must fit in `i64`
+    /// with headroom for arithmetic).
+    #[must_use]
+    pub fn of_width(width: u32) -> Self {
+        assert!(width >= 1 && width <= 62, "unsupported bit-width {width}");
+        Self {
+            lo: 0,
+            hi: (1i64 << width) - 1,
+        }
+    }
+
+    /// The Boolean domain `⟨0, 1⟩`.
+    #[must_use]
+    pub fn boolean() -> Self {
+        Self { lo: 0, hi: 1 }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(self) -> i64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(self) -> i64 {
+        self.hi
+    }
+
+    /// `true` if the interval holds a single value.
+    #[must_use]
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// If the interval is a point, its value.
+    #[must_use]
+    pub fn as_point(self) -> Option<i64> {
+        if self.is_point() {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Number of integers contained, saturating at `u64::MAX`.
+    ///
+    /// ```
+    /// use rtl_interval::Interval;
+    /// assert_eq!(Interval::new(3, 7).count(), 5);
+    /// ```
+    #[must_use]
+    pub fn count(self) -> u64 {
+        ((self.hi as i128) - (self.lo as i128) + 1).min(u64::MAX as i128) as u64
+    }
+
+    /// `true` if `v` is inside the interval.
+    #[must_use]
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` if `other` is entirely inside `self`.
+    #[must_use]
+    pub fn contains_interval(self, other: Self) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection; `None` means the empty interval (a conflict).
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Option<Self> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Self { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// `true` if the two intervals share at least one value.
+    #[must_use]
+    pub fn intersects(self, other: Self) -> bool {
+        self.lo.max(other.lo) <= self.hi.min(other.hi)
+    }
+
+    /// Interval hull (smallest interval containing both operands).
+    ///
+    /// Note this is *not* a set union: `⟨0,1⟩.hull(⟨5,6⟩) = ⟨0,6⟩`.
+    #[must_use]
+    pub fn hull(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval addition (paper Eq. 1 with `◦ = +`).
+    #[must_use]
+    pub fn add(self, other: Self) -> Self {
+        Self {
+            lo: sat(self.lo as i128 + other.lo as i128),
+            hi: sat(self.hi as i128 + other.hi as i128),
+        }
+    }
+
+    /// Interval subtraction.
+    #[must_use]
+    pub fn sub(self, other: Self) -> Self {
+        Self {
+            lo: sat(self.lo as i128 - other.hi as i128),
+            hi: sat(self.hi as i128 - other.lo as i128),
+        }
+    }
+
+    /// Interval negation.
+    #[must_use]
+    pub fn neg(self) -> Self {
+        Self {
+            lo: sat(-(self.hi as i128)),
+            hi: sat(-(self.lo as i128)),
+        }
+    }
+
+    /// General interval multiplication (min/max over the four corner
+    /// products).
+    #[must_use]
+    pub fn mul(self, other: Self) -> Self {
+        let products = [
+            self.lo as i128 * other.lo as i128,
+            self.lo as i128 * other.hi as i128,
+            self.hi as i128 * other.lo as i128,
+            self.hi as i128 * other.hi as i128,
+        ];
+        let lo = products.iter().copied().min().expect("non-empty");
+        let hi = products.iter().copied().max().expect("non-empty");
+        Self {
+            lo: sat(lo),
+            hi: sat(hi),
+        }
+    }
+
+    /// Multiplication by a scalar constant.
+    #[must_use]
+    pub fn mul_const(self, k: i64) -> Self {
+        self.mul(Self::point(k))
+    }
+
+    /// Left shift by a constant number of bits (multiplication by `2^k`).
+    #[must_use]
+    pub fn shl_const(self, k: u32) -> Self {
+        let f = 1i128 << k.min(100);
+        Self {
+            lo: sat(self.lo as i128 * f),
+            hi: sat(self.hi as i128 * f),
+        }
+    }
+
+    /// Logical right shift by a constant (floor division by `2^k`).
+    ///
+    /// Only meaningful for non-negative intervals, which is all that RTL word
+    /// domains produce; for negative endpoints this is still a sound floor
+    /// division.
+    #[must_use]
+    pub fn shr_const(self, k: u32) -> Self {
+        let f = 1i128 << k.min(100);
+        Self {
+            lo: sat((self.lo as i128).div_euclid(f)),
+            hi: sat((self.hi as i128).div_euclid(f)),
+        }
+    }
+
+    /// Euclidean remainder by a positive constant `m`: the image of the
+    /// interval under `x mod m`.
+    ///
+    /// Returns the exact image when the interval spans fewer than `m` values
+    /// and does not wrap, otherwise `⟨0, m−1⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 0`.
+    #[must_use]
+    pub fn rem_const(self, m: i64) -> Self {
+        assert!(m > 0, "modulus must be positive, got {m}");
+        let span = self.hi as i128 - self.lo as i128;
+        if span >= m as i128 - 1 {
+            return Self { lo: 0, hi: m - 1 };
+        }
+        let rl = self.lo.rem_euclid(m);
+        let rh = self.hi.rem_euclid(m);
+        if rl <= rh {
+            Self { lo: rl, hi: rh }
+        } else {
+            // The image wraps around 0; hull is the full range.
+            Self { lo: 0, hi: m - 1 }
+        }
+    }
+
+    /// Minimum of two intervals (pointwise `min` extended to intervals).
+    #[must_use]
+    pub fn min_op(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Maximum of two intervals (pointwise `max` extended to intervals).
+    #[must_use]
+    pub fn max_op(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `true` if every value of `self` is strictly below every value of
+    /// `other`.
+    #[must_use]
+    pub fn certainly_lt(self, other: Self) -> bool {
+        self.hi < other.lo
+    }
+
+    /// `true` if every value of `self` is `≤` every value of `other`.
+    #[must_use]
+    pub fn certainly_le(self, other: Self) -> bool {
+        self.hi <= other.lo
+    }
+
+    /// Removes the single value `v` if it is an endpoint.
+    ///
+    /// Interval domains cannot represent holes, so removing an interior value
+    /// is a no-op (sound over-approximation). Returns `None` if the interval
+    /// was the point `⟨v, v⟩` (i.e. the result is empty).
+    #[must_use]
+    pub fn remove_endpoint(self, v: i64) -> Option<Self> {
+        if self.is_point() {
+            if self.lo == v {
+                None
+            } else {
+                Some(self)
+            }
+        } else if v == self.lo {
+            Some(Self {
+                lo: self.lo + 1,
+                hi: self.hi,
+            })
+        } else if v == self.hi {
+            Some(Self {
+                lo: self.lo,
+                hi: self.hi - 1,
+            })
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Iterates over the contained values in increasing order.
+    ///
+    /// Intended for small intervals (final-stage enumeration); the iterator
+    /// is exact for any size.
+    pub fn iter(self) -> impl Iterator<Item = i64> {
+        IntervalValues {
+            next: Some(self.lo),
+            hi: self.hi,
+        }
+    }
+}
+
+/// Iterator over the integer values of an [`Interval`].
+struct IntervalValues {
+    next: Option<i64>,
+    hi: i64,
+}
+
+impl Iterator for IntervalValues {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        let v = self.next?;
+        self.next = if v < self.hi { v.checked_add(1) } else { None };
+        Some(v)
+    }
+}

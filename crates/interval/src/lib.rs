@@ -1,0 +1,52 @@
+//! Integer interval arithmetic and interval constraint propagation primitives
+//! for register-transfer-level (RTL) reasoning.
+//!
+//! This crate is the numeric-domain substrate of the DAC 2005 paper
+//! *"Structural Search for RTL with Predicate Learning"* (Parthasarathy,
+//! Iyer, Cheng, Brewer). Section 2.2 of the paper works with closed finite
+//! integer intervals `⟨lo, hi⟩` and two families of operations on them:
+//!
+//! * **forward evaluation** — extending an integer operator `◦` to intervals
+//!   as `x ⟨◦⟩ z = ⟨min{u ◦ v}, max{u ◦ v}⟩` over all points `u ∈ x, v ∈ z`
+//!   (the paper's Equation 1), implemented in [`Interval`]'s methods, and
+//! * **backward narrowing** (*contractors*) — given a constraint such as
+//!   `x − z < 0`, removing from each operand every value that cannot
+//!   participate in a solution (the paper's Equations 2–3), implemented in
+//!   the [`contract`] module.
+//!
+//! Repeated application of contractors to a constraint set until fixpoint is
+//! *interval constraint propagation*; the result is a *solution box* that is
+//! guaranteed to contain every solution (but whose non-emptiness does not
+//! guarantee that a solution exists). The fixpoint engine itself lives in the
+//! `rtl-hdpll` crate; this crate provides the domain mathematics.
+//!
+//! The crate also provides [`Tribool`], the three-valued Boolean domain
+//! `{0, 1, X}` used for Boolean signals during search, mirroring the
+//! three-valued algebra of structural ATPG algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use rtl_interval::{Interval, contract};
+//!
+//! // The paper's running example: x - z < 0 with x, z ∈ ⟨0, 15⟩
+//! let x = Interval::new(0, 15);
+//! let z = Interval::new(0, 15);
+//! let (x, z) = contract::lt(x, z).expect("satisfiable");
+//! assert_eq!(x, Interval::new(0, 14));
+//! assert_eq!(z, Interval::new(1, 15));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod tribool;
+
+pub mod contract;
+
+pub use crate::interval::{Interval, IntervalEmptyError};
+pub use crate::tribool::Tribool;
+
+#[cfg(test)]
+mod tests;

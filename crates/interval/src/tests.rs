@@ -1,0 +1,552 @@
+//! Unit and property-based tests for interval arithmetic and contractors.
+
+use crate::contract::{self, CmpOp};
+use crate::{Interval, Tribool};
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Interval basics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn construction_and_accessors() {
+    let i = Interval::new(3, 9);
+    assert_eq!(i.lo(), 3);
+    assert_eq!(i.hi(), 9);
+    assert_eq!(i.count(), 7);
+    assert!(!i.is_point());
+    assert!(Interval::point(4).is_point());
+    assert_eq!(Interval::point(4).as_point(), Some(4));
+    assert_eq!(i.as_point(), None);
+}
+
+#[test]
+fn try_new_rejects_empty() {
+    assert!(Interval::try_new(3, 2).is_err());
+    assert!(Interval::try_new(2, 2).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "empty interval")]
+fn new_panics_on_empty() {
+    let _ = Interval::new(1, 0);
+}
+
+#[test]
+fn of_width_matches_paper_domains() {
+    assert_eq!(Interval::of_width(1), Interval::new(0, 1));
+    assert_eq!(Interval::of_width(3), Interval::new(0, 7));
+    assert_eq!(Interval::of_width(8), Interval::new(0, 255));
+    assert_eq!(Interval::boolean(), Interval::new(0, 1));
+}
+
+#[test]
+#[should_panic(expected = "unsupported bit-width")]
+fn of_width_rejects_zero() {
+    let _ = Interval::of_width(0);
+}
+
+#[test]
+fn intersect_and_hull() {
+    let a = Interval::new(0, 10);
+    let b = Interval::new(5, 20);
+    assert_eq!(a.intersect(b), Some(Interval::new(5, 10)));
+    assert_eq!(a.hull(b), Interval::new(0, 20));
+    assert!(a.intersects(b));
+    assert!(!a.intersects(Interval::new(11, 12)));
+    assert!(a.contains_interval(Interval::new(2, 9)));
+    assert!(!a.contains_interval(Interval::new(2, 11)));
+}
+
+#[test]
+fn remove_endpoint_behaviour() {
+    let i = Interval::new(3, 6);
+    assert_eq!(i.remove_endpoint(3), Some(Interval::new(4, 6)));
+    assert_eq!(i.remove_endpoint(6), Some(Interval::new(3, 5)));
+    // interior hole is not representable: no-op
+    assert_eq!(i.remove_endpoint(5), Some(i));
+    assert_eq!(Interval::point(9).remove_endpoint(9), None);
+}
+
+#[test]
+fn rem_const_cases() {
+    assert_eq!(Interval::new(0, 100).rem_const(8), Interval::new(0, 7));
+    assert_eq!(Interval::new(9, 11).rem_const(8), Interval::new(1, 3));
+    // wrap-around
+    assert_eq!(Interval::new(7, 9).rem_const(8), Interval::new(0, 7));
+}
+
+#[test]
+fn shift_ops() {
+    assert_eq!(Interval::new(1, 3).shl_const(2), Interval::new(4, 12));
+    assert_eq!(Interval::new(4, 12).shr_const(2), Interval::new(1, 3));
+    assert_eq!(Interval::new(5, 7).shr_const(1), Interval::new(2, 3));
+}
+
+#[test]
+fn iteration() {
+    let vals: Vec<i64> = Interval::new(-2, 2).iter().collect();
+    assert_eq!(vals, vec![-2, -1, 0, 1, 2]);
+    let single: Vec<i64> = Interval::point(7).iter().collect();
+    assert_eq!(single, vec![7]);
+}
+
+#[test]
+fn display_format() {
+    assert_eq!(Interval::new(1, 7).to_string(), "⟨1,7⟩");
+    assert_eq!(Interval::point(5).to_string(), "⟨5⟩");
+}
+
+#[test]
+fn saturation_is_sound() {
+    let big = Interval::new(i64::MAX - 1, i64::MAX);
+    let sum = big.add(big);
+    assert_eq!(sum.hi(), i64::MAX);
+    assert!(sum.lo() <= sum.hi());
+}
+
+// ---------------------------------------------------------------------------
+// Tribool
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tribool_kleene_tables() {
+    use Tribool::{False as F, True as T, Unknown as X};
+    assert_eq!(F.and(X), F);
+    assert_eq!(X.and(F), F);
+    assert_eq!(T.and(X), X);
+    assert_eq!(T.and(T), T);
+    assert_eq!(T.or(X), T);
+    assert_eq!(F.or(X), X);
+    assert_eq!(F.or(F), F);
+    assert_eq!(X.not(), X);
+    assert_eq!(T.xor(F), T);
+    assert_eq!(T.xor(T), F);
+    assert_eq!(T.xor(X), X);
+}
+
+#[test]
+fn tribool_interval_bridge() {
+    assert_eq!(Tribool::True.to_interval(), Interval::point(1));
+    assert_eq!(Tribool::False.to_interval(), Interval::point(0));
+    assert_eq!(Tribool::Unknown.to_interval(), Interval::boolean());
+    assert_eq!(Tribool::from_interval(Interval::point(1)), Tribool::True);
+    assert_eq!(Tribool::from_interval(Interval::boolean()), Tribool::Unknown);
+}
+
+#[test]
+fn tribool_conversions() {
+    assert_eq!(Tribool::from(true), Tribool::True);
+    assert_eq!(Tribool::True.to_bool(), Some(true));
+    assert_eq!(Tribool::Unknown.to_bool(), None);
+    assert!(Tribool::True.is_assigned());
+    assert!(!Tribool::Unknown.is_assigned());
+}
+
+// ---------------------------------------------------------------------------
+// Contractor unit tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn add_contracts_all_directions() {
+    // out = a + b with out ∈ ⟨0,5⟩, a ∈ ⟨3,9⟩, b ∈ ⟨1,9⟩
+    let (out, a, b) = contract::add(
+        Interval::new(0, 5),
+        Interval::new(3, 9),
+        Interval::new(1, 9),
+    )
+    .unwrap();
+    assert_eq!(out, Interval::new(4, 5)); // min sum is 4
+    assert_eq!(a, Interval::new(3, 4)); // a ≤ 5 − 1
+    assert_eq!(b, Interval::new(1, 2)); // b ≤ 5 − 3
+}
+
+#[test]
+fn sub_contracts_all_directions() {
+    // out = a − b, out ∈ ⟨0,0⟩ forces a = b
+    let (out, a, b) = contract::sub(
+        Interval::point(0),
+        Interval::new(2, 6),
+        Interval::new(4, 9),
+    )
+    .unwrap();
+    assert_eq!(out, Interval::point(0));
+    assert_eq!(a, Interval::new(4, 6));
+    assert_eq!(b, Interval::new(4, 6));
+}
+
+#[test]
+fn mul_const_exact_division() {
+    // out = 3a, out ∈ ⟨7, 20⟩ ⇒ a ∈ ⟨3, 6⟩ (ceil(7/3)=3, floor(20/3)=6)
+    let (_, a) = contract::mul_const(Interval::new(7, 20), Interval::new(0, 100), 3).unwrap();
+    assert_eq!(a, Interval::new(3, 6));
+}
+
+#[test]
+fn mul_const_zero() {
+    let (out, a) = contract::mul_const(Interval::new(0, 5), Interval::new(1, 9), 0).unwrap();
+    assert_eq!(out, Interval::point(0));
+    assert_eq!(a, Interval::new(1, 9));
+    assert_eq!(
+        contract::mul_const(Interval::new(1, 5), Interval::new(1, 9), 0),
+        None
+    );
+}
+
+#[test]
+fn mul_const_negative() {
+    // out = −2a, out ∈ ⟨−10,−4⟩ ⇒ a ∈ ⟨2,5⟩
+    let (_, a) = contract::mul_const(Interval::new(-10, -4), Interval::new(0, 100), -2).unwrap();
+    assert_eq!(a, Interval::new(2, 5));
+}
+
+#[test]
+fn general_mul_backward() {
+    // out = a·b, b ∈ ⟨2,2⟩, out ∈ ⟨6,10⟩ ⇒ a ∈ ⟨3,5⟩
+    let (_, a, _) = contract::mul(
+        Interval::new(6, 10),
+        Interval::new(0, 100),
+        Interval::point(2),
+    )
+    .unwrap();
+    assert_eq!(a, Interval::new(3, 5));
+}
+
+#[test]
+fn general_mul_straddling_zero_does_not_narrow() {
+    let (out, a, b) = contract::mul(
+        Interval::new(-10, 10),
+        Interval::new(-5, 5),
+        Interval::new(-2, 2),
+    )
+    .unwrap();
+    assert_eq!(a, Interval::new(-5, 5));
+    assert_eq!(b, Interval::new(-2, 2));
+    assert_eq!(out, Interval::new(-10, 10));
+}
+
+#[test]
+fn shr_backward_is_exact() {
+    // out = a >> 2, out = ⟨1,1⟩ ⇒ a ∈ ⟨4,7⟩
+    let (_, a) = contract::shr_const(Interval::point(1), Interval::new(0, 255), 2).unwrap();
+    assert_eq!(a, Interval::new(4, 7));
+}
+
+#[test]
+fn split_pow2_extract_semantics() {
+    // x ∈ ⟨0,255⟩, q = x[7:4] forced to 3 ⇒ x ∈ ⟨48,63⟩
+    let (x, q, r) = contract::split_pow2(
+        Interval::new(0, 255),
+        Interval::point(3),
+        Interval::new(0, 255),
+        4,
+    )
+    .unwrap();
+    assert_eq!(x, Interval::new(48, 63));
+    assert_eq!(q, Interval::point(3));
+    assert_eq!(r, Interval::new(0, 15));
+}
+
+#[test]
+fn min_max_contractors() {
+    // out = min(a,b), b ∈ ⟨8,9⟩, out ∈ ⟨0,5⟩ ⇒ a = out side
+    let (out, a, b) = contract::min_op(
+        Interval::new(0, 5),
+        Interval::new(0, 20),
+        Interval::new(8, 9),
+    )
+    .unwrap();
+    assert_eq!(a, Interval::new(0, 5));
+    assert_eq!(b, Interval::new(8, 9));
+    assert_eq!(out, Interval::new(0, 5));
+
+    let (out, a, b) = contract::max_op(
+        Interval::new(7, 9),
+        Interval::new(0, 3),
+        Interval::new(0, 20),
+    )
+    .unwrap();
+    assert_eq!(b, Interval::new(7, 9));
+    assert_eq!(a, Interval::new(0, 3));
+    assert_eq!(out, Interval::new(7, 9));
+}
+
+#[test]
+fn cmp_op_algebra() {
+    assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+    assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+    assert_eq!(CmpOp::Lt.swap(), CmpOp::Gt);
+    assert_eq!(CmpOp::Le.swap(), CmpOp::Ge);
+    assert!(CmpOp::Le.eval(3, 3));
+    assert!(!CmpOp::Lt.eval(3, 3));
+    assert!(CmpOp::Ne.eval(3, 4));
+}
+
+#[test]
+fn reified_false_applies_negation() {
+    // b = 0 on b ⇔ (x ≥ y) enforces x < y.
+    let r = contract::cmp_reified(
+        CmpOp::Ge,
+        Tribool::False,
+        Interval::new(0, 15),
+        Interval::new(0, 15),
+    )
+    .unwrap();
+    assert_eq!(r.x, Interval::new(0, 14));
+    assert_eq!(r.y, Interval::new(1, 15));
+}
+
+#[test]
+fn reified_conflict() {
+    // b = 1 on b ⇔ (x < y) with x ≥ 9, y ≤ 3: conflict.
+    assert_eq!(
+        contract::cmp_reified(
+            CmpOp::Lt,
+            Tribool::True,
+            Interval::new(9, 12),
+            Interval::new(0, 3)
+        ),
+        None
+    );
+}
+
+#[test]
+fn ite_assigned_select() {
+    let r = contract::ite(
+        Tribool::True,
+        Interval::new(0, 7),
+        Interval::new(5, 9),
+        Interval::new(0, 1),
+    )
+    .unwrap();
+    assert_eq!(r.out, Interval::new(5, 7));
+    assert_eq!(r.t, Interval::new(5, 7));
+    assert_eq!(r.e, Interval::new(0, 1)); // untouched
+}
+
+#[test]
+fn ite_total_conflict() {
+    // Output must be 10 but neither input can reach it.
+    assert_eq!(
+        contract::ite(
+            Tribool::Unknown,
+            Interval::point(10),
+            Interval::new(0, 3),
+            Interval::new(5, 9)
+        ),
+        None
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property-based tests: soundness of forward ops and contractors
+// ---------------------------------------------------------------------------
+
+fn small_interval() -> impl Strategy<Value = Interval> {
+    (-50i64..50, 0i64..20).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+fn pick_in(iv: Interval) -> impl Strategy<Value = i64> {
+    iv.lo()..=iv.hi()
+}
+
+proptest! {
+    #[test]
+    fn forward_add_contains_pointwise(a in small_interval(), b in small_interval()) {
+        let sum = a.add(b);
+        for x in a.iter() {
+            for y in b.iter() {
+                prop_assert!(sum.contains(x + y));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_mul_contains_pointwise(a in small_interval(), b in small_interval()) {
+        let m = a.mul(b);
+        for x in a.iter() {
+            for y in b.iter() {
+                prop_assert!(m.contains(x * y));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_rem_contains_pointwise(a in small_interval(), m in 1i64..16) {
+        let r = a.rem_const(m);
+        for x in a.iter() {
+            prop_assert!(r.contains(x.rem_euclid(m)));
+        }
+    }
+
+    #[test]
+    fn hull_and_intersect_consistent(a in small_interval(), b in small_interval()) {
+        let h = a.hull(b);
+        prop_assert!(h.contains_interval(a));
+        prop_assert!(h.contains_interval(b));
+        if let Some(m) = a.intersect(b) {
+            prop_assert!(a.contains_interval(m));
+            prop_assert!(b.contains_interval(m));
+        }
+    }
+
+    /// Contractors never remove a solution of the constraint (soundness).
+    #[test]
+    fn add_contractor_sound(out in small_interval(), a in small_interval(), b in small_interval()) {
+        let narrowed = contract::add(out, a, b);
+        for x in a.iter() {
+            for y in b.iter() {
+                let s = x + y;
+                if out.contains(s) {
+                    // (x, y, s) is a solution: must survive narrowing.
+                    let (no, na, nb) = narrowed.expect("solution exists but contractor conflicted");
+                    prop_assert!(na.contains(x) && nb.contains(y) && no.contains(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_contractor_sound(out in small_interval(), a in small_interval(), b in small_interval()) {
+        let narrowed = contract::sub(out, a, b);
+        for x in a.iter() {
+            for y in b.iter() {
+                let s = x - y;
+                if out.contains(s) {
+                    let (no, na, nb) = narrowed.expect("solution exists but contractor conflicted");
+                    prop_assert!(na.contains(x) && nb.contains(y) && no.contains(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_contractor_sound(out in small_interval(), a in small_interval(), b in small_interval()) {
+        let narrowed = contract::mul(out, a, b);
+        for x in a.iter() {
+            for y in b.iter() {
+                let s = x * y;
+                if out.contains(s) {
+                    let (no, na, nb) = narrowed.expect("solution exists but contractor conflicted");
+                    prop_assert!(na.contains(x) && nb.contains(y) && no.contains(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_const_contractor_sound(out in small_interval(), a in small_interval(), k in -5i64..=5) {
+        let narrowed = contract::mul_const(out, a, k);
+        for x in a.iter() {
+            let s = x * k;
+            if out.contains(s) {
+                let (no, na) = narrowed.expect("solution exists but contractor conflicted");
+                prop_assert!(na.contains(x) && no.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_contractor_sound_and_tight(
+        op in prop_oneof![
+            Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+            Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
+        ],
+        x in small_interval(),
+        y in small_interval(),
+    ) {
+        let narrowed = contract::cmp(op, x, y);
+        let mut any_solution = false;
+        for a in x.iter() {
+            for b in y.iter() {
+                if op.eval(a, b) {
+                    any_solution = true;
+                    let (nx, ny) = narrowed.expect("solution exists but contractor conflicted");
+                    prop_assert!(nx.contains(a) && ny.contains(b));
+                }
+            }
+        }
+        // Completeness of conflict detection for order relations (not Ne,
+        // whose holes are unrepresentable): if no solution, report None.
+        if !any_solution && op != CmpOp::Ne {
+            prop_assert!(narrowed.is_none(), "{op}: no solution in {x} {y} but contractor returned {narrowed:?}");
+        }
+    }
+
+    #[test]
+    fn ite_contractor_sound(
+        sel in prop_oneof![Just(Tribool::False), Just(Tribool::True), Just(Tribool::Unknown)],
+        out in small_interval(),
+        t in small_interval(),
+        e in small_interval(),
+    ) {
+        let narrowed = contract::ite(sel, out, t, e);
+        let sels: &[bool] = match sel {
+            Tribool::True => &[true],
+            Tribool::False => &[false],
+            Tribool::Unknown => &[false, true],
+        };
+        for &s in sels {
+            for tv in t.iter() {
+                for ev in e.iter() {
+                    let o = if s { tv } else { ev };
+                    if out.contains(o) {
+                        let n = narrowed.expect("solution exists but ite conflicted");
+                        prop_assert!(n.out.contains(o));
+                        prop_assert!(n.t.contains(tv));
+                        prop_assert!(n.e.contains(ev));
+                        match n.sel {
+                            Tribool::Unknown => {}
+                            v => prop_assert!(v.to_bool() == Some(s)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_pow2_sound(x in small_interval(), k in 1u32..5) {
+        // Only meaningful for non-negative x in RTL; shift into range.
+        let base = x.lo().min(0).abs();
+        let x = Interval::new(x.lo() + base, x.hi() + base);
+        let m = 1i64 << k;
+        let narrowed = contract::split_pow2(
+            x,
+            Interval::new(0, 1 << 10),
+            Interval::new(0, 1 << 10),
+            k,
+        );
+        for v in x.iter() {
+            let (q, r) = (v.div_euclid(m), v.rem_euclid(m));
+            let (nx, nq, nr) = narrowed.expect("solution exists but split conflicted");
+            prop_assert!(nx.contains(v) && nq.contains(q) && nr.contains(r));
+        }
+    }
+
+    #[test]
+    fn cmp_entailed_agrees_with_eval(
+        op in prop_oneof![
+            Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+            Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
+        ],
+        x in small_interval(),
+        y in small_interval(),
+    ) {
+        match contract::cmp_entailed(op, x, y) {
+            Tribool::True => {
+                for a in x.iter() { for b in y.iter() { prop_assert!(op.eval(a, b)); } }
+            }
+            Tribool::False => {
+                for a in x.iter() { for b in y.iter() { prop_assert!(!op.eval(a, b)); } }
+            }
+            Tribool::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn point_pick_contains((iv, _) in small_interval().prop_flat_map(|iv| (Just(iv), pick_in(iv)))) {
+        prop_assert!(iv.count() >= 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Three-valued Boolean logic for structural search.
+
+use std::fmt;
+
+use crate::Interval;
+
+/// A three-valued Boolean: `False`, `True`, or unassigned (`Unknown`).
+///
+/// This is the `{0, 1, X}` algebra used by structural ATPG-style decision
+/// procedures (paper §4.1): an unassigned control signal is `X`, and gate
+/// evaluation over `X` follows Kleene's strong three-valued logic (e.g.
+/// `0 ∧ X = 0`, `1 ∧ X = X`).
+///
+/// # Example
+///
+/// ```
+/// use rtl_interval::Tribool;
+///
+/// assert_eq!(Tribool::False.and(Tribool::Unknown), Tribool::False);
+/// assert_eq!(Tribool::True.and(Tribool::Unknown), Tribool::Unknown);
+/// assert_eq!(Tribool::True.not(), Tribool::False);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tribool {
+    /// The value 0.
+    False,
+    /// The value 1.
+    True,
+    /// Unassigned / unknown (`X`).
+    #[default]
+    Unknown,
+}
+
+impl fmt::Display for Tribool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tribool::False => "0",
+            Tribool::True => "1",
+            Tribool::Unknown => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+impl From<bool> for Tribool {
+    fn from(b: bool) -> Self {
+        if b {
+            Tribool::True
+        } else {
+            Tribool::False
+        }
+    }
+}
+
+impl Tribool {
+    /// `true` if the value is assigned (not `Unknown`).
+    #[must_use]
+    pub fn is_assigned(self) -> bool {
+        self != Tribool::Unknown
+    }
+
+    /// Converts to `Option<bool>` (`None` for `Unknown`).
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tribool::False => Some(false),
+            Tribool::True => Some(true),
+            Tribool::Unknown => None,
+        }
+    }
+
+    /// Kleene conjunction.
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (Tribool::False, _) | (_, Tribool::False) => Tribool::False,
+            (Tribool::True, Tribool::True) => Tribool::True,
+            _ => Tribool::Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    #[must_use]
+    pub fn or(self, other: Self) -> Self {
+        match (self, other) {
+            (Tribool::True, _) | (_, Tribool::True) => Tribool::True,
+            (Tribool::False, Tribool::False) => Tribool::False,
+            _ => Tribool::Unknown,
+        }
+    }
+
+    /// Kleene exclusive-or (`Unknown` if either operand is `Unknown`).
+    #[must_use]
+    pub fn xor(self, other: Self) -> Self {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Tribool::from(a != b),
+            _ => Tribool::Unknown,
+        }
+    }
+
+    /// Negation (`Unknown` stays `Unknown`).
+    #[must_use]
+    pub fn not(self) -> Self {
+        match self {
+            Tribool::False => Tribool::True,
+            Tribool::True => Tribool::False,
+            Tribool::Unknown => Tribool::Unknown,
+        }
+    }
+
+    /// The interval `⟨0,0⟩`, `⟨1,1⟩` or `⟨0,1⟩` corresponding to this value —
+    /// the bridge between the Boolean domain and the word-level interval
+    /// domain used when a Boolean feeds a data-path operator.
+    #[must_use]
+    pub fn to_interval(self) -> Interval {
+        match self {
+            Tribool::False => Interval::point(0),
+            Tribool::True => Interval::point(1),
+            Tribool::Unknown => Interval::boolean(),
+        }
+    }
+
+    /// Interprets an interval over `{0,1}` as a three-valued Boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not contained in `⟨0, 1⟩`.
+    #[must_use]
+    pub fn from_interval(iv: Interval) -> Self {
+        assert!(
+            Interval::boolean().contains_interval(iv),
+            "interval {iv} is not Boolean"
+        );
+        match iv.as_point() {
+            Some(0) => Tribool::False,
+            Some(1) => Tribool::True,
+            _ => Tribool::Unknown,
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Concrete-value simulation of a netlist.
+//!
+//! The simulator is the ground-truth semantics of the IR: solvers are tested
+//! against it (a SAT answer must come with a model the simulator accepts),
+//! and it defines the modular-arithmetic behaviour documented on [`crate::Op`].
+
+use std::collections::HashMap;
+use std::ops::Index;
+
+use crate::netlist::Netlist;
+use crate::op::Op;
+use crate::types::{NetlistError, SignalId};
+
+/// The values of every signal after one simulation pass.
+///
+/// Indexable by [`SignalId`]; Booleans are represented as `0`/`1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Values(Vec<i64>);
+
+impl Values {
+    /// The value of `id`, or `None` if the id is out of range.
+    #[must_use]
+    pub fn get(&self, id: SignalId) -> Option<i64> {
+        self.0.get(id.index()).copied()
+    }
+
+    /// The raw value vector, indexed by dense signal index.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl Index<SignalId> for Values {
+    type Output = i64;
+
+    fn index(&self, id: SignalId) -> &i64 {
+        &self.0[id.index()]
+    }
+}
+
+fn mask(width: u32) -> i64 {
+    (1i64 << width) - 1
+}
+
+/// Evaluates every signal of `netlist` under the given input assignment.
+///
+/// `inputs` must provide a value for every `Op::Input` signal; values must
+/// lie within the input's declared domain.
+///
+/// # Errors
+///
+/// Fails if an input is missing or out of range.
+pub fn eval(netlist: &Netlist, inputs: &HashMap<SignalId, i64>) -> Result<Values, NetlistError> {
+    let mut vals: Vec<i64> = Vec::with_capacity(netlist.len());
+    for id in netlist.signal_ids() {
+        let sig = netlist.signal(id);
+        let w_out = sig.ty().width();
+        let v = |x: SignalId| vals[x.index()];
+        let value = match sig.op() {
+            Op::Input => {
+                let given = *inputs.get(&id).ok_or_else(|| NetlistError::BadInput {
+                    context: format!("missing value for input {id} ({:?})", sig.name()),
+                })?;
+                if given < 0 || given > sig.ty().max_value() {
+                    return Err(NetlistError::BadInput {
+                        context: format!(
+                            "input {id} value {given} outside domain of {}",
+                            sig.ty()
+                        ),
+                    });
+                }
+                given
+            }
+            Op::Const(c) => *c,
+            Op::Not(a) => 1 - v(*a),
+            Op::And(ops) => i64::from(ops.iter().all(|&a| v(a) == 1)),
+            Op::Or(ops) => i64::from(ops.iter().any(|&a| v(a) == 1)),
+            Op::Xor(a, b) => v(*a) ^ v(*b),
+            Op::Add(a, b) => (v(*a) + v(*b)) & mask(w_out),
+            Op::Sub(a, b) => (v(*a) - v(*b)).rem_euclid(1i64 << w_out),
+            Op::MulConst(a, k) => ((v(*a) as i128 * *k as i128) & mask(w_out) as i128) as i64,
+            Op::Shl(a, k) => ((v(*a) as i128) << (*k).min(100)) as i64 & mask(w_out),
+            Op::Shr(a, k) => v(*a) >> (*k).min(63),
+            Op::Extract { src, hi: _, lo } => (v(*src) >> lo) & mask(w_out),
+            Op::Concat(hi, lo) => {
+                let wl = netlist.ty(*lo).width();
+                (v(*hi) << wl) | v(*lo)
+            }
+            Op::ZeroExt(a) => v(*a),
+            Op::SignExt(a) => {
+                let wa = netlist.ty(*a).width();
+                let x = v(*a);
+                if x >= 1i64 << (wa - 1) {
+                    // negative in two's complement of the source width
+                    x + ((1i64 << w_out) - (1i64 << wa))
+                } else {
+                    x
+                }
+            }
+            Op::Ite { sel, t, e } => {
+                if v(*sel) == 1 {
+                    v(*t)
+                } else {
+                    v(*e)
+                }
+            }
+            Op::Min(a, b) => v(*a).min(v(*b)),
+            Op::Max(a, b) => v(*a).max(v(*b)),
+            Op::Cmp { op, a, b } => i64::from(op.eval(v(*a), v(*b))),
+            Op::BoolToWord(a) => v(*a),
+        };
+        debug_assert!(
+            value >= 0 && value <= sig.ty().max_value(),
+            "{id}: value {value} escaped domain {} (op {:?})",
+            sig.ty(),
+            sig.op()
+        );
+        vals.push(value);
+    }
+    Ok(Values(vals))
+}
+
+/// Evaluates the netlist with inputs given by name.
+///
+/// # Errors
+///
+/// Fails if a name is unknown, a value is missing or out of range.
+///
+/// # Example
+///
+/// ```
+/// use rtl_ir::Netlist;
+///
+/// # fn main() -> Result<(), rtl_ir::NetlistError> {
+/// let mut n = Netlist::new("adder");
+/// let a = n.input_word("a", 4)?;
+/// let b = n.input_word("b", 4)?;
+/// let s = n.add(a, b)?;
+/// let vals = rtl_ir::eval::eval_inputs(&n, &[("a", 9), ("b", 8)])?;
+/// assert_eq!(vals[s], 1); // 9 + 8 wraps mod 16
+/// # Ok(())
+/// # }
+/// ```
+pub fn eval_inputs(netlist: &Netlist, inputs: &[(&str, i64)]) -> Result<Values, NetlistError> {
+    let mut map = HashMap::new();
+    for (name, value) in inputs {
+        let id = netlist.find(name).ok_or_else(|| NetlistError::BadName {
+            name: (*name).to_string(),
+            context: "no such input".into(),
+        })?;
+        map.insert(id, *value);
+    }
+    eval(netlist, &map)
+}
+
+/// Collects the [`Op::Input`] signals of a netlist in creation order.
+#[must_use]
+pub fn input_ids(netlist: &Netlist) -> Vec<SignalId> {
+    netlist
+        .signal_ids()
+        .filter(|&id| matches!(netlist.op(id), Op::Input))
+        .collect()
+}
+
+/// `true` if `model` (a full per-signal value map for *inputs*) satisfies
+/// `constraint = 1` under simulation — the standard model-validation check
+/// applied to every SAT answer in the test-suites.
+///
+/// # Errors
+///
+/// Propagates simulator errors (missing inputs, out-of-range values).
+pub fn check_model(
+    netlist: &Netlist,
+    inputs: &HashMap<SignalId, i64>,
+    constraint: SignalId,
+) -> Result<bool, NetlistError> {
+    if !netlist.ty(constraint).is_bool() {
+        return Err(NetlistError::TypeMismatch {
+            context: format!("check_model: constraint {constraint} must be bool"),
+        });
+    }
+    let vals = eval(netlist, inputs)?;
+    Ok(vals[constraint] == 1)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::CmpOp;
+
+    #[test]
+    fn modular_semantics() {
+        let mut n = Netlist::new("t");
+        let a = n.input_word("a", 4).unwrap();
+        let b = n.input_word("b", 4).unwrap();
+        let add = n.add(a, b).unwrap();
+        let sub = n.sub(a, b).unwrap();
+        let mul = n.mul_const(a, 3).unwrap();
+        let vals = eval_inputs(&n, &[("a", 5), ("b", 12)]).unwrap();
+        assert_eq!(vals[add], 1); // 17 mod 16
+        assert_eq!(vals[sub], 9); // -7 mod 16
+        assert_eq!(vals[mul], 15); // 15 mod 16
+    }
+
+    #[test]
+    fn extract_concat_roundtrip() {
+        let mut n = Netlist::new("t");
+        let x = n.input_word("x", 8).unwrap();
+        let hi = n.extract(x, 7, 4).unwrap();
+        let lo = n.extract(x, 3, 0).unwrap();
+        let back = n.concat(hi, lo).unwrap();
+        let vals = eval_inputs(&n, &[("x", 0xA7)]).unwrap();
+        assert_eq!(vals[hi], 0xA);
+        assert_eq!(vals[lo], 0x7);
+        assert_eq!(vals[back], 0xA7);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let mut n = Netlist::new("t");
+        let x = n.input_word("x", 4).unwrap();
+        let s = n.sext(x, 8).unwrap();
+        // 0b1010 (-6) sign-extends to 0b1111_1010 (250 unsigned)
+        assert_eq!(eval_inputs(&n, &[("x", 0b1010)]).unwrap()[s], 0b1111_1010);
+        // 0b0101 (+5) stays 5
+        assert_eq!(eval_inputs(&n, &[("x", 0b0101)]).unwrap()[s], 5);
+    }
+
+    #[test]
+    fn predicates_and_mux() {
+        let mut n = Netlist::new("t");
+        let a = n.input_word("a", 8).unwrap();
+        let b = n.input_word("b", 8).unwrap();
+        let ge = n.cmp(CmpOp::Ge, a, b).unwrap();
+        let big = n.ite(ge, a, b).unwrap();
+        let vals = eval_inputs(&n, &[("a", 3), ("b", 250)]).unwrap();
+        assert_eq!(vals[ge], 0);
+        assert_eq!(vals[big], 250);
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let mut n = Netlist::new("t");
+        let _ = n.input_word("a", 8).unwrap();
+        assert!(eval(&n, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_input_rejected() {
+        let mut n = Netlist::new("t");
+        let _ = n.input_word("a", 4).unwrap();
+        assert!(eval_inputs(&n, &[("a", 16)]).is_err());
+    }
+}

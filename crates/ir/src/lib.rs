@@ -1,0 +1,79 @@
+//! Word-level RTL netlist intermediate representation.
+//!
+//! This crate provides the circuit substrate for the DAC 2005 paper
+//! *"Structural Search for RTL with Predicate Learning"*: a register-transfer
+//! level netlist in which Boolean control logic (gates, comparator outputs,
+//! multiplexer selects) and a word-level data-path (adders, subtractors,
+//! constant multipliers, shifters, extract/concat, multiplexers) coexist as
+//! first-class operators — precisely the mixed representation the paper's
+//! hybrid solver searches over.
+//!
+//! # What lives here
+//!
+//! * [`Netlist`] — an arena of [`Signal`]s with a validating builder API,
+//!   named signals and designated outputs.
+//! * [`Op`] — the operator set (paper §2.1): Boolean gates, linear arithmetic
+//!   data-path operators, non-linear bit-vector operators (modelled with
+//!   auxiliary linear constraints by the solver), reified comparators
+//!   (*predicates*), and word multiplexers.
+//! * [`analysis`] — level-ordering by distance from primary inputs,
+//!   cone-of-influence extraction, fanout counts and operator statistics
+//!   (the paper's Table 2 reports arithmetic/Boolean operator counts).
+//! * [`eval`] — a concrete-value simulator, used as the ground-truth oracle
+//!   in tests and to validate satisfying assignments returned by solvers.
+//! * [`seq`] — sequential circuits (registers with initial values) and the
+//!   **bounded-model-checking unroller** that produces the time-frame
+//!   expanded combinational satisfiability problems of the paper's
+//!   evaluation (`b13_5(100)` = property 5 of `b13` unrolled 100 frames).
+//! * [`text`] — a human-readable textual netlist format with parser and
+//!   printer, so circuits can be stored and diffed as plain text.
+//!
+//! # Arithmetic semantics
+//!
+//! Every word signal has an unsigned domain `⟨0, 2^w − 1⟩`. Arithmetic
+//! operators have *modular* semantics in their declared output width, like
+//! real RTL: `Add` of two 8-bit signals into an 8-bit output wraps mod 256,
+//! while the same `Add` into a 9-bit output is exact. Solvers recover
+//! linearity by introducing an auxiliary quotient variable
+//! (`a + b = q·2^w + out`), exactly the auxiliary-variable modelling of
+//! non-linear operators that the paper inherits from Brinkmann & Drechsler.
+//!
+//! # Example
+//!
+//! ```
+//! use rtl_ir::{Netlist, CmpOp};
+//!
+//! # fn main() -> Result<(), rtl_ir::NetlistError> {
+//! let mut n = Netlist::new("max");
+//! let a = n.input_word("a", 8)?;
+//! let b = n.input_word("b", 8)?;
+//! let gt = n.cmp(CmpOp::Gt, a, b)?;       // predicate: a > b
+//! let m = n.ite(gt, a, b)?;               // mux: max(a, b)
+//! n.set_output(m, "max")?;
+//! assert_eq!(rtl_ir::eval::eval_inputs(&n, &[("a", 7), ("b", 3)])?[m], 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod netlist;
+mod op;
+mod types;
+
+pub mod analysis;
+pub mod eval;
+pub mod seq;
+pub mod text;
+
+pub use crate::netlist::{Netlist, Signal};
+pub use crate::op::Op;
+pub use crate::types::{NetlistError, SignalId, SignalType};
+
+// Re-export so downstream crates name a single comparison type.
+pub use rtl_interval::contract::CmpOp;
+pub use rtl_interval::{Interval, Tribool};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,397 @@
+//! Sequential circuits and bounded-model-checking (BMC) unrolling.
+//!
+//! A [`SeqCircuit`] wraps one *frame* of combinational logic: registers'
+//! current-state values appear in the frame netlist as `Input` signals, and
+//! each register names the frame signal computing its next-state value.
+//! Safety properties are Boolean *bad* signals (`1` = property violated).
+//!
+//! [`SeqCircuit::unroll`] produces the time-frame-expanded combinational
+//! satisfiability problem of the paper's evaluation: `b01_1(10)` is property
+//! 1 of circuit `b01` expanded for 10 time-frames, satisfiable iff the bad
+//! signal can be `1` **in the final frame** starting from the initial state.
+//! (Checking the final frame, rather than any frame, is what makes
+//! `b01_1(10)` SAT while `b01_1(20)` is UNSAT in Table 1: the violation is
+//! only reachable at particular depths.)
+
+use std::collections::HashMap;
+
+use crate::eval::{self, Values};
+use crate::netlist::Netlist;
+use crate::op::Op;
+use crate::types::{NetlistError, SignalId, SignalType};
+
+/// One register of a sequential circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// The frame-netlist `Input` signal holding the current state.
+    pub state: SignalId,
+    /// The frame-netlist signal computing the next state.
+    pub next: SignalId,
+    /// The initial (reset) value.
+    pub init: i64,
+}
+
+/// A sequential circuit: frame logic, registers, and named safety
+/// properties.
+///
+/// # Example
+///
+/// ```
+/// use rtl_ir::seq::SeqCircuit;
+/// use rtl_ir::{CmpOp, Netlist};
+///
+/// # fn main() -> Result<(), rtl_ir::NetlistError> {
+/// // A 4-bit counter; property: counter never reaches 3.
+/// let mut f = Netlist::new("counter");
+/// let c = f.input_word("c", 4)?;
+/// let one = f.const_word(1, 4)?;
+/// let next = f.add(c, one)?;
+/// let bad = f.eq_const(c, 3)?;
+/// let mut ckt = SeqCircuit::new(f);
+/// ckt.add_register(c, next, 0)?;
+/// ckt.add_property("p1", bad)?;
+/// // After 4 frames (3 steps) the counter is 3: the property is violated.
+/// let bmc = ckt.unroll("p1", 4)?;
+/// assert!(bmc.netlist.len() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeqCircuit {
+    frame: Netlist,
+    registers: Vec<Register>,
+    properties: Vec<(String, SignalId)>,
+}
+
+/// The result of unrolling: a combinational netlist, the bad signal to
+/// assert, and the per-frame signal maps (frame signal → unrolled signal).
+#[derive(Clone, Debug)]
+pub struct BmcProblem {
+    /// The unrolled combinational netlist.
+    pub netlist: Netlist,
+    /// Boolean signal that is `1` iff the property is violated in the final
+    /// frame; the BMC instance is the satisfiability of `bad = 1`.
+    pub bad: SignalId,
+    /// For each frame `t`, the mapping from frame-netlist signals to their
+    /// copies in the unrolled netlist (useful for trace reconstruction).
+    pub frame_map: Vec<HashMap<SignalId, SignalId>>,
+}
+
+impl SeqCircuit {
+    /// Wraps one frame of combinational logic.
+    #[must_use]
+    pub fn new(frame: Netlist) -> Self {
+        Self {
+            frame,
+            registers: Vec::new(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// The frame netlist.
+    #[must_use]
+    pub fn frame(&self) -> &Netlist {
+        &self.frame
+    }
+
+    /// The registers declared so far.
+    #[must_use]
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// The properties declared so far.
+    #[must_use]
+    pub fn properties(&self) -> &[(String, SignalId)] {
+        &self.properties
+    }
+
+    /// Declares a register.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `state` is not an `Input` of the frame, the types of `state`
+    /// and `next` differ, or `init` is out of range.
+    pub fn add_register(
+        &mut self,
+        state: SignalId,
+        next: SignalId,
+        init: i64,
+    ) -> Result<(), NetlistError> {
+        self.frame.check(state)?;
+        self.frame.check(next)?;
+        if !matches!(self.frame.op(state), Op::Input) {
+            return Err(NetlistError::BadInput {
+                context: format!("register state {state} must be a frame input"),
+            });
+        }
+        if self.frame.ty(state) != self.frame.ty(next) {
+            return Err(NetlistError::TypeMismatch {
+                context: format!(
+                    "register: state {} vs next {} type mismatch",
+                    self.frame.ty(state),
+                    self.frame.ty(next)
+                ),
+            });
+        }
+        if self.registers.iter().any(|r| r.state == state) {
+            return Err(NetlistError::BadInput {
+                context: format!("register state {state} declared twice"),
+            });
+        }
+        let ty = self.frame.ty(state);
+        if init < 0 || init > ty.max_value() {
+            return Err(NetlistError::ConstantOutOfRange { value: init, ty });
+        }
+        self.registers.push(Register { state, next, init });
+        Ok(())
+    }
+
+    /// Declares a named safety property with the given *bad* (violation)
+    /// signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the signal is not Boolean or the name is already used.
+    pub fn add_property(&mut self, name: &str, bad: SignalId) -> Result<(), NetlistError> {
+        self.frame.check(bad)?;
+        if !self.frame.ty(bad).is_bool() {
+            return Err(NetlistError::TypeMismatch {
+                context: format!("property `{name}`: bad signal must be bool"),
+            });
+        }
+        if self.properties.iter().any(|(n, _)| n == name) {
+            return Err(NetlistError::BadName {
+                name: name.into(),
+                context: "duplicate property name".into(),
+            });
+        }
+        self.properties.push((name.into(), bad));
+        Ok(())
+    }
+
+    /// Looks up a property's bad signal by name.
+    #[must_use]
+    pub fn property(&self, name: &str) -> Option<SignalId> {
+        self.properties
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+    }
+
+    /// The frame inputs that are *free* (primary inputs, not register
+    /// state).
+    #[must_use]
+    pub fn free_inputs(&self) -> Vec<SignalId> {
+        eval::input_ids(&self.frame)
+            .into_iter()
+            .filter(|id| !self.registers.iter().any(|r| r.state == *id))
+            .collect()
+    }
+
+    /// Expands the circuit for `frames` time-frames and asserts property
+    /// `property` in the final frame.
+    ///
+    /// Frame 0's register states are the initial values; frame `t`'s states
+    /// are frame `t−1`'s next-state values. Free inputs become fresh primary
+    /// inputs named `name@t`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the property name is unknown or `frames == 0`.
+    pub fn unroll(&self, property: &str, frames: usize) -> Result<BmcProblem, NetlistError> {
+        let bad_frame = self.property(property).ok_or_else(|| NetlistError::BadName {
+            name: property.into(),
+            context: "no such property".into(),
+        })?;
+        if frames == 0 {
+            return Err(NetlistError::BadInput {
+                context: "unroll: frames must be ≥ 1".into(),
+            });
+        }
+        let mut out = Netlist::new(format!("{}_{property}({frames})", self.frame.name()));
+        let mut frame_map: Vec<HashMap<SignalId, SignalId>> = Vec::with_capacity(frames);
+        let free = self.free_inputs();
+
+        for t in 0..frames {
+            let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+            // Register states: initial constants at t = 0, previous frame's
+            // next values afterwards.
+            for reg in &self.registers {
+                let mapped = if t == 0 {
+                    match self.frame.ty(reg.state) {
+                        SignalType::Bool => {
+                            let c = out.const_bool(reg.init == 1);
+                            c
+                        }
+                        SignalType::Word { width } => out.const_word(reg.init, width)?,
+                    }
+                } else {
+                    frame_map[t - 1][&reg.next]
+                };
+                map.insert(reg.state, mapped);
+            }
+            // Free inputs: fresh inputs per frame.
+            for &pi in &free {
+                let base = self
+                    .frame
+                    .signal(pi)
+                    .name()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| pi.to_string());
+                let name = format!("{base}@{t}");
+                let fresh = match self.frame.ty(pi) {
+                    SignalType::Bool => out.input_bool(&name)?,
+                    SignalType::Word { width } => out.input_word(&name, width)?,
+                };
+                map.insert(pi, fresh);
+            }
+            // Import next-state logic (needed by the following frame) and,
+            // in the final frame, the property cone.
+            for reg in &self.registers {
+                out.import(&self.frame, reg.next, &mut map)?;
+            }
+            if t + 1 == frames {
+                out.import(&self.frame, bad_frame, &mut map)?;
+            }
+            frame_map.push(map);
+        }
+
+        let bad = frame_map[frames - 1][&bad_frame];
+        out.set_output(bad, format!("bad_{property}"))?;
+        Ok(BmcProblem {
+            netlist: out,
+            bad,
+            frame_map,
+        })
+    }
+
+    /// Simulates the circuit for `per_frame_inputs.len()` frames from the
+    /// initial state, returning the frame-netlist values of each frame.
+    ///
+    /// Each element of `per_frame_inputs` maps *free* inputs to values;
+    /// register states are supplied by the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (missing/out-of-range inputs).
+    pub fn simulate(
+        &self,
+        per_frame_inputs: &[HashMap<SignalId, i64>],
+    ) -> Result<Vec<Values>, NetlistError> {
+        let mut state: HashMap<SignalId, i64> =
+            self.registers.iter().map(|r| (r.state, r.init)).collect();
+        let mut trace = Vec::with_capacity(per_frame_inputs.len());
+        for frame_inputs in per_frame_inputs {
+            let mut inputs = state.clone();
+            for (&k, &v) in frame_inputs {
+                inputs.insert(k, v);
+            }
+            let vals = eval::eval(&self.frame, &inputs)?;
+            state = self
+                .registers
+                .iter()
+                .map(|r| (r.state, vals[r.next]))
+                .collect();
+            trace.push(vals);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    /// 3-bit counter that wraps; bad = (c == 5).
+    fn counter() -> (SeqCircuit, SignalId, SignalId) {
+        let mut f = Netlist::new("cnt");
+        let c = f.input_word("c", 3).unwrap();
+        let one = f.const_word(1, 3).unwrap();
+        let next = f.add(c, one).unwrap();
+        let bad = f.eq_const(c, 5).unwrap();
+        let mut ckt = SeqCircuit::new(f);
+        ckt.add_register(c, next, 0).unwrap();
+        ckt.add_property("p", bad).unwrap();
+        (ckt, c, bad)
+    }
+
+    #[test]
+    fn simulate_counts() {
+        let (ckt, c, bad) = counter();
+        let steps = vec![HashMap::new(); 7];
+        let trace = ckt.simulate(&steps).unwrap();
+        let values: Vec<i64> = trace.iter().map(|v| v[c]).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(trace[5][bad], 1);
+        assert_eq!(trace[4][bad], 0);
+    }
+
+    #[test]
+    fn unroll_shape_and_eval() {
+        let (ckt, _, _) = counter();
+        // 6 frames: final frame has c = 5, bad = 1 (no free inputs at all).
+        let bmc = ckt.unroll("p", 6).unwrap();
+        let vals = eval::eval(&bmc.netlist, &HashMap::new()).unwrap();
+        assert_eq!(vals[bmc.bad], 1);
+        // 5 frames: c = 4 in the final frame, bad = 0.
+        let bmc = ckt.unroll("p", 5).unwrap();
+        let vals = eval::eval(&bmc.netlist, &HashMap::new()).unwrap();
+        assert_eq!(vals[bmc.bad], 0);
+    }
+
+    #[test]
+    fn unroll_free_inputs_are_per_frame() {
+        let mut f = Netlist::new("acc");
+        let s = f.input_word("s", 8).unwrap();
+        let x = f.input_word("x", 8).unwrap();
+        let next = f.add(s, x).unwrap();
+        let bad = f.eq_const(s, 9).unwrap();
+        let mut ckt = SeqCircuit::new(f);
+        ckt.add_register(s, next, 0).unwrap();
+        ckt.add_property("p", bad).unwrap();
+        let bmc = ckt.unroll("p", 3).unwrap();
+        // inputs x@0, x@1, x@2 exist
+        for t in 0..3 {
+            assert!(bmc.netlist.find(&format!("x@{t}")).is_some(), "x@{t}");
+        }
+        // choose x@0 = 4, x@1 = 5 so that s@2 = 9 → bad
+        let i0 = bmc.netlist.find("x@0").unwrap();
+        let i1 = bmc.netlist.find("x@1").unwrap();
+        let i2 = bmc.netlist.find("x@2").unwrap();
+        let inputs: HashMap<SignalId, i64> = [(i0, 4), (i1, 5), (i2, 0)].into();
+        let vals = eval::eval(&bmc.netlist, &inputs).unwrap();
+        assert_eq!(vals[bmc.bad], 1);
+    }
+
+    #[test]
+    fn register_validation() {
+        let mut f = Netlist::new("t");
+        let a = f.input_word("a", 4).unwrap();
+        let b = f.input_bool("b").unwrap();
+        let n1 = f.add(a, a).unwrap();
+        let mut ckt = SeqCircuit::new(f);
+        // state must be an input
+        assert!(ckt.add_register(n1, n1, 0).is_err());
+        // type mismatch
+        assert!(ckt.add_register(b, n1, 0).is_err());
+        // init out of range
+        assert!(ckt.add_register(a, n1, 99).is_err());
+        assert!(ckt.add_register(a, n1, 3).is_ok());
+        // duplicate
+        assert!(ckt.add_register(a, n1, 3).is_err());
+    }
+
+    #[test]
+    fn property_validation() {
+        let (mut ckt, c, _) = counter();
+        // property must be boolean
+        assert!(ckt.add_property("bad_ty", c).is_err());
+        // duplicate name
+        let bad = ckt.property("p").unwrap();
+        assert!(ckt.add_property("p", bad).is_err());
+        // unknown property unrolls fail
+        assert!(ckt.unroll("nope", 3).is_err());
+        assert!(ckt.unroll("p", 0).is_err());
+    }
+}

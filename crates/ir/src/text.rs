@@ -1,0 +1,495 @@
+//! A human-readable textual netlist format.
+//!
+//! Circuits can be printed with [`to_text`] and re-read with [`parse`]; the
+//! round-trip preserves structure and types (names are preserved where
+//! present, otherwise synthesized as `_s<N>`).
+//!
+//! # Format
+//!
+//! One declaration per line; `#` starts a comment.
+//!
+//! ```text
+//! netlist max4
+//! input a w4
+//! input b w4
+//! node gt bool = cmp.gt a b
+//! node m w4 = ite gt a b
+//! output m max
+//! ```
+//!
+//! Declarations:
+//!
+//! * `netlist NAME` — design name (first non-comment line).
+//! * `input NAME TY` — primary input; `TY` is `bool` or `w<N>`.
+//! * `const NAME TY = VALUE` — constant.
+//! * `node NAME TY = OP ARG…` — operator node. `OP` is a mnemonic from
+//!   [`crate::Op::mnemonic`] (`cmp` carries its relation as `cmp.eq`,
+//!   `cmp.lt`, …); `ARG`s are signal names, with trailing integer
+//!   immediates for `mulc`, `shl`, `shr` and `extract`.
+//! * `output SIG NAME` — designates signal `SIG` as output `NAME`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::netlist::Netlist;
+use crate::op::Op;
+use crate::types::{NetlistError, SignalId, SignalType};
+use rtl_interval::contract::CmpOp;
+
+/// Renders a netlist in the textual format.
+///
+/// Unnamed signals get synthetic `_s<N>` names.
+#[must_use]
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "netlist {}", netlist.name());
+    let name_of = |id: SignalId| -> String {
+        netlist
+            .signal(id)
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("_s{}", id.index()))
+    };
+    for id in netlist.signal_ids() {
+        let sig = netlist.signal(id);
+        let ty = match sig.ty() {
+            SignalType::Bool => "bool".to_string(),
+            SignalType::Word { width } => format!("w{width}"),
+        };
+        let n = name_of(id);
+        match sig.op() {
+            Op::Input => {
+                let _ = writeln!(out, "input {n} {ty}");
+            }
+            Op::Const(c) => {
+                let _ = writeln!(out, "const {n} {ty} = {c}");
+            }
+            op => {
+                let mut rhs = match op {
+                    Op::Cmp { op: rel, .. } => format!("cmp.{}", cmp_suffix(*rel)),
+                    _ => op.mnemonic().to_string(),
+                };
+                for operand in op.operands() {
+                    let _ = write!(rhs, " {}", name_of(operand));
+                }
+                match op {
+                    Op::MulConst(_, k) => {
+                        let _ = write!(rhs, " {k}");
+                    }
+                    Op::Shl(_, k) | Op::Shr(_, k) => {
+                        let _ = write!(rhs, " {k}");
+                    }
+                    Op::Extract { hi, lo, .. } => {
+                        let _ = write!(rhs, " {hi} {lo}");
+                    }
+                    _ => {}
+                }
+                let _ = writeln!(out, "node {n} {ty} = {rhs}");
+            }
+        }
+    }
+    for (id, name) in netlist.outputs() {
+        let _ = writeln!(out, "output {} {name}", name_of(*id));
+    }
+    out
+}
+
+fn cmp_suffix(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn cmp_from_suffix(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn parse_ty(tok: &str, line: usize) -> Result<SignalType, NetlistError> {
+    if tok == "bool" {
+        return Ok(SignalType::Bool);
+    }
+    if let Some(w) = tok.strip_prefix('w') {
+        if let Ok(width) = w.parse::<u32>() {
+            return Ok(SignalType::Word { width });
+        }
+    }
+    Err(NetlistError::Parse {
+        line,
+        message: format!("expected type `bool` or `w<N>`, found `{tok}`"),
+    })
+}
+
+struct Parser {
+    names: HashMap<String, SignalId>,
+    netlist: Netlist,
+}
+
+impl Parser {
+    fn lookup(&self, name: &str, line: usize) -> Result<SignalId, NetlistError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::Parse {
+                line,
+                message: format!("unknown signal `{name}`"),
+            })
+    }
+
+    fn parse_imm(tok: Option<&str>, what: &str, line: usize) -> Result<i64, NetlistError> {
+        tok.and_then(|t| t.parse::<i64>().ok())
+            .ok_or_else(|| NetlistError::Parse {
+                line,
+                message: format!("expected integer {what}"),
+            })
+    }
+}
+
+/// Parses a netlist from the textual format.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a 1-based line number on syntax
+/// errors, and the underlying builder error (wrapped with the line number)
+/// on semantic errors such as width mismatches.
+pub fn parse(input: &str) -> Result<Netlist, NetlistError> {
+    let mut p = Parser {
+        names: HashMap::new(),
+        netlist: Netlist::new("unnamed"),
+    };
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut toks = text.split_whitespace();
+        let kw = toks.next().expect("non-empty");
+        let wrap = |e: NetlistError| match e {
+            NetlistError::Parse { .. } => e,
+            other => NetlistError::Parse {
+                line,
+                message: other.to_string(),
+            },
+        };
+        match kw {
+            "netlist" => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected design name".into(),
+                })?;
+                p.netlist = Netlist::new(name);
+            }
+            "input" => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected input name".into(),
+                })?;
+                let ty = parse_ty(
+                    toks.next().ok_or(NetlistError::Parse {
+                        line,
+                        message: "expected type".into(),
+                    })?,
+                    line,
+                )?;
+                let id = match ty {
+                    SignalType::Bool => p.netlist.input_bool(name),
+                    SignalType::Word { width } => p.netlist.input_word(name, width),
+                }
+                .map_err(wrap)?;
+                p.names.insert(name.to_string(), id);
+            }
+            "const" => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected const name".into(),
+                })?;
+                let ty = parse_ty(
+                    toks.next().ok_or(NetlistError::Parse {
+                        line,
+                        message: "expected type".into(),
+                    })?,
+                    line,
+                )?;
+                expect_eq_sign(&mut toks, line)?;
+                let value = Parser::parse_imm(toks.next(), "constant value", line)?;
+                let id = match ty {
+                    SignalType::Bool => {
+                        if value != 0 && value != 1 {
+                            return Err(NetlistError::Parse {
+                                line,
+                                message: format!("bool constant must be 0 or 1, got {value}"),
+                            });
+                        }
+                        p.netlist.const_bool(value == 1)
+                    }
+                    SignalType::Word { width } => {
+                        p.netlist.const_word(value, width).map_err(wrap)?
+                    }
+                };
+                p.netlist.set_name(id, name).map_err(wrap)?;
+                p.names.insert(name.to_string(), id);
+            }
+            "node" => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected node name".into(),
+                })?;
+                let ty = parse_ty(
+                    toks.next().ok_or(NetlistError::Parse {
+                        line,
+                        message: "expected type".into(),
+                    })?,
+                    line,
+                )?;
+                expect_eq_sign(&mut toks, line)?;
+                let op_tok = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected operator".into(),
+                })?;
+                let rest: Vec<&str> = toks.collect();
+                let id = build_node(&mut p, op_tok, &rest, ty, line).map_err(wrap)?;
+                if p.netlist.ty(id) != ty {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!(
+                            "declared type {ty} does not match operator result {}",
+                            p.netlist.ty(id)
+                        ),
+                    });
+                }
+                p.netlist.set_name(id, name).map_err(wrap)?;
+                p.names.insert(name.to_string(), id);
+            }
+            "output" => {
+                let sig = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected signal name".into(),
+                })?;
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "expected output name".into(),
+                })?;
+                let id = p.lookup(sig, line)?;
+                p.netlist.set_output(id, name).map_err(wrap)?;
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unknown keyword `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(p.netlist)
+}
+
+fn expect_eq_sign(
+    toks: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+) -> Result<(), NetlistError> {
+    match toks.next() {
+        Some("=") => Ok(()),
+        other => Err(NetlistError::Parse {
+            line,
+            message: format!("expected `=`, found `{}`", other.unwrap_or("<eol>")),
+        }),
+    }
+}
+
+fn build_node(
+    p: &mut Parser,
+    op_tok: &str,
+    args: &[&str],
+    declared: SignalType,
+    line: usize,
+) -> Result<SignalId, NetlistError> {
+    let arg_id = |p: &Parser, i: usize| -> Result<SignalId, NetlistError> {
+        let tok = args.get(i).ok_or(NetlistError::Parse {
+            line,
+            message: format!("operator `{op_tok}` missing operand {i}"),
+        })?;
+        p.lookup(tok, line)
+    };
+    let imm = |i: usize| Parser::parse_imm(args.get(i).copied(), "immediate", line);
+
+    if let Some(rel) = op_tok.strip_prefix("cmp.") {
+        let rel = cmp_from_suffix(rel).ok_or(NetlistError::Parse {
+            line,
+            message: format!("unknown comparison `{op_tok}`"),
+        })?;
+        let a = arg_id(p, 0)?;
+        let b = arg_id(p, 1)?;
+        return p.netlist.cmp(rel, a, b);
+    }
+
+    match op_tok {
+        "not" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.not(a)
+        }
+        "and" | "or" => {
+            let ids: Result<Vec<SignalId>, _> = (0..args.len()).map(|i| arg_id(p, i)).collect();
+            let ids = ids?;
+            if op_tok == "and" {
+                p.netlist.and(&ids)
+            } else {
+                p.netlist.or(&ids)
+            }
+        }
+        "xor" => {
+            let a = arg_id(p, 0)?;
+            let b = arg_id(p, 1)?;
+            p.netlist.xor(a, b)
+        }
+        "add" => {
+            let a = arg_id(p, 0)?;
+            let b = arg_id(p, 1)?;
+            p.netlist.add_into(a, b, declared.width())
+        }
+        "sub" => {
+            let a = arg_id(p, 0)?;
+            let b = arg_id(p, 1)?;
+            p.netlist.sub(a, b)
+        }
+        "mulc" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.mul_const(a, imm(1)?)
+        }
+        "shl" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.shl(a, imm(1)? as u32)
+        }
+        "shr" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.shr(a, imm(1)? as u32)
+        }
+        "extract" => {
+            let a = arg_id(p, 0)?;
+            let hi = imm(1)? as u32;
+            let lo = imm(2)? as u32;
+            p.netlist.extract(a, hi, lo)
+        }
+        "concat" => {
+            let a = arg_id(p, 0)?;
+            let b = arg_id(p, 1)?;
+            p.netlist.concat(a, b)
+        }
+        "zext" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.zext(a, declared.width())
+        }
+        "sext" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.sext(a, declared.width())
+        }
+        "ite" => {
+            let s = arg_id(p, 0)?;
+            let t = arg_id(p, 1)?;
+            let e = arg_id(p, 2)?;
+            p.netlist.ite(s, t, e)
+        }
+        "min" => {
+            let a = arg_id(p, 0)?;
+            let b = arg_id(p, 1)?;
+            p.netlist.min(a, b)
+        }
+        "max" => {
+            let a = arg_id(p, 0)?;
+            let b = arg_id(p, 1)?;
+            p.netlist.max(a, b)
+        }
+        "b2w" => {
+            let a = arg_id(p, 0)?;
+            p.netlist.bool_to_word(a)
+        }
+        other => Err(NetlistError::Parse {
+            line,
+            message: format!("unknown operator `{other}`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::eval;
+
+    const SAMPLE: &str = "\
+# max of two nibbles, clamped at 12
+netlist clampmax
+input a w4
+input b w4
+const lim w4 = 12
+node gt bool = cmp.gt a b
+node m w4 = ite gt a b
+node over bool = cmp.gt m lim
+node y w4 = ite over lim m
+output y out
+";
+
+    #[test]
+    fn parse_and_eval() {
+        let n = parse(SAMPLE).unwrap();
+        assert_eq!(n.name(), "clampmax");
+        let y = n.find("y").unwrap();
+        let vals = eval::eval_inputs(&n, &[("a", 14), ("b", 3)]).unwrap();
+        assert_eq!(vals[y], 12);
+        let vals = eval::eval_inputs(&n, &[("a", 4), ("b", 9)]).unwrap();
+        assert_eq!(vals[y], 9);
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = parse(SAMPLE).unwrap();
+        let text = to_text(&n);
+        let n2 = parse(&text).unwrap();
+        assert_eq!(n.len(), n2.len());
+        let y1 = n.find("y").unwrap();
+        let y2 = n2.find("y").unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                let v1 = eval::eval_inputs(&n, &[("a", a), ("b", b)]).unwrap()[y1];
+                let v2 = eval::eval_inputs(&n2, &[("a", a), ("b", b)]).unwrap()[y2];
+                assert_eq!(v1, v2, "mismatch at a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let bad = "netlist t\ninput a w4\nnode y w4 = bogus a\n";
+        match parse(bad) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_declaration_must_match() {
+        let bad = "netlist t\ninput a w4\ninput b w4\nnode y w8 = sub a b\n";
+        assert!(matches!(parse(bad), Err(NetlistError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn unknown_signal_reported() {
+        let bad = "netlist t\nnode y bool = not nothere\n";
+        assert!(matches!(parse(bad), Err(NetlistError::Parse { line: 2, .. })));
+    }
+}

@@ -1,0 +1,153 @@
+//! Identifier and type primitives for the netlist.
+
+use std::error::Error;
+use std::fmt;
+
+/// Index of a signal (node) in a [`crate::Netlist`].
+///
+/// `SignalId`s are dense indices assigned in creation order; they index
+/// directly into per-signal side tables (levels, fanouts, domains) built by
+/// analyses and solvers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The dense index of this signal.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `SignalId` from a dense index.
+    ///
+    /// Intended for side-table iteration; passing an index that does not
+    /// name a signal of the netlist it is used with produces lookup panics
+    /// later, not undefined behaviour.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        SignalId(u32::try_from(index).expect("signal index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The type of a signal: Boolean control or a word of a given bit-width.
+///
+/// The distinction is central to the paper: decisions are made only on
+/// Boolean variables, predicates bridge the two domains, and word variables
+/// carry interval domains `⟨0, 2^width − 1⟩`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SignalType {
+    /// A single-bit Boolean control signal.
+    Bool,
+    /// A word (bit-vector interpreted as an unsigned integer) of the given
+    /// width. Widths are restricted to `1..=62` so unsigned values and all
+    /// intermediate arithmetic fit in `i64`/`i128`.
+    Word {
+        /// Bit-width of the word; `1..=62`.
+        width: u32,
+    },
+}
+
+impl SignalType {
+    /// Bit-width: 1 for Booleans, the declared width for words.
+    #[must_use]
+    pub fn width(self) -> u32 {
+        match self {
+            SignalType::Bool => 1,
+            SignalType::Word { width } => width,
+        }
+    }
+
+    /// `true` for [`SignalType::Bool`].
+    #[must_use]
+    pub fn is_bool(self) -> bool {
+        matches!(self, SignalType::Bool)
+    }
+
+    /// Largest value representable by the type (`2^width − 1`).
+    #[must_use]
+    pub fn max_value(self) -> i64 {
+        (1i64 << self.width()) - 1
+    }
+}
+
+impl fmt::Display for SignalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalType::Bool => f.write_str("bool"),
+            SignalType::Word { width } => write!(f, "w{width}"),
+        }
+    }
+}
+
+/// Errors produced while building or using a [`crate::Netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// An operand had the wrong type (e.g. a word fed to a Boolean gate).
+    TypeMismatch {
+        /// Human-readable description of the context.
+        context: String,
+    },
+    /// A bit-width was outside `1..=62`, or operand widths are inconsistent.
+    InvalidWidth {
+        /// Human-readable description of the context.
+        context: String,
+    },
+    /// A constant does not fit the declared signal type.
+    ConstantOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The type it was declared with.
+        ty: SignalType,
+    },
+    /// A signal id does not belong to this netlist.
+    UnknownSignal(SignalId),
+    /// A signal name was used twice, or a referenced name does not exist.
+    BadName {
+        /// The offending name.
+        name: String,
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// A required input value was missing or out of range during evaluation.
+    BadInput {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// Textual netlist parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            NetlistError::InvalidWidth { context } => write!(f, "invalid width: {context}"),
+            NetlistError::ConstantOutOfRange { value, ty } => {
+                write!(f, "constant {value} does not fit type {ty}")
+            }
+            NetlistError::UnknownSignal(id) => write!(f, "unknown signal {id}"),
+            NetlistError::BadName { name, context } => write!(f, "bad name `{name}`: {context}"),
+            NetlistError::BadInput { context } => write!(f, "bad input: {context}"),
+            NetlistError::Parse { line, message } => write!(f, "parse error, line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,224 @@
+//! b01 — FSM that compares serial flows.
+//!
+//! The original ITC'99 b01 is a small Moore machine with two serial bit
+//! inputs (`line1`, `line2`), an `outp` flag raised when the flows satisfy
+//! the comparison pattern and an `overflw` flag, in about five flip-flops.
+//!
+//! This reconstruction keeps that structure — a six-state comparison FSM
+//! over the match bit `m = ¬(line1 ⊕ line2)` plus registered outputs — and
+//! adds the FSM's natural 4-phase cycle counter `ph`, which the original
+//! exhibits as it walks its compare loop. Property 1 references the phase,
+//! which is what makes `b01_1(k)` satisfiable exactly when the final frame
+//! index `k − 1 ≡ 1 (mod 4)`: SAT at bounds 10 and 50, UNSAT at 20 and
+//! 100, matching the paper's Table 1/2 `Rslt` column.
+//!
+//! Properties:
+//!
+//! * `p1` (mixed): the accept state is observed at phase 1 —
+//!   **SAT iff `k ≡ 2 (mod 4)`** (reachable for any `k − 1 ≥ 3` with the
+//!   right inputs, but the phase pins the frame index).
+//! * `p2` (invariant, UNSAT): `outp` implies the FSM just left the accept
+//!   state.
+
+use rtl_ir::seq::SeqCircuit;
+use rtl_ir::{Netlist, NetlistError};
+
+use crate::helpers::{priority_mux, st_eq};
+
+/// Builds the b01 reconstruction. See the [module docs](self).
+///
+/// # Panics
+///
+/// Construction of the fixed netlist cannot fail; panics would indicate a
+/// bug in this crate.
+#[must_use]
+pub fn b01() -> SeqCircuit {
+    build().expect("b01 netlist construction is infallible")
+}
+
+fn build() -> Result<SeqCircuit, NetlistError> {
+    let mut n = Netlist::new("b01");
+
+    // Inputs: the two serial flows.
+    let line1 = n.input_bool("line1")?;
+    let line2 = n.input_bool("line2")?;
+
+    // Registers.
+    let state = n.input_word("state", 3)?; // FSM state, 0..=5
+    let ph = n.input_word("ph", 2)?; // free-running phase of the loop
+    let outp = n.input_bool("outp")?; // registered output
+    let overflw = n.input_bool("overflw")?; // registered overflow flag
+
+    // Match bit: the flows agree this cycle.
+    let x = n.xor(line1, line2)?;
+    let m = n.not(x)?;
+
+    // State predicates.
+    let s0 = st_eq(&mut n, state, 0)?;
+    let s1 = st_eq(&mut n, state, 1)?;
+    let s2 = st_eq(&mut n, state, 2)?;
+    let s3 = st_eq(&mut n, state, 3)?;
+    let s4 = st_eq(&mut n, state, 4)?;
+    let s5 = st_eq(&mut n, state, 5)?;
+
+    // Next-state logic (compare tree with an accept state that can hold):
+    //   s0 --m--> s1,  s0 --!m--> s2
+    //   s1 --m--> s3,  s1 --!m--> s4
+    //   s2 --m--> s4,  s2 --!m--> s3
+    //   s3 --m--> s5,  s3 --!m--> s0
+    //   s4 --m--> s0,  s4 --!m--> s5
+    //   s5 --m--> s5 (hold), s5 --!m--> s0
+    let c0 = n.const_word(0, 3)?;
+    let c1 = n.const_word(1, 3)?;
+    let c2 = n.const_word(2, 3)?;
+    let c3 = n.const_word(3, 3)?;
+    let c4 = n.const_word(4, 3)?;
+    let c5 = n.const_word(5, 3)?;
+
+    let t0 = n.ite(m, c1, c2)?;
+    let t1 = n.ite(m, c3, c4)?;
+    let t2 = n.ite(m, c4, c3)?;
+    let t3 = n.ite(m, c5, c0)?;
+    let t4 = n.ite(m, c0, c5)?;
+    let t5 = n.ite(m, c5, c0)?;
+    let state_next = priority_mux(
+        &mut n,
+        c0,
+        &[(s0, t0), (s1, t1), (s2, t2), (s3, t3), (s4, t4), (s5, t5)],
+    )?;
+
+    // Phase counter: +1 mod 4 every cycle.
+    let one2 = n.const_word(1, 2)?;
+    let ph_next = n.add(ph, one2)?;
+
+    // Serial comparison window: the last three bits of each flow are kept
+    // in gate-level history shift registers (the original b01 is a
+    // gate-level design; this is its bitwise-compare core).
+    let h1a = n.input_bool("h1a")?;
+    let h1b = n.input_bool("h1b")?;
+    let h1c = n.input_bool("h1c")?;
+    let h2a = n.input_bool("h2a")?;
+    let h2b = n.input_bool("h2b")?;
+    let h2c = n.input_bool("h2c")?;
+
+    // Per-position agreement of the windows.
+    let m1 = n.xnor(h1a, h2a)?;
+    let m2 = n.xnor(h1b, h2b)?;
+    let m3 = n.xnor(h1c, h2c)?;
+    let window_match = n.and(&[m, m1, m2, m3])?;
+    let window_clash = n.not(window_match)?;
+
+    // Run detection on each flow (three identical bits in a row).
+    let ones1 = n.and(&[line1, h1a, h1b])?;
+    let nl1 = n.not(line1)?;
+    let nh1a = n.not(h1a)?;
+    let nh1b = n.not(h1b)?;
+    let zeros1 = n.and(&[nl1, nh1a, nh1b])?;
+    let run1 = n.or(&[ones1, zeros1])?;
+    let ones2 = n.and(&[line2, h2a, h2b])?;
+    let nl2 = n.not(line2)?;
+    let nh2a = n.not(h2a)?;
+    let nh2b = n.not(h2b)?;
+    let zeros2 = n.and(&[nl2, nh2a, nh2b])?;
+    let run2 = n.or(&[ones2, zeros2])?;
+    let any_run = n.or(&[run1, run2])?;
+
+    // Mismatch streak: two disagreements in a row.
+    let prev_clash = n.xor(h1a, h2a)?;
+    let streak = n.and(&[x, prev_clash])?;
+
+    // Output logic: outp when the accept state will be entered with a
+    // matching window; overflw latches on a held accept, a run, or a
+    // mismatch streak.
+    let entering5 = n.eq_const(state_next, 5)?;
+    let outp_next = n.and(&[entering5, window_match])?;
+    let hold5 = n.and(&[s5, m])?;
+    let noisy = n.and(&[any_run, streak, window_clash])?;
+    let ovf_next = n.or(&[hold5, noisy, overflw])?;
+
+    n.set_output(outp, "outp")?;
+    n.set_output(overflw, "overflw")?;
+
+    // Property 1 (phase-pinned accept): bad ⇔ state = 5 ∧ ph = 1.
+    let ph1 = n.eq_const(ph, 1)?;
+    let bad1 = n.and(&[s5, ph1])?;
+
+    // Property 2 (true invariant): outp → state ∈ {5, 0}
+    // (outp is registered when *entering* 5; one cycle later the FSM is in
+    // 5, or has already fallen back to 0).
+    let in5or0 = n.or(&[s5, s0])?;
+    let viol2 = n.and_not(outp, in5or0)?;
+
+    let mut ckt = SeqCircuit::new(n);
+    ckt.add_register(state, state_next, 0)?;
+    ckt.add_register(ph, ph_next, 0)?;
+    ckt.add_register(outp, outp_next, 0)?;
+    ckt.add_register(overflw, ovf_next, 0)?;
+    // History shift registers: a ← input, b ← a, c ← b.
+    ckt.add_register(h1a, line1, 0)?;
+    ckt.add_register(h1b, h1a, 0)?;
+    ckt.add_register(h1c, h1b, 0)?;
+    ckt.add_register(h2a, line2, 0)?;
+    ckt.add_register(h2b, h2a, 0)?;
+    ckt.add_register(h2c, h2b, 0)?;
+    ckt.add_property("p1", bad1)?;
+    ckt.add_property("p2", viol2)?;
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accept_state_reachable_and_phase_works() {
+        let ckt = b01();
+        let f = ckt.frame();
+        let line1 = f.find("line1").unwrap();
+        let line2 = f.find("line2").unwrap();
+        let state = f.find("state").unwrap();
+        let ph = f.find("ph").unwrap();
+        // all-match inputs: s0→s1→s3→s5→s5→…
+        let step: HashMap<_, _> = [(line1, 1), (line2, 1)].into();
+        let trace = ckt.simulate(&vec![step; 8]).unwrap();
+        let states: Vec<i64> = trace.iter().map(|v| v[state]).collect();
+        assert_eq!(states[..5], [0, 1, 3, 5, 5]);
+        let phases: Vec<i64> = trace.iter().map(|v| v[ph]).collect();
+        assert_eq!(phases, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn p1_violation_occurs_at_expected_step() {
+        let ckt = b01();
+        let f = ckt.frame();
+        let line1 = f.find("line1").unwrap();
+        let line2 = f.find("line2").unwrap();
+        let bad = ckt.property("p1").unwrap();
+        let step: HashMap<_, _> = [(line1, 1), (line2, 1)].into();
+        let trace = ckt.simulate(&vec![step; 12]).unwrap();
+        let bads: Vec<i64> = trace.iter().map(|v| v[bad]).collect();
+        // state=5 from t=3 onwards; ph=1 at t ≡ 1 (mod 4) ⇒ bad at t=5, 9, …
+        assert_eq!(bads[5], 1);
+        assert_eq!(bads[9], 1);
+        assert_eq!(bads[4], 0);
+        assert_eq!(bads[8], 0);
+    }
+
+    #[test]
+    fn p2_invariant_holds_under_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let ckt = b01();
+        let f = ckt.frame();
+        let line1 = f.find("line1").unwrap();
+        let line2 = f.find("line2").unwrap();
+        let bad = ckt.property("p2").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let steps: Vec<HashMap<_, _>> = (0..300)
+            .map(|_| [(line1, rng.gen_range(0..2)), (line2, rng.gen_range(0..2))].into())
+            .collect();
+        for (t, v) in ckt.simulate(&steps).unwrap().iter().enumerate() {
+            assert_eq!(v[bad], 0, "p2 violated at step {t}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! b02 — FSM that recognizes binary-coded-decimal (BCD) numbers.
+//!
+//! The original ITC'99 b02 is a seven-state gate-level Moore machine
+//! reading a serial bit stream `linea` and raising `u` when the bits read
+//! so far form a BCD digit. This reconstruction follows that outline at
+//! the original's level of abstraction:
+//!
+//! * the state register is three *bit-level* flip-flops with gate-level
+//!   next-state logic (minterm decode + OR planes), as in the gate-level
+//!   original; a word-level view of the state is reassembled for the
+//!   monitors, giving the mixed word/Boolean profile the paper's RTL
+//!   translation exhibits;
+//! * a *digit collector* shifts the serial bits into a 4-bit register and
+//!   checks the BCD range (`digit ≤ 9`) each time four bits have arrived —
+//!   the arithmetic heart of "recognizing BCD numbers";
+//! * a good-digit counter accumulates accepted digits.
+//!
+//! Properties (both true invariants, UNSAT at every bound — matching the
+//! paper, where every `b02_1(k)` row is `U`):
+//!
+//! * `p1`: the accept flag is only raised at the start states
+//!   (`u → state ∈ {0, 1, 2}`);
+//! * `p2`: the state encoding stays in the legal range (`state ≤ 6`).
+
+use rtl_ir::seq::SeqCircuit;
+use rtl_ir::{CmpOp, Netlist, NetlistError};
+
+/// Builds the b02 reconstruction. See the [module docs](self).
+///
+/// # Panics
+///
+/// Construction of the fixed netlist cannot fail; panics would indicate a
+/// bug in this crate.
+#[must_use]
+pub fn b02() -> SeqCircuit {
+    build().expect("b02 netlist construction is infallible")
+}
+
+#[allow(clippy::too_many_lines)]
+fn build() -> Result<SeqCircuit, NetlistError> {
+    let mut n = Netlist::new("b02");
+
+    let linea = n.input_bool("linea")?;
+
+    // Bit-level state register (gate-level original).
+    let st0 = n.input_bool("st0")?;
+    let st1 = n.input_bool("st1")?;
+    let st2 = n.input_bool("st2")?;
+    let u = n.input_bool("u")?;
+
+    // Minterm decode of the seven states (0 = A … 6 = G).
+    let n0 = n.not(st0)?;
+    let n1 = n.not(st1)?;
+    let n2 = n.not(st2)?;
+    let s = [
+        n.and(&[n2, n1, n0])?,   // 0: A
+        n.and(&[n2, n1, st0])?,  // 1: B
+        n.and(&[n2, st1, n0])?,  // 2: C
+        n.and(&[n2, st1, st0])?, // 3: D
+        n.and(&[st2, n1, n0])?,  // 4: E
+        n.and(&[st2, n1, st0])?, // 5: F
+        n.and(&[st2, st1, n0])?, // 6: G
+    ];
+    let nline = n.not(linea)?;
+
+    // BCD recognizer walk (first bit = MSB):
+    //   A --1--> B, A --0--> C
+    //   B --*--> D
+    //   C --*--> E
+    //   D --1--> F, D --0--> G
+    //   E --*--> G
+    //   F --*--> A (reject: digit too large)
+    //   G --*--> A (accept: u := 1)
+    //
+    // Next-state bits as OR planes over the transition minterms:
+    //   next = 1 (B):  A·linea            → bit0
+    //   next = 2 (C):  A·¬linea           → bit1
+    //   next = 3 (D):  B                  → bit0, bit1
+    //   next = 4 (E):  C                  → bit2
+    //   next = 5 (F):  D·linea            → bit0, bit2
+    //   next = 6 (G):  D·¬linea + E       → bit1, bit2
+    let a1 = n.and(&[s[0], linea])?; // → B
+    let a0 = n.and(&[s[0], nline])?; // → C
+    let d1 = n.and(&[s[3], linea])?; // → F
+    let d0 = n.and(&[s[3], nline])?; // → G
+    let to_g = n.or(&[d0, s[4]])?;
+
+    let st0_next = n.or(&[a1, s[1], d1])?; // B, D, F have bit0
+    let st1_next = n.or(&[a0, s[1], to_g])?; // C, D, G have bit1
+    let st2_next = n.or(&[s[2], d1, to_g])?; // E, F, G have bit2
+
+    // u is registered on leaving the accept state.
+    let u_next = s[6];
+
+    // Word-level view of the state for the monitors (the paper's RTL
+    // translation of the VIS model works at this level).
+    let w0 = n.bool_to_word(st0)?;
+    let w1 = n.bool_to_word(st1)?;
+    let w2 = n.bool_to_word(st2)?;
+    let hi = n.concat(w2, w1)?;
+    let state = n.concat(hi, w0)?;
+
+    // --- digit collector -------------------------------------------------
+    // Four serial bits form a candidate digit (MSB first); at the fourth
+    // bit the BCD range check fires and good digits are counted.
+    let digit = n.input_word("digit", 4)?;
+    let bitpos = n.input_word("bitpos", 2)?;
+    let good_cnt = n.input_word("good_cnt", 4)?;
+
+    let shifted = n.shl(digit, 1)?;
+    let bit_w = n.bool_to_word(linea)?;
+    let bit4 = n.zext(bit_w, 4)?;
+    let digit_next = n.add(shifted, bit4)?;
+
+    let one2 = n.const_word(1, 2)?;
+    let bitpos_next = n.add(bitpos, one2)?;
+    let c3 = n.const_word(3, 2)?;
+    let digit_done = n.cmp(CmpOp::Eq, bitpos, c3)?;
+
+    let c9 = n.const_word(9, 4)?;
+    let bcd_ok = n.cmp(CmpOp::Le, digit_next, c9)?;
+    let count_it = n.and(&[digit_done, bcd_ok])?;
+    let one4 = n.const_word(1, 4)?;
+    let good_inc = n.add(good_cnt, one4)?;
+    let good_next = n.ite(count_it, good_inc, good_cnt)?;
+
+    // Digit statistics: running sum, largest accepted digit, total digit
+    // count — the bookkeeping a BCD reader keeps per number.
+    let digit_sum = n.input_word("digit_sum", 8)?;
+    let max_digit = n.input_word("max_digit", 4)?;
+    let ndigits = n.input_word("ndigits", 4)?;
+    let digit_w8 = n.zext(digit_next, 8)?;
+    let sum_inc = n.add(digit_sum, digit_w8)?;
+    let sum_next = n.ite(count_it, sum_inc, digit_sum)?;
+    let bigger = n.cmp(CmpOp::Gt, digit_next, max_digit)?;
+    let new_peak = n.and(&[count_it, bigger])?;
+    let max_next = n.ite(new_peak, digit_next, max_digit)?;
+    let nd_inc = n.add(ndigits, one4)?;
+    let nd_next = n.ite(digit_done, nd_inc, ndigits)?;
+
+    // Display register: the accepted digit with its bit pairs swapped
+    // (the original drives a two-segment display bus).
+    let disp = n.input_word("disp", 4)?;
+    let lo_pair = n.extract(digit_next, 1, 0)?;
+    let hi_pair = n.extract(digit_next, 3, 2)?;
+    let swapped = n.concat(lo_pair, hi_pair)?;
+    let disp_next = n.ite(count_it, swapped, disp)?;
+
+    // Word-level state trace register (the RTL translation registers the
+    // encoded state for the observers).
+    let state_trace = n.input_word("state_trace", 3)?;
+    let state_trace_next = state;
+
+    // Activity flags: mid-digit indicator and reject-path indicator, the
+    // gate-level status pins of the original.
+    let mid_digit = n.or(&[s[1], s[2], s[3], s[4]])?;
+    let rejecting = n.or(&[s[5], a1, d1])?;
+    let busy = n.input_bool("busy")?;
+    let nbusy_new = n.and_not(mid_digit, rejecting)?;
+    let idle_now = n.not(mid_digit)?;
+    let busy_hold = n.and_not(busy, idle_now)?;
+    let busy_next = n.or(&[nbusy_new, busy_hold])?;
+
+    n.set_output(u, "u")?;
+    n.set_output(good_cnt, "good_digits")?;
+    n.set_output(digit_sum, "digit_sum")?;
+    n.set_output(busy, "busy")?;
+
+    // Property 1: u → state ∈ {0, 1, 2} (u is set when leaving state 6,
+    // which always returns to state 0, whose successors are 1 and 2 —
+    // never mid-digit).
+    let in_start = n.or(&[s[0], s[1], s[2]])?;
+    let viol1 = n.and_not(u, in_start)?;
+
+    // Property 2: state ≤ 6 (state 7 = all three bits set is unreachable).
+    let c6 = n.const_word(6, 3)?;
+    let viol2 = n.cmp(CmpOp::Gt, state, c6)?;
+
+    let mut ckt = SeqCircuit::new(n);
+    ckt.add_register(st0, st0_next, 0)?;
+    ckt.add_register(st1, st1_next, 0)?;
+    ckt.add_register(st2, st2_next, 0)?;
+    ckt.add_register(u, u_next, 0)?;
+    ckt.add_register(digit, digit_next, 0)?;
+    ckt.add_register(bitpos, bitpos_next, 0)?;
+    ckt.add_register(good_cnt, good_next, 0)?;
+    ckt.add_register(digit_sum, sum_next, 0)?;
+    ckt.add_register(max_digit, max_next, 0)?;
+    ckt.add_register(ndigits, nd_next, 0)?;
+    ckt.add_register(state_trace, state_trace_next, 0)?;
+    ckt.add_register(disp, disp_next, 0)?;
+    ckt.add_register(busy, busy_next, 0)?;
+    ckt.add_property("p1", viol1)?;
+    ckt.add_property("p2", viol2)?;
+    Ok(ckt)
+}
+
+/// The word-level state view of a simulation frame (test helper).
+#[cfg(test)]
+fn state_of(frame: &rtl_ir::Netlist, vals: &rtl_ir::eval::Values) -> i64 {
+    let bit = |name: &str| vals[frame.find(name).unwrap()];
+    bit("st2") * 4 + bit("st1") * 2 + bit("st0")
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn recognizes_and_returns_to_start() {
+        let ckt = b02();
+        let f = ckt.frame();
+        let linea = f.find("linea").unwrap();
+        let u = f.find("u").unwrap();
+        // stream 1,1,…: A→B→D→F→A (7 is not BCD: reject path, no accept)
+        let bits = [1i64, 1, 1, 1, 1];
+        let steps: Vec<HashMap<_, _>> =
+            bits.iter().map(|&b| [(linea, b)].into()).collect();
+        let trace = ckt.simulate(&steps).unwrap();
+        let states: Vec<i64> = trace.iter().map(|v| state_of(f, v)).collect();
+        assert_eq!(states, vec![0, 1, 3, 5, 0]);
+        assert_eq!(trace[4][u], 0, "reject path must not accept");
+
+        // stream 0,…: A→C→E→G→A with u pulsed after G
+        let bits = [0i64, 0, 0, 0, 0];
+        let steps: Vec<HashMap<_, _>> =
+            bits.iter().map(|&b| [(linea, b)].into()).collect();
+        let trace = ckt.simulate(&steps).unwrap();
+        let states: Vec<i64> = trace.iter().map(|v| state_of(f, v)).collect();
+        assert_eq!(states, vec![0, 2, 4, 6, 0]);
+        assert_eq!(trace[4][u], 1, "accept flag after leaving G");
+    }
+
+    #[test]
+    fn digit_collector_counts_bcd() {
+        let ckt = b02();
+        let f = ckt.frame();
+        let linea = f.find("linea").unwrap();
+        let good = f.find("good_cnt").unwrap();
+        // 1001 (9, BCD) then 1110 (14, not BCD)
+        let bits = [1i64, 0, 0, 1, 1, 1, 1, 0, 0];
+        let steps: Vec<HashMap<_, _>> =
+            bits.iter().map(|&b| [(linea, b)].into()).collect();
+        let trace = ckt.simulate(&steps).unwrap();
+        assert_eq!(trace[3][good], 0);
+        assert_eq!(trace[4][good], 1, "9 is a BCD digit");
+        assert_eq!(trace[8][good], 1, "14 is not a BCD digit");
+    }
+
+    #[test]
+    fn invariants_hold_under_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let ckt = b02();
+        let f = ckt.frame();
+        let linea = f.find("linea").unwrap();
+        let p1 = ckt.property("p1").unwrap();
+        let p2 = ckt.property("p2").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let steps: Vec<HashMap<_, _>> = (0..500)
+            .map(|_| [(linea, rng.gen_range(0..2))].into())
+            .collect();
+        for (t, v) in ckt.simulate(&steps).unwrap().iter().enumerate() {
+            assert_eq!(v[p1], 0, "p1 violated at step {t}");
+            assert_eq!(v[p2], 0, "p2 violated at step {t}");
+        }
+    }
+}

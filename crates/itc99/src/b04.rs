@@ -1,0 +1,192 @@
+//! b04 — min/max tracker over an 8-bit data-path.
+//!
+//! The original ITC'99 b04 registers the running minimum (`RMIN`), maximum
+//! (`RMAX`) and last value (`RLAST`) of an input stream `DATA_IN`, with a
+//! small three-state control FSM (initialize → settle → run) and an output
+//! adder. The paper's Figure 2(a) — comparator feeding two multiplexer
+//! selects — is a fragment of exactly this structure.
+//!
+//! This reconstruction keeps all of it: 8-bit data-path registers updated
+//! through comparator-driven multiplexers, the init FSM, and
+//! `DATA_OUT = RMAX + RMIN` (mod 256).
+//!
+//! Properties:
+//!
+//! * `p1` (**SAT** at every bound ≥ 3, matching the paper's `S` rows):
+//!   the output adder can produce the magic value 37 — the solver must
+//!   drive two distinct frame inputs so that `max + min ≡ 37 (mod 256)`.
+//! * `p2` (invariant, UNSAT): once running, `RMIN ≤ RMAX`.
+
+use rtl_ir::seq::SeqCircuit;
+use rtl_ir::{CmpOp, Netlist, NetlistError};
+
+use crate::helpers::st_eq;
+
+/// Builds the b04 reconstruction. See the [module docs](self).
+///
+/// # Panics
+///
+/// Construction of the fixed netlist cannot fail; panics would indicate a
+/// bug in this crate.
+#[must_use]
+pub fn b04() -> SeqCircuit {
+    build().expect("b04 netlist construction is infallible")
+}
+
+fn build() -> Result<SeqCircuit, NetlistError> {
+    let mut n = Netlist::new("b04");
+
+    let data_in = n.input_word("data_in", 8)?;
+    let ena = n.input_bool("ena")?;
+
+    let rmax = n.input_word("rmax", 8)?;
+    let rmin = n.input_word("rmin", 8)?;
+    let rlast = n.input_word("rlast", 8)?;
+    let st = n.input_word("st", 2)?; // 0 = init, 1 = settle, 2 = run
+
+    let s_init = st_eq(&mut n, st, 0)?;
+    let running = n.not(s_init)?;
+
+    // FSM: wait in init for the first enabled sample, then
+    // 0 → 1 → 2 → 2 …  (the original's sA → sB → sC).
+    let c0 = n.const_word(0, 2)?;
+    let c1 = n.const_word(1, 2)?;
+    let c2 = n.const_word(2, 2)?;
+    let seeded = n.ite(ena, c1, c0)?;
+    let st_next = n.ite(s_init, seeded, c2)?;
+
+    // Comparators (the Figure 2(a) fragment).
+    let gt_max = n.cmp(CmpOp::Gt, data_in, rmax)?;
+    let lt_min = n.cmp(CmpOp::Lt, data_in, rmin)?;
+
+    // Updates: in init state the first enabled sample seeds all registers;
+    // afterwards, enabled samples update through the comparator muxes.
+    let upd_max = n.and(&[ena, running, gt_max])?;
+    let upd_min = n.and(&[ena, running, lt_min])?;
+    let load = n.and(&[ena, s_init])?;
+
+    let max_cand = n.ite(upd_max, data_in, rmax)?;
+    let rmax_next = n.ite(load, data_in, max_cand)?;
+    let min_cand = n.ite(upd_min, data_in, rmin)?;
+    let rmin_next = n.ite(load, data_in, min_cand)?;
+    let last_upd = n.and(&[ena, running])?;
+    let last_cand = n.ite(last_upd, data_in, rlast)?;
+    let rlast_next = n.ite(load, data_in, last_cand)?;
+
+    // Output adder (wraps mod 256, like the original's 8-bit sum).
+    let data_out = n.add(rmax, rmin)?;
+    n.set_output(data_out, "data_out")?;
+
+    // Spike detection on the sample stream: a jump of more than 64 from
+    // the previous sample increments a saturating spike counter.
+    let spike_cnt = n.input_word("spike_cnt", 4)?;
+    let thresh = n.const_word(64, 8)?;
+    let jump_up = n.sub(data_in, rlast)?;
+    let jump_dn = n.sub(rlast, data_in)?;
+    let over_up = n.cmp(CmpOp::Gt, jump_up, thresh)?;
+    let over_dn = n.cmp(CmpOp::Gt, jump_dn, thresh)?;
+    let rising = n.cmp(CmpOp::Gt, data_in, rlast)?;
+    let falling = n.not(rising)?;
+    let spike_up = n.and(&[rising, over_up])?;
+    let spike_dn = n.and(&[falling, over_dn])?;
+    let spike = n.or(&[spike_up, spike_dn])?;
+    let c15 = n.const_word(15, 4)?;
+    let spike_sat = n.cmp(CmpOp::Eq, spike_cnt, c15)?;
+    let not_sat = n.not(spike_sat)?;
+    let count_spike = n.and(&[ena, running, spike, not_sat])?;
+    let one4 = n.const_word(1, 4)?;
+    let spike_inc = n.add(spike_cnt, one4)?;
+    let spike_next = n.ite(count_spike, spike_inc, spike_cnt)?;
+    n.set_output(spike_cnt, "spikes")?;
+
+    // Alarm latch: a spike during an enabled running sample sets the alarm
+    // until the tracker is re-seeded; plus an enable edge detector.
+    let alarm = n.input_bool("alarm")?;
+    let ena_d = n.input_bool("ena_d")?;
+    let ena_edge = n.and_not(ena, ena_d)?;
+    let alarm_set = n.and(&[spike, ena, running])?;
+    let not_edge = n.not(ena_edge)?;
+    let alarm_hold = n.and(&[alarm, not_edge])?;
+    let alarm_next = n.or(&[alarm_set, alarm_hold])?;
+    n.set_output(alarm, "alarm")?;
+
+    // Range output: the spread between the extremes.
+    let range = n.sub(rmax, rmin)?;
+    n.set_output(range, "range")?;
+
+    // Property 1: DATA_OUT = 37 (satisfiable once two samples arrive).
+    let bad1 = n.eq_const(data_out, 37)?;
+
+    // Property 2: once seeded (out of the init state), RMIN ≤ RMAX.
+    let min_gt_max = n.cmp(CmpOp::Gt, rmin, rmax)?;
+    let viol2 = n.and(&[running, min_gt_max])?;
+
+    let mut ckt = SeqCircuit::new(n);
+    ckt.add_register(rmax, rmax_next, 0)?;
+    ckt.add_register(rmin, rmin_next, 255)?;
+    ckt.add_register(rlast, rlast_next, 0)?;
+    ckt.add_register(st, st_next, 0)?;
+    ckt.add_register(spike_cnt, spike_next, 0)?;
+    ckt.add_register(alarm, alarm_next, 0)?;
+    ckt.add_register(ena_d, ena, 0)?;
+    ckt.add_property("p1", bad1)?;
+    ckt.add_property("p2", viol2)?;
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tracks_min_and_max() {
+        let ckt = b04();
+        let f = ckt.frame();
+        let data_in = f.find("data_in").unwrap();
+        let ena = f.find("ena").unwrap();
+        let rmax = f.find("rmax").unwrap();
+        let rmin = f.find("rmin").unwrap();
+        let samples = [40i64, 7, 99, 12, 250, 3];
+        let steps: Vec<HashMap<_, _>> = samples
+            .iter()
+            .map(|&d| [(data_in, d), (ena, 1)].into())
+            .collect();
+        let trace = ckt.simulate(&steps).unwrap();
+        let last = trace.last().unwrap();
+        // final registered values reflect all but the final sample
+        assert_eq!(last[rmax], 250);
+        assert_eq!(last[rmin], 7);
+    }
+
+    #[test]
+    fn p2_invariant_holds_and_p1_reachable() {
+        use rand::{Rng, SeedableRng};
+        let ckt = b04();
+        let f = ckt.frame();
+        let data_in = f.find("data_in").unwrap();
+        let ena = f.find("ena").unwrap();
+        let p1 = ckt.property("p1").unwrap();
+        let p2 = ckt.property("p2").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let steps: Vec<HashMap<_, _>> = (0..300)
+            .map(|_| {
+                [
+                    (data_in, rng.gen_range(0..256)),
+                    (ena, rng.gen_range(0..2)),
+                ]
+                .into()
+            })
+            .collect();
+        for (t, v) in ckt.simulate(&steps).unwrap().iter().enumerate() {
+            assert_eq!(v[p2], 0, "p2 violated at step {t}");
+        }
+        // p1 witnessed concretely: samples 30 then 7 ⇒ max+min = 37.
+        let crafted: Vec<HashMap<_, _>> = [30i64, 7, 0]
+            .iter()
+            .map(|&d| [(data_in, d), (ena, 1)].into())
+            .collect();
+        let trace = ckt.simulate(&crafted).unwrap();
+        assert_eq!(trace[2][p1], 1, "p1 must be reachable at step 2");
+    }
+}

@@ -1,0 +1,411 @@
+//! b13 — weather-station sensor interface.
+//!
+//! The original ITC'99 b13 drives a serial link to a weather station: an
+//! FSM waits for an ADC end-of-conversion pulse, registers the sensor
+//! sample, and shifts it out bit-by-bit under a bit counter, with a
+//! timeout watchdog and an error state. It is the paper's workhorse — the
+//! mixed control/data-path benchmark where structural decisions and
+//! predicate learning pay off most.
+//!
+//! This reconstruction keeps that architecture and the sensor-handling
+//! detail that gives the circuit its size: four sensor channel registers
+//! behind a rotating select, a checksum accumulator, running min/max
+//! statistics, a parity tree over the transmit register, a timeout
+//! watchdog and a scan watchdog.
+//!
+//! FSM (3-bit state): `0` idle → `1` load → `2` prep → `3` transmit (8
+//! bits) → `4` done → `0`, with `5` as the timeout error state.
+//!
+//! Properties (verdicts match the paper's Table 1/2 `Rslt` column):
+//!
+//! * `p1` (UNSAT): the timeout counter never exceeds 200 — an arithmetic
+//!   invariant maintained by the guarded increment.
+//! * `p2` (UNSAT): in the transmit state the bit counter is never 0 —
+//!   couples the FSM to the counter data-path.
+//! * `p3` (UNSAT): the state encoding never reaches the unused codes 6/7 —
+//!   provable *purely in control logic*, the paper's predicate-abstraction
+//!   corner case where plain HDPLL beats raw justification (§5.1).
+//! * `p5` (UNSAT): the error flag is never up while `ready` pulses — a
+//!   cross-register relational invariant (predicate correlation).
+//! * `p8` (UNSAT): when `ready` pulses, the output register equals the
+//!   load register — a word-level relational invariant.
+//! * `p40` (**SAT at bound 13**): the session counter reaches 1, which
+//!   takes exactly 12 steps (1 idle + 1 load + 1 prep + 8 transmit + 1
+//!   done) — the paper's `b13_40(13) S` row.
+
+use rtl_ir::seq::SeqCircuit;
+use rtl_ir::{CmpOp, Netlist, NetlistError};
+
+use crate::helpers::{priority_mux, st_eq};
+
+/// Builds the b13 reconstruction. See the [module docs](self).
+///
+/// # Panics
+///
+/// Construction of the fixed netlist cannot fail; panics would indicate a
+/// bug in this crate.
+#[must_use]
+pub fn b13() -> SeqCircuit {
+    build().expect("b13 netlist construction is infallible")
+}
+
+fn build() -> Result<SeqCircuit, NetlistError> {
+    let mut n = Netlist::new("b13");
+
+    // Inputs.
+    let data_in = n.input_word("data_in", 8)?; // ADC sample
+    let eoc = n.input_bool("eoc")?; // end of conversion
+    let allow = n.input_bool("allow")?; // error acknowledge
+
+    // Registers.
+    let state = n.input_word("state", 3)?;
+    let tmp_cnt = n.input_word("tmp_cnt", 8)?; // timeout watchdog
+    let scan_cnt = n.input_word("scan_cnt", 8)?; // scan watchdog
+    let tx_cnt = n.input_word("tx_cnt", 4)?; // transmit bit counter
+    let shift = n.input_word("shift", 8)?; // transmit shift register
+    let load_reg = n.input_word("load_reg", 8)?;
+    let out_reg = n.input_word("out_reg", 8)?;
+    let soc_cnt = n.input_word("soc_cnt", 4)?; // completed sessions
+    let chk = n.input_word("chk", 8)?; // checksum accumulator
+    let dmax = n.input_word("dmax", 8)?; // sensor statistics
+    let dmin = n.input_word("dmin", 8)?;
+    let sel = n.input_word("sel", 2)?; // rotating channel select
+    let chan: Vec<_> = (0..4)
+        .map(|i| n.input_word(&format!("chan{i}"), 8))
+        .collect::<Result<_, _>>()?;
+    let error = n.input_bool("error")?;
+    let ready = n.input_bool("ready")?;
+    let tx_bit = n.input_bool("tx_bit")?; // serial line
+
+    // State predicates.
+    let s_idle = st_eq(&mut n, state, 0)?;
+    let s_load = st_eq(&mut n, state, 1)?;
+    let s_prep = st_eq(&mut n, state, 2)?;
+    let s_tx = st_eq(&mut n, state, 3)?;
+    let s_done = st_eq(&mut n, state, 4)?;
+    let s_err = st_eq(&mut n, state, 5)?;
+
+    // --- watchdogs -------------------------------------------------------
+    // Timeout: counts idle cycles without EOC; at 200 the FSM errors out.
+    let c200 = n.const_word(200, 8)?;
+    let at_limit = n.cmp(CmpOp::Eq, tmp_cnt, c200)?;
+    let no_eoc = n.not(eoc)?;
+    let timeout = n.and(&[s_idle, no_eoc, at_limit])?;
+    let one8 = n.const_word(1, 8)?;
+    let zero8 = n.const_word(0, 8)?;
+    let tmp_inc = n.add(tmp_cnt, one8)?;
+    let idle_count = n.and(&[s_idle, no_eoc])?;
+    // in idle without EOC: reset at the limit, else increment; any other
+    // event resets.
+    let tmp_kept = n.ite(at_limit, zero8, tmp_inc)?;
+    let tmp_next = n.ite(idle_count, tmp_kept, zero8)?;
+
+    // Scan watchdog: counts cycles since the last completed session,
+    // saturating at 255.
+    let c255 = n.const_word(255, 8)?;
+    let scan_sat = n.cmp(CmpOp::Eq, scan_cnt, c255)?;
+    let scan_inc = n.add(scan_cnt, one8)?;
+    let scan_kept = n.ite(scan_sat, scan_cnt, scan_inc)?;
+    let scan_next = n.ite(s_done, zero8, scan_kept)?;
+
+    // --- FSM -------------------------------------------------------------
+    let k: Vec<_> = (0..6)
+        .map(|v| n.const_word(v, 3))
+        .collect::<Result<_, _>>()?;
+    let one4 = n.const_word(1, 4)?;
+    let tx_last = n.cmp(CmpOp::Eq, tx_cnt, one4)?;
+
+    let idle_target = n.ite(eoc, k[1], k[0])?;
+    let idle_next = n.ite(timeout, k[5], idle_target)?; // timeout wins
+    let tx_target = n.ite(tx_last, k[4], k[3])?;
+    let err_target = n.ite(allow, k[0], k[5])?;
+    let state_next = priority_mux(
+        &mut n,
+        k[0],
+        &[
+            (s_idle, idle_next),
+            (s_load, k[2]),
+            (s_prep, k[3]),
+            (s_tx, tx_target),
+            (s_done, k[0]),
+            (s_err, err_target),
+        ],
+    )?;
+
+    // --- data-path -------------------------------------------------------
+    // Capture: the sample is registered when the conversion completes
+    // (idle ∧ eoc); the load state arms the bit counter, accumulates the
+    // checksum, updates statistics and stores into the selected channel.
+    let capture = n.and(&[s_idle, eoc])?;
+    let load_next = n.ite(capture, data_in, load_reg)?;
+    let eight4 = n.const_word(8, 4)?;
+    let tx_dec = n.sub(tx_cnt, one4)?;
+    let tx_in_tx = n.ite(s_tx, tx_dec, tx_cnt)?;
+    let tx_next = n.ite(s_load, eight4, tx_in_tx)?;
+
+    let chk_sum = n.add(chk, load_reg)?;
+    let chk_next = n.ite(s_load, chk_sum, chk)?;
+
+    let gt_max = n.cmp(CmpOp::Gt, load_reg, dmax)?;
+    let lt_min = n.cmp(CmpOp::Lt, load_reg, dmin)?;
+    let upd_max = n.and(&[s_load, gt_max])?;
+    let upd_min = n.and(&[s_load, lt_min])?;
+    let dmax_next = n.ite(upd_max, load_reg, dmax)?;
+    let dmin_next = n.ite(upd_min, load_reg, dmin)?;
+
+    // Channel store: the captured sample lands in the selected channel.
+    let mut chan_next = Vec::with_capacity(4);
+    for (i, &c) in chan.iter().enumerate() {
+        let here = n.eq_const(sel, i as i64)?;
+        let store = n.and(&[s_load, here])?;
+        chan_next.push(n.ite(store, load_reg, c)?);
+    }
+    let one2 = n.const_word(1, 2)?;
+    let sel_rot = n.add(sel, one2)?;
+    let sel_next = n.ite(s_done, sel_rot, sel)?;
+
+    // Prep: move the sample into the shifter. Transmit: shift right.
+    let shifted = n.shr(shift, 1)?;
+    let shift_in_tx = n.ite(s_tx, shifted, shift)?;
+    let shift_next = n.ite(s_prep, load_reg, shift_in_tx)?;
+
+    // Serial line: LSB of the shifter while transmitting.
+    let lsb_w = n.extract(shift, 0, 0)?;
+    let lsb = n.eq_const(lsb_w, 1)?;
+    let tx_bit_next = n.and(&[s_tx, lsb])?;
+
+    // Done: publish, count the session.
+    let out_next = n.ite(s_done, load_reg, out_reg)?;
+    let one4b = n.const_word(1, 4)?;
+    let soc_inc = n.add(soc_cnt, one4b)?;
+    let soc_next = n.ite(s_done, soc_inc, soc_cnt)?;
+
+    // Flags.
+    let err_cleared = n.and(&[s_err, allow])?;
+    let err_hold = n.and_not(error, err_cleared)?;
+    let error_next = n.or(&[timeout, err_hold])?;
+    let ready_next = s_done;
+
+    // --- handshake pulse train --------------------------------------------
+    // The original b13 carries a family of handshake flags between its two
+    // processes (`mux_en`, `send`, `tre`, `load_dato`, `send_data`, …);
+    // each is a set/hold/clear latch driven by the FSM pulses.
+    let mux_en = n.input_bool("mux_en")?;
+    let send = n.input_bool("send")?;
+    let tre = n.input_bool("tre")?;
+    let load_dato = n.input_bool("load_dato")?;
+    let send_data = n.input_bool("send_data")?;
+    let latch = |n: &mut Netlist, set: rtl_ir::SignalId, clear: rtl_ir::SignalId, hold: rtl_ir::SignalId| {
+        // next = set ∨ (hold ∧ ¬clear)
+        let nc = n.not(clear)?;
+        let kept = n.and(&[hold, nc])?;
+        n.or(&[set, kept])
+    };
+    // mux_en: raised while a session is active (capture sets, done clears).
+    let mux_en_next = latch(&mut n, capture, s_done, mux_en)?;
+    // send: raised for the transmit phase (prep sets, last bit clears).
+    let last_bit = n.and(&[s_tx, tx_last])?;
+    let send_next = latch(&mut n, s_prep, last_bit, send)?;
+    // tre (transmitter-ready): complement protocol of `send` gated on idle.
+    let nsend = n.not(send)?;
+    let tre_set = n.and(&[s_idle, nsend])?;
+    let tre_clear = n.or(&[s_prep, s_tx])?;
+    let tre_next = latch(&mut n, tre_set, tre_clear, tre)?;
+    // load_dato: one-cycle pulse mirroring the capture event.
+    let load_dato_next = capture;
+    // send_data: transmit-phase qualifier combined with the serial bit.
+    let tx_and_bit = n.and(&[s_tx, lsb])?;
+    let send_data_next = latch(&mut n, tx_and_bit, s_done, send_data)?;
+    n.set_output(mux_en, "mux_en")?;
+    n.set_output(tre, "tre")?;
+
+    // Parity tree over the transmit register, accumulated into a running
+    // parity register (the original stamps a parity bit on each word).
+    let par_reg = n.input_bool("par_reg")?;
+    let bits: Vec<_> = (0..8)
+        .map(|i| n.extract(load_reg, i, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    let bit_flags: Vec<_> = bits
+        .iter()
+        .map(|&b| n.eq_const(b, 1))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut parity = bit_flags[0];
+    for &b in &bit_flags[1..] {
+        parity = n.xor(parity, b)?;
+    }
+    let par_flip = n.xor(par_reg, parity)?;
+    let par_upd = n.bool_mux(s_done, par_flip, par_reg)?;
+
+    n.set_output(tx_bit, "tx_bit")?;
+    n.set_output(par_reg, "parity")?;
+    n.set_output(out_reg, "data_out")?;
+    n.set_output(ready, "ready")?;
+    n.set_output(error, "error")?;
+
+    // --- properties ------------------------------------------------------
+    // p1: timeout counter bounded.
+    let bad1 = n.cmp(CmpOp::Gt, tmp_cnt, c200)?;
+    // p2: never transmitting with an exhausted bit counter.
+    let tx0 = n.eq_const(tx_cnt, 0)?;
+    let bad2 = n.and(&[s_tx, tx0])?;
+    // p3: unused state codes unreachable (control-only).
+    let s6 = st_eq(&mut n, state, 6)?;
+    let s7 = st_eq(&mut n, state, 7)?;
+    let bad3 = n.or(&[s6, s7])?;
+    // p5: error never up while ready pulses.
+    let bad5 = n.and(&[error, ready])?;
+    // p8: ready implies the published value matches the sample.
+    let differs = n.cmp(CmpOp::Ne, out_reg, load_reg)?;
+    let bad8 = n.and(&[ready, differs])?;
+    // p40: a full session completes (reachable in exactly 12 steps).
+    let bad40 = n.eq_const(soc_cnt, 1)?;
+
+    let mut ckt = SeqCircuit::new(n);
+    ckt.add_register(state, state_next, 0)?;
+    ckt.add_register(tmp_cnt, tmp_next, 0)?;
+    ckt.add_register(scan_cnt, scan_next, 0)?;
+    ckt.add_register(tx_cnt, tx_next, 0)?;
+    ckt.add_register(shift, shift_next, 0)?;
+    ckt.add_register(load_reg, load_next, 0)?;
+    ckt.add_register(out_reg, out_next, 0)?;
+    ckt.add_register(soc_cnt, soc_next, 0)?;
+    ckt.add_register(chk, chk_next, 0)?;
+    ckt.add_register(dmax, dmax_next, 0)?;
+    ckt.add_register(dmin, dmin_next, 255)?;
+    ckt.add_register(sel, sel_next, 0)?;
+    for (i, (&c, &cn)) in chan.iter().zip(&chan_next).enumerate() {
+        let _ = i;
+        ckt.add_register(c, cn, 0)?;
+    }
+    ckt.add_register(error, error_next, 0)?;
+    ckt.add_register(ready, ready_next, 0)?;
+    ckt.add_register(tx_bit, tx_bit_next, 0)?;
+    ckt.add_register(mux_en, mux_en_next, 0)?;
+    ckt.add_register(send, send_next, 0)?;
+    ckt.add_register(tre, tre_next, 1)?;
+    ckt.add_register(load_dato, load_dato_next, 0)?;
+    ckt.add_register(send_data, send_data_next, 0)?;
+    ckt.add_register(par_reg, par_upd, 0)?;
+    ckt.add_property("p1", bad1)?;
+    ckt.add_property("p2", bad2)?;
+    ckt.add_property("p3", bad3)?;
+    ckt.add_property("p5", bad5)?;
+    ckt.add_property("p8", bad8)?;
+    ckt.add_property("p40", bad40)?;
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn inputs(ckt: &SeqCircuit) -> (rtl_ir::SignalId, rtl_ir::SignalId, rtl_ir::SignalId) {
+        let f = ckt.frame();
+        (
+            f.find("data_in").unwrap(),
+            f.find("eoc").unwrap(),
+            f.find("allow").unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_session_takes_twelve_steps() {
+        let ckt = b13();
+        let (data_in, eoc, allow) = inputs(&ckt);
+        let f = ckt.frame();
+        let state = f.find("state").unwrap();
+        let soc = f.find("soc_cnt").unwrap();
+        let p40 = ckt.property("p40").unwrap();
+        // EOC in frame 0, then idle inputs.
+        let mut steps: Vec<HashMap<_, _>> =
+            vec![[(data_in, 0xB5), (eoc, 1), (allow, 0)].into()];
+        steps.extend(vec![
+            HashMap::from([(data_in, 0i64), (eoc, 0), (allow, 0)]);
+            14
+        ]);
+        let trace = ckt.simulate(&steps).unwrap();
+        let states: Vec<i64> = trace.iter().map(|v| v[state]).collect();
+        assert_eq!(states[0], 0);
+        assert_eq!(states[1], 1, "load");
+        assert_eq!(states[2], 2, "prep");
+        assert_eq!(states[3..11], [3, 3, 3, 3, 3, 3, 3, 3], "8 transmit frames");
+        assert_eq!(states[11], 4, "done");
+        assert_eq!(states[12], 0, "back to idle");
+        assert_eq!(trace[11][soc], 0);
+        assert_eq!(trace[12][soc], 1, "session counted at step 12");
+        assert_eq!(trace[12][p40], 1, "p40 violated exactly at step 12");
+        assert!(trace[..12].iter().all(|v| v[p40] == 0));
+    }
+
+    #[test]
+    fn transmitted_bits_match_sample() {
+        let ckt = b13();
+        let (data_in, eoc, allow) = inputs(&ckt);
+        let f = ckt.frame();
+        let tx_bit = f.find("tx_bit").unwrap();
+        let sample = 0xB5i64; // 1011_0101
+        let mut steps: Vec<HashMap<_, _>> =
+            vec![[(data_in, sample), (eoc, 1), (allow, 0)].into()];
+        steps.extend(vec![
+            HashMap::from([(data_in, 0i64), (eoc, 0), (allow, 0)]);
+            13
+        ]);
+        let trace = ckt.simulate(&steps).unwrap();
+        // tx_bit registers the LSB while in transmit: frames 4..=11 carry
+        // the sample LSB-first.
+        let got: Vec<i64> = (4..12).map(|t| trace[t][tx_bit]).collect();
+        let want: Vec<i64> = (0..8).map(|i| (sample >> i) & 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn timeout_enters_error_state_and_recovers() {
+        let ckt = b13();
+        let (data_in, eoc, allow) = inputs(&ckt);
+        let f = ckt.frame();
+        let state = f.find("state").unwrap();
+        let error = f.find("error").unwrap();
+        let tmp = f.find("tmp_cnt").unwrap();
+        // 201 idle cycles without EOC trip the watchdog.
+        let mut steps: Vec<HashMap<_, _>> = vec![
+            HashMap::from([(data_in, 0i64), (eoc, 0), (allow, 0)]);
+            202
+        ];
+        steps.push([(data_in, 0), (eoc, 0), (allow, 1)].into());
+        steps.push([(data_in, 0), (eoc, 0), (allow, 0)].into());
+        let trace = ckt.simulate(&steps).unwrap();
+        assert_eq!(trace[200][tmp], 200);
+        assert_eq!(trace[201][state], 5, "error state after timeout");
+        assert_eq!(trace[201][error], 1);
+        assert_eq!(trace[203][state], 0, "allow releases the error state");
+        assert_eq!(trace[203][error], 0);
+    }
+
+    #[test]
+    fn invariants_hold_under_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let ckt = b13();
+        let (data_in, eoc, allow) = inputs(&ckt);
+        let props: Vec<_> = ["p1", "p2", "p3", "p5", "p8"]
+            .iter()
+            .map(|p| (p, ckt.property(p).unwrap()))
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let steps: Vec<HashMap<_, _>> = (0..1000)
+            .map(|_| {
+                [
+                    (data_in, rng.gen_range(0..256)),
+                    (eoc, rng.gen_range(0..2)),
+                    (allow, rng.gen_range(0..2)),
+                ]
+                .into()
+            })
+            .collect();
+        for (t, v) in ckt.simulate(&steps).unwrap().iter().enumerate() {
+            for (name, sig) in &props {
+                assert_eq!(v[*sig], 0, "{name} violated at step {t}");
+            }
+        }
+    }
+}

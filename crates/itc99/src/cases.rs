@@ -1,0 +1,159 @@
+//! The exact experiment rows of the paper's Table 1 and Table 2.
+//!
+//! Each [`BmcCase`] names a circuit, property and bound in the paper's
+//! `bXX_p(k)` notation (`b13_5(100)` = property 5 of `b13` expanded for
+//! 100 time-frames) together with the verdict the paper reports.
+
+use rtl_ir::seq::{BmcProblem, SeqCircuit};
+
+use crate::{b01, b02, b04, b13};
+
+/// Which circuit a case runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Circuit {
+    /// Serial-flow comparator FSM.
+    B01,
+    /// BCD recognizer FSM.
+    B02,
+    /// Min/max data-path tracker.
+    B04,
+    /// Weather-station interface.
+    B13,
+}
+
+impl Circuit {
+    /// Builds the circuit.
+    #[must_use]
+    pub fn build(self) -> SeqCircuit {
+        match self {
+            Circuit::B01 => b01(),
+            Circuit::B02 => b02(),
+            Circuit::B04 => b04(),
+            Circuit::B13 => b13(),
+        }
+    }
+
+    /// The benchmark's name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Circuit::B01 => "b01",
+            Circuit::B02 => "b02",
+            Circuit::B04 => "b04",
+            Circuit::B13 => "b13",
+        }
+    }
+}
+
+/// The expected verdict of a case (the paper's `Rslt`/`Type` column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// Satisfiable (`S`).
+    Sat,
+    /// Unsatisfiable (`U`).
+    Unsat,
+}
+
+/// One experiment row: a circuit, property, bound and expected verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct BmcCase {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Property name within the circuit (`"p1"`, `"p40"`, …).
+    pub property: &'static str,
+    /// Number of time-frames to expand.
+    pub frames: usize,
+    /// The verdict the paper reports.
+    pub expected: Expected,
+}
+
+impl BmcCase {
+    const fn new(
+        circuit: Circuit,
+        property: &'static str,
+        frames: usize,
+        expected: Expected,
+    ) -> Self {
+        Self {
+            circuit,
+            property,
+            frames,
+            expected,
+        }
+    }
+
+    /// The paper's name for the case, e.g. `b13_5(100)`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "{}_{}({})",
+            self.circuit.name(),
+            &self.property[1..],
+            self.frames
+        )
+    }
+
+    /// Unrolls the circuit for this case.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an internal inconsistency (unknown property).
+    #[must_use]
+    pub fn build(&self) -> BmcProblem {
+        self.circuit
+            .build()
+            .unroll(self.property, self.frames)
+            .expect("case property exists")
+    }
+}
+
+use Circuit::{B01, B02, B04, B13};
+use Expected::{Sat, Unsat};
+
+/// The rows of the paper's **Table 1** (run-time analysis of predicate
+/// learning): `b01_1`/`b02_1`/`b04_1` at small bounds and the `b13_1`/
+/// `b13_5` series up to 300 frames.
+#[must_use]
+pub fn table1_cases() -> Vec<BmcCase> {
+    vec![
+        BmcCase::new(B01, "p1", 10, Sat),
+        BmcCase::new(B01, "p1", 20, Unsat),
+        BmcCase::new(B02, "p1", 10, Unsat),
+        BmcCase::new(B02, "p1", 20, Unsat),
+        BmcCase::new(B04, "p1", 20, Sat),
+        BmcCase::new(B13, "p5", 10, Unsat),
+        BmcCase::new(B13, "p1", 10, Unsat),
+        BmcCase::new(B13, "p5", 20, Unsat),
+        BmcCase::new(B13, "p1", 20, Unsat),
+        BmcCase::new(B13, "p5", 30, Unsat),
+        BmcCase::new(B13, "p1", 30, Unsat),
+        BmcCase::new(B13, "p5", 50, Unsat),
+        BmcCase::new(B13, "p1", 50, Unsat),
+        BmcCase::new(B13, "p5", 100, Unsat),
+        BmcCase::new(B13, "p1", 100, Unsat),
+        BmcCase::new(B13, "p5", 200, Unsat),
+        BmcCase::new(B13, "p1", 200, Unsat),
+        BmcCase::new(B13, "p1", 300, Unsat),
+    ]
+}
+
+/// The rows of the paper's **Table 2** (run-time analysis of the
+/// structural decision strategy and the CDP comparison).
+#[must_use]
+pub fn table2_cases() -> Vec<BmcCase> {
+    let mut cases = vec![
+        BmcCase::new(B01, "p1", 50, Sat),
+        BmcCase::new(B01, "p1", 100, Unsat),
+        BmcCase::new(B02, "p1", 50, Unsat),
+        BmcCase::new(B02, "p1", 100, Unsat),
+        BmcCase::new(B04, "p1", 50, Sat),
+        BmcCase::new(B04, "p1", 100, Sat),
+        BmcCase::new(B13, "p40", 13, Sat),
+    ];
+    for frames in [50usize, 100, 200, 300, 400] {
+        for prop in ["p1", "p2", "p3", "p5", "p8"] {
+            cases.push(BmcCase::new(B13, prop, frames, Unsat));
+        }
+    }
+    cases
+}

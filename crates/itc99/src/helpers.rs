@@ -1,0 +1,42 @@
+//! Small construction helpers shared by the benchmark models.
+
+use rtl_ir::{Netlist, NetlistError, SignalId};
+
+/// Builds a priority multiplexer: the value of the first case whose
+/// condition holds, else `default`.
+///
+/// `cases` are examined in order; the generated mux chain nests from the
+/// last case outward, so the *first* listed case has the highest priority.
+pub(crate) fn priority_mux(
+    n: &mut Netlist,
+    default: SignalId,
+    cases: &[(SignalId, SignalId)],
+) -> Result<SignalId, NetlistError> {
+    let mut acc = default;
+    for &(cond, value) in cases.iter().rev() {
+        acc = n.ite(cond, value, acc)?;
+    }
+    Ok(acc)
+}
+
+/// `state == k` predicate.
+pub(crate) fn st_eq(
+    n: &mut Netlist,
+    state: SignalId,
+    k: i64,
+) -> Result<SignalId, NetlistError> {
+    n.eq_const(state, k)
+}
+
+/// Boolean priority multiplexer (gate expansion).
+pub(crate) fn bool_priority_mux(
+    n: &mut Netlist,
+    default: SignalId,
+    cases: &[(SignalId, SignalId)],
+) -> Result<SignalId, NetlistError> {
+    let mut acc = default;
+    for &(cond, value) in cases.iter().rev() {
+        acc = n.bool_mux(cond, value, acc)?;
+    }
+    Ok(acc)
+}

@@ -1,0 +1,164 @@
+//! Minimal DIMACS CNF reader/writer for interoperability and testing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// Error produced while parsing DIMACS CNF text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error, line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// A parsed CNF formula: variable count and clauses over [`Lit`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (DIMACS variables `1..=num_vars` map to
+    /// [`Var`] indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh [`Solver`].
+    #[must_use]
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// Parses DIMACS CNF text (`c` comments, `p cnf V C` header, clauses
+/// terminated by `0`).
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input, including literals that
+/// exceed the declared variable count.
+pub fn parse(input: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::default();
+    let mut header_seen = false;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('c') {
+            continue;
+        }
+        if text.starts_with('p') {
+            let mut toks = text.split_whitespace();
+            let _p = toks.next();
+            if toks.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line,
+                    message: "expected `p cnf V C`".into(),
+                });
+            }
+            cnf.num_vars = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line,
+                    message: "bad variable count".into(),
+                })?;
+            header_seen = true;
+            continue;
+        }
+        if !header_seen {
+            return Err(ParseDimacsError {
+                line,
+                message: "clause before `p cnf` header".into(),
+            });
+        }
+        for tok in text.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if v == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                let var_index = v.unsigned_abs() as usize - 1;
+                if var_index >= cnf.num_vars {
+                    return Err(ParseDimacsError {
+                        line,
+                        message: format!("literal {v} exceeds declared variable count"),
+                    });
+                }
+                let var = Var::from_index(var_index);
+                current.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) });
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.clauses.push(current);
+    }
+    Ok(cnf)
+}
+
+/// Renders a formula as DIMACS CNF text.
+#[must_use]
+pub fn to_text(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let v = l.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_neg() { -v } else { v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    const SAMPLE: &str = "c tiny\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+
+    #[test]
+    fn parse_and_round_trip() {
+        let cnf = parse(SAMPLE).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 3);
+        let text = to_text(&cnf);
+        let cnf2 = parse(&text).unwrap();
+        assert_eq!(cnf, cnf2);
+    }
+
+    #[test]
+    fn solve_parsed() {
+        let cnf = parse(SAMPLE).unwrap();
+        let mut s = cnf.to_solver();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("1 2 0\n").is_err(), "clause before header");
+        assert!(parse("p cnf 1 1\n5 0\n").is_err(), "literal out of range");
+        assert!(parse("p dnf 1 1\n").is_err(), "wrong format tag");
+    }
+}

@@ -1,0 +1,148 @@
+//! Activity-ordered variable heap for VSIDS decision making.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by external activity scores, with
+/// position tracking so activities can be bumped in place (`decrease-key`
+/// is never needed because activities only grow; rescaling rebuilds).
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Grows the position table to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+
+    /// `true` if the heap contains no variables.
+    #[cfg(test)]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` if `v` is currently in the heap.
+    #[must_use]
+    pub fn contains(&self, v: Var) -> bool {
+        self.positions
+            .get(v.index())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.positions[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.positions[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.positions.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.positions[self.heap[i].index()] = i;
+        self.positions[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::default();
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reinsert_and_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::default();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        // duplicate insert is a no-op
+        h.insert(Var::from_index(1), &activity);
+        // bump v0 above everything
+        activity[0] = 10.0;
+        h.bumped(Var::from_index(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var::from_index(0)));
+        assert!(h.contains(Var::from_index(1)));
+        assert!(!h.contains(Var::from_index(0)));
+    }
+}

@@ -1,0 +1,48 @@
+//! A conflict-driven clause-learning (CDCL) Boolean satisfiability solver.
+//!
+//! This is the Boolean-SAT substrate of the DAC 2005 reproduction. The paper
+//! positions its hybrid RTL solver against "Boolean SAT on the Boolean
+//! translation" — the dominant approach of the era (GRASP [11], zChaff) —
+//! and its UCLID baseline solves eagerly-encoded formulas with zChaff. This
+//! crate provides that class of solver, built from scratch:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with recursive clause minimization
+//!   (conflict-based learning, §2.4 of the paper),
+//! * VSIDS-style exponentially-decaying variable activities,
+//! * phase saving,
+//! * Luby-sequence restarts,
+//! * activity-driven learned-clause database reduction, and
+//! * optional conflict budgets ([`Solver::solve_limited`]) so experiment
+//!   harnesses can impose deterministic timeouts.
+//!
+//! # Example
+//!
+//! ```
+//! use rtl_sat::{Lit, SatResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]); // a ∨ b
+//! s.add_clause(&[Lit::neg(a)]);              // ¬a
+//! match s.solve() {
+//!     SatResult::Sat(model) => assert!(model.value(b)),
+//!     _ => unreachable!("formula is satisfiable"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heap;
+mod lit;
+mod solver;
+
+pub mod dimacs;
+
+pub use crate::lit::{Lit, Var};
+pub use crate::solver::{Limits, Model, SatResult, Solver, SolverStats};
+
+#[cfg(test)]
+mod tests;

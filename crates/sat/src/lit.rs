@@ -1,0 +1,120 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, a dense index starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a variable from its dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity.
+///
+/// Encoded as `var << 1 | sign` (sign bit 1 = negated), the packing used by
+/// MiniSat-family solvers so literals index watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[must_use]
+    pub fn pos(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[must_use]
+    pub fn neg(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a truth value it asserts.
+    #[must_use]
+    pub fn with_value(var: Var, value: bool) -> Self {
+        if value {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if the literal is negated.
+    #[must_use]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The truth value this literal asserts of its variable.
+    #[must_use]
+    pub fn value(self) -> bool {
+        !self.is_neg()
+    }
+
+    /// Dense code of the literal (`2·var + sign`), used to index watch
+    /// lists.
+    #[must_use]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    #[must_use]
+    pub fn from_code(code: usize) -> Self {
+        Lit(u32::try_from(code).expect("literal code exceeds u32"))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬v{}", self.0 >> 1)
+        } else {
+            write!(f, "v{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}

@@ -1,0 +1,738 @@
+//! The CDCL search engine.
+
+use crate::heap::VarHeap;
+use crate::lit::{Lit, Var};
+
+/// Index of a clause in the solver's arena.
+type ClauseRef = u32;
+
+const NO_REASON: ClauseRef = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+/// A watcher entry: the watching clause and a *blocker* literal whose truth
+/// lets propagation skip the clause without touching its literal array.
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not a variable of the solved instance.
+    #[must_use]
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// `true` if the literal is satisfied by this model.
+    #[must_use]
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.value()
+    }
+
+    /// Number of variables in the model.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the model covers no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The outcome of a (possibly budget-limited) solve call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; a model is attached.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The budget was exhausted before an answer was found.
+    Unknown,
+}
+
+impl SatResult {
+    /// `true` for [`SatResult::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// `true` for [`SatResult::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+}
+
+/// Resource budget for [`Solver::solve_limited`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Abort with [`SatResult::Unknown`] after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Abort with [`SatResult::Unknown`] after this many unit propagations.
+    pub max_propagations: Option<u64>,
+    /// Abort with [`SatResult::Unknown`] after this wall-clock budget.
+    pub max_duration: Option<std::time::Duration>,
+}
+
+/// Search statistics, cumulative over the solver's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learned: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted: u64,
+}
+
+/// A CDCL SAT solver (see the [crate docs](crate) for the feature list).
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    /// 0 = unassigned, 1 = true, -1 = false.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    cla_inc: f64,
+    seen: Vec<bool>,
+    stats: SolverStats,
+    ok: bool,
+    max_learned: f64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            max_learned: 1000.0,
+            ..Self::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learned) clauses added so far, including those
+    /// simplified away.
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learned && !c.deleted).count()
+    }
+
+    /// Search statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// The live problem clauses (for export; learned clauses excluded).
+    /// Unit facts absorbed at level 0 are reported by
+    /// [`Solver::level0_assignments`].
+    pub fn problem_clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learned && !c.deleted)
+            .map(|c| c.lits.as_slice())
+    }
+
+    /// The literals permanently assigned at decision level 0 (absorbed
+    /// unit clauses and their consequences).
+    #[must_use]
+    pub fn level0_assignments(&self) -> Vec<Lit> {
+        let end = self
+            .trail_lim
+            .first()
+            .copied()
+            .unwrap_or(self.trail.len());
+        self.trail[..end].to_vec()
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(0);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    fn lit_value(&self, lit: Lit) -> i8 {
+        let a = self.assign[lit.var().index()];
+        if lit.is_neg() {
+            -a
+        } else {
+            a
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Clauses may be added only before solving or between solve calls (the
+    /// solver backtracks to level 0 after each call). Tautologies are
+    /// dropped; falsified clauses make the instance permanently UNSAT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was never created.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses may only be added at decision level 0"
+        );
+        if !self.ok {
+            return;
+        }
+        // Simplify: sort, dedup, drop false literals, detect tautologies and
+        // satisfied clauses.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut simplified = Vec::with_capacity(c.len());
+        for &l in &c {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {l:?}");
+            if c.binary_search(&!l).is_ok() {
+                return; // tautology: l ∨ ¬l
+            }
+            match self.lit_value(l) {
+                1 => return, // already satisfied at level 0
+                -1 => {}     // drop falsified literal
+                _ => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                self.enqueue(simplified[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = u32::try_from(self.clauses.len()).expect("too many clauses");
+        self.watches[(!lits[0]).code()].push(Watcher {
+            clause: cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            clause: cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learned,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learned {
+            self.stats.learned += 1;
+        }
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_value(lit), 0);
+        let v = lit.var();
+        self.assign[v.index()] = if lit.is_neg() { -1 } else { 1 };
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = lit.value();
+        self.trail.push(lit);
+    }
+
+    /// Propagates until fixpoint; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Take the watcher list for ¬-occurrences of p.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < ws.len() {
+                let w = ws[i];
+                // Blocker fast path.
+                if self.lit_value(w.blocker) == 1 {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                // Normalize: watched literal being falsified is ¬p; put it
+                // in slot 1.
+                let false_lit = !p;
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.lit_value(first) == 1 {
+                    ws[i] = Watcher {
+                        clause: cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != -1 {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                        // remove from this list (swap with last)
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == -1 {
+                    // Conflict: all remaining watchers stay in the list.
+                    conflict = Some(cref);
+                    break;
+                }
+                self.enqueue(first, cref);
+                i += 1;
+            }
+            // Put the (possibly modified) list back, preserving entries.
+            let existing = std::mem::replace(&mut self.watches[p.code()], ws);
+            self.watches[p.code()].extend(existing);
+            if let Some(c) = conflict {
+                self.qhead = self.trail.len();
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            let inc = self.cla_inc;
+            for cl in &mut self.clauses {
+                cl.activity /= 1e20;
+            }
+            self.cla_inc = inc / 1e20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(Var::from_index(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(conflict);
+            let start = usize::from(p.is_some());
+            let clen = self.clauses[conflict as usize].lits.len();
+            for k in start..clen {
+                let q = self.clauses[conflict as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = !p.expect("found");
+                break;
+            }
+            conflict = self.reason[pv.index()];
+            debug_assert_ne!(conflict, NO_REASON);
+        }
+
+        // Clause minimization: drop literals whose reason is subsumed by the
+        // rest of the learned clause (local minimization).
+        let keep: Vec<bool> = learned
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.redundant(l, &learned))
+            .collect();
+        let mut minimized: Vec<Lit> = learned
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&l, _)| l)
+            .collect();
+        for l in &learned {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backtrack level: second-highest level in the clause.
+        let blevel = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, blevel)
+    }
+
+    /// `true` if `l`'s reason-side antecedents are all already implied by
+    /// the learned clause (so `l` can be dropped).
+    fn redundant(&self, l: Lit, learned: &[Lit]) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == NO_REASON {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().skip(1).all(|&q| {
+            self.seen[q.var().index()]
+                || self.level[q.var().index()] == 0
+                || learned.contains(&q)
+        })
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for i in (target..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = 0;
+            self.reason[v.index()] = NO_REASON;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v.index()] == 0 {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = Lit::with_value(v, self.phase[v.index()]);
+                self.enqueue(lit, NO_REASON);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Deletes the less-active half of the learned clauses (binary clauses
+    /// are kept), simplifies every clause against the permanent (level-0)
+    /// assignment, and rebuilds the watch lists.
+    ///
+    /// Must only be called at decision level 0, where every assignment is
+    /// permanent — this keeps the rebuilt watch lists consistent (a watched
+    /// literal that is false at level 0 can simply be removed from the
+    /// clause).
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut learned_refs: Vec<ClauseRef> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learned && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        learned_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let half = learned_refs.len() / 2;
+        for &cref in &learned_refs[..half] {
+            self.clauses[cref as usize].deleted = true;
+            self.stats.deleted += 1;
+            self.stats.learned -= 1;
+        }
+        self.simplify_and_rebuild();
+    }
+
+    /// Level-0 pass: removes permanently-falsified literals, drops
+    /// permanently-satisfied clauses, and rebuilds all watch lists.
+    fn simplify_and_rebuild(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut units: Vec<Lit> = Vec::new();
+        for c in &mut self.clauses {
+            if c.deleted {
+                continue;
+            }
+            let mut satisfied = false;
+            for &l in &c.lits {
+                let a = self.assign[l.var().index()];
+                if (a == 1) == l.value() && a != 0 {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if satisfied {
+                if c.learned {
+                    self.stats.learned -= 1;
+                    self.stats.deleted += 1;
+                }
+                c.deleted = true;
+                continue;
+            }
+            c.lits.retain(|&l| self.assign[l.var().index()] == 0);
+            match c.lits.len() {
+                0 => {
+                    self.ok = false;
+                }
+                1 => {
+                    units.push(c.lits[0]);
+                    if c.learned {
+                        self.stats.learned -= 1;
+                    }
+                    c.deleted = true;
+                }
+                _ => {}
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            let cref = i as u32;
+            self.watches[(!c.lits[0]).code()].push(Watcher {
+                clause: cref,
+                blocker: c.lits[1],
+            });
+            self.watches[(!c.lits[1]).code()].push(Watcher {
+                clause: cref,
+                blocker: c.lits[0],
+            });
+        }
+        for u in units {
+            if self.lit_value(u) == 0 {
+                self.enqueue(u, NO_REASON);
+            } else if self.lit_value(u) == -1 {
+                self.ok = false;
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
+    }
+
+    /// Solves the formula without budget.
+    ///
+    /// # Example
+    ///
+    /// See the [crate documentation](crate).
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_limited(Limits::default())
+    }
+
+    /// Solves under a resource budget; returns [`SatResult::Unknown`] when
+    /// the budget is exhausted.
+    pub fn solve_limited(&mut self, limits: Limits) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        let start_conflicts = self.stats.conflicts;
+        let start_props = self.stats.propagations;
+        let start_time = std::time::Instant::now();
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = 100 * luby(restart_count);
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learned, blevel) = self.analyze(conflict);
+                self.backtrack(blevel);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let cref = self.attach_clause(learned, true);
+                    self.bump_clause(cref);
+                    self.enqueue(asserting, cref);
+                }
+                self.decay_activities();
+            } else {
+                if let Some(max) = limits.max_conflicts {
+                    if self.stats.conflicts - start_conflicts >= max {
+                        self.backtrack(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if let Some(max) = limits.max_propagations {
+                    if self.stats.propagations - start_props >= max {
+                        self.backtrack(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if let Some(max) = limits.max_duration {
+                    if start_time.elapsed() >= max {
+                        self.backtrack(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if conflicts_until_restart == 0 {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = 100 * luby(restart_count);
+                    self.backtrack(0);
+                    if f64::from(self.stats.learned as u32) > self.max_learned {
+                        self.reduce_db();
+                        self.max_learned *= 1.3;
+                        if !self.ok {
+                            return SatResult::Unsat;
+                        }
+                    }
+                    continue;
+                }
+                if !self.decide() {
+                    // All variables assigned: SAT.
+                    let model = Model {
+                        values: self.assign.iter().map(|&a| a == 1).collect(),
+                    };
+                    self.backtrack(0);
+                    return SatResult::Sat(model);
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+#[must_use]
+pub(crate) fn luby(i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then the value.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    let mut sz = size;
+    let mut s = seq;
+    while sz - 1 != i {
+        sz = (sz - 1) / 2;
+        s -= 1;
+        i %= sz;
+    }
+    1u64 << s
+}

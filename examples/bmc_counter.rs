@@ -1,0 +1,79 @@
+//! Bounded model checking of a sequential circuit: a guarded counter with
+//! a saturation bug, hunted across increasing bounds — the workload shape
+//! of the paper's evaluation (`bXX_p(k)`).
+//!
+//! ```text
+//! cargo run --example bmc_counter
+//! ```
+
+use std::time::Instant;
+
+use rtlsat::hdpll::{HdpllResult, Solver, SolverConfig};
+use rtlsat::ir::seq::SeqCircuit;
+use rtlsat::ir::{CmpOp, Netlist, NetlistError};
+
+/// A 6-bit up/down counter that is *supposed* to saturate at 40, but the
+/// saturation comparator was written with `>` instead of `>=` — the
+/// counter can reach 41 through a precise input sequence.
+fn buggy_counter() -> Result<SeqCircuit, NetlistError> {
+    let mut f = Netlist::new("saturating_counter");
+    let count = f.input_word("count", 6)?;
+    let up = f.input_bool("up")?;
+    let down = f.input_bool("down")?;
+
+    let one = f.const_word(1, 6)?;
+    let lim = f.const_word(40, 6)?;
+    let inc = f.add(count, one)?;
+    let dec = f.sub(count, one)?;
+
+    // BUG: should be `count >= lim` to stop at 40.
+    let over = f.cmp(CmpOp::Gt, count, lim)?;
+    let can_up = f.and_not(up, over)?;
+    let nonzero = f.eq_const(count, 0)?;
+    let can_down = f.and_not(down, nonzero)?;
+
+    let after_up = f.ite(can_up, inc, count)?;
+    let next = f.ite(can_down, dec, after_up)?;
+
+    // Safety property: the counter never exceeds 40.
+    let bad = f.cmp(CmpOp::Gt, count, lim)?;
+
+    let mut ckt = SeqCircuit::new(f);
+    ckt.add_register(count, next, 0)?;
+    ckt.add_property("saturation", bad)?;
+    Ok(ckt)
+}
+
+fn main() -> Result<(), NetlistError> {
+    let ckt = buggy_counter()?;
+    println!("hunting the saturation bug by BMC:");
+    for frames in [10usize, 20, 30, 41, 42, 45] {
+        let bmc = ckt.unroll("saturation", frames)?;
+        let mut solver = Solver::new(&bmc.netlist, SolverConfig::structural());
+        let start = Instant::now();
+        let verdict = solver.solve(bmc.bad);
+        let elapsed = start.elapsed();
+        match verdict {
+            HdpllResult::Sat(model) => {
+                // Reconstruct the input trace frame by frame.
+                let ups: Vec<i64> = (0..frames)
+                    .map(|t| {
+                        let sig = bmc.netlist.find(&format!("up@{t}")).expect("input");
+                        model[&sig]
+                    })
+                    .collect();
+                println!(
+                    "  {frames:>3} frames: SAT in {elapsed:?} — counterexample drives `up` {} times",
+                    ups.iter().sum::<i64>()
+                );
+                println!("    (the counter passes 40 because `>` lets 40 + 1 through)");
+                break;
+            }
+            HdpllResult::Unsat => {
+                println!("  {frames:>3} frames: UNSAT in {elapsed:?}");
+            }
+            HdpllResult::Unknown => println!("  {frames:>3} frames: budget exhausted"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quick start: build a small RTL constraint and solve it with the hybrid
+//! DPLL solver, then cross-check with the eager bit-blasting baseline.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rtlsat::baselines::{BaselineLimits, EagerSolver};
+use rtlsat::hdpll::{HdpllResult, Solver, SolverConfig};
+use rtlsat::ir::{eval, CmpOp, Netlist, NetlistError};
+
+fn main() -> Result<(), NetlistError> {
+    // A little arithmetic puzzle over 6-bit words:
+    //   a + b = 50,  a < b,  b − a = 14   ⇒  a = 18, b = 32
+    let mut n = Netlist::new("puzzle");
+    let a = n.input_word("a", 6)?;
+    let b = n.input_word("b", 6)?;
+    let sum = n.add_into(a, b, 7)?; // exact (7-bit) adder
+    let eq50 = n.eq_const(sum, 50)?;
+    let lt = n.cmp(CmpOp::Lt, a, b)?;
+    let diff = n.sub(b, a)?;
+    let eq14 = n.eq_const(diff, 14)?;
+    let goal = n.and(&[eq50, lt, eq14])?;
+
+    println!("netlist `{}`:\n{}", n.name(), rtlsat::ir::text::to_text(&n));
+
+    // Solve with the paper's full configuration (structural decisions).
+    let mut solver = Solver::new(&n, SolverConfig::structural());
+    match solver.solve(goal) {
+        HdpllResult::Sat(model) => {
+            println!("HDPLL+S: SAT with a = {}, b = {}", model[&a], model[&b]);
+            assert!(eval::check_model(&n, &model, goal)?);
+            let stats = solver.stats().engine;
+            println!(
+                "         {} decisions, {} propagations, {} conflicts, {} FM calls",
+                stats.decisions, stats.propagations, stats.conflicts, stats.fm_calls
+            );
+        }
+        other => println!("HDPLL+S: unexpected verdict {other:?}"),
+    }
+
+    // The eager baseline agrees.
+    let eager = EagerSolver::new(BaselineLimits::default());
+    match eager.solve(&n, goal) {
+        HdpllResult::Sat(model) => {
+            println!("eager:   SAT with a = {}, b = {}", model[&a], model[&b]);
+        }
+        other => println!("eager:   unexpected verdict {other:?}"),
+    }
+
+    // Tightening the problem makes it UNSAT: an odd sum of two equal
+    // numbers does not exist (a = b ⇒ a + b = 2a is even).
+    let eq_ab = n.cmp(CmpOp::Eq, a, b)?;
+    let odd = n.eq_const(sum, 51)?;
+    let unsat_goal = n.and(&[odd, eq_ab])?;
+    let mut solver = Solver::new(&n, SolverConfig::structural());
+    println!(
+        "a = b with a + b = 51 (odd): {:?} (expected Unsat)",
+        solver.solve(unsat_goal)
+    );
+    Ok(())
+}

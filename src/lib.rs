@@ -1,0 +1,68 @@
+//! # rtlsat — structural search for RTL satisfiability
+//!
+//! A from-scratch Rust reproduction of the DAC 2005 paper *"Structural
+//! Search for RTL with Predicate Learning"* (G. Parthasarathy, M. K. Iyer,
+//! K.-T. Cheng, F. Brewer): a hybrid Boolean/integer DPLL satisfiability
+//! solver for register-transfer-level circuits, guided by circuit
+//! structure (RTL justification) and a static predicate-learning pass —
+//! plus every substrate the paper depends on and every baseline it
+//! compares against.
+//!
+//! This crate is the umbrella: it re-exports the workspace members under
+//! stable module names. See the individual crates for the full APIs:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`ir`] | `rtl-ir` | word-level netlists, analyses, simulator, BMC unrolling |
+//! | [`interval`] | `rtl-interval` | integer intervals, contractors, three-valued logic |
+//! | [`hdpll`] | `rtl-hdpll` | the hybrid DPLL solver, predicate learning, justification |
+//! | [`fm`] | `rtl-fm` | Fourier–Motzkin integer oracle with conflict extraction |
+//! | [`sat`] | `rtl-sat` | CDCL Boolean SAT solver |
+//! | [`bitblast`] | `rtl-bitblast` | Tseitin CNF translation of netlists |
+//! | [`baselines`] | `rtl-baselines` | eager (UCLID-like) and lazy (ICS-like) baselines |
+//! | [`itc99`] | `rtl-itc99` | reconstructed b01/b02/b04/b13 benchmarks and BMC cases |
+//!
+//! # Quick start
+//!
+//! ```
+//! use rtlsat::hdpll::{HdpllResult, Solver, SolverConfig};
+//! use rtlsat::ir::{CmpOp, Netlist};
+//!
+//! # fn main() -> Result<(), rtlsat::ir::NetlistError> {
+//! // Find x with x·3 = 21 over 5-bit words.
+//! let mut n = Netlist::new("demo");
+//! let x = n.input_word("x", 5)?;
+//! let tripled = n.mul_const(x, 3)?;
+//! let goal = n.eq_const(tripled, 21)?;
+//!
+//! let mut solver = Solver::new(&n, SolverConfig::structural());
+//! match solver.solve(goal) {
+//!     HdpllResult::Sat(model) => assert_eq!(model[&x], 7),
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Reproducing the paper's experiments
+//!
+//! ```text
+//! cargo run -p rtl-bench --release --bin table1   # §3.1 Table 1
+//! cargo run -p rtl-bench --release --bin table2   # §5   Table 2
+//! cargo bench                                     # Criterion variants
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and substitution notes, and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rtl_baselines as baselines;
+pub use rtl_bitblast as bitblast;
+pub use rtl_fm as fm;
+pub use rtl_hdpll as hdpll;
+pub use rtl_interval as interval;
+pub use rtl_ir as ir;
+pub use rtl_itc99 as itc99;
+pub use rtl_sat as sat;

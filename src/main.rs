@@ -1,0 +1,176 @@
+//! `rtlsat` — command-line RTL satisfiability solver.
+//!
+//! Reads a netlist in the textual format of [`rtl_ir::text`], asserts a
+//! named Boolean signal, and decides satisfiability with a selectable
+//! engine:
+//!
+//! ```text
+//! rtlsat <netlist-file> <goal-signal> [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
+//!        [--timeout <secs>] [--dump-cnf <file>]
+//! ```
+//!
+//! On SAT, the witnessing input assignment is printed (and validated
+//! against the reference simulator before being reported). `--dump-cnf`
+//! additionally writes the bit-blasted DIMACS CNF of the goal for use with
+//! external SAT solvers.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rtlsat::baselines::{BaselineLimits, EagerSolver, LazyCdpSolver};
+use rtlsat::hdpll::{HdpllResult, LearnConfig, Limits, Solver, SolverConfig};
+use rtlsat::ir::{eval, text, Netlist, SignalId};
+
+struct Args {
+    file: String,
+    goal: String,
+    engine: String,
+    timeout: Option<Duration>,
+    dump_cnf: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut engine = "hdpll-sp".to_string();
+    let mut timeout = None;
+    let mut dump_cnf = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = it.next().ok_or("--engine needs a value")?;
+            }
+            "--timeout" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout expects seconds")?;
+                timeout = Some(Duration::from_secs(secs));
+            }
+            "--dump-cnf" => {
+                dump_cnf = Some(it.next().ok_or("--dump-cnf needs a path")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: rtlsat <netlist-file> <goal-signal> \
+                     [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
+                     [--timeout <secs>] [--dump-cnf <file>]"
+                    .into());
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let mut pos = positional.into_iter();
+    let file = pos.next().ok_or("missing <netlist-file> (see --help)")?;
+    let goal = pos.next().ok_or("missing <goal-signal> (see --help)")?;
+    Ok(Args {
+        file,
+        goal,
+        engine,
+        timeout,
+        dump_cnf,
+    })
+}
+
+fn solve(args: &Args, netlist: &Netlist, goal: SignalId) -> Result<HdpllResult, String> {
+    let limits = Limits {
+        max_time: args.timeout,
+        ..Limits::default()
+    };
+    let blimits = BaselineLimits {
+        max_time: args.timeout,
+        max_conflicts: None,
+    };
+    let result = match args.engine.as_str() {
+        "hdpll" => Solver::new(netlist, SolverConfig::hdpll().with_limits(limits)).solve(goal),
+        "hdpll-s" => {
+            Solver::new(netlist, SolverConfig::structural().with_limits(limits)).solve(goal)
+        }
+        "hdpll-sp" => Solver::new(
+            netlist,
+            SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist))
+                .with_limits(limits),
+        )
+        .solve(goal),
+        "eager" => EagerSolver::new(blimits).solve(netlist, goal),
+        "lazy" => LazyCdpSolver::new(blimits).solve(netlist, goal),
+        other => return Err(format!("unknown engine `{other}` (see --help)")),
+    };
+    Ok(result)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let netlist = match text::parse(&source) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let Some(goal) = netlist.find(&args.goal) else {
+        eprintln!("no signal named `{}` in `{}`", args.goal, args.file);
+        return ExitCode::from(2);
+    };
+    if !netlist.ty(goal).is_bool() {
+        eprintln!("goal `{}` is not a Boolean signal", args.goal);
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = &args.dump_cnf {
+        // Bit-blast goal=1 into DIMACS for external SAT solvers.
+        let cnf = rtlsat::bitblast::to_dimacs(&netlist, goal);
+        if let Err(e) = std::fs::write(path, cnf) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote DIMACS CNF to {path}");
+    }
+
+    match solve(&args, &netlist, goal) {
+        Ok(HdpllResult::Sat(model)) => {
+            let validated = eval::check_model(&netlist, &model, goal).unwrap_or(false);
+            let warn = if validated {
+                ""
+            } else {
+                " (WARNING: model failed validation)"
+            };
+            println!("SAT{warn}");
+            let mut inputs: Vec<(&str, i64)> = model
+                .iter()
+                .filter_map(|(&sig, &v)| netlist.signal(sig).name().map(|n| (n, v)))
+                .collect();
+            inputs.sort();
+            for (name, value) in inputs {
+                println!("  {name} = {value}");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(HdpllResult::Unsat) => {
+            println!("UNSAT");
+            ExitCode::from(20)
+        }
+        Ok(HdpllResult::Unknown) => {
+            println!("UNKNOWN (budget exhausted)");
+            ExitCode::from(30)
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

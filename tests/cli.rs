@@ -1,0 +1,113 @@
+//! End-to-end tests of the `rtlsat` command-line binary: textual netlist
+//! in, verdict and witness out, DIMACS export.
+
+use std::process::Command;
+
+const NETLIST: &str = "\
+netlist cli_demo
+input x w4
+input y w4
+node s w4 = add x y
+node hit bool = cmp.eq s x   # s = x ⇔ y = 0 (mod 16 arithmetic)
+node gt bool = cmp.gt y x
+node both bool = and hit gt
+output s sum
+";
+
+fn write_netlist(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("demo.rtl");
+    std::fs::write(&path, NETLIST).expect("write netlist");
+    path
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtlsat"))
+}
+
+#[test]
+fn sat_prints_witness() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_sat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    for engine in ["hdpll", "hdpll-s", "hdpll-sp", "eager", "lazy"] {
+        let out = bin()
+            .arg(&netlist)
+            .arg("hit")
+            .args(["--engine", engine])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{engine}: exit {:?}, stdout: {stdout}",
+            out.status
+        );
+        assert!(stdout.starts_with("SAT"), "{engine}: {stdout}");
+        assert!(stdout.contains("y = 0"), "{engine} witness: {stdout}");
+        assert!(
+            !stdout.contains("WARNING"),
+            "{engine}: model failed validation: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn unsat_exit_code() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_unsat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    // both = (y = 0) ∧ (y > x): impossible.
+    let out = bin()
+        .arg(&netlist)
+        .arg("both")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("UNSAT"), "{stdout}");
+    assert_eq!(out.status.code(), Some(20));
+}
+
+#[test]
+fn dimacs_dump_is_wellformed() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_dimacs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    let cnf_path = dir.join("goal.cnf");
+    let out = bin()
+        .arg(&netlist)
+        .arg("hit")
+        .args(["--dump-cnf", cnf_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let cnf_text = std::fs::read_to_string(&cnf_path).expect("cnf written");
+    let cnf = rtlsat::sat::dimacs::parse(&cnf_text).expect("valid DIMACS");
+    // …and the exported CNF is satisfiable, like the original goal.
+    let mut solver = cnf.to_solver();
+    assert!(solver.solve().is_sat());
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .arg("/nonexistent/file.rtl")
+        .arg("x")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    // unknown goal signal
+    let dir = std::env::temp_dir().join("rtlsat_cli_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    let out = bin()
+        .arg(&netlist)
+        .arg("nope")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    // non-boolean goal
+    let out = bin().arg(&netlist).arg("s").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

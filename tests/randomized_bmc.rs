@@ -1,0 +1,72 @@
+//! Randomized cross-validation over the benchmark circuits: at random
+//! small bounds, every property's verdict must agree between the hybrid
+//! solver (all variants) and the eager bit-blasting baseline, and SAT
+//! witnesses must replay in the simulator.
+
+use proptest::prelude::*;
+
+use rtlsat::baselines::{BaselineLimits, EagerSolver};
+use rtlsat::hdpll::{HdpllResult, LearnConfig, Solver, SolverConfig};
+use rtlsat::ir::eval;
+use rtlsat::itc99::cases::Circuit;
+
+fn verdict_of(r: &HdpllResult) -> bool {
+    match r {
+        HdpllResult::Sat(_) => true,
+        HdpllResult::Unsat => false,
+        HdpllResult::Unknown => panic!("no budget set"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn verdicts_agree_across_stack(
+        circuit in prop_oneof![
+            Just(Circuit::B01),
+            Just(Circuit::B02),
+            Just(Circuit::B04),
+            Just(Circuit::B13),
+        ],
+        frames in 1usize..9,
+        prop_index in 0usize..6,
+    ) {
+        let ckt = circuit.build();
+        let props = ckt.properties();
+        let (name, _) = &props[prop_index % props.len()];
+        let bmc = ckt.unroll(name, frames).expect("property exists");
+
+        let reference = EagerSolver::new(BaselineLimits::default())
+            .solve(&bmc.netlist, bmc.bad);
+        let expected = verdict_of(&reference);
+
+        for (label, config) in [
+            ("hdpll", SolverConfig::hdpll()),
+            ("hdpll+S", SolverConfig::structural()),
+            (
+                "hdpll+S+P",
+                SolverConfig::structural_with_learning(LearnConfig::default()),
+            ),
+        ] {
+            let mut solver = Solver::new(&bmc.netlist, config);
+            let got = solver.solve(bmc.bad);
+            prop_assert_eq!(
+                verdict_of(&got),
+                expected,
+                "{}: {} on {}_{}({})",
+                label,
+                if expected { "expected SAT" } else { "expected UNSAT" },
+                circuit.name(),
+                name,
+                frames
+            );
+            if let HdpllResult::Sat(model) = &got {
+                prop_assert!(
+                    eval::check_model(&bmc.netlist, model, bmc.bad).unwrap(),
+                    "{label}: witness rejected by the simulator"
+                );
+            }
+        }
+    }
+}
