@@ -76,6 +76,7 @@ fn budget_gives_unknown() {
         Limits {
             max_conflicts: Some(1),
             max_propagations: Some(1),
+            max_duration: None,
         },
     );
     assert_eq!(out, crate::BlastOutcome::Unknown);

@@ -137,6 +137,7 @@ fn budget_returns_unknown() {
     let r = s.solve_limited(Limits {
         max_conflicts: Some(5),
         max_propagations: None,
+        max_duration: None,
     });
     assert_eq!(r, SatResult::Unknown);
     // Solver remains usable and still reaches the right answer.

@@ -1,0 +1,458 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace vendors the subset of the proptest v1 API its tests use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`strategy::Just`],
+//! [`prop_oneof!`], [`arbitrary::any`], [`collection::vec`], and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test splitmix64 stream (seeded by the test's module path, so runs
+//! are reproducible), and there is **no shrinking** — a failing case
+//! panics with the ordinary assertion message.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and the deterministic input stream.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated inputs per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The deterministic random stream handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// The stream for one test case: seeded from the test's name so
+        /// every run regenerates the same inputs.
+        #[must_use]
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let seed = h ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
+            self,
+            f: F,
+        ) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// A type-erased strategy (what [`crate::prop_oneof!`] stores).
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy (used by [`crate::prop_oneof!`] to unify arms).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A uniform choice between boxed alternatives
+    /// (what [`crate::prop_oneof!`] builds).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of the given non-empty alternative list.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical whole-domain strategy of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// An element-count specification: a fixed size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    // Unsuffixed literals like `1..25` default to i32; accept them too.
+    impl From<Range<i32>> for SizeRange {
+        fn from(r: Range<i32>) -> Self {
+            assert!(0 <= r.start && r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start as usize,
+                hi: r.end as usize,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The commonly used exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr);
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::boxed($s) ),+ ])
+    };
+}
+
+/// Property assertion (no shrinking: equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion (no shrinking: equivalent to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..10, 0i64..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 0i64..16, b in -5i64..=5, n in 1usize..9) {
+            prop_assert!((0..16).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(0i64..4, 1..6),
+            (x, y) in pair().prop_flat_map(|(a, b)| (Just(a), Just(b))),
+            mapped in (0i64..4).prop_map(|k| k * 2),
+            pick in prop_oneof![Just(1i64), Just(2i64), 10i64..12],
+            flag in any::<bool>(),
+            idx in any::<usize>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..4).contains(&e)));
+            prop_assert!((0..10).contains(&x) && (0..10).contains(&y));
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert!(pick == 1 || pick == 2 || (10..12).contains(&pick));
+            let _ = flag;
+            let _ = idx % 7;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0i64..100, 3..9);
+        let mut r1 = crate::test_runner::TestRng::for_case("t", 5);
+        let mut r2 = crate::test_runner::TestRng::for_case("t", 5);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
