@@ -1,0 +1,62 @@
+//! Criterion suite over the HDPLL hot-path workloads.
+//!
+//! Run with `cargo bench -p rtl-bench --bench propagation`. Solvers are
+//! compiled once per workload outside the measured closure, so the
+//! numbers cover search, not netlist compilation. The suite
+//! covers a deep interval-propagation chain, an exhaustive mux search
+//! (trail churn + conflict analysis), a clause-heavy predicate-learning
+//! case, and mixed ITC'99 BMC instances. The `hotpath` binary times the
+//! same workloads and writes `BENCH_hotpath.json` for regression
+//! tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtl_bench::hotpath;
+
+fn bench_deep_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    let w = hotpath::deep_chain(2000);
+    let mut solver = w.solver();
+    group.bench_function("deep_chain_2000", |b| b.iter(|| w.check(&solver.solve(w.goal))));
+    let w = hotpath::deep_chain(500);
+    let mut solver = w.solver();
+    group.bench_function("deep_chain_500", |b| b.iter(|| w.check(&solver.solve(w.goal))));
+    group.finish();
+}
+
+fn bench_mux_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    let w = hotpath::mux_search(14);
+    let mut solver = w.solver();
+    group.bench_function("mux_search_14", |b| b.iter(|| w.check(&solver.solve(w.goal))));
+    group.finish();
+}
+
+fn bench_clause_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clauses");
+    group.sample_size(10);
+    let w = hotpath::clause_heavy();
+    let mut solver = w.solver();
+    group.bench_function("clause_heavy_b13", |b| b.iter(|| w.check(&solver.solve(w.goal))));
+    group.finish();
+}
+
+fn bench_itc99_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itc99");
+    group.sample_size(10);
+    for w in hotpath::itc99_mixed() {
+        let mut solver = w.solver();
+        group.bench_function(w.name, |b| b.iter(|| w.check(&solver.solve(w.goal))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deep_chain,
+    bench_mux_search,
+    bench_clause_heavy,
+    bench_itc99_mixed
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Times the hot-path workloads and writes `BENCH_hotpath.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p rtl-bench --release --bin hotpath -- \
+//!     [--out BENCH_hotpath.json] [--baseline <old.json>] [--samples N]
+//! ```
+//!
+//! Each workload compiles its solver once, then runs one warm-up solve
+//! plus `N` timed solves (default 10) — so the timings cover search
+//! (propagation, conflict analysis, final check), not netlist
+//! compilation. The JSON records min/median/mean nanoseconds per
+//! workload. With `--baseline`, median times from a previous run are
+//! merged in and a `speedup` factor (baseline ÷ current) is emitted per
+//! workload.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rtl_bench::hotpath;
+
+struct Row {
+    name: &'static str,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+    baseline_median_ns: Option<u128>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut baseline: Option<String> = None;
+    let mut samples = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--samples" => {
+                samples = args[i + 1].parse().expect("--samples takes a number");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let baseline_medians: Vec<(String, u128)> = baseline
+        .as_deref()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            parse_medians(&text)
+        })
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    for w in hotpath::all_workloads() {
+        eprint!("{:<24} ", w.name);
+        let mut solver = w.solver();
+        w.check(&solver.solve(w.goal)); // warm-up + verdict check
+        let mut ns: Vec<u128> = (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let result = solver.solve(w.goal);
+                let elapsed = start.elapsed().as_nanos();
+                w.check(&result);
+                elapsed
+            })
+            .collect();
+        ns.sort_unstable();
+        let row = Row {
+            name: w.name,
+            min_ns: ns[0],
+            median_ns: ns[ns.len() / 2],
+            mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+            baseline_median_ns: baseline_medians
+                .iter()
+                .find(|(n, _)| n == w.name)
+                .map(|&(_, m)| m),
+        };
+        eprint!("median {:>12.3} ms", row.median_ns as f64 / 1e6);
+        if let Some(base) = row.baseline_median_ns {
+            eprint!("  speedup {:.2}x", base as f64 / row.median_ns as f64);
+        }
+        eprintln!();
+        rows.push(row);
+    }
+
+    std::fs::write(&out, render_json(&rows)).expect("write bench json");
+    eprintln!("wrote {out}");
+}
+
+/// Renders the result rows as a stable, hand-rolled JSON document.
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}",
+            r.name, r.min_ns, r.median_ns, r.mean_ns
+        );
+        if let Some(base) = r.baseline_median_ns {
+            let _ = write!(
+                s,
+                ", \"baseline_median_ns\": {}, \"speedup\": {:.3}",
+                base,
+                base as f64 / r.median_ns as f64
+            );
+        }
+        s.push('}');
+        if i + 1 < rows.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, median_ns)` pairs from a previous run's JSON. This
+/// only needs to read back [`render_json`] output (one benchmark object
+/// per line), so a line-oriented scan is enough — no JSON crate needed.
+fn parse_medians(text: &str) -> Vec<(String, u128)> {
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        // Prefer the run's own median; fall back to a carried-over
+        // baseline median so chained --baseline runs keep the original.
+        if let Some(median) = field_num(line, "\"median_ns\": ") {
+            pairs.push((name.to_string(), median));
+        }
+    }
+    pairs
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn field_num(line: &str, key: &str) -> Option<u128> {
+    let start = line.find(key)? + key.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}

@@ -1,0 +1,253 @@
+//! Hot-path propagation workloads shared by the `propagation` Criterion
+//! bench and the `hotpath` binary (which emits `BENCH_hotpath.json`).
+//!
+//! Each workload is a self-contained satisfiability instance chosen to
+//! stress one part of the HDPLL inner loop:
+//!
+//! * [`deep_chain`] — a long `x_{i+1} = x_i + 1` adder chain whose input
+//!   is pinned by the goal, so the whole solve is one uninterrupted
+//!   interval-propagation sweep (zero decisions). This is the workload
+//!   the PR's ≥ 1.3× acceptance bar is measured on.
+//! * [`mux_search`] — a chain of `ite(sel_i, x_i + 1, x_i + 3)` stages
+//!   with a parity-infeasible target, forcing an exhaustive Boolean
+//!   search over the selectors. Every leaf is a conflict, so this churns
+//!   the trail, conflict analysis, and clause learning.
+//! * [`clause_heavy`] — the ITC'99 `b13` case `p40` at 13 frames with
+//!   predicate learning enabled: thousands of learned binary clauses
+//!   plus the probe-intersection path in `predlearn`.
+//! * [`itc99_mixed`] — small Table 2 cases (`b01`, `b04` at 50 frames)
+//!   under the structural decision strategy, mixing word and Boolean
+//!   propagation the way the paper's experiments do.
+
+use rtl_hdpll::{HdpllResult, LearnConfig, Solver, SolverConfig, SolverStats};
+use rtl_ir::{CmpOp, Netlist, SignalId};
+use rtl_itc99::cases::{BmcCase, Circuit, Expected};
+
+/// One benchmark instance: a netlist, the goal signal to assert, and the
+/// solver configuration to run it under.
+#[derive(Debug)]
+pub struct Workload {
+    /// Stable identifier used in bench output and `BENCH_hotpath.json`.
+    pub name: &'static str,
+    /// The combinational netlist.
+    pub netlist: Netlist,
+    /// Boolean goal signal; the instance is `goal = 1`.
+    pub goal: SignalId,
+    /// Solver configuration the workload is meant to stress.
+    pub config: SolverConfig,
+    /// Expected verdict, checked on every run (`true` = SAT).
+    pub expect_sat: bool,
+}
+
+impl Workload {
+    /// Builds a fresh solver and solves the instance once, asserting the
+    /// expected verdict. Returns the engine statistics of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the verdict differs from [`Workload::expect_sat`].
+    pub fn run(&self) -> SolverStats {
+        let mut solver = self.solver();
+        let result = solver.solve(self.goal);
+        self.check(&result);
+        *solver.stats()
+    }
+
+    /// A fresh solver for this instance (compiles the netlist). Built once
+    /// outside the timed region by the benchmark harnesses, so the timings
+    /// measure search, not compilation.
+    #[must_use]
+    pub fn solver(&self) -> Solver {
+        Solver::new(&self.netlist, self.config.clone())
+    }
+
+    /// Asserts the verdict matches [`Workload::expect_sat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the verdict differs.
+    pub fn check(&self, result: &HdpllResult) {
+        match (result, self.expect_sat) {
+            (HdpllResult::Sat(_), true) | (HdpllResult::Unsat, false) => {}
+            other => panic!("workload {}: unexpected verdict {other:?}", self.name),
+        }
+    }
+}
+
+/// A pure interval-propagation chain: `x_0 = 1`, `x_{i+1} = x_i + 1` for
+/// `depth` stages, goal `x_0 = 1 ∧ x_depth = depth + 1`.
+///
+/// Asserting the goal pins `x_0`, and ICP then walks the whole chain in
+/// one queue sweep — no decisions, no conflicts, just `propagate()`.
+#[must_use]
+pub fn deep_chain(depth: usize) -> Workload {
+    let width = 28; // wide enough that depth+1 never wraps
+    let mut n = Netlist::new("deep_chain");
+    let x0 = n.input_word("x0", width).unwrap();
+    let one = n.const_word(1, width).unwrap();
+    let mut x = x0;
+    for _ in 0..depth {
+        x = n.add(x, one).unwrap();
+    }
+    let start = n.eq_const(x0, 1).unwrap();
+    let end = n.eq_const(x, depth as i64 + 1).unwrap();
+    let goal = n.and(&[start, end]).unwrap();
+    Workload {
+        name: "deep_chain",
+        netlist: n,
+        goal,
+        config: SolverConfig::hdpll(),
+        expect_sat: true,
+    }
+}
+
+/// A search workload: an unsatisfiable sparse subset-sum instance built
+/// from `stages` selector-gated adders `x_{i+1} = ite(sel_i, x_i + w_i,
+/// x_i)`.
+///
+/// The weights come from a fixed LCG and the builder picks (by dynamic
+/// programming) a target inside `[min w, Σw]` that no subset reaches.
+/// Interval and modular reasoning cannot refute such a target at the
+/// root — parities are mixed and the hull contains it — so the solver
+/// must branch on the selectors, with backward interval pruning cutting
+/// subtrees. This measures decision/trail push, backtracking, conflict
+/// construction, and clause learning.
+///
+/// # Panics
+///
+/// Panics if the weight sequence leaves no unreachable target (does not
+/// happen for the fixed LCG seed; the sums are sparse for `stages ≤ 16`).
+#[must_use]
+pub fn mux_search(stages: usize) -> Workload {
+    // Deterministic pseudo-random weights, mixed parity, in [60, 187].
+    let mut state = 0x9e37_79b9_u64;
+    let weights: Vec<i64> = (0..stages)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            60 + (state >> 33) as i64 % 128
+        })
+        .collect();
+    // DP over reachable subset sums; pick an unreachable mid-range target.
+    let total: i64 = weights.iter().sum();
+    let mut reach = vec![false; total as usize + 1];
+    reach[0] = true;
+    for &w in &weights {
+        for s in (w as usize..reach.len()).rev() {
+            if reach[s - w as usize] {
+                reach[s] = true;
+            }
+        }
+    }
+    let target = (total / 3..total)
+        .find(|&t| !reach[t as usize])
+        .expect("sparse sums leave a gap");
+
+    let width = 28;
+    let mut n = Netlist::new("mux_search");
+    let x0 = n.input_word("x0", width).unwrap();
+    let mut x = x0;
+    for (i, &w) in weights.iter().enumerate() {
+        let sel = n.input_bool(&format!("sel{i}")).unwrap();
+        let wi = n.const_word(w, width).unwrap();
+        let taken = n.add(x, wi).unwrap();
+        x = n.ite(sel, taken, x).unwrap();
+    }
+    let start = n.eq_const(x0, 0).unwrap();
+    let tconst = n.const_word(target, width).unwrap();
+    let end = n.cmp(CmpOp::Eq, x, tconst).unwrap();
+    let goal = n.and(&[start, end]).unwrap();
+    Workload {
+        name: "mux_search",
+        netlist: n,
+        goal,
+        config: SolverConfig::hdpll(),
+        expect_sat: false,
+    }
+}
+
+/// Builds a workload from one ITC'99 BMC case.
+fn itc99_workload(name: &'static str, case: &BmcCase, config: SolverConfig) -> Workload {
+    let bmc = case.build();
+    Workload {
+        name,
+        netlist: bmc.netlist,
+        goal: bmc.bad,
+        config,
+        expect_sat: case.expected == Expected::Sat,
+    }
+}
+
+/// The clause-heavy workload: `b13` property `p40` at 13 frames with
+/// static predicate learning, exercising `predlearn` probe intersection
+/// and the learned-clause propagation queue.
+#[must_use]
+pub fn clause_heavy() -> Workload {
+    let case = BmcCase {
+        circuit: Circuit::B13,
+        property: "p40",
+        frames: 13,
+        expected: Expected::Sat,
+    };
+    let learn = LearnConfig::table2_for(&case.build().netlist);
+    itc99_workload(
+        "clause_heavy_b13",
+        &case,
+        SolverConfig::structural_with_learning(learn),
+    )
+}
+
+/// Mixed ITC'99 workloads (structural decisions, no predicate learning):
+/// `b01` and `b04` at 50 frames, the small SAT rows of Table 2.
+#[must_use]
+pub fn itc99_mixed() -> Vec<Workload> {
+    vec![
+        itc99_workload(
+            "itc99_b01_50",
+            &BmcCase {
+                circuit: Circuit::B01,
+                property: "p1",
+                frames: 50,
+                expected: Expected::Sat,
+            },
+            SolverConfig::structural(),
+        ),
+        itc99_workload(
+            "itc99_b04_50",
+            &BmcCase {
+                circuit: Circuit::B04,
+                property: "p1",
+                frames: 50,
+                expected: Expected::Sat,
+            },
+            SolverConfig::structural(),
+        ),
+    ]
+}
+
+/// The full hot-path suite in reporting order.
+#[must_use]
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = vec![deep_chain(2000), mux_search(14), clause_heavy()];
+    v.extend(itc99_mixed());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_chain_is_pure_propagation() {
+        let w = deep_chain(64);
+        let stats = w.run();
+        assert_eq!(stats.engine.conflicts, 0, "chain must not conflict");
+        assert!(stats.engine.propagations >= 64);
+    }
+
+    #[test]
+    fn mux_search_conflicts_and_refutes() {
+        let w = mux_search(6);
+        let stats = w.run();
+        assert!(stats.engine.conflicts > 0, "search must hit conflicts");
+    }
+}

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hotpath;
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 

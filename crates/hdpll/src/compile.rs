@@ -11,7 +11,7 @@
 use rtl_interval::{Interval, Tribool};
 use rtl_ir::{analysis, CmpOp, Netlist, Op, SignalType};
 
-use crate::types::{Dom, VarId};
+use crate::types::{Dom, Span, VarId};
 
 /// A compiled constraint kind.
 #[derive(Clone, Debug)]
@@ -50,12 +50,13 @@ pub(crate) enum CKind {
     },
 }
 
-/// A compiled constraint: its kind plus the cached list of participating
-/// variables (for watch lists and implication-graph antecedents).
+/// A compiled constraint: its kind plus a span into [`Compiled::var_pool`]
+/// listing the participating variables (for watch lists and
+/// implication-graph antecedents).
 #[derive(Clone, Debug)]
 pub(crate) struct Constraint {
     pub kind: CKind,
-    pub vars: Vec<VarId>,
+    pub vars: Span,
 }
 
 /// The full compiled form of a netlist.
@@ -65,6 +66,11 @@ pub(crate) struct Compiled {
     pub init_dom: Vec<Dom>,
     /// All constraints.
     pub cons: Vec<Constraint>,
+    /// Interned var-lists of all constraints ([`Constraint::vars`] spans
+    /// point here). One flat allocation instead of one `Vec` per
+    /// constraint, so the engine's conflict/narrowing paths can borrow
+    /// `&[VarId]` slices without cloning.
+    pub var_pool: Vec<VarId>,
     /// `var → constraint ids watching it`.
     pub watch: Vec<Vec<u32>>,
     /// Boolean decision variables (netlist Boolean signals that are free to
@@ -74,9 +80,17 @@ pub(crate) struct Compiled {
     pub fanout_seed: Vec<f64>,
 }
 
+impl Compiled {
+    /// The participating variables of constraint `ci`.
+    pub fn cons_vars(&self, ci: u32) -> &[VarId] {
+        &self.var_pool[self.cons[ci as usize].vars.range()]
+    }
+}
+
 struct Builder {
     init_dom: Vec<Dom>,
     cons: Vec<Constraint>,
+    var_pool: Vec<VarId>,
 }
 
 impl Builder {
@@ -100,7 +114,12 @@ impl Builder {
             }
             other => other,
         };
-        let vars = kind_vars(&kind);
+        let start = self.var_pool.len();
+        push_kind_vars(&kind, &mut self.var_pool);
+        let vars = Span {
+            start: u32::try_from(start).expect("var pool fits"),
+            len: (self.var_pool.len() - start) as u32,
+        };
         self.cons.push(Constraint { kind, vars });
     }
 
@@ -127,19 +146,20 @@ impl Builder {
     }
 }
 
-fn kind_vars(kind: &CKind) -> Vec<VarId> {
+/// Appends the participating variables of `kind` to the interned pool.
+fn push_kind_vars(kind: &CKind, pool: &mut Vec<VarId>) {
     match kind {
-        CKind::Not { out, a } => vec![*out, *a],
+        CKind::Not { out, a } => pool.extend([*out, *a]),
         CKind::And { out, ins } | CKind::Or { out, ins } => {
-            let mut v = vec![*out];
-            v.extend(ins);
-            v
+            pool.push(*out);
+            pool.extend_from_slice(ins);
         }
-        CKind::Xor { out, a, b } => vec![*out, *a, *b],
-        CKind::CmpReif { out, a, b, .. } => vec![*out, *a, *b],
-        CKind::Ite { out, sel, t, e } => vec![*out, *sel, *t, *e],
-        CKind::Min { out, a, b } | CKind::Max { out, a, b } => vec![*out, *a, *b],
-        CKind::Lin { terms, .. } => terms.iter().map(|&(v, _)| v).collect(),
+        CKind::Xor { out, a, b }
+        | CKind::CmpReif { out, a, b, .. }
+        | CKind::Min { out, a, b }
+        | CKind::Max { out, a, b } => pool.extend([*out, *a, *b]),
+        CKind::Ite { out, sel, t, e } => pool.extend([*out, *sel, *t, *e]),
+        CKind::Lin { terms, .. } => pool.extend(terms.iter().map(|&(v, _)| v)),
     }
 }
 
@@ -156,6 +176,7 @@ pub(crate) fn compile(netlist: &Netlist) -> Compiled {
     let mut b = Builder {
         init_dom: Vec::with_capacity(netlist.len()),
         cons: Vec::new(),
+        var_pool: Vec::new(),
     };
 
     // Variables for every signal, with initial domains.
@@ -288,7 +309,7 @@ pub(crate) fn compile(netlist: &Netlist) -> Compiled {
     // Watch lists.
     let mut watch: Vec<Vec<u32>> = vec![Vec::new(); b.init_dom.len()];
     for (ci, c) in b.cons.iter().enumerate() {
-        for &var in &c.vars {
+        for &var in &b.var_pool[c.vars.range()] {
             let list = &mut watch[var.index()];
             if list.last() != Some(&(ci as u32)) {
                 list.push(ci as u32);
@@ -313,6 +334,7 @@ pub(crate) fn compile(netlist: &Netlist) -> Compiled {
     Compiled {
         init_dom: b.init_dom,
         cons: b.cons,
+        var_pool: b.var_pool,
         watch,
         decision_vars,
         fanout_seed,

@@ -8,7 +8,7 @@ use rtl_interval::{Interval, Tribool};
 
 use crate::compile::Compiled;
 use crate::propagate::{step, PropResult};
-use crate::types::{Dom, HClause, HLit, Reason, TrailEntry, VarId};
+use crate::types::{Dom, HClause, HLit, Reason, Span, TrailEntry, VarId};
 
 /// A conflict discovered during deduction: the trail entries that directly
 /// participate (the antecedent cut seeds of the hybrid implication graph).
@@ -41,10 +41,19 @@ pub struct EngineStats {
     pub fm_calls: u64,
     /// J-conflicts found by the structural decision strategy.
     pub j_conflicts: u64,
+    /// Clause propagation steps executed (the constraint counterpart is
+    /// [`EngineStats::propagations`]).
+    pub clause_props: u64,
+    /// High-water mark of the constraint worklist (queue pressure).
+    pub max_cqueue: u64,
+    /// High-water mark of the clause worklist (queue pressure).
+    pub max_clqueue: u64,
+    /// High-water mark of the antecedent pool (implication-graph memory).
+    pub ant_pool_peak: u64,
 }
 
 pub(crate) struct Engine {
-    pub compiled: Compiled,
+    pub compiled: std::rc::Rc<Compiled>,
     pub doms: Vec<Dom>,
     pub trail: Vec<TrailEntry>,
     pub trail_lim: Vec<usize>,
@@ -68,11 +77,18 @@ pub(crate) struct Engine {
     /// VSIDS-style activities (fanout-seeded, paper §2.4).
     pub activity: Vec<f64>,
     var_inc: f64,
+    /// Append-only pool of antecedent trail indices; [`TrailEntry::ants`]
+    /// spans point here. Truncated in lockstep with the trail on
+    /// backtracking (span starts are monotone along the trail).
+    pub ant_pool: Vec<u32>,
+    /// Reusable change buffer handed to the constraint contractors, so
+    /// steady-state propagation performs no heap allocation.
+    change_buf: Vec<(VarId, Dom)>,
     pub stats: EngineStats,
 }
 
 impl Engine {
-    pub fn new(compiled: Compiled) -> Self {
+    pub fn new(compiled: std::rc::Rc<Compiled>) -> Self {
         let n = compiled.init_dom.len();
         let ncons = compiled.cons.len();
         let doms = compiled.init_dom.clone();
@@ -93,6 +109,8 @@ impl Engine {
             in_clqueue: vec![false; 0],
             activity,
             var_inc: 1.0,
+            ant_pool: Vec::new(),
+            change_buf: Vec::new(),
             stats: EngineStats::default(),
         }
     }
@@ -116,16 +134,25 @@ impl Engine {
     }
 
     /// Records a domain change on the trail and updates `doms`/`latest`.
-    fn apply(&mut self, var: VarId, new: Dom, reason: Reason, antecedents: Vec<u32>) {
+    ///
+    /// `ants` must be the tip span of [`Engine::ant_pool`] (or an empty
+    /// span at the tip) — the pool and the trail are truncated in
+    /// lockstep on backtracking.
+    fn apply(&mut self, var: VarId, new: Dom, reason: Reason, ants: Span) {
         let old = self.doms[var.index()];
         debug_assert_ne!(old, new, "apply() requires a strict narrowing");
+        debug_assert_eq!(
+            ants.range().end,
+            self.ant_pool.len(),
+            "antecedent span must end at the pool tip"
+        );
         let idx = self.trail.len() as u32;
         self.trail.push(TrailEntry {
             var,
             old,
             new,
             reason,
-            antecedents,
+            ants,
             level: self.level(),
             prev_latest: self.latest[var.index()],
         });
@@ -133,19 +160,89 @@ impl Engine {
         self.latest[var.index()] = Some(idx);
     }
 
-    /// Latest trail entries of `vars`, excluding `skip` and variables with
-    /// no entry (still at their initial domains).
-    fn latest_of(&self, vars: &[VarId], skip: Option<VarId>) -> Vec<u32> {
-        let mut out = Vec::with_capacity(vars.len());
-        for &v in vars {
-            if Some(v) == skip {
-                continue;
-            }
-            if let Some(i) = self.latest[v.index()] {
-                out.push(i);
+    /// An empty antecedent span anchored at the pool tip (decisions,
+    /// external assertions).
+    fn empty_ants(&mut self) -> Span {
+        self.stats.ant_pool_peak = self.stats.ant_pool_peak.max(self.ant_pool.len() as u64);
+        Span::empty_at(self.ant_pool.len())
+    }
+
+    /// Interns the latest trail entries of constraint `ci`'s variables
+    /// into the antecedent pool and returns the span.
+    ///
+    /// A variable still at its initial domain has no entry and is
+    /// skipped. The implied variable's *own* previous entry (if any) is a
+    /// legitimate antecedent — an incremental narrowing builds on it — so
+    /// no variable is excluded.
+    fn intern_cons_ants(&mut self, ci: u32) -> Span {
+        let Engine {
+            compiled,
+            latest,
+            ant_pool,
+            ..
+        } = self;
+        let start = ant_pool.len();
+        for &v in compiled.cons_vars(ci) {
+            if let Some(i) = latest[v.index()] {
+                ant_pool.push(i);
             }
         }
-        out
+        self.stats.ant_pool_peak = self.stats.ant_pool_peak.max(self.ant_pool.len() as u64);
+        Span {
+            start: start as u32,
+            len: (self.ant_pool.len() - start) as u32,
+        }
+    }
+
+    /// Interns the latest trail entries of clause `cl`'s variables into
+    /// the antecedent pool and returns the span.
+    fn intern_clause_ants(&mut self, cl: u32) -> Span {
+        let Engine {
+            clauses,
+            latest,
+            ant_pool,
+            ..
+        } = self;
+        let start = ant_pool.len();
+        for lit in &clauses[cl as usize].lits {
+            if let Some(i) = latest[lit.var().index()] {
+                ant_pool.push(i);
+            }
+        }
+        self.stats.ant_pool_peak = self.stats.ant_pool_peak.max(self.ant_pool.len() as u64);
+        Span {
+            start: start as u32,
+            len: (self.ant_pool.len() - start) as u32,
+        }
+    }
+
+    /// Builds the conflict record for a falsified constraint (the cut
+    /// seeds are the latest entries of its variables) and resets the
+    /// worklists.
+    fn constraint_conflict(&mut self, ci: u32) -> ConflictInfo {
+        let vars = self.compiled.cons_vars(ci);
+        let mut antecedents = Vec::with_capacity(vars.len());
+        for &v in vars {
+            if let Some(i) = self.latest[v.index()] {
+                antecedents.push(i);
+            }
+        }
+        self.drain_queues();
+        ConflictInfo { antecedents }
+    }
+
+    /// Builds the conflict record for a falsified clause and resets the
+    /// worklists.
+    fn clause_conflict(&mut self, cl: u32) -> ConflictInfo {
+        let clause = &self.clauses[cl as usize];
+        let mut antecedents = Vec::with_capacity(clause.lits.len());
+        for lit in &clause.lits {
+            if let Some(i) = self.latest[lit.var().index()] {
+                antecedents.push(i);
+            }
+        }
+        self.drain_queues();
+        ConflictInfo { antecedents }
     }
 
     /// Makes a decision: opens a new level and applies the assignment.
@@ -154,7 +251,8 @@ impl Engine {
         self.stats.decisions += 1;
         self.trail_lim.push(self.trail.len());
         self.flipped.push(false);
-        self.apply(var, Dom::B(Tribool::from(value)), Reason::Decision, Vec::new());
+        let ants = self.empty_ants();
+        self.apply(var, Dom::B(Tribool::from(value)), Reason::Decision, ants);
     }
 
     /// Chronological backtracking for the learning-free search mode: undoes
@@ -178,7 +276,8 @@ impl Engine {
                 self.stats.decisions += 1;
                 self.trail_lim.push(self.trail.len());
                 self.flipped.push(true);
-                self.apply(var, Dom::B(Tribool::from(!value)), Reason::Decision, Vec::new());
+                let ants = self.empty_ants();
+                self.apply(var, Dom::B(Tribool::from(!value)), Reason::Decision, ants);
                 return true;
             }
         }
@@ -202,7 +301,8 @@ impl Engine {
             _ => panic!("kind mismatch in assert_external"),
         };
         if met != cur {
-            self.apply(var, met, Reason::External, Vec::new());
+            let ants = self.empty_ants();
+            self.apply(var, met, Reason::External, ants);
         }
         true
     }
@@ -227,11 +327,13 @@ impl Engine {
                     }
                 }
             }
+            self.stats.max_cqueue = self.stats.max_cqueue.max(self.cqueue.len() as u64);
+            self.stats.max_clqueue = self.stats.max_clqueue.max(self.clqueue.len() as u64);
             // 2. one clause step (clauses are cheap and often asserting)
             if let Some(cl) = self.clqueue.pop_front() {
                 self.in_clqueue[cl as usize] = false;
+                self.stats.clause_props += 1;
                 if let Some(conflict) = self.propagate_clause(cl) {
-                    self.drain_queues();
                     return Some(conflict);
                 }
                 continue;
@@ -245,54 +347,48 @@ impl Engine {
             };
             self.in_cqueue[ci as usize] = false;
             self.stats.propagations += 1;
-            let result = step(&self.compiled.cons[ci as usize].kind, &self.doms);
-            match result {
-                PropResult::Conflict => {
-                    let vars = self.compiled.cons[ci as usize].vars.clone();
-                    let antecedents = self.latest_of(&vars, None);
-                    self.drain_queues();
-                    return Some(ConflictInfo { antecedents });
-                }
-                PropResult::Narrowed(changes) => {
-                    for (var, new) in changes {
-                        // The contractor computed against a snapshot; apply
-                        // incrementally (meets can only shrink further).
-                        let merged = match (self.doms[var.index()], new) {
-                            (Dom::W(cur), Dom::W(n)) => match cur.intersect(n) {
-                                Some(m) if m != cur => Dom::W(m),
-                                Some(_) => continue,
-                                None => {
-                                    let vars = self.compiled.cons[ci as usize].vars.clone();
-                                    let antecedents = self.latest_of(&vars, None);
-                                    self.drain_queues();
-                                    return Some(ConflictInfo { antecedents });
-                                }
-                            },
-                            (Dom::B(cur), Dom::B(n)) => {
-                                match (cur.to_bool(), n.to_bool()) {
-                                    (Some(a), Some(b)) if a == b => continue,
-                                    (Some(_), Some(_)) => {
-                                        let vars =
-                                            self.compiled.cons[ci as usize].vars.clone();
-                                        let antecedents = self.latest_of(&vars, None);
-                                        self.drain_queues();
-                                        return Some(ConflictInfo { antecedents });
-                                    }
-                                    (None, Some(_)) => Dom::B(n),
-                                    _ => continue,
-                                }
-                            }
-                            _ => unreachable!("contractor changed domain kind"),
-                        };
-                        let vars = &self.compiled.cons[ci as usize].vars;
-                        let mut ants = self.latest_of(vars, Some(var));
-                        if let Some(own) = self.latest[var.index()] {
-                            ants.push(own);
-                        }
-                        self.apply(var, merged, Reason::Constraint(ci), ants);
-                    }
-                }
+            // Move the change buffer out of `self` for the duration of the
+            // step: the contractor fills it, and `apply` below can borrow
+            // `self` freely. It is handed back (cleared) on every path.
+            let mut changes = std::mem::take(&mut self.change_buf);
+            debug_assert!(changes.is_empty());
+            let result = step(&self.compiled.cons[ci as usize].kind, &self.doms, &mut changes);
+            if result == PropResult::Conflict {
+                changes.clear();
+                self.change_buf = changes;
+                return Some(self.constraint_conflict(ci));
             }
+            for k in 0..changes.len() {
+                let (var, new) = changes[k];
+                // The contractor computed against a snapshot; apply
+                // incrementally (meets can only shrink further).
+                let merged = match (self.doms[var.index()], new) {
+                    (Dom::W(cur), Dom::W(n)) => match cur.intersect(n) {
+                        Some(m) if m != cur => Dom::W(m),
+                        Some(_) => continue,
+                        None => {
+                            changes.clear();
+                            self.change_buf = changes;
+                            return Some(self.constraint_conflict(ci));
+                        }
+                    },
+                    (Dom::B(cur), Dom::B(n)) => match (cur.to_bool(), n.to_bool()) {
+                        (Some(a), Some(b)) if a == b => continue,
+                        (Some(_), Some(_)) => {
+                            changes.clear();
+                            self.change_buf = changes;
+                            return Some(self.constraint_conflict(ci));
+                        }
+                        (None, Some(_)) => Dom::B(n),
+                        _ => continue,
+                    },
+                    _ => unreachable!("contractor changed domain kind"),
+                };
+                let ants = self.intern_cons_ants(ci);
+                self.apply(var, merged, Reason::Constraint(ci), ants);
+            }
+            changes.clear();
+            self.change_buf = changes;
         }
     }
 
@@ -323,18 +419,16 @@ impl Engine {
                 }
             }
         }
-        let vars: Vec<VarId> = clause.lits.iter().map(HLit::var).collect();
         match unknown {
             None => {
                 // all falsified
-                let antecedents = self.latest_of(&vars, None);
-                Some(ConflictInfo { antecedents })
+                Some(self.clause_conflict(cl))
             }
             Some(lit) => {
                 let var = lit.var();
-                let ants = self.latest_of(&vars, Some(var));
                 match lit {
                     HLit::Bool { value, .. } => {
+                        let ants = self.intern_clause_ants(cl);
                         self.apply(var, Dom::B(Tribool::from(value)), Reason::Clause(cl), ants);
                     }
                     HLit::Word { iv, positive, .. } => {
@@ -346,17 +440,11 @@ impl Engine {
                         };
                         match new {
                             Some(n) if n != cur => {
-                                let mut ants = ants;
-                                if let Some(own) = self.latest[var.index()] {
-                                    ants.push(own);
-                                }
+                                let ants = self.intern_clause_ants(cl);
                                 self.apply(var, Dom::W(n), Reason::Clause(cl), ants);
                             }
                             Some(_) => {} // not representable / no change
-                            None => {
-                                let antecedents = self.latest_of(&vars, None);
-                                return Some(ConflictInfo { antecedents });
-                            }
+                            None => return Some(self.clause_conflict(cl)),
                         }
                     }
                 }
@@ -395,7 +483,12 @@ impl Engine {
             self.doms[e.var.index()] = e.old;
             self.latest[e.var.index()] = e.prev_latest;
         }
+        // Antecedent spans start monotonically along the trail, so
+        // truncating the pool at the first removed entry's span start
+        // discards exactly the undone entries' antecedents.
+        let pool_mark = self.trail[target].ants.start as usize;
         self.trail.truncate(target);
+        self.ant_pool.truncate(pool_mark);
         self.trail_lim.truncate(level as usize);
         self.flipped.truncate(level as usize);
         self.qhead = target;
@@ -450,7 +543,7 @@ impl Engine {
                     }
                     visited[i as usize] = true;
                     if bool_only && !e.is_bool() {
-                        stack.extend(e.antecedents.iter().copied());
+                        stack.extend_from_slice(&self.ant_pool[e.ants.range()]);
                     } else {
                         marked[i as usize] = true;
                         nmarked += 1;
@@ -501,7 +594,7 @@ impl Engine {
                         *e = (*e).max(i);
                     }
                 }
-                for (_, &i) in &best {
+                for &i in best.values() {
                     lits.push(self.trail[i].as_conflict_lit());
                     blevel = blevel.max(self.trail[i].level);
                 }
@@ -512,7 +605,7 @@ impl Engine {
             let e_idx = latest;
             marked[e_idx] = false;
             nmarked -= 1;
-            let ants = self.trail[e_idx].antecedents.clone();
+            let span = self.trail[e_idx].ants;
             // The expanded entry is never a decision: a decision is the
             // *first* entry of its level, so with several marks at `lmax`
             // the latest one is an implied entry, and a single non-Boolean
@@ -520,10 +613,11 @@ impl Engine {
             // always carry antecedents; if those are all at level 0 the
             // mark set simply shrinks (towards the UNSAT verdict below).
             debug_assert!(
-                !ants.is_empty() || !matches!(self.trail[e_idx].reason, Reason::Decision),
+                !span.is_empty() || !matches!(self.trail[e_idx].reason, Reason::Decision),
                 "attempted to expand a decision entry"
             );
-            for a in ants {
+            for k in span.range() {
+                let a = self.ant_pool[k];
                 mark!(a);
             }
             if nmarked == 0 {
@@ -540,12 +634,7 @@ impl Engine {
         // Assert the UIP literal immediately (the clause is unit now).
         if let HLit::Bool { var, value } = uip {
             if !self.dom(var).is_fixed() {
-                let vars: Vec<VarId> = self.clauses[cid as usize]
-                    .lits
-                    .iter()
-                    .map(HLit::var)
-                    .collect();
-                let ants = self.latest_of(&vars, Some(var));
+                let ants = self.intern_clause_ants(cid);
                 self.apply(var, Dom::B(Tribool::from(value)), Reason::Clause(cid), ants);
             }
         }

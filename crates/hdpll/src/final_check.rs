@@ -73,14 +73,17 @@ pub(crate) fn final_check(engine: &mut Engine) -> FinalOutcome {
     let mut splits: Vec<Split> = Vec::new();
     let num_cons = engine.compiled.cons.len();
     for ci in 0..num_cons {
-        let kind = engine.compiled.cons[ci].kind.clone();
-        match kind {
+        let kind = &engine.compiled.cons[ci].kind;
+        match *kind {
             CKind::Not { .. } | CKind::And { .. } | CKind::Or { .. } | CKind::Xor { .. } => {
                 // Boolean logic is fully assigned and verified by ICP.
             }
-            CKind::Lin { terms, constant } => {
+            CKind::Lin {
+                ref terms,
+                constant,
+            } => {
                 let mut e = LinExpr::constant_expr(constant);
-                for (v, c) in terms {
+                for &(v, c) in terms {
                     e = e.add_scaled(&to_expr(engine, &fm_of, v, c), 1);
                 }
                 if !e.is_constant() || e.constant() != 0 {
@@ -209,7 +212,7 @@ pub(crate) fn final_check(engine: &mut Engine) -> FinalOutcome {
             // box bounds.
             let mut antecedents: Vec<u32> = Vec::new();
             for tag in tags {
-                for &v in &engine.compiled.cons[tag].vars {
+                for &v in engine.compiled.cons_vars(tag as u32) {
                     if let Some(i) = engine.latest[v.index()] {
                         antecedents.push(i);
                     }

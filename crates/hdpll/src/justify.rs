@@ -132,14 +132,13 @@ pub(crate) fn pick_structural(
                     }
                 }
             }
-            CKind::Xor { out, a, b } => {
+            CKind::Xor { out, a, b }
                 if engine.dom(*out).tri().is_assigned()
                     && !engine.dom(*a).is_fixed()
-                    && !engine.dom(*b).is_fixed()
-                {
-                    let value = weights.map(|w| w.preferred_value(*a)).unwrap_or(false);
-                    return Structural::Decision(*a, value);
-                }
+                    && !engine.dom(*b).is_fixed() =>
+            {
+                let value = weights.map(|w| w.preferred_value(*a)).unwrap_or(false);
+                return Structural::Decision(*a, value);
             }
             CKind::Ite { out, sel, t, e } => {
                 if engine.dom(*sel).tri().is_assigned() {

@@ -127,6 +127,9 @@ pub(crate) fn run(
     let mut report = LearnReport::default();
     let candidates = analysis::predicate_logic(netlist);
     let mut seen_clauses: HashSet<(VarId, bool, VarId, bool)> = HashSet::new();
+    // Reused across all probes (see the intersection loop below).
+    let mut common: Vec<(VarId, bool)> = Vec::new();
+    let mut implied: Vec<(VarId, bool)> = Vec::new();
 
     'candidates: for &sig in &candidates {
         if report.relations >= config.threshold || report.probes >= config.max_probes {
@@ -148,28 +151,30 @@ pub(crate) fn run(
             report.probes += 1;
 
             // Probe each way in isolation and intersect the implied Boolean
-            // assignments.
-            let mut common: Option<Vec<(VarId, bool)>> = None;
+            // assignments. Both buffers are reused across ways and probes;
+            // each way's implications are sorted and the running
+            // intersection kept sorted, so the intersection is a binary-
+            // search retain instead of a rebuilt hash set per way — and the
+            // learned clauses come out in a deterministic (sorted) order
+            // regardless of how the ways were enumerated.
+            common.clear();
+            let mut first_way = true;
             let mut all_conflict = true;
             for way in &ways {
-                let implied = probe(engine, var, value, way);
-                match implied {
-                    None => {
-                        // This way is infeasible; it contributes no
-                        // implications but the probe value may still be
-                        // satisfiable through other ways.
-                        continue;
-                    }
-                    Some(implications) => {
-                        all_conflict = false;
-                        let set: HashSet<(VarId, bool)> = implications.into_iter().collect();
-                        common = Some(match common {
-                            None => set.into_iter().collect(),
-                            Some(prev) => {
-                                prev.into_iter().filter(|x| set.contains(x)).collect()
-                            }
-                        });
-                    }
+                implied.clear();
+                if !probe(engine, var, value, way, &mut implied) {
+                    // This way is infeasible; it contributes no
+                    // implications but the probe value may still be
+                    // satisfiable through other ways.
+                    continue;
+                }
+                all_conflict = false;
+                implied.sort_unstable();
+                if first_way {
+                    common.extend_from_slice(&implied);
+                    first_way = false;
+                } else {
+                    common.retain(|x| implied.binary_search(x).is_ok());
                 }
             }
 
@@ -192,7 +197,7 @@ pub(crate) fn run(
             }
 
             // Learn each common implication as (¬val(sig) ∨ implication).
-            for (t_var, t_val) in common.unwrap_or_default() {
+            for &(t_var, t_val) in &common {
                 if t_var == var {
                     continue;
                 }
@@ -227,14 +232,16 @@ pub(crate) fn run(
 }
 
 /// Applies `sig = value` plus the way's assignments at a scratch decision
-/// level, propagates (Boolean + interval), and collects every *additional*
-/// Boolean assignment implied. `None` if the way conflicts.
+/// level, propagates (Boolean + interval), and appends every *additional*
+/// Boolean assignment implied to `implied` (a caller-owned buffer).
+/// Returns `false` — appending nothing — if the way conflicts.
 fn probe(
     engine: &mut Engine,
     var: VarId,
     value: bool,
     way: &[(VarId, bool)],
-) -> Option<Vec<(VarId, bool)>> {
+    implied: &mut Vec<(VarId, bool)>,
+) -> bool {
     let base_level = engine.level();
     engine.decide(var, value);
     let mut ok = engine.propagate().is_none();
@@ -256,27 +263,21 @@ fn probe(
             }
         }
     }
-    let result = if ok {
-        let seeds: HashSet<VarId> = way
-            .iter()
-            .map(|&(v, _)| v)
-            .chain(std::iter::once(var))
-            .collect();
+    if ok {
+        // The seed set (the probed variable plus the way's assignments) is
+        // at most three entries, so a linear scan beats building a set.
+        let is_seed = |v: VarId| v == var || way.iter().any(|&(w, _)| w == v);
         let start = engine.trail_lim[base_level as usize];
-        let mut implied = Vec::new();
         for e in &engine.trail[start..] {
             if let Dom::B(t) = e.new {
-                if !seeds.contains(&e.var) {
+                if !is_seed(e.var) {
                     if let Some(b) = t.to_bool() {
                         implied.push((e.var, b));
                     }
                 }
             }
         }
-        Some(implied)
-    } else {
-        None
-    };
+    }
     engine.backtrack(base_level);
-    result
+    ok
 }

@@ -7,11 +7,12 @@ use crate::compile::CKind;
 use crate::types::{Dom, VarId};
 
 /// Outcome of propagating one constraint against the current domains.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum PropResult {
-    /// Domains to narrow (already intersected; strictly smaller than the
-    /// current ones). Empty = the constraint is (currently) at fixpoint.
-    Narrowed(Vec<(VarId, Dom)>),
+    /// Domain changes were appended to the caller's change buffer
+    /// (already intersected; strictly smaller than the current domains).
+    /// An untouched buffer = the constraint is (currently) at fixpoint.
+    Narrowed,
     /// The constraint is unsatisfiable under the current domains.
     Conflict,
 }
@@ -82,20 +83,24 @@ fn meet_interval(
 }
 
 /// One propagation step for `kind` under `doms`.
-pub(crate) fn step(kind: &CKind, doms: &[Dom]) -> PropResult {
-    let mut changes: Vec<(VarId, Dom)> = Vec::new();
+///
+/// Changes are appended to `changes`, a buffer the caller owns and
+/// reuses across steps — the hot path never allocates here. On
+/// [`PropResult::Conflict`] the buffer may hold partial changes; the
+/// caller discards them.
+pub(crate) fn step(kind: &CKind, doms: &[Dom], changes: &mut Vec<(VarId, Dom)>) -> PropResult {
     let tri = |v: VarId| doms[v.index()].tri();
     let result = match kind {
         CKind::Not { out, a } => (|| {
-            meet_bool(&mut changes, *out, tri(*out), tri(*a).not())?;
-            meet_bool(&mut changes, *a, tri(*a), tri(*out).not())
+            meet_bool(changes, *out, tri(*out), tri(*a).not())?;
+            meet_bool(changes, *a, tri(*a), tri(*out).not())
         })(),
-        CKind::And { out, ins } => prop_and_or(&mut changes, doms, *out, ins, true),
-        CKind::Or { out, ins } => prop_and_or(&mut changes, doms, *out, ins, false),
+        CKind::And { out, ins } => prop_and_or(changes, doms, *out, ins, true),
+        CKind::Or { out, ins } => prop_and_or(changes, doms, *out, ins, false),
         CKind::Xor { out, a, b } => (|| {
-            meet_bool(&mut changes, *out, tri(*out), tri(*a).xor(tri(*b)))?;
-            meet_bool(&mut changes, *a, tri(*a), tri(*out).xor(tri(*b)))?;
-            meet_bool(&mut changes, *b, tri(*b), tri(*out).xor(tri(*a)))
+            meet_bool(changes, *out, tri(*out), tri(*a).xor(tri(*b)))?;
+            meet_bool(changes, *a, tri(*a), tri(*out).xor(tri(*b)))?;
+            meet_bool(changes, *b, tri(*b), tri(*out).xor(tri(*a)))
         })(),
         CKind::CmpReif { op, out, a, b } => (|| {
             let r = contract::cmp_reified(
@@ -105,9 +110,9 @@ pub(crate) fn step(kind: &CKind, doms: &[Dom]) -> PropResult {
                 doms[b.index()].iv(),
             )
             .ok_or(())?;
-            meet_bool(&mut changes, *out, tri(*out), r.b)?;
-            meet_interval(&mut changes, *a, &doms[a.index()], r.x)?;
-            meet_interval(&mut changes, *b, &doms[b.index()], r.y)
+            meet_bool(changes, *out, tri(*out), r.b)?;
+            meet_interval(changes, *a, &doms[a.index()], r.x)?;
+            meet_interval(changes, *b, &doms[b.index()], r.y)
         })(),
         CKind::Ite { out, sel, t, e } => (|| {
             let r = contract::ite(
@@ -117,10 +122,10 @@ pub(crate) fn step(kind: &CKind, doms: &[Dom]) -> PropResult {
                 doms[e.index()].iv(),
             )
             .ok_or(())?;
-            meet_bool(&mut changes, *sel, tri(*sel), r.sel)?;
-            meet_interval(&mut changes, *out, &doms[out.index()], r.out)?;
-            meet_interval(&mut changes, *t, &doms[t.index()], r.t)?;
-            meet_interval(&mut changes, *e, &doms[e.index()], r.e)
+            meet_bool(changes, *sel, tri(*sel), r.sel)?;
+            meet_interval(changes, *out, &doms[out.index()], r.out)?;
+            meet_interval(changes, *t, &doms[t.index()], r.t)?;
+            meet_interval(changes, *e, &doms[e.index()], r.e)
         })(),
         CKind::Min { out, a, b } => (|| {
             let r = contract::min_op(
@@ -129,9 +134,9 @@ pub(crate) fn step(kind: &CKind, doms: &[Dom]) -> PropResult {
                 doms[b.index()].iv(),
             )
             .ok_or(())?;
-            meet_interval(&mut changes, *out, &doms[out.index()], r.0)?;
-            meet_interval(&mut changes, *a, &doms[a.index()], r.1)?;
-            meet_interval(&mut changes, *b, &doms[b.index()], r.2)
+            meet_interval(changes, *out, &doms[out.index()], r.0)?;
+            meet_interval(changes, *a, &doms[a.index()], r.1)?;
+            meet_interval(changes, *b, &doms[b.index()], r.2)
         })(),
         CKind::Max { out, a, b } => (|| {
             let r = contract::max_op(
@@ -140,14 +145,14 @@ pub(crate) fn step(kind: &CKind, doms: &[Dom]) -> PropResult {
                 doms[b.index()].iv(),
             )
             .ok_or(())?;
-            meet_interval(&mut changes, *out, &doms[out.index()], r.0)?;
-            meet_interval(&mut changes, *a, &doms[a.index()], r.1)?;
-            meet_interval(&mut changes, *b, &doms[b.index()], r.2)
+            meet_interval(changes, *out, &doms[out.index()], r.0)?;
+            meet_interval(changes, *a, &doms[a.index()], r.1)?;
+            meet_interval(changes, *b, &doms[b.index()], r.2)
         })(),
-        CKind::Lin { terms, constant } => prop_lin(&mut changes, doms, terms, *constant),
+        CKind::Lin { terms, constant } => prop_lin(changes, doms, terms, *constant),
     };
     match result {
-        Ok(()) => PropResult::Narrowed(changes),
+        Ok(()) => PropResult::Narrowed,
         Err(()) => PropResult::Conflict,
     }
 }
@@ -160,20 +165,36 @@ fn prop_and_or(
     is_and: bool,
 ) -> Result<(), ()> {
     // Work in AND terms; OR is handled by De Morgan-flipping the values.
+    // One pass over the inputs computes everything each case below needs,
+    // with no per-call buffers.
     let flip = |t: Tribool| if is_and { t } else { t.not() };
     let out_val = flip(doms[out.index()].tri());
-    let in_vals: Vec<Tribool> = ins.iter().map(|v| flip(doms[v.index()].tri())).collect();
 
-    // Forward.
-    let forward = in_vals.iter().fold(Tribool::True, |acc, &t| acc.and(t));
+    let mut forward = Tribool::True;
+    let mut unknown_count = 0usize;
+    let mut last_unknown = 0usize;
+    let mut any_false = false;
+    for (i, &v) in ins.iter().enumerate() {
+        let t = flip(doms[v.index()].tri());
+        forward = forward.and(t);
+        match t {
+            Tribool::Unknown => {
+                unknown_count += 1;
+                last_unknown = i;
+            }
+            Tribool::False => any_false = true,
+            Tribool::True => {}
+        }
+    }
     meet_bool(changes, out, flip(out_val), flip(forward))?;
 
     match out_val {
         Tribool::True => {
             // all inputs must be 1 (AND view)
-            for (&v, &t) in ins.iter().zip(&in_vals) {
+            for &v in ins {
+                let t = flip(doms[v.index()].tri());
                 if t == Tribool::Unknown {
-                    meet_bool(changes, v, flip(t), flip(Tribool::True))?;
+                    meet_bool(changes, v, t, flip(Tribool::True))?;
                 }
             }
             Ok(())
@@ -181,21 +202,15 @@ fn prop_and_or(
         Tribool::False => {
             // at least one input 0: implication only when exactly one
             // candidate remains
-            if in_vals.iter().any(|&t| t == Tribool::False) {
+            if any_false {
                 return Ok(());
             }
-            let unknowns: Vec<usize> = in_vals
-                .iter()
-                .enumerate()
-                .filter(|&(_, &t)| t == Tribool::Unknown)
-                .map(|(i, _)| i)
-                .collect();
-            match unknowns.len() {
+            match unknown_count {
                 0 => Err(()), // all inputs 1 but output 0
                 1 => meet_bool(
                     changes,
-                    ins[unknowns[0]],
-                    flip(in_vals[unknowns[0]]),
+                    ins[last_unknown],
+                    Tribool::Unknown,
                     flip(Tribool::False),
                 ),
                 _ => Ok(()),
@@ -211,24 +226,28 @@ fn prop_lin(
     terms: &[(VarId, i64)],
     constant: i64,
 ) -> Result<(), ()> {
-    // Interval of Σ cᵢ·vᵢ + k.
-    let bounds: Vec<(i128, i128)> = terms
-        .iter()
-        .map(|&(v, c)| {
-            let iv = doms[v.index()].as_interval();
-            let (a, b) = (c as i128 * iv.lo() as i128, c as i128 * iv.hi() as i128);
-            (a.min(b), a.max(b))
-        })
-        .collect();
-    let total_lo: i128 = bounds.iter().map(|&(l, _)| l).sum::<i128>() + constant as i128;
-    let total_hi: i128 = bounds.iter().map(|&(_, h)| h).sum::<i128>() + constant as i128;
+    // Interval of Σ cᵢ·vᵢ + k. The per-term bounds are cheap (two
+    // multiplications), so the backward pass recomputes them instead of
+    // staging them in a heap buffer.
+    let term_bounds = |v: VarId, c: i64| {
+        let iv = doms[v.index()].as_interval();
+        let (a, b) = (c as i128 * iv.lo() as i128, c as i128 * iv.hi() as i128);
+        (a.min(b), a.max(b))
+    };
+    let mut total_lo = constant as i128;
+    let mut total_hi = constant as i128;
+    for &(v, c) in terms {
+        let (l, h) = term_bounds(v, c);
+        total_lo += l;
+        total_hi += h;
+    }
     if total_lo > 0 || total_hi < 0 {
         return Err(());
     }
     // For each variable: c·v ∈ [−(total_hi − c·v range), …] — i.e.
     // c·v ∈ −(rest) where rest = total − own term.
-    for (j, &(v, c)) in terms.iter().enumerate() {
-        let (own_lo, own_hi) = bounds[j];
+    for &(v, c) in terms {
+        let (own_lo, own_hi) = term_bounds(v, c);
         let rest_lo = total_lo - own_lo;
         let rest_hi = total_hi - own_hi;
         // c·v = −(rest + k') where rest ∈ [rest_lo, rest_hi] (constant is
@@ -262,6 +281,16 @@ mod unit {
         VarId(i)
     }
 
+    /// Runs one step with a fresh buffer: `Some(changes)` or `None` on
+    /// conflict.
+    fn run(kind: &CKind, doms: &[Dom]) -> Option<Vec<(VarId, Dom)>> {
+        let mut changes = Vec::new();
+        match step(kind, doms, &mut changes) {
+            PropResult::Narrowed => Some(changes),
+            PropResult::Conflict => None,
+        }
+    }
+
     #[test]
     fn and_forward_and_backward() {
         // out = a ∧ b
@@ -271,28 +300,28 @@ mod unit {
         };
         // a=0 ⇒ out=0
         let doms = vec![b(Tribool::Unknown), b(Tribool::False), b(Tribool::Unknown)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::False))]),
-            PropResult::Conflict => panic!(),
+        match run(&kind, &doms) {
+            Some(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::False))]),
+            None => panic!(),
         }
         // out=1 ⇒ a=b=1
         let doms = vec![b(Tribool::True), b(Tribool::Unknown), b(Tribool::Unknown)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => {
+        match run(&kind, &doms) {
+            Some(ch) => {
                 assert!(ch.contains(&(v(1), b(Tribool::True))));
                 assert!(ch.contains(&(v(2), b(Tribool::True))));
             }
-            PropResult::Conflict => panic!(),
+            None => panic!(),
         }
         // out=0, a=1 ⇒ b=0 (last free input)
         let doms = vec![b(Tribool::False), b(Tribool::True), b(Tribool::Unknown)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(2), b(Tribool::False))]),
-            PropResult::Conflict => panic!(),
+        match run(&kind, &doms) {
+            Some(ch) => assert_eq!(ch, vec![(v(2), b(Tribool::False))]),
+            None => panic!(),
         }
         // out=0 but both inputs 1: conflict
         let doms = vec![b(Tribool::False), b(Tribool::True), b(Tribool::True)];
-        assert_eq!(step(&kind, &doms), PropResult::Conflict);
+        assert_eq!(run(&kind, &doms), None);
     }
 
     #[test]
@@ -303,13 +332,13 @@ mod unit {
         };
         // out=1, a=0 ⇒ b=1
         let doms = vec![b(Tribool::True), b(Tribool::False), b(Tribool::Unknown)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(2), b(Tribool::True))]),
-            PropResult::Conflict => panic!(),
+        match run(&kind, &doms) {
+            Some(ch) => assert_eq!(ch, vec![(v(2), b(Tribool::True))]),
+            None => panic!(),
         }
         // out=1 with two candidates: no implication yet (needs a decision)
         let doms = vec![b(Tribool::True), b(Tribool::Unknown), b(Tribool::Unknown)];
-        assert_eq!(step(&kind, &doms), PropResult::Narrowed(vec![]));
+        assert_eq!(run(&kind, &doms), Some(vec![]));
     }
 
     #[test]
@@ -320,13 +349,13 @@ mod unit {
             constant: 0,
         };
         let doms = vec![w(3, 9), w(1, 9), w(0, 5)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => {
+        match run(&kind, &doms) {
+            Some(ch) => {
                 assert!(ch.contains(&(v(0), w(3, 4))));
                 assert!(ch.contains(&(v(1), w(1, 2))));
                 assert!(ch.contains(&(v(2), w(4, 5))));
             }
-            PropResult::Conflict => panic!(),
+            None => panic!(),
         }
     }
 
@@ -338,7 +367,7 @@ mod unit {
             constant: 0,
         };
         let doms = vec![w(0, 3), w(5, 9)];
-        assert_eq!(step(&kind, &doms), PropResult::Conflict);
+        assert_eq!(run(&kind, &doms), None);
     }
 
     #[test]
@@ -349,11 +378,11 @@ mod unit {
             constant: 0,
         };
         let doms = vec![w(0, 100), w(7, 20)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => {
+        match run(&kind, &doms) {
+            Some(ch) => {
                 assert!(ch.contains(&(v(0), w(3, 6))), "{ch:?}");
             }
-            PropResult::Conflict => panic!(),
+            None => panic!(),
         }
     }
 
@@ -365,9 +394,9 @@ mod unit {
             constant: 0,
         };
         let doms = vec![b(Tribool::Unknown), w(1, 1)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::True))]),
-            PropResult::Conflict => panic!(),
+        match run(&kind, &doms) {
+            Some(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::True))]),
+            None => panic!(),
         }
     }
 
@@ -381,9 +410,9 @@ mod unit {
             b: v(2),
         };
         let doms = vec![b(Tribool::Unknown), w(0, 3), w(7, 9)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::True))]),
-            PropResult::Conflict => panic!(),
+        match run(&kind, &doms) {
+            Some(ch) => assert_eq!(ch, vec![(v(0), b(Tribool::True))]),
+            None => panic!(),
         }
     }
 
@@ -399,12 +428,12 @@ mod unit {
             e: v(3),
         };
         let doms = vec![w(5, 5), b(Tribool::Unknown), w(6, 7), w(0, 7)];
-        match step(&kind, &doms) {
-            PropResult::Narrowed(ch) => {
+        match run(&kind, &doms) {
+            Some(ch) => {
                 assert!(ch.contains(&(v(1), b(Tribool::False))));
                 assert!(ch.contains(&(v(3), w(5, 5))));
             }
-            PropResult::Conflict => panic!(),
+            None => panic!(),
         }
     }
 }

@@ -152,7 +152,7 @@ pub struct SolverStats {
 #[derive(Debug)]
 pub struct Solver {
     netlist: Netlist,
-    compiled: Compiled,
+    compiled: std::rc::Rc<Compiled>,
     config: SolverConfig,
     stats: SolverStats,
     learn_report: Option<LearnReport>,
@@ -165,7 +165,7 @@ impl Solver {
     pub fn new(netlist: &Netlist, config: SolverConfig) -> Self {
         Self {
             netlist: netlist.clone(),
-            compiled: compile(netlist),
+            compiled: std::rc::Rc::new(compile(netlist)),
             config,
             stats: SolverStats::default(),
             learn_report: None,
@@ -199,16 +199,18 @@ impl Solver {
             self.netlist.ty(constraint).is_bool(),
             "proposition {constraint} must be Boolean"
         );
-        let mut engine = Engine::new(self.compiled.clone());
+        let mut engine = Engine::new(std::rc::Rc::clone(&self.compiled));
         self.stats = SolverStats::default();
         self.learn_report = None;
 
         // Assert the proposition and reach the initial fixpoint.
         if !engine.assert_external(VarId::from_signal(constraint), Dom::B(Tribool::True)) {
+            self.stats.engine = engine.stats;
             return HdpllResult::Unsat;
         }
         engine.schedule_all();
         if engine.propagate().is_some() {
+            self.stats.engine = engine.stats;
             return HdpllResult::Unsat;
         }
 

@@ -604,3 +604,123 @@ fn model_type_usable() {
         panic!("expected SAT");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Memory-layout invariants of the hot path
+// ---------------------------------------------------------------------------
+
+/// The learned relation set must not depend on the order in which a probe's
+/// justification ways are enumerated: the sorted-merge intersection is
+/// symmetric, so swapping the inputs of the probed `or` gates (which
+/// reverses the way order) must yield the same clauses.
+#[test]
+fn predicate_learning_is_way_order_independent() {
+    let build = |swap: bool| {
+        let mut n = Netlist::new("corr");
+        let a = n.input_word("a", 4).unwrap();
+        let b = n.input_word("b", 4).unwrap();
+        let c = n.input_bool("c").unwrap();
+        let d = n.input_bool("d").unwrap();
+        let b5 = if swap { n.or(&[d, c]) } else { n.or(&[c, d]) }.unwrap();
+        let b6 = if swap { n.or(&[c, d]) } else { n.or(&[d, c]) }.unwrap();
+        let m1 = n.ite(b5, a, b).unwrap();
+        let m2 = n.ite(b6, b, a).unwrap();
+        let ne = n.cmp(CmpOp::Ne, m1, m2).unwrap();
+        let eq_ab = n.cmp(CmpOp::Eq, a, b).unwrap();
+        let goal = n.and(&[ne, eq_ab]).unwrap();
+        (n, goal)
+    };
+    let clauses_of = |swap: bool| {
+        let (n, goal) = build(swap);
+        let mut solver = Solver::new(
+            &n,
+            SolverConfig::structural_with_learning(LearnConfig::default()),
+        );
+        assert!(solver.solve(goal).is_unsat());
+        solver.learn_report().unwrap().clauses.clone()
+    };
+    let forward = clauses_of(false);
+    let swapped = clauses_of(true);
+    assert!(!forward.is_empty(), "the probes must learn something");
+    // Signal ids are identical in both builds (same creation order), so the
+    // relations are directly comparable.
+    let as_set = |cs: &[crate::Relation]| -> std::collections::HashSet<crate::Relation> {
+        cs.iter().cloned().collect()
+    };
+    assert_eq!(as_set(&forward), as_set(&swapped));
+}
+
+/// Snapshot of the engine state that `backtrack()` promises to restore.
+type EngineSnap = (
+    Vec<crate::types::Dom>,
+    Vec<Option<u32>>,
+    Vec<u32>,
+    usize,
+);
+
+fn snap_engine(e: &crate::engine::Engine) -> EngineSnap {
+    (
+        e.doms.clone(),
+        e.latest.clone(),
+        e.ant_pool.clone(),
+        e.trail.len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `backtrack()` must restore `doms`, `latest`, the antecedent pool,
+    /// and the trail length to exactly the fixpoint state of the target
+    /// level — the invariant behind truncating the span pool in lockstep
+    /// with the trail.
+    #[test]
+    fn backtrack_restores_state_exactly(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        script in proptest::collection::vec(
+            (any::<u16>(), any::<bool>(), any::<u8>()),
+            1..24,
+        ),
+    ) {
+        let (n, _goal) = build_random(&steps, 0);
+        let compiled = std::rc::Rc::new(crate::compile::compile(&n));
+        let mut engine = crate::engine::Engine::new(compiled);
+        engine.schedule_all();
+        if engine.propagate().is_some() {
+            return; // conflicting at the root: no levels to test
+        }
+        // snaps[l] = fixpoint state at decision level l.
+        let mut snaps = vec![snap_engine(&engine)];
+        for &(pick, value, bt_sel) in &script {
+            let cands: Vec<_> = engine
+                .compiled
+                .decision_vars
+                .iter()
+                .copied()
+                .filter(|&v| !engine.dom(v).is_fixed())
+                .collect();
+            if cands.is_empty() {
+                break;
+            }
+            let var = cands[pick as usize % cands.len()];
+            engine.decide(var, value);
+            let conflict = engine.propagate().is_some();
+            // On conflict always retreat; otherwise retreat ~1/4 of the
+            // time to exercise multi-level truncation mid-sequence.
+            if conflict || bt_sel < 64 {
+                let target = u32::from(bt_sel) % engine.level();
+                engine.backtrack(target);
+                snaps.truncate(target as usize + 1);
+                prop_assert_eq!(&snap_engine(&engine), &snaps[target as usize]);
+            } else {
+                snaps.push(snap_engine(&engine));
+            }
+        }
+        // Unwind the remaining levels one at a time, checking each.
+        while engine.level() > 0 {
+            let target = engine.level() - 1;
+            engine.backtrack(target);
+            prop_assert_eq!(&snap_engine(&engine), &snaps[target as usize]);
+        }
+    }
+}

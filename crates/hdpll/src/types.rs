@@ -179,6 +179,46 @@ impl fmt::Display for HLit {
     }
 }
 
+/// A `(start, len)` view into one of the engine's append-only `u32`/
+/// [`VarId`] pools (antecedent indices, interned constraint var-lists).
+///
+/// Pools grow only at the tip and are truncated in lockstep with the
+/// structure that owns the spans (the trail, the constraint store), so a
+/// span is valid exactly as long as its owner. Storing spans instead of
+/// per-entry `Vec`s keeps hot-path records `Copy` and allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First pool index of the span.
+    pub start: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+impl Span {
+    /// An empty span anchored at the current pool tip. Anchoring empty
+    /// spans at the tip (not at 0) keeps span starts monotone along the
+    /// trail, which is what lockstep truncation relies on.
+    #[must_use]
+    pub fn empty_at(tip: usize) -> Self {
+        Span {
+            start: tip as u32,
+            len: 0,
+        }
+    }
+
+    /// The span as a pool index range.
+    #[must_use]
+    pub fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+
+    /// `true` if the span holds no elements.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Why a trail entry was made.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Reason {
@@ -194,7 +234,11 @@ pub enum Reason {
 
 /// One node of the hybrid implication graph: a Boolean assignment or an
 /// interval narrowing, with its antecedent nodes.
-#[derive(Clone, Debug)]
+///
+/// The entry is `Copy`: the antecedent list lives in the engine's shared
+/// antecedent pool and is referenced by a [`Span`], so pushing and
+/// undoing trail entries never touches the heap.
+#[derive(Clone, Copy, Debug)]
 pub struct TrailEntry {
     /// The variable affected.
     pub var: VarId,
@@ -204,9 +248,10 @@ pub struct TrailEntry {
     pub new: Dom,
     /// The producing reason.
     pub reason: Reason,
-    /// Trail indices of the entries that implied this one (empty for
-    /// decisions/external assertions).
-    pub antecedents: Vec<u32>,
+    /// Span into the engine's antecedent pool: trail indices of the
+    /// entries that implied this one (empty for decisions/external
+    /// assertions).
+    pub ants: Span,
     /// Decision level at which the entry was made.
     pub level: u32,
     /// The variable's previous latest-entry index (undo bookkeeping).
@@ -295,13 +340,23 @@ mod unit {
     }
 
     #[test]
+    fn span_ranges() {
+        let s = Span { start: 3, len: 2 };
+        assert_eq!(s.range(), 3..5);
+        assert!(!s.is_empty());
+        let e = Span::empty_at(7);
+        assert_eq!(e.range(), 7..7);
+        assert!(e.is_empty());
+    }
+
+    #[test]
     fn trail_entry_lits() {
         let e = TrailEntry {
             var: VarId(2),
             old: Dom::W(Interval::new(0, 15)),
             new: Dom::W(Interval::new(4, 7)),
             reason: Reason::Decision,
-            antecedents: Vec::new(),
+            ants: Span::empty_at(0),
             level: 1,
             prev_latest: None,
         };

@@ -129,7 +129,7 @@ impl Interval {
     /// with headroom for arithmetic).
     #[must_use]
     pub fn of_width(width: u32) -> Self {
-        assert!(width >= 1 && width <= 62, "unsupported bit-width {width}");
+        assert!((1..=62).contains(&width), "unsupported bit-width {width}");
         Self {
             lo: 0,
             hi: (1i64 << width) - 1,

@@ -38,6 +38,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// `Interval::add/sub/neg/mul` and `Tribool::not` are deliberately inherent
+// methods, not operator impls: they are *saturating* interval extensions
+// (Equation 1), and an overloaded `a + b` would read as exact arithmetic.
+#![allow(clippy::should_implement_trait)]
 #![warn(missing_docs)]
 
 mod interval;

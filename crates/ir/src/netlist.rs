@@ -297,7 +297,7 @@ impl Netlist {
     ///
     /// Fails if no operands are given or any operand is not Boolean.
     pub fn and(&mut self, operands: &[SignalId]) -> Result<SignalId, NetlistError> {
-        self.gate_nary(operands, "and", |v| Op::And(v))
+        self.gate_nary(operands, "and", Op::And)
     }
 
     /// N-ary disjunction.
@@ -306,7 +306,7 @@ impl Netlist {
     ///
     /// Fails if no operands are given or any operand is not Boolean.
     pub fn or(&mut self, operands: &[SignalId]) -> Result<SignalId, NetlistError> {
-        self.gate_nary(operands, "or", |v| Op::Or(v))
+        self.gate_nary(operands, "or", Op::Or)
     }
 
     fn gate_nary(

@@ -220,10 +220,7 @@ impl SeqCircuit {
             for reg in &self.registers {
                 let mapped = if t == 0 {
                     match self.frame.ty(reg.state) {
-                        SignalType::Bool => {
-                            let c = out.const_bool(reg.init == 1);
-                            c
-                        }
+                        SignalType::Bool => out.const_bool(reg.init == 1),
                         SignalType::Word { width } => out.const_word(reg.init, width)?,
                     }
                 } else {

@@ -27,16 +27,3 @@ pub(crate) fn st_eq(
 ) -> Result<SignalId, NetlistError> {
     n.eq_const(state, k)
 }
-
-/// Boolean priority multiplexer (gate expansion).
-pub(crate) fn bool_priority_mux(
-    n: &mut Netlist,
-    default: SignalId,
-    cases: &[(SignalId, SignalId)],
-) -> Result<SignalId, NetlistError> {
-    let mut acc = default;
-    for &(cond, value) in cases.iter().rev() {
-        acc = n.bool_mux(cond, value, acc)?;
-    }
-    Ok(acc)
-}

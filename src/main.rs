@@ -6,20 +6,20 @@
 //!
 //! ```text
 //! rtlsat <netlist-file> <goal-signal> [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
-//!        [--timeout <secs>] [--dump-cnf <file>]
+//!        [--timeout <secs>] [--dump-cnf <file>] [--stats]
 //! ```
 //!
 //! On SAT, the witnessing input assignment is printed (and validated
 //! against the reference simulator before being reported). `--dump-cnf`
 //! additionally writes the bit-blasted DIMACS CNF of the goal for use with
-//! external SAT solvers.
+//! external SAT solvers; `--stats` prints search statistics (decisions,
+//! propagations, queue pressure, …) to stderr for the HDPLL engines.
 
-use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use rtlsat::baselines::{BaselineLimits, EagerSolver, LazyCdpSolver};
-use rtlsat::hdpll::{HdpllResult, LearnConfig, Limits, Solver, SolverConfig};
+use rtlsat::hdpll::{HdpllResult, LearnConfig, Limits, Solver, SolverConfig, SolverStats};
 use rtlsat::ir::{eval, text, Netlist, SignalId};
 
 struct Args {
@@ -28,6 +28,7 @@ struct Args {
     engine: String,
     timeout: Option<Duration>,
     dump_cnf: Option<String>,
+    stats: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut engine = "hdpll-sp".to_string();
     let mut timeout = None;
     let mut dump_cnf = None;
+    let mut stats = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -52,10 +54,11 @@ fn parse_args() -> Result<Args, String> {
             "--dump-cnf" => {
                 dump_cnf = Some(it.next().ok_or("--dump-cnf needs a path")?);
             }
+            "--stats" => stats = true,
             "--help" | "-h" => {
                 return Err("usage: rtlsat <netlist-file> <goal-signal> \
                      [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
-                     [--timeout <secs>] [--dump-cnf <file>]"
+                     [--timeout <secs>] [--dump-cnf <file>] [--stats]"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -70,10 +73,15 @@ fn parse_args() -> Result<Args, String> {
         engine,
         timeout,
         dump_cnf,
+        stats,
     })
 }
 
-fn solve(args: &Args, netlist: &Netlist, goal: SignalId) -> Result<HdpllResult, String> {
+fn solve(
+    args: &Args,
+    netlist: &Netlist,
+    goal: SignalId,
+) -> Result<(HdpllResult, Option<SolverStats>), String> {
     let limits = Limits {
         max_time: args.timeout,
         ..Limits::default()
@@ -82,22 +90,39 @@ fn solve(args: &Args, netlist: &Netlist, goal: SignalId) -> Result<HdpllResult, 
         max_time: args.timeout,
         max_conflicts: None,
     };
+    let run_hdpll = |config: SolverConfig| {
+        let mut solver = Solver::new(netlist, config.with_limits(limits));
+        let result = solver.solve(goal);
+        (result, Some(*solver.stats()))
+    };
     let result = match args.engine.as_str() {
-        "hdpll" => Solver::new(netlist, SolverConfig::hdpll().with_limits(limits)).solve(goal),
-        "hdpll-s" => {
-            Solver::new(netlist, SolverConfig::structural().with_limits(limits)).solve(goal)
+        "hdpll" => run_hdpll(SolverConfig::hdpll()),
+        "hdpll-s" => run_hdpll(SolverConfig::structural()),
+        "hdpll-sp" => {
+            run_hdpll(SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist)))
         }
-        "hdpll-sp" => Solver::new(
-            netlist,
-            SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist))
-                .with_limits(limits),
-        )
-        .solve(goal),
-        "eager" => EagerSolver::new(blimits).solve(netlist, goal),
-        "lazy" => LazyCdpSolver::new(blimits).solve(netlist, goal),
+        "eager" => (EagerSolver::new(blimits).solve(netlist, goal), None),
+        "lazy" => (LazyCdpSolver::new(blimits).solve(netlist, goal), None),
         other => return Err(format!("unknown engine `{other}` (see --help)")),
     };
     Ok(result)
+}
+
+/// Prints the search statistics block (`--stats`) to stderr.
+fn print_stats(stats: &SolverStats) {
+    let e = &stats.engine;
+    eprintln!("c search_time     {:?}", stats.search_time);
+    eprintln!("c learn_time      {:?}", stats.learn_time);
+    eprintln!("c decisions       {}", e.decisions);
+    eprintln!("c propagations    {}", e.propagations);
+    eprintln!("c clause_props    {}", e.clause_props);
+    eprintln!("c conflicts       {}", e.conflicts);
+    eprintln!("c learned         {}", e.learned);
+    eprintln!("c fm_calls        {}", e.fm_calls);
+    eprintln!("c j_conflicts     {}", e.j_conflicts);
+    eprintln!("c max_cqueue      {}", e.max_cqueue);
+    eprintln!("c max_clqueue     {}", e.max_clqueue);
+    eprintln!("c ant_pool_peak   {}", e.ant_pool_peak);
 }
 
 fn main() -> ExitCode {
@@ -141,8 +166,21 @@ fn main() -> ExitCode {
         eprintln!("wrote DIMACS CNF to {path}");
     }
 
-    match solve(&args, &netlist, goal) {
-        Ok(HdpllResult::Sat(model)) => {
+    let (result, stats) = match solve(&args, &netlist, goal) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.stats {
+        match &stats {
+            Some(s) => print_stats(s),
+            None => eprintln!("c (no statistics for engine `{}`)", args.engine),
+        }
+    }
+    match result {
+        HdpllResult::Sat(model) => {
             let validated = eval::check_model(&netlist, &model, goal).unwrap_or(false);
             let warn = if validated {
                 ""
@@ -160,17 +198,13 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Ok(HdpllResult::Unsat) => {
+        HdpllResult::Unsat => {
             println!("UNSAT");
             ExitCode::from(20)
         }
-        Ok(HdpllResult::Unknown) => {
+        HdpllResult::Unknown => {
             println!("UNKNOWN (budget exhausted)");
             ExitCode::from(30)
-        }
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::from(2)
         }
     }
 }

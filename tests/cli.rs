@@ -111,3 +111,41 @@ fn bad_usage_is_reported() {
     let out = bin().arg(&netlist).arg("s").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn stats_flag_prints_counters() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    let out = bin()
+        .arg(&netlist)
+        .arg("hit")
+        .arg("--stats")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for key in [
+        "decisions",
+        "propagations",
+        "clause_props",
+        "max_cqueue",
+        "max_clqueue",
+        "ant_pool_peak",
+    ] {
+        assert!(stderr.contains(key), "missing `{key}` in stats: {stderr}");
+    }
+    // The verdict itself stays on stdout, uncluttered.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("SAT"), "{stdout}");
+    // Baseline engines report the absence of statistics rather than lying.
+    let out = bin()
+        .arg(&netlist)
+        .arg("hit")
+        .args(["--engine", "eager", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no statistics"), "{stderr}");
+}
