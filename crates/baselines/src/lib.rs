@@ -51,7 +51,10 @@
 
 use std::time::Duration;
 
-use rtl_hdpll::{HdpllResult, LearningMode, Limits, Solver, SolverConfig};
+use rtl_hdpll::{
+    CancelToken, HdpllResult, HdpllStage, LearnConfig, LearningMode, Limits, SolveStage, Solver,
+    SolverConfig, SolverStats, Supervisor,
+};
 use rtl_ir::{Netlist, SignalId};
 
 /// A common resource budget for baseline solvers (the experiment harness's
@@ -137,6 +140,126 @@ impl LazyCdpSolver {
         };
         Solver::new(netlist, config).solve(constraint)
     }
+}
+
+/// [`EagerSolver`] as a supervisor [`SolveStage`] — the last rung of the
+/// default degradation ladder and the `Unsat` cross-checker.
+///
+/// The stage honours its wall-clock slice through the SAT solver's own
+/// deadline; the CDCL loop does not poll the supervisor's cancel token,
+/// so a cancellation during this stage takes effect only when the slice
+/// expires.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EagerStage {
+    limits: BaselineLimits,
+}
+
+impl EagerStage {
+    /// A stage with extra limits tightened onto the supervisor's slice.
+    #[must_use]
+    pub fn new(limits: BaselineLimits) -> Self {
+        Self { limits }
+    }
+}
+
+impl SolveStage for EagerStage {
+    fn name(&self) -> &str {
+        "eager-bitblast"
+    }
+
+    fn run(
+        &mut self,
+        netlist: &Netlist,
+        goal: SignalId,
+        max_time: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>) {
+        if cancel.is_cancelled() {
+            return (HdpllResult::Unknown, None);
+        }
+        let mut limits = self.limits;
+        limits.max_time = match (limits.max_time, max_time) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        (EagerSolver::new(limits).solve(netlist, goal), None)
+    }
+}
+
+/// [`LazyCdpSolver`] as a supervisor [`SolveStage`] (fully cancellable —
+/// it runs on the hybrid engine's guarded propagation loop).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LazyStage {
+    limits: BaselineLimits,
+}
+
+impl LazyStage {
+    /// A stage with extra limits tightened onto the supervisor's slice.
+    #[must_use]
+    pub fn new(limits: BaselineLimits) -> Self {
+        Self { limits }
+    }
+}
+
+impl SolveStage for LazyStage {
+    fn name(&self) -> &str {
+        "lazy-cdp"
+    }
+
+    fn run(
+        &mut self,
+        netlist: &Netlist,
+        goal: SignalId,
+        max_time: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>) {
+        let limits = Limits {
+            max_time: match (self.limits.max_time, max_time) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            max_conflicts: self.limits.max_conflicts,
+            ..Limits::default()
+        };
+        let config = SolverConfig {
+            learning: LearningMode::None,
+            limits,
+            ..SolverConfig::hdpll()
+        };
+        let mut solver = Solver::new(netlist, config);
+        let result = solver.solve_cancellable(goal, cancel);
+        let stats = *solver.stats();
+        (result, Some(stats))
+    }
+}
+
+/// The default degradation ladder for `netlist`: HDPLL+S+P (weight 2) →
+/// HDPLL activity (weight 1) → eager bit-blast (remaining time). With
+/// `check_unsat`, every `Unsat` verdict is cross-checked by the eager
+/// baseline under roughly a tenth of the total budget (capped at 5 s
+/// when no budget is given).
+#[must_use]
+pub fn default_supervisor(
+    netlist: &Netlist,
+    budget: Option<Duration>,
+    check_unsat: bool,
+) -> Supervisor {
+    let learn = LearnConfig::table2_for(netlist);
+    let mut sup = Supervisor::new()
+        .weighted_stage(
+            HdpllStage::new("hdpll+s+p", SolverConfig::structural_with_learning(learn)),
+            2.0,
+        )
+        .weighted_stage(HdpllStage::new("hdpll-activity", SolverConfig::hdpll()), 1.0)
+        .weighted_stage(EagerStage::default(), 1.0);
+    if let Some(b) = budget {
+        sup = sup.budget(b);
+    }
+    if check_unsat {
+        let check_budget = budget.map_or(Duration::from_secs(5), |b| b / 10);
+        sup = sup.check_unsat_with(EagerStage::default(), check_budget);
+    }
+    sup
 }
 
 #[cfg(test)]

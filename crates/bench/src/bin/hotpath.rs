@@ -11,9 +11,13 @@
 //! plus `N` timed solves (default 10) — so the timings cover search
 //! (propagation, conflict analysis, final check), not netlist
 //! compilation. The JSON records min/median/mean nanoseconds per
-//! workload. With `--baseline`, median times from a previous run are
-//! merged in and a `speedup` factor (baseline ÷ current) is emitted per
-//! workload.
+//! workload, plus interleaved guarded samples (`guarded_min_ns`,
+//! `guarded_median_ns`, `guard_overhead`) timing each workload with
+//! the deadline and cancellation guard armed — the acceptance bar for
+//! the budget checks is ≤ 2% overhead, measured median-vs-median over
+//! the interleaved samples. With `--baseline`, median times from a previous
+//! run are merged in and a `speedup` factor (baseline ÷ current) is
+//! emitted per workload.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,6 +29,13 @@ struct Row {
     min_ns: u128,
     median_ns: u128,
     mean_ns: u128,
+    /// Timings with the budget guard armed (deadline + cancel token
+    /// polled in the propagation loop); the guard overhead is
+    /// `guarded_median_ns / median_ns` — median-vs-median over
+    /// *interleaved* samples, so both solvers see the same machine
+    /// conditions and load spikes cancel out.
+    guarded_min_ns: u128,
+    guarded_median_ns: u128,
     baseline_median_ns: Option<u128>,
 }
 
@@ -66,27 +77,50 @@ fn main() {
         eprint!("{:<24} ", w.name);
         let mut solver = w.solver();
         w.check(&solver.solve(w.goal)); // warm-up + verdict check
-        let mut ns: Vec<u128> = (0..samples.max(1))
-            .map(|_| {
-                let start = Instant::now();
-                let result = solver.solve(w.goal);
-                let elapsed = start.elapsed().as_nanos();
-                w.check(&result);
-                elapsed
-            })
-            .collect();
+
+        // Guarded twin: same instance with the budget guard armed — a
+        // far-away deadline plus a live cancel token polled inside the
+        // propagation loop. Samples are interleaved with the plain
+        // solver so both see the same machine conditions and the
+        // median-vs-median overhead is robust to load spikes;
+        // acceptance bar for the guard is ≤ 2%.
+        let mut guarded = w.guarded_solver();
+        let token = rtl_hdpll::CancelToken::new();
+        w.check(&w.run_guarded(&mut guarded, &token)); // warm-up
+
+        let mut ns: Vec<u128> = Vec::with_capacity(samples.max(1));
+        let mut gns: Vec<u128> = Vec::with_capacity(samples.max(1));
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            let result = solver.solve(w.goal);
+            ns.push(start.elapsed().as_nanos());
+            w.check(&result);
+
+            let start = Instant::now();
+            let result = w.run_guarded(&mut guarded, &token);
+            gns.push(start.elapsed().as_nanos());
+            w.check(&result);
+        }
         ns.sort_unstable();
+        gns.sort_unstable();
+
         let row = Row {
             name: w.name,
             min_ns: ns[0],
             median_ns: ns[ns.len() / 2],
             mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+            guarded_min_ns: gns[0],
+            guarded_median_ns: gns[gns.len() / 2],
             baseline_median_ns: baseline_medians
                 .iter()
                 .find(|(n, _)| n == w.name)
                 .map(|&(_, m)| m),
         };
-        eprint!("median {:>12.3} ms", row.median_ns as f64 / 1e6);
+        eprint!(
+            "median {:>12.3} ms  guard {:+.2}%",
+            row.median_ns as f64 / 1e6,
+            (row.guarded_median_ns as f64 / row.median_ns as f64 - 1.0) * 100.0
+        );
         if let Some(base) = row.baseline_median_ns {
             eprint!("  speedup {:.2}x", base as f64 / row.median_ns as f64);
         }
@@ -104,8 +138,14 @@ fn render_json(rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}",
-            r.name, r.min_ns, r.median_ns, r.mean_ns
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"guarded_min_ns\": {}, \"guarded_median_ns\": {}, \"guard_overhead\": {:.4}",
+            r.name,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.guarded_min_ns,
+            r.guarded_median_ns,
+            r.guarded_median_ns as f64 / r.median_ns as f64 - 1.0
         );
         if let Some(base) = r.baseline_median_ns {
             let _ = write!(

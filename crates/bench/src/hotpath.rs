@@ -58,7 +58,7 @@ impl Workload {
     /// measure search, not compilation.
     #[must_use]
     pub fn solver(&self) -> Solver {
-        Solver::new(&self.netlist, self.config.clone())
+        Solver::new(&self.netlist, self.config)
     }
 
     /// Asserts the verdict matches [`Workload::expect_sat`].
@@ -71,6 +71,26 @@ impl Workload {
             (HdpllResult::Sat(_), true) | (HdpllResult::Unsat, false) => {}
             other => panic!("workload {}: unexpected verdict {other:?}", self.name),
         }
+    }
+
+    /// Solves once with the budget guard *armed* (the solver must come
+    /// from [`Workload::guarded_solver`]): the overhead-measurement
+    /// counterpart of a plain solve, exercising the every-4096-steps
+    /// deadline/cancel polling on the hot path.
+    pub fn run_guarded(&self, solver: &mut Solver, token: &rtl_hdpll::CancelToken) -> HdpllResult {
+        solver.solve_cancellable(self.goal, token)
+    }
+
+    /// A fresh solver whose budget guard is armed with a far-away
+    /// wall-clock deadline (compiles the netlist; build outside the
+    /// timed region).
+    #[must_use]
+    pub fn guarded_solver(&self) -> Solver {
+        let config = self.config.with_limits(rtl_hdpll::Limits {
+            max_time: Some(std::time::Duration::from_secs(3600)),
+            ..rtl_hdpll::Limits::default()
+        });
+        Solver::new(&self.netlist, config)
     }
 }
 

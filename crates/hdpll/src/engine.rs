@@ -3,18 +3,68 @@
 //! analysis producing hybrid learned clauses (paper §2.4).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use rtl_interval::{Interval, Tribool};
 
 use crate::compile::Compiled;
 use crate::propagate::{step, PropResult};
-use crate::types::{Dom, HClause, HLit, Reason, Span, TrailEntry, VarId};
+use crate::supervise::FaultPlan;
+use crate::types::{AbortReason, Dom, HClause, HLit, Reason, Span, TrailEntry, VarId};
 
 /// A conflict discovered during deduction: the trail entries that directly
 /// participate (the antecedent cut seeds of the hybrid implication graph).
 #[derive(Clone, Debug)]
 pub(crate) struct ConflictInfo {
     pub antecedents: Vec<u32>,
+}
+
+/// Outcome of one [`Engine::propagate`] call.
+#[derive(Clone, Debug)]
+pub(crate) enum Propagation {
+    /// Deduction reached fixpoint without a conflict.
+    Fixpoint,
+    /// A conflict arose; the seeds of the implication-graph cut.
+    Conflict(ConflictInfo),
+    /// The budget guard tripped (deadline, cancellation, or step cap)
+    /// before fixpoint. The abort is *sticky*: every later call returns
+    /// it again, so callers at any depth unwind without re-checking.
+    Aborted(AbortReason),
+}
+
+/// How many propagation steps run between deadline/cancellation polls.
+///
+/// `Instant::now()` and the atomic load are too expensive to pay on every
+/// step; at ~10⁷ steps/s a 4096-step period bounds the overshoot past a
+/// deadline to well under a millisecond while keeping the amortized cost
+/// of the guard below measurement noise (see `BENCH_hotpath.json`).
+const POLL_PERIOD: u32 = 4096;
+
+/// The in-engine resource guard: the fine-grained half of
+/// [`crate::Limits`], enforced *inside* the propagation loop rather than
+/// between top-level search iterations.
+struct BudgetGuard {
+    /// Absolute wall-clock deadline (from `Limits::max_time`).
+    deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with the caller.
+    cancel: Option<Arc<AtomicBool>>,
+    /// Cap on constraint propagation steps (`u64::MAX` = unlimited).
+    max_propagations: u64,
+    /// Steps until the next deadline/cancellation poll.
+    poll_countdown: u32,
+}
+
+impl Default for BudgetGuard {
+    fn default() -> Self {
+        BudgetGuard {
+            deadline: None,
+            cancel: None,
+            max_propagations: u64::MAX,
+            poll_countdown: POLL_PERIOD,
+        }
+    }
 }
 
 /// The result of conflict analysis.
@@ -44,6 +94,8 @@ pub struct EngineStats {
     /// Clause propagation steps executed (the constraint counterpart is
     /// [`EngineStats::propagations`]).
     pub clause_props: u64,
+    /// Constraint-implied domain narrowings applied to the trail.
+    pub narrowings: u64,
     /// High-water mark of the constraint worklist (queue pressure).
     pub max_cqueue: u64,
     /// High-water mark of the clause worklist (queue pressure).
@@ -84,6 +136,13 @@ pub(crate) struct Engine {
     /// Reusable change buffer handed to the constraint contractors, so
     /// steady-state propagation performs no heap allocation.
     change_buf: Vec<(VarId, Dom)>,
+    /// Fine-grained resource guard checked inside the propagation loop.
+    budget: BudgetGuard,
+    /// Sticky abort: set the first time the guard trips, returned by
+    /// every subsequent [`Engine::propagate`] call.
+    aborted: Option<AbortReason>,
+    /// Test-only fault injection (all fields `None` in production).
+    faults: FaultPlan,
     pub stats: EngineStats,
 }
 
@@ -111,8 +170,77 @@ impl Engine {
             var_inc: 1.0,
             ant_pool: Vec::new(),
             change_buf: Vec::new(),
+            budget: BudgetGuard::default(),
+            aborted: None,
+            faults: FaultPlan::default(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// Arms the in-loop budget guard: wall-clock `deadline`, cooperative
+    /// `cancel` flag, and a cap on constraint propagation steps.
+    pub fn set_budget(
+        &mut self,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<AtomicBool>>,
+        max_propagations: Option<u64>,
+    ) {
+        self.budget.deadline = deadline;
+        self.budget.cancel = cancel;
+        self.budget.max_propagations = max_propagations.unwrap_or(u64::MAX);
+    }
+
+    /// Installs a test-only fault plan (see [`crate::supervise::FaultPlan`]).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The sticky abort reason, if the budget guard has tripped.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        self.aborted
+    }
+
+    /// Polls the deadline and the cancellation flag (the expensive checks,
+    /// run once per [`POLL_PERIOD`] steps).
+    fn poll_budget(&self) -> Option<AbortReason> {
+        if let Some(cancel) = &self.budget.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Some(AbortReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Some(AbortReason::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Per-step budget check: the propagation cap exactly, the deadline
+    /// and cancellation every [`POLL_PERIOD`] steps. Also hosts the
+    /// `stall_propagation` fault, which spins here until a deadline or
+    /// cancellation rescues the solve — proving the guard, not the
+    /// scheduler, bounds a stalled engine.
+    fn check_budget(&mut self) -> Option<AbortReason> {
+        if self.stats.propagations >= self.budget.max_propagations {
+            return Some(AbortReason::Propagations);
+        }
+        if let Some(n) = self.faults.stall_propagation {
+            if self.stats.propagations >= n {
+                loop {
+                    if let Some(reason) = self.poll_budget() {
+                        return Some(reason);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.budget.poll_countdown -= 1;
+        if self.budget.poll_countdown == 0 {
+            self.budget.poll_countdown = POLL_PERIOD;
+            return self.poll_budget();
+        }
+        None
     }
 
     pub fn level(&self) -> u32 {
@@ -307,9 +435,17 @@ impl Engine {
         true
     }
 
-    /// Runs deduction to fixpoint. Returns the conflict, if one arises.
-    pub fn propagate(&mut self) -> Option<ConflictInfo> {
+    /// Runs deduction to fixpoint, under the budget guard.
+    pub fn propagate(&mut self) -> Propagation {
+        if let Some(reason) = self.aborted {
+            return Propagation::Aborted(reason);
+        }
         loop {
+            // 0. budget guard, once per propagation step
+            if let Some(reason) = self.check_budget() {
+                self.aborted = Some(reason);
+                return Propagation::Aborted(reason);
+            }
             // 1. schedule watchers of fresh trail entries
             while self.qhead < self.trail.len() {
                 let var = self.trail[self.qhead].var;
@@ -334,19 +470,29 @@ impl Engine {
                 self.in_clqueue[cl as usize] = false;
                 self.stats.clause_props += 1;
                 if let Some(conflict) = self.propagate_clause(cl) {
-                    return Some(conflict);
+                    return Propagation::Conflict(conflict);
                 }
                 continue;
             }
             // 3. one constraint step
             let Some(ci) = self.cqueue.pop_front() else {
                 if self.qhead == self.trail.len() {
-                    return None; // fixpoint
+                    return Propagation::Fixpoint;
                 }
                 continue;
             };
             self.in_cqueue[ci as usize] = false;
             self.stats.propagations += 1;
+            if self.faults.spurious_conflict == Some(self.stats.propagations) {
+                // Injected fault: report a conflict that does not exist,
+                // seeded by the most recent trail entry (if any).
+                if let Some(last) = self.trail.len().checked_sub(1) {
+                    self.drain_queues();
+                    return Propagation::Conflict(ConflictInfo {
+                        antecedents: vec![last as u32],
+                    });
+                }
+            }
             // Move the change buffer out of `self` for the duration of the
             // step: the contractor fills it, and `apply` below can borrow
             // `self` freely. It is handed back (cleared) on every path.
@@ -356,7 +502,8 @@ impl Engine {
             if result == PropResult::Conflict {
                 changes.clear();
                 self.change_buf = changes;
-                return Some(self.constraint_conflict(ci));
+                let conflict = self.constraint_conflict(ci);
+                return Propagation::Conflict(conflict);
             }
             for k in 0..changes.len() {
                 let (var, new) = changes[k];
@@ -369,7 +516,8 @@ impl Engine {
                         None => {
                             changes.clear();
                             self.change_buf = changes;
-                            return Some(self.constraint_conflict(ci));
+                            let conflict = self.constraint_conflict(ci);
+                            return Propagation::Conflict(conflict);
                         }
                     },
                     (Dom::B(cur), Dom::B(n)) => match (cur.to_bool(), n.to_bool()) {
@@ -377,13 +525,18 @@ impl Engine {
                         (Some(_), Some(_)) => {
                             changes.clear();
                             self.change_buf = changes;
-                            return Some(self.constraint_conflict(ci));
+                            let conflict = self.constraint_conflict(ci);
+                            return Propagation::Conflict(conflict);
                         }
                         (None, Some(_)) => Dom::B(n),
                         _ => continue,
                     },
                     _ => unreachable!("contractor changed domain kind"),
                 };
+                self.stats.narrowings += 1;
+                if self.faults.drop_narrowing == Some(self.stats.narrowings) {
+                    continue; // injected fault: silently lose this deduction
+                }
                 let ants = self.intern_cons_ants(ci);
                 self.apply(var, merged, Reason::Constraint(ci), ants);
             }
@@ -454,7 +607,21 @@ impl Engine {
     }
 
     /// Adds a hybrid clause to the database; schedules it for propagation.
-    pub fn add_clause(&mut self, lits: Vec<HLit>, learned: bool) -> u32 {
+    pub fn add_clause(&mut self, mut lits: Vec<HLit>, learned: bool) -> u32 {
+        if learned && self.faults.corrupt_learned_clause == Some(self.stats.learned) {
+            // Injected fault: flip the polarity of the clause's first
+            // literal, turning a sound deduction into a lie.
+            if let Some(first) = lits.first_mut() {
+                *first = match *first {
+                    HLit::Bool { var, value } => HLit::Bool { var, value: !value },
+                    HLit::Word { var, iv, positive } => HLit::Word {
+                        var,
+                        iv,
+                        positive: !positive,
+                    },
+                };
+            }
+        }
         let id = self.clauses.len() as u32;
         for lit in &lits {
             self.clause_watch[lit.var().index()].push(id);

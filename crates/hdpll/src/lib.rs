@@ -66,9 +66,14 @@ mod types;
 pub mod justify;
 pub mod predlearn;
 pub mod solver;
+pub mod supervise;
 
 pub use crate::solver::{HdpllResult, LearningMode, Limits, Solver, SolverConfig, SolverStats};
-pub use crate::types::{DecisionStrategy, HLit, VarId};
+pub use crate::supervise::{
+    CancelToken, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport, SupervisedResult,
+    Supervisor,
+};
+pub use crate::types::{AbortReason, DecisionStrategy, HLit, VarId};
 
 pub use crate::predlearn::{LearnConfig, LearnReport, Relation};
 

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use rtl_ir::{analysis, Netlist, Op, SignalId};
 
 use crate::decide::LearnWeights;
-use crate::engine::Engine;
+use crate::engine::{Engine, Propagation};
 use crate::types::{Dom, HLit, VarId};
 
 /// One learned relation: the clause literals (over solver variables whose
@@ -135,6 +135,12 @@ pub(crate) fn run(
         if report.relations >= config.threshold || report.probes >= config.max_probes {
             break;
         }
+        // A tripped budget (deadline/cancellation) is sticky in the
+        // engine; learning simply stops early with what it has — every
+        // clause learned so far is sound.
+        if engine.abort_reason().is_some() {
+            break;
+        }
         let var = VarId::from_signal(sig);
         if engine.dom(var).is_fixed() {
             continue;
@@ -188,7 +194,7 @@ pub(crate) fn run(
                 engine.add_clause(unit, true);
                 report.relations += 1;
                 weights.by_value[var.index()][usize::from(!value)] += 1.0;
-                if engine.propagate().is_some() {
+                if matches!(engine.propagate(), Propagation::Conflict(_)) {
                     report.proved_unsat = true;
                     report.time = start.elapsed();
                     return report;
@@ -220,7 +226,7 @@ pub(crate) fn run(
                 weights.by_value[var.index()][usize::from(!value)] += 1.0;
                 weights.by_value[t_var.index()][usize::from(t_val)] += 1.0;
             }
-            if engine.propagate().is_some() {
+            if matches!(engine.propagate(), Propagation::Conflict(_)) {
                 report.proved_unsat = true;
                 report.time = start.elapsed();
                 return report;
@@ -244,7 +250,10 @@ fn probe(
 ) -> bool {
     let base_level = engine.level();
     engine.decide(var, value);
-    let mut ok = engine.propagate().is_none();
+    // An aborted propagation is *not* a conflict: the trail holds a
+    // sound (possibly incomplete) subset of implications, and `run`
+    // stops probing once it sees the sticky abort.
+    let mut ok = !matches!(engine.propagate(), Propagation::Conflict(_));
     if ok {
         for &(w_var, w_val) in way {
             match engine.dom(w_var).tri().to_bool() {
@@ -255,7 +264,7 @@ fn probe(
                 Some(_) => {}
                 None => {
                     engine.decide(w_var, w_val);
-                    if engine.propagate().is_some() {
+                    if matches!(engine.propagate(), Propagation::Conflict(_)) {
                         ok = false;
                         break;
                     }

@@ -7,11 +7,12 @@ use rtl_ir::{analysis, eval, Netlist, SignalId};
 
 use crate::compile::{compile, Compiled};
 use crate::decide::{pick_activity, LearnWeights};
-use crate::engine::{Engine, EngineStats};
+use crate::engine::{Engine, EngineStats, Propagation};
 use crate::final_check::{final_check, FinalOutcome};
 use crate::justify::{pick_structural, Structural, StructuralIndex};
 use crate::predlearn::{self, LearnConfig, LearnReport};
-use crate::types::{DecisionStrategy, Dom, VarId};
+use crate::supervise::{CancelToken, FaultPlan};
+use crate::types::{AbortReason, DecisionStrategy, Dom, VarId};
 use rtl_interval::Tribool;
 
 /// Resource budget for [`Solver::solve`]; exceeding any bound returns
@@ -144,6 +145,9 @@ pub struct SolverStats {
     pub search_time: Duration,
     /// Wall-clock static-learning time (Table 1 column 4).
     pub learn_time: Duration,
+    /// Why the run stopped early, when the verdict is
+    /// [`HdpllResult::Unknown`].
+    pub abort: Option<AbortReason>,
 }
 
 /// The hybrid DPLL solver for one netlist.
@@ -156,6 +160,7 @@ pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
     learn_report: Option<LearnReport>,
+    faults: FaultPlan,
 }
 
 impl Solver {
@@ -169,7 +174,14 @@ impl Solver {
             config,
             stats: SolverStats::default(),
             learn_report: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Arms a [`FaultPlan`] for subsequent solve calls (test only; the
+    /// default plan is clean and free on the hot path).
+    pub fn inject_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// Statistics of the most recent solve call.
@@ -195,6 +207,24 @@ impl Solver {
     /// Panics if `constraint` is not a Boolean signal of the solver's
     /// netlist.
     pub fn solve(&mut self, constraint: SignalId) -> HdpllResult {
+        self.solve_inner(constraint, None)
+    }
+
+    /// Like [`Solver::solve`], but also polls `cancel` (every ~4096
+    /// propagation steps) and returns [`HdpllResult::Unknown`] once it
+    /// trips. Prefer driving the solver through a
+    /// [`Supervisor`](crate::Supervisor) when certification or fallback
+    /// stages are wanted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint` is not a Boolean signal of the solver's
+    /// netlist.
+    pub fn solve_cancellable(&mut self, constraint: SignalId, cancel: &CancelToken) -> HdpllResult {
+        self.solve_inner(constraint, Some(cancel.clone()))
+    }
+
+    fn solve_inner(&mut self, constraint: SignalId, cancel: Option<CancelToken>) -> HdpllResult {
         assert!(
             self.netlist.ty(constraint).is_bool(),
             "proposition {constraint} must be Boolean"
@@ -203,15 +233,34 @@ impl Solver {
         self.stats = SolverStats::default();
         self.learn_report = None;
 
+        // Thread the budget into the propagation loop itself, so the
+        // wall clock and cancellation hold even during propagation
+        // bursts (and during static learning below).
+        let deadline = self.config.limits.max_time.map(|t| Instant::now() + t);
+        engine.set_budget(
+            deadline,
+            cancel.map(|c| c.flag()),
+            self.config.limits.max_propagations,
+        );
+        engine.set_faults(self.faults);
+
         // Assert the proposition and reach the initial fixpoint.
         if !engine.assert_external(VarId::from_signal(constraint), Dom::B(Tribool::True)) {
             self.stats.engine = engine.stats;
             return HdpllResult::Unsat;
         }
         engine.schedule_all();
-        if engine.propagate().is_some() {
-            self.stats.engine = engine.stats;
-            return HdpllResult::Unsat;
+        match engine.propagate() {
+            Propagation::Conflict(_) => {
+                self.stats.engine = engine.stats;
+                return HdpllResult::Unsat;
+            }
+            Propagation::Aborted(reason) => {
+                self.stats.abort = Some(reason);
+                self.stats.engine = engine.stats;
+                return HdpllResult::Unknown;
+            }
+            Propagation::Fixpoint => {}
         }
 
         // Static predicate learning (§3), timed separately (Table 1).
@@ -224,6 +273,13 @@ impl Solver {
             if unsat {
                 self.stats.engine = engine.stats;
                 return HdpllResult::Unsat;
+            }
+            // The budget may have tripped mid-learning; the abort is
+            // sticky, so stop here rather than entering the main loop.
+            if let Some(reason) = engine.abort_reason() {
+                self.stats.abort = Some(reason);
+                self.stats.engine = engine.stats;
+                return HdpllResult::Unknown;
             }
         }
         let weights_ref = self.config.learn.map(|_| &weights);
@@ -261,14 +317,23 @@ impl Solver {
             }
         };
         let search_start = Instant::now();
+        let mut abort = None;
         let result = loop {
-            if let Some(conflict) = engine.propagate() {
-                if !handle_conflict(&mut engine, &conflict) {
-                    break HdpllResult::Unsat;
+            match engine.propagate() {
+                Propagation::Conflict(conflict) => {
+                    if !handle_conflict(&mut engine, &conflict) {
+                        break HdpllResult::Unsat;
+                    }
+                    continue;
                 }
-                continue;
+                Propagation::Aborted(reason) => {
+                    abort = Some(reason);
+                    break HdpllResult::Unknown;
+                }
+                Propagation::Fixpoint => {}
             }
-            if self.exceeded(&engine, search_start) {
+            if let Some(reason) = self.exceeded(&engine, deadline) {
+                abort = Some(reason);
                 break HdpllResult::Unknown;
             }
             let decision = match &structural_index {
@@ -306,16 +371,27 @@ impl Solver {
         };
         self.stats.search_time = search_start.elapsed();
         self.stats.engine = engine.stats;
+        self.stats.abort = abort;
         result
     }
 
-    fn exceeded(&self, engine: &Engine, start: Instant) -> bool {
+    fn exceeded(&self, engine: &Engine, deadline: Option<Instant>) -> Option<AbortReason> {
         let l = &self.config.limits;
-        l.max_decisions.is_some_and(|m| engine.stats.decisions >= m)
-            || l.max_conflicts.is_some_and(|m| engine.stats.conflicts >= m)
-            || l.max_propagations
-                .is_some_and(|m| engine.stats.propagations >= m)
-            || l.max_time.is_some_and(|m| start.elapsed() >= m)
+        if l.max_decisions.is_some_and(|m| engine.stats.decisions >= m) {
+            return Some(AbortReason::Decisions);
+        }
+        if l.max_conflicts.is_some_and(|m| engine.stats.conflicts >= m) {
+            return Some(AbortReason::Conflicts);
+        }
+        if l.max_propagations
+            .is_some_and(|m| engine.stats.propagations >= m)
+        {
+            return Some(AbortReason::Propagations);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(AbortReason::Deadline);
+        }
+        None
     }
 
     fn input_model(&self, values: &[i64]) -> HashMap<SignalId, i64> {

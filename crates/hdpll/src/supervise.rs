@@ -1,0 +1,568 @@
+//! The solve supervisor: certified results, cooperative cancellation,
+//! and graceful degradation across solver stages.
+//!
+//! [`Solver::solve`](crate::Solver::solve) answers on faith: a `Sat`
+//! model is whatever the final check produced, `Unsat` is whatever the
+//! conflict analysis concluded, and an exhausted budget is a dead end.
+//! The [`Supervisor`] wraps any number of solver *stages* behind one
+//! robust entry point:
+//!
+//! * **Certification** — every `Sat` model is re-evaluated against the
+//!   netlist by the [`rtl_ir::eval`] simulator before it is reported;
+//!   an `Unsat` verdict can optionally be cross-checked by an
+//!   independent stage (typically the eager bit-blast baseline) under a
+//!   small budget. A stage that lies produces a
+//!   [`StageOutcome::CertFailed`] report and the ladder moves on — a
+//!   wrong answer never escapes as the final verdict.
+//! * **Cooperative cancellation + deadlines** — a [`CancelToken`] and a
+//!   wall-clock budget are threaded into the propagation loop itself
+//!   (checked every ~4096 steps), so `max_time` holds even during
+//!   pathological propagation bursts and callers can abort mid-solve
+//!   from another thread.
+//! * **Graceful degradation** — on `Unknown`, a certification failure,
+//!   or a caught panic (`catch_unwind` at the stage boundary), the
+//!   supervisor falls through a configurable stage ladder (e.g.
+//!   HDPLL+S+P → HDPLL activity → eager bit-blast) with weighted
+//!   per-stage budget splits, and reports which stage answered and what
+//!   happened to every stage it tried.
+//! * **Fault injection** — a test-only [`FaultPlan`] hook corrupts the
+//!   engine in targeted ways (flip a learned clause, drop a narrowing,
+//!   raise a spurious conflict, stall propagation) so the test suite
+//!   can prove certification catches each corruption and the ladder
+//!   degrades instead of crashing or hanging.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtl_ir::{eval, Netlist, SignalId};
+
+use crate::solver::{HdpllResult, Solver, SolverConfig, SolverStats};
+
+/// A shareable cancellation flag.
+///
+/// Clones share the same flag; [`CancelToken::cancel`] from any clone
+/// (e.g. a signal handler or another thread) makes every solve that was
+/// handed the token return [`HdpllResult::Unknown`] at its next budget
+/// poll (within ~4096 propagation steps).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The shared flag, for threading into the engine's budget guard.
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Test-only fault injection hooks for the HDPLL engine.
+///
+/// Each field arms one fault at one point of the run, identified by the
+/// value of a monotone engine counter (so plans are deterministic and
+/// independent of wall-clock). `Some(n)` fires the fault when the
+/// counter *equals* `n`; `None` (the default) disarms it. An
+/// all-`None` plan is free on the hot path.
+///
+/// The faults model the corruptions the supervisor is designed to
+/// survive:
+///
+/// * a **corrupted learned clause** makes later propagation unsound —
+///   certification must catch the bogus model (or the eager cross-check
+///   the bogus refutation);
+/// * a **dropped narrowing** loses propagation strength — the run must
+///   still terminate with a sound (possibly weaker) answer;
+/// * a **spurious conflict** fakes an inconsistency that conflict
+///   analysis cannot explain — the wrong `Unsat` must be caught by the
+///   cross-check;
+/// * a **stalled propagation** spins inside the hot loop — only the
+///   in-loop deadline/cancel polling can get the solve back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Flip the first literal of the `n`-th learned clause (0-based,
+    /// counted by `EngineStats::learned`).
+    pub corrupt_learned_clause: Option<u64>,
+    /// Silently discard the `n`-th constraint-implied domain narrowing
+    /// (1-based, counted by `EngineStats::narrowings`).
+    pub drop_narrowing: Option<u64>,
+    /// Report a fabricated conflict at the `n`-th propagation step
+    /// (1-based, counted by `EngineStats::propagations`).
+    pub spurious_conflict: Option<u64>,
+    /// Spin inside `propagate()` at the `n`-th propagation step until a
+    /// deadline or cancellation trips (1-based).
+    pub stall_propagation: Option<u64>,
+}
+
+impl FaultPlan {
+    /// `true` when no fault is armed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// One rung of the supervisor's degradation ladder.
+///
+/// A stage receives the netlist, the goal, its share of the remaining
+/// wall-clock budget, and the supervisor's cancel token; it returns its
+/// verdict plus (for HDPLL-family stages) the solver statistics. Stages
+/// may panic — the supervisor catches the unwind at the boundary.
+pub trait SolveStage {
+    /// Stable human-readable stage name, used in reports and stats.
+    fn name(&self) -> &str;
+
+    /// Runs the stage. `max_time` is the wall-clock slice granted by
+    /// the supervisor (`None` = unlimited); implementations must also
+    /// honour `cancel` promptly.
+    fn run(
+        &mut self,
+        netlist: &Netlist,
+        goal: SignalId,
+        max_time: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>);
+}
+
+/// A [`SolveStage`] running this crate's HDPLL solver under a given
+/// configuration (and, in tests, a [`FaultPlan`]).
+#[derive(Clone, Debug)]
+pub struct HdpllStage {
+    label: String,
+    config: SolverConfig,
+    faults: FaultPlan,
+}
+
+impl HdpllStage {
+    /// A stage named `label` running `config`.
+    #[must_use]
+    pub fn new(label: impl Into<String>, config: SolverConfig) -> Self {
+        Self {
+            label: label.into(),
+            config,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Arms a fault plan on this stage (test only).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+impl SolveStage for HdpllStage {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn run(
+        &mut self,
+        netlist: &Netlist,
+        goal: SignalId,
+        max_time: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>) {
+        // The stage's slice tightens (never widens) a configured limit.
+        let mut limits = self.config.limits;
+        limits.max_time = match (limits.max_time, max_time) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let mut solver = Solver::new(netlist, self.config.with_limits(limits));
+        solver.inject_faults(self.faults);
+        let result = solver.solve_cancellable(goal, cancel);
+        let stats = *solver.stats();
+        (result, Some(stats))
+    }
+}
+
+/// What happened to one stage of a supervised solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// The stage reported `Sat` and the model was certified by
+    /// re-simulation.
+    CertifiedSat,
+    /// The stage reported `Unsat`; `cross_checked` records whether an
+    /// independent stage confirmed it within its budget.
+    Unsat {
+        /// `true` when the cross-check stage also concluded `Unsat`.
+        cross_checked: bool,
+    },
+    /// The stage's answer failed certification (a `Sat` model the
+    /// simulator rejects, or an `Unsat` refuted by a certified
+    /// counter-model) and was discarded.
+    CertFailed {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// The stage gave up (budget, cancellation, or incompleteness).
+    Unknown {
+        /// What exhausted the stage, e.g. `"deadline"`.
+        reason: String,
+    },
+    /// The stage panicked; the unwind was caught at the boundary.
+    Panicked {
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+}
+
+impl StageOutcome {
+    /// `true` for [`StageOutcome::CertFailed`].
+    #[must_use]
+    pub fn is_cert_failure(&self) -> bool {
+        matches!(self, StageOutcome::CertFailed { .. })
+    }
+}
+
+impl fmt::Display for StageOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageOutcome::CertifiedSat => write!(f, "SAT (model certified)"),
+            StageOutcome::Unsat { cross_checked: true } => write!(f, "UNSAT (cross-checked)"),
+            StageOutcome::Unsat { cross_checked: false } => write!(f, "UNSAT"),
+            StageOutcome::CertFailed { detail } => write!(f, "certification failed: {detail}"),
+            StageOutcome::Unknown { reason } => write!(f, "unknown ({reason})"),
+            StageOutcome::Panicked { detail } => write!(f, "panicked: {detail}"),
+        }
+    }
+}
+
+/// Per-stage record of a supervised solve.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// The stage's [`SolveStage::name`].
+    pub stage: String,
+    /// What the stage concluded (or failed to).
+    pub outcome: StageOutcome,
+    /// Wall-clock time the stage consumed (including certification of
+    /// its own answer).
+    pub time: Duration,
+    /// Solver statistics, when the stage exposes them.
+    pub stats: Option<SolverStats>,
+}
+
+/// The certified result of [`Supervisor::solve`].
+#[derive(Clone, Debug)]
+pub struct SupervisedResult {
+    /// The final verdict. `Sat` models are always certified; `Unsat` is
+    /// cross-checked when the supervisor was configured with
+    /// [`Supervisor::check_unsat_with`]. `Unknown` means every stage
+    /// was exhausted (or discredited) without a certified answer.
+    pub verdict: HdpllResult,
+    /// Name of the stage whose answer became the verdict (`None` when
+    /// the verdict is `Unknown`).
+    pub answered_by: Option<String>,
+    /// One report per stage attempted, in ladder order.
+    pub reports: Vec<StageReport>,
+}
+
+impl SupervisedResult {
+    /// Number of stages whose answer failed certification.
+    #[must_use]
+    pub fn cert_failures(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.outcome.is_cert_failure())
+            .count()
+    }
+}
+
+/// Orchestrates a ladder of [`SolveStage`]s under one wall-clock budget
+/// and cancel token, certifying every answer before trusting it.
+///
+/// ```
+/// use rtl_hdpll::{HdpllStage, SolverConfig, Supervisor};
+/// use rtl_ir::Netlist;
+/// use std::time::Duration;
+///
+/// let mut n = Netlist::new("demo");
+/// let a = n.input_bool("a").unwrap();
+/// let b = n.input_bool("b").unwrap();
+/// let goal = n.and(&[a, b]).unwrap();
+///
+/// let mut sup = Supervisor::new()
+///     .budget(Duration::from_secs(5))
+///     .stage(HdpllStage::new("hdpll", SolverConfig::hdpll()));
+/// let result = sup.solve(&n, goal);
+/// assert!(result.verdict.is_sat());
+/// assert_eq!(result.answered_by.as_deref(), Some("hdpll"));
+/// ```
+#[derive(Default)]
+pub struct Supervisor {
+    stages: Vec<(Box<dyn SolveStage>, f64)>,
+    budget: Option<Duration>,
+    unsat_check: Option<(Box<dyn SolveStage>, Duration)>,
+    cancel: CancelToken,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field(
+                "stages",
+                &self
+                    .stages
+                    .iter()
+                    .map(|(s, w)| (s.name().to_string(), *w))
+                    .collect::<Vec<_>>(),
+            )
+            .field("budget", &self.budget)
+            .field(
+                "unsat_check",
+                &self.unsat_check.as_ref().map(|(s, b)| (s.name().to_string(), *b)),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    /// An empty supervisor: no stages, no budget, a fresh cancel token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the total wall-clock budget shared by all stages.
+    #[must_use]
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Appends a stage with weight 1.
+    #[must_use]
+    pub fn stage(self, stage: impl SolveStage + 'static) -> Self {
+        self.weighted_stage(stage, 1.0)
+    }
+
+    /// Appends a stage with an explicit budget weight. Stage `i`
+    /// receives `remaining × wᵢ / Σ_{j ≥ i} wⱼ` of the wall clock left
+    /// when it starts, so unused time flows down the ladder and the
+    /// last stage always gets everything that remains.
+    #[must_use]
+    pub fn weighted_stage(mut self, stage: impl SolveStage + 'static, weight: f64) -> Self {
+        self.stages.push((Box::new(stage), weight.max(0.0)));
+        self
+    }
+
+    /// Enables `Unsat` cross-checking: whenever a ladder stage reports
+    /// `Unsat`, `checker` (typically the eager bit-blast baseline) is
+    /// run under `budget`. A *certified* counter-model from the checker
+    /// refutes the verdict ([`StageOutcome::CertFailed`]); agreement
+    /// marks it cross-checked; anything else (unknown, panic, an
+    /// uncertified counter-model) leaves the verdict standing.
+    #[must_use]
+    pub fn check_unsat_with(mut self, checker: impl SolveStage + 'static, budget: Duration) -> Self {
+        self.unsat_check = Some((Box::new(checker), budget));
+        self
+    }
+
+    /// The supervisor's cancel token. Clone it before calling
+    /// [`Supervisor::solve`] to cancel from another thread.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs the ladder until a stage produces a certified answer.
+    ///
+    /// Stages run in order; each gets its weighted share of the
+    /// remaining budget. A stage's `Sat` is re-simulated and its
+    /// `Unsat` optionally cross-checked before it may become the
+    /// verdict; discredited, exhausted, and panicking stages are
+    /// recorded and the ladder falls through to the next rung.
+    pub fn solve(&mut self, netlist: &Netlist, goal: SignalId) -> SupervisedResult {
+        let deadline = self.budget.map(|b| Instant::now() + b);
+        let cancel = self.cancel.clone();
+        let mut reports = Vec::new();
+        let n_stages = self.stages.len();
+
+        for i in 0..n_stages {
+            if cancel.is_cancelled() {
+                break;
+            }
+            // Weighted share of the wall clock still left: the last
+            // stage inherits everything, including time earlier stages
+            // did not use.
+            let slice = deadline.map(|d| {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if i + 1 == n_stages {
+                    return remaining;
+                }
+                let total: f64 = self.stages[i..].iter().map(|(_, w)| *w).sum();
+                if total > 0.0 {
+                    remaining.mul_f64(self.stages[i].1 / total)
+                } else {
+                    remaining
+                }
+            });
+            if let Some(s) = slice {
+                if s.is_zero() {
+                    break;
+                }
+            }
+
+            let start = Instant::now();
+            let stage = &mut self.stages[i].0;
+            let name = stage.name().to_string();
+            let run = catch_unwind(AssertUnwindSafe(|| stage.run(netlist, goal, slice, &cancel)));
+            match run {
+                Err(payload) => reports.push(StageReport {
+                    stage: name,
+                    outcome: StageOutcome::Panicked {
+                        detail: panic_message(&payload),
+                    },
+                    time: start.elapsed(),
+                    stats: None,
+                }),
+                Ok((HdpllResult::Sat(model), stats)) => match certify_model(netlist, &model, goal) {
+                    None => {
+                        reports.push(StageReport {
+                            stage: name.clone(),
+                            outcome: StageOutcome::CertifiedSat,
+                            time: start.elapsed(),
+                            stats,
+                        });
+                        return SupervisedResult {
+                            verdict: HdpllResult::Sat(model),
+                            answered_by: Some(name),
+                            reports,
+                        };
+                    }
+                    Some(why) => reports.push(StageReport {
+                        stage: name,
+                        outcome: StageOutcome::CertFailed {
+                            detail: format!("SAT model rejected: {why}"),
+                        },
+                        time: start.elapsed(),
+                        stats,
+                    }),
+                },
+                Ok((HdpllResult::Unsat, stats)) => {
+                    match self.cross_check_unsat(netlist, goal, &cancel) {
+                        UnsatCheck::Refuted(why) => reports.push(StageReport {
+                            stage: name,
+                            outcome: StageOutcome::CertFailed {
+                                detail: format!("UNSAT refuted: {why}"),
+                            },
+                            time: start.elapsed(),
+                            stats,
+                        }),
+                        verdict @ (UnsatCheck::Confirmed | UnsatCheck::Unchecked) => {
+                            reports.push(StageReport {
+                                stage: name.clone(),
+                                outcome: StageOutcome::Unsat {
+                                    cross_checked: matches!(verdict, UnsatCheck::Confirmed),
+                                },
+                                time: start.elapsed(),
+                                stats,
+                            });
+                            return SupervisedResult {
+                                verdict: HdpllResult::Unsat,
+                                answered_by: Some(name),
+                                reports,
+                            };
+                        }
+                    }
+                }
+                Ok((HdpllResult::Unknown, stats)) => {
+                    let reason = stats
+                        .and_then(|s| s.abort)
+                        .map_or_else(|| "budget exhausted".to_string(), |r| r.to_string());
+                    reports.push(StageReport {
+                        stage: name,
+                        outcome: StageOutcome::Unknown { reason },
+                        time: start.elapsed(),
+                        stats,
+                    });
+                }
+            }
+        }
+
+        SupervisedResult {
+            verdict: HdpllResult::Unknown,
+            answered_by: None,
+            reports,
+        }
+    }
+
+    /// Cross-checks an `Unsat` claim with the configured checker stage.
+    fn cross_check_unsat(
+        &mut self,
+        netlist: &Netlist,
+        goal: SignalId,
+        cancel: &CancelToken,
+    ) -> UnsatCheck {
+        let Some((checker, budget)) = self.unsat_check.as_mut() else {
+            return UnsatCheck::Unchecked;
+        };
+        let budget = *budget;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            checker.run(netlist, goal, Some(budget), cancel)
+        }));
+        match run {
+            Ok((HdpllResult::Sat(counter), _)) => {
+                // Only a counter-model the simulator certifies can
+                // overturn the verdict — an uncertified one just means
+                // the checker is broken too.
+                if certify_model(netlist, &counter, goal).is_none() {
+                    UnsatCheck::Refuted("cross-check found a certified counter-model".to_string())
+                } else {
+                    UnsatCheck::Unchecked
+                }
+            }
+            Ok((HdpllResult::Unsat, _)) => UnsatCheck::Confirmed,
+            Ok((HdpllResult::Unknown, _)) | Err(_) => UnsatCheck::Unchecked,
+        }
+    }
+}
+
+/// Result of the optional `Unsat` cross-check.
+enum UnsatCheck {
+    /// The checker also concluded `Unsat`.
+    Confirmed,
+    /// The checker produced a certified counter-model.
+    Refuted(String),
+    /// No checker configured, or it was inconclusive.
+    Unchecked,
+}
+
+/// `None` when the simulator certifies `model ⊨ goal`; otherwise a
+/// description of why it does not.
+fn certify_model(netlist: &Netlist, model: &HashMap<SignalId, i64>, goal: SignalId) -> Option<String> {
+    eval::model_failure(netlist, model, goal)
+}
+
+/// Best-effort extraction of a panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -686,7 +686,7 @@ proptest! {
         let compiled = std::rc::Rc::new(crate::compile::compile(&n));
         let mut engine = crate::engine::Engine::new(compiled);
         engine.schedule_all();
-        if engine.propagate().is_some() {
+        if matches!(engine.propagate(), crate::engine::Propagation::Conflict(_)) {
             return; // conflicting at the root: no levels to test
         }
         // snaps[l] = fixpoint state at decision level l.
@@ -704,7 +704,8 @@ proptest! {
             }
             let var = cands[pick as usize % cands.len()];
             engine.decide(var, value);
-            let conflict = engine.propagate().is_some();
+            let conflict =
+                matches!(engine.propagate(), crate::engine::Propagation::Conflict(_));
             // On conflict always retreat; otherwise retreat ~1/4 of the
             // time to exercise multi-level truncation mid-sequence.
             if conflict || bt_sel < 64 {

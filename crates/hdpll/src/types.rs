@@ -283,6 +283,39 @@ impl TrailEntry {
     }
 }
 
+/// Why a solve call stopped early with [`crate::HdpllResult::Unknown`]:
+/// which budget or cooperative-cancellation signal tripped first.
+///
+/// Deadline and cancellation are polled *inside* the propagation loop
+/// (every [`crate::supervise`]'s `POLL_PERIOD` ≈ 4096 steps), so the
+/// reason is accurate even when a single propagation burst dwarfs the
+/// top-level search loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// `Limits::max_time` elapsed.
+    Deadline,
+    /// The caller's [`crate::supervise::CancelToken`] was cancelled.
+    Cancelled,
+    /// `Limits::max_propagations` was reached.
+    Propagations,
+    /// `Limits::max_decisions` was reached.
+    Decisions,
+    /// `Limits::max_conflicts` was reached.
+    Conflicts,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AbortReason::Deadline => "deadline",
+            AbortReason::Cancelled => "cancelled",
+            AbortReason::Propagations => "propagation budget",
+            AbortReason::Decisions => "decision budget",
+            AbortReason::Conflicts => "conflict budget",
+        })
+    }
+}
+
 /// Which decision strategy `Decide()` uses (paper Table 2 columns).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DecisionStrategy {

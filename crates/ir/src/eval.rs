@@ -184,6 +184,25 @@ pub fn check_model(
     Ok(vals[constraint] == 1)
 }
 
+/// Certification form of [`check_model`]: `None` when the model
+/// satisfies `constraint = 1`, otherwise a human-readable description of
+/// the failure (constraint false, or the simulator rejecting the model
+/// outright). Never panics on a malformed model.
+#[must_use]
+pub fn model_failure(
+    netlist: &Netlist,
+    inputs: &HashMap<SignalId, i64>,
+    constraint: SignalId,
+) -> Option<String> {
+    match check_model(netlist, inputs, constraint) {
+        Ok(true) => None,
+        Ok(false) => Some(format!(
+            "constraint {constraint} evaluates to 0 under the model"
+        )),
+        Err(e) => Some(format!("simulator rejected the model: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod unit {
     use super::*;

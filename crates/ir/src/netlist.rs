@@ -432,6 +432,11 @@ impl Netlist {
                 ty: SignalType::Word { width: w },
             });
         }
+        // The product wraps in the operand width, so the factor is only
+        // meaningful modulo 2^w — reduce it on entry. This keeps hostile
+        // (e.g. parsed) factors from overflowing the i64 coefficient
+        // arithmetic downstream (interval contractors, Fourier–Motzkin).
+        let k = k & ((1i64 << w) - 1);
         Ok(self.push(SignalType::Word { width: w }, Op::MulConst(a, k)))
     }
 
@@ -439,9 +444,12 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Fails if the operand is not a word.
+    /// Fails if the operand is not a word or `k` exceeds the 62-bit
+    /// maximum word width (such a shift amount cannot come from a
+    /// well-formed circuit and would overflow `1 << k` downstream).
     pub fn shl(&mut self, a: SignalId, k: u32) -> Result<SignalId, NetlistError> {
         let w = self.expect_word(a, "shl")?;
+        Self::valid_shift(k, "shl")?;
         Ok(self.push(SignalType::Word { width: w }, Op::Shl(a, k)))
     }
 
@@ -449,10 +457,23 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Fails if the operand is not a word.
+    /// Fails if the operand is not a word or `k` exceeds the 62-bit
+    /// maximum word width.
     pub fn shr(&mut self, a: SignalId, k: u32) -> Result<SignalId, NetlistError> {
         let w = self.expect_word(a, "shr")?;
+        Self::valid_shift(k, "shr")?;
         Ok(self.push(SignalType::Word { width: w }, Op::Shr(a, k)))
+    }
+
+    /// Shift amounts are capped at the maximum word width; larger ones
+    /// are always builder misuse (or hostile text input).
+    fn valid_shift(k: u32, context: &str) -> Result<(), NetlistError> {
+        if k > 62 {
+            return Err(NetlistError::InvalidWidth {
+                context: format!("{context}: shift amount {k} exceeds max width 62"),
+            });
+        }
+        Ok(())
     }
 
     /// Bit-field extraction `a[hi:lo]`, output width `hi − lo + 1`.

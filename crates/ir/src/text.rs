@@ -155,6 +155,28 @@ impl Parser {
                 message: format!("expected integer {what}"),
             })
     }
+
+    /// A non-negative immediate that must fit in `u32` (shift amounts,
+    /// extract bounds). Untrusted text can supply `-1` or `1e18`; both
+    /// must be a parse error, never a silent `as u32` wrap.
+    fn parse_u32_imm(tok: Option<&str>, what: &str, line: usize) -> Result<u32, NetlistError> {
+        let v = Self::parse_imm(tok, what, line)?;
+        u32::try_from(v).map_err(|_| NetlistError::Parse {
+            line,
+            message: format!("{what} {v} out of range (expected 0..=4294967295)"),
+        })
+    }
+}
+
+/// Rejects trailing garbage after a complete declaration.
+fn expect_end(toks: &mut std::str::SplitWhitespace<'_>, line: usize) -> Result<(), NetlistError> {
+    match toks.next() {
+        None => Ok(()),
+        Some(extra) => Err(NetlistError::Parse {
+            line,
+            message: format!("unexpected trailing token `{extra}`"),
+        }),
+    }
 }
 
 /// Parses a netlist from the textual format.
@@ -177,7 +199,9 @@ pub fn parse(input: &str) -> Result<Netlist, NetlistError> {
             continue;
         }
         let mut toks = text.split_whitespace();
-        let kw = toks.next().expect("non-empty");
+        let Some(kw) = toks.next() else {
+            continue; // blank after comment stripping
+        };
         let wrap = |e: NetlistError| match e {
             NetlistError::Parse { .. } => e,
             other => NetlistError::Parse {
@@ -191,6 +215,7 @@ pub fn parse(input: &str) -> Result<Netlist, NetlistError> {
                     line,
                     message: "expected design name".into(),
                 })?;
+                expect_end(&mut toks, line)?;
                 p.netlist = Netlist::new(name);
             }
             "input" => {
@@ -205,6 +230,7 @@ pub fn parse(input: &str) -> Result<Netlist, NetlistError> {
                     })?,
                     line,
                 )?;
+                expect_end(&mut toks, line)?;
                 let id = match ty {
                     SignalType::Bool => p.netlist.input_bool(name),
                     SignalType::Word { width } => p.netlist.input_word(name, width),
@@ -226,6 +252,7 @@ pub fn parse(input: &str) -> Result<Netlist, NetlistError> {
                 )?;
                 expect_eq_sign(&mut toks, line)?;
                 let value = Parser::parse_imm(toks.next(), "constant value", line)?;
+                expect_end(&mut toks, line)?;
                 let id = match ty {
                     SignalType::Bool => {
                         if value != 0 && value != 1 {
@@ -283,6 +310,7 @@ pub fn parse(input: &str) -> Result<Netlist, NetlistError> {
                     line,
                     message: "expected output name".into(),
                 })?;
+                expect_end(&mut toks, line)?;
                 let id = p.lookup(sig, line)?;
                 p.netlist.set_output(id, name).map_err(wrap)?;
             }
@@ -325,12 +353,29 @@ fn build_node(
         p.lookup(tok, line)
     };
     let imm = |i: usize| Parser::parse_imm(args.get(i).copied(), "immediate", line);
+    let imm_u32 = |i: usize| Parser::parse_u32_imm(args.get(i).copied(), "immediate", line);
+    // Fixed-arity operators must consume every token on the line;
+    // silently ignoring extras would accept (and misread) typo'd input.
+    let arity = |n: usize| -> Result<(), NetlistError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(NetlistError::Parse {
+                line,
+                message: format!(
+                    "operator `{op_tok}` takes {n} argument(s), found {}",
+                    args.len()
+                ),
+            })
+        }
+    };
 
     if let Some(rel) = op_tok.strip_prefix("cmp.") {
         let rel = cmp_from_suffix(rel).ok_or(NetlistError::Parse {
             line,
             message: format!("unknown comparison `{op_tok}`"),
         })?;
+        arity(2)?;
         let a = arg_id(p, 0)?;
         let b = arg_id(p, 1)?;
         return p.netlist.cmp(rel, a, b);
@@ -338,6 +383,7 @@ fn build_node(
 
     match op_tok {
         "not" => {
+            arity(1)?;
             let a = arg_id(p, 0)?;
             p.netlist.not(a)
         }
@@ -351,68 +397,82 @@ fn build_node(
             }
         }
         "xor" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             let b = arg_id(p, 1)?;
             p.netlist.xor(a, b)
         }
         "add" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             let b = arg_id(p, 1)?;
             p.netlist.add_into(a, b, declared.width())
         }
         "sub" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             let b = arg_id(p, 1)?;
             p.netlist.sub(a, b)
         }
         "mulc" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             p.netlist.mul_const(a, imm(1)?)
         }
         "shl" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
-            p.netlist.shl(a, imm(1)? as u32)
+            p.netlist.shl(a, imm_u32(1)?)
         }
         "shr" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
-            p.netlist.shr(a, imm(1)? as u32)
+            p.netlist.shr(a, imm_u32(1)?)
         }
         "extract" => {
+            arity(3)?;
             let a = arg_id(p, 0)?;
-            let hi = imm(1)? as u32;
-            let lo = imm(2)? as u32;
+            let hi = imm_u32(1)?;
+            let lo = imm_u32(2)?;
             p.netlist.extract(a, hi, lo)
         }
         "concat" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             let b = arg_id(p, 1)?;
             p.netlist.concat(a, b)
         }
         "zext" => {
+            arity(1)?;
             let a = arg_id(p, 0)?;
             p.netlist.zext(a, declared.width())
         }
         "sext" => {
+            arity(1)?;
             let a = arg_id(p, 0)?;
             p.netlist.sext(a, declared.width())
         }
         "ite" => {
+            arity(3)?;
             let s = arg_id(p, 0)?;
             let t = arg_id(p, 1)?;
             let e = arg_id(p, 2)?;
             p.netlist.ite(s, t, e)
         }
         "min" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             let b = arg_id(p, 1)?;
             p.netlist.min(a, b)
         }
         "max" => {
+            arity(2)?;
             let a = arg_id(p, 0)?;
             let b = arg_id(p, 1)?;
             p.netlist.max(a, b)
         }
         "b2w" => {
+            arity(1)?;
             let a = arg_id(p, 0)?;
             p.netlist.bool_to_word(a)
         }
@@ -491,5 +551,53 @@ output y out
     fn unknown_signal_reported() {
         let bad = "netlist t\nnode y bool = not nothere\n";
         assert!(matches!(parse(bad), Err(NetlistError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn hostile_immediates_are_errors_not_wraps() {
+        // `-1 as u32` used to wrap to 4294967295; all of these must be
+        // clean parse errors.
+        for bad in [
+            "netlist t\ninput a w4\nnode y w4 = shl a -1\n",
+            "netlist t\ninput a w4\nnode y w4 = shr a 4294967295\n",
+            "netlist t\ninput a w4\nnode y w4 = shl a 9999999999999\n",
+            "netlist t\ninput a w4\nnode y w2 = extract a -3 0\n",
+            "netlist t\ninput a w4\nnode y w4 = mulc a -7\n",
+        ] {
+            assert!(parse(bad).is_err(), "accepted hostile input: {bad}");
+        }
+        // An oversized mulc factor is *defined* (the product wraps in the
+        // operand width): the builder reduces it mod 2^w instead of
+        // letting it overflow downstream coefficient arithmetic.
+        let big = "netlist t\ninput a w4\nnode y w4 = mulc a 99999999999999999\n";
+        let n = parse(big).expect("oversized factor reduced, not rejected");
+        let vals = eval::eval_inputs(&n, &[("a", 3)]).unwrap();
+        let y = n.find("y").unwrap();
+        assert_eq!(vals[y], (3 * (99_999_999_999_999_999i64 % 16)) % 16);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        for bad in [
+            "netlist t extra\n",
+            "netlist t\ninput a w4 junk\n",
+            "netlist t\nconst c w4 = 3 junk\n",
+            "netlist t\ninput a w4\nnode y w4 = not a b\n",
+            "netlist t\ninput a w4\noutput a out junk\n",
+        ] {
+            assert!(parse(bad).is_err(), "accepted trailing garbage: {bad}");
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_never_panic() {
+        // Every prefix of the sample (plus an appended garbage tail) must
+        // parse or error — never panic. This is the untrusted-input
+        // contract the CLI relies on for exit code 2.
+        for cut in 0..SAMPLE.len() {
+            let _ = parse(&SAMPLE[..cut]);
+            let mangled = format!("{}\u{0}\u{7f} ~~~", &SAMPLE[..cut]);
+            let _ = parse(&mangled);
+        }
     }
 }

@@ -6,27 +6,40 @@
 //!
 //! ```text
 //! rtlsat <netlist-file> <goal-signal> [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
-//!        [--timeout <secs>] [--dump-cnf <file>] [--stats]
+//!        [--timeout <secs>] [--check] [--fallback] [--dump-cnf <file>] [--stats]
 //! ```
 //!
-//! On SAT, the witnessing input assignment is printed (and validated
-//! against the reference simulator before being reported). `--dump-cnf`
-//! additionally writes the bit-blasted DIMACS CNF of the goal for use with
-//! external SAT solvers; `--stats` prints search statistics (decisions,
-//! propagations, queue pressure, …) to stderr for the HDPLL engines.
+//! Every solve runs under the [`rtlsat::hdpll::Supervisor`]: a `SAT`
+//! answer is printed only after its model has been certified by the
+//! reference simulator, `--check` cross-checks `UNSAT` answers with the
+//! eager bit-blast baseline under a tenth of the budget, and
+//! `--fallback` appends the degradation ladder (HDPLL activity → eager
+//! bit-blast) behind the selected engine so an exhausted budget can
+//! still be answered by a different strategy. `--dump-cnf` additionally
+//! writes the bit-blasted DIMACS CNF of the goal for use with external
+//! SAT solvers; `--stats` prints search statistics plus the per-stage
+//! supervisor report to stderr.
+//!
+//! Exit codes: `0` SAT, `20` UNSAT, `30` unknown (budget exhausted),
+//! `40` unknown *because* an answer failed certification, `2` usage or
+//! input errors.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use rtlsat::baselines::{BaselineLimits, EagerSolver, LazyCdpSolver};
-use rtlsat::hdpll::{HdpllResult, LearnConfig, Limits, Solver, SolverConfig, SolverStats};
-use rtlsat::ir::{eval, text, Netlist, SignalId};
+use rtlsat::baselines::{EagerStage, LazyStage};
+use rtlsat::hdpll::{
+    HdpllResult, HdpllStage, LearnConfig, SolverConfig, SolverStats, SupervisedResult, Supervisor,
+};
+use rtlsat::ir::{text, Netlist};
 
 struct Args {
     file: String,
     goal: String,
     engine: String,
     timeout: Option<Duration>,
+    check: bool,
+    fallback: bool,
     dump_cnf: Option<String>,
     stats: bool,
 }
@@ -35,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut engine = "hdpll-sp".to_string();
     let mut timeout = None;
+    let mut check = false;
+    let mut fallback = false;
     let mut dump_cnf = None;
     let mut stats = false;
     let mut it = std::env::args().skip(1);
@@ -51,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--timeout expects seconds")?;
                 timeout = Some(Duration::from_secs(secs));
             }
+            "--check" => check = true,
+            "--fallback" => fallback = true,
             "--dump-cnf" => {
                 dump_cnf = Some(it.next().ok_or("--dump-cnf needs a path")?);
             }
@@ -58,7 +75,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: rtlsat <netlist-file> <goal-signal> \
                      [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
-                     [--timeout <secs>] [--dump-cnf <file>] [--stats]"
+                     [--timeout <secs>] [--check] [--fallback] \
+                     [--dump-cnf <file>] [--stats]"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -72,40 +90,53 @@ fn parse_args() -> Result<Args, String> {
         goal,
         engine,
         timeout,
+        check,
+        fallback,
         dump_cnf,
         stats,
     })
 }
 
-fn solve(
-    args: &Args,
-    netlist: &Netlist,
-    goal: SignalId,
-) -> Result<(HdpllResult, Option<SolverStats>), String> {
-    let limits = Limits {
-        max_time: args.timeout,
-        ..Limits::default()
-    };
-    let blimits = BaselineLimits {
-        max_time: args.timeout,
-        max_conflicts: None,
-    };
-    let run_hdpll = |config: SolverConfig| {
-        let mut solver = Solver::new(netlist, config.with_limits(limits));
-        let result = solver.solve(goal);
-        (result, Some(*solver.stats()))
-    };
-    let result = match args.engine.as_str() {
-        "hdpll" => run_hdpll(SolverConfig::hdpll()),
-        "hdpll-s" => run_hdpll(SolverConfig::structural()),
-        "hdpll-sp" => {
-            run_hdpll(SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist)))
+/// Builds the supervisor for the selected engine: the engine itself as
+/// the primary stage, plus (with `--fallback`) the degradation ladder
+/// and (with `--check`) the eager `Unsat` cross-check.
+fn build_supervisor(args: &Args, netlist: &Netlist) -> Result<Supervisor, String> {
+    let mut sup = Supervisor::new();
+    if let Some(t) = args.timeout {
+        sup = sup.budget(t);
+    }
+    sup = match args.engine.as_str() {
+        "hdpll" => sup.weighted_stage(HdpllStage::new("hdpll", SolverConfig::hdpll()), 2.0),
+        "hdpll-s" => {
+            sup.weighted_stage(HdpllStage::new("hdpll-s", SolverConfig::structural()), 2.0)
         }
-        "eager" => (EagerSolver::new(blimits).solve(netlist, goal), None),
-        "lazy" => (LazyCdpSolver::new(blimits).solve(netlist, goal), None),
+        "hdpll-sp" => sup.weighted_stage(
+            HdpllStage::new(
+                "hdpll-sp",
+                SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist)),
+            ),
+            2.0,
+        ),
+        "eager" => sup.weighted_stage(EagerStage::default(), 2.0),
+        "lazy" => sup.weighted_stage(LazyStage::default(), 2.0),
         other => return Err(format!("unknown engine `{other}` (see --help)")),
     };
-    Ok(result)
+    if args.fallback {
+        // The ladder of last resorts behind the chosen engine: plain
+        // HDPLL (activity decisions), then the eager bit-blast, which
+        // inherits all remaining budget.
+        if args.engine != "hdpll" {
+            sup = sup.weighted_stage(HdpllStage::new("hdpll-activity", SolverConfig::hdpll()), 1.0);
+        }
+        if args.engine != "eager" {
+            sup = sup.weighted_stage(EagerStage::default(), 1.0);
+        }
+    }
+    if args.check {
+        let check_budget = args.timeout.map_or(Duration::from_secs(5), |t| t / 10);
+        sup = sup.check_unsat_with(EagerStage::default(), check_budget);
+    }
+    Ok(sup)
 }
 
 /// Prints the search statistics block (`--stats`) to stderr.
@@ -115,6 +146,7 @@ fn print_stats(stats: &SolverStats) {
     eprintln!("c learn_time      {:?}", stats.learn_time);
     eprintln!("c decisions       {}", e.decisions);
     eprintln!("c propagations    {}", e.propagations);
+    eprintln!("c narrowings      {}", e.narrowings);
     eprintln!("c clause_props    {}", e.clause_props);
     eprintln!("c conflicts       {}", e.conflicts);
     eprintln!("c learned         {}", e.learned);
@@ -123,6 +155,25 @@ fn print_stats(stats: &SolverStats) {
     eprintln!("c max_cqueue      {}", e.max_cqueue);
     eprintln!("c max_clqueue     {}", e.max_clqueue);
     eprintln!("c ant_pool_peak   {}", e.ant_pool_peak);
+    if let Some(reason) = stats.abort {
+        eprintln!("c aborted         {reason}");
+    }
+}
+
+/// Prints the supervisor's per-stage report (`--stats`) to stderr.
+fn print_report(result: &SupervisedResult) {
+    for report in &result.reports {
+        eprintln!(
+            "c stage {:<16} {:>10.3} ms  {}",
+            report.stage,
+            report.time.as_secs_f64() * 1e3,
+            report.outcome
+        );
+    }
+    match &result.answered_by {
+        Some(stage) => eprintln!("c answered_by     {stage}"),
+        None => eprintln!("c answered_by     (none)"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -166,28 +217,33 @@ fn main() -> ExitCode {
         eprintln!("wrote DIMACS CNF to {path}");
     }
 
-    let (result, stats) = match solve(&args, &netlist, goal) {
-        Ok(pair) => pair,
+    let mut sup = match build_supervisor(&args, &netlist) {
+        Ok(s) => s,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
+    let result = sup.solve(&netlist, goal);
     if args.stats {
-        match &stats {
+        // The answering stage's solver statistics (when it has any),
+        // then the full per-stage supervisor report.
+        let answering = result
+            .answered_by
+            .as_ref()
+            .and_then(|name| result.reports.iter().find(|r| &r.stage == name))
+            .and_then(|r| r.stats.as_ref());
+        match answering {
             Some(s) => print_stats(s),
             None => eprintln!("c (no statistics for engine `{}`)", args.engine),
         }
+        print_report(&result);
     }
-    match result {
+    match result.verdict {
+        // The supervisor only ever reports a model it has certified
+        // against the reference simulator.
         HdpllResult::Sat(model) => {
-            let validated = eval::check_model(&netlist, &model, goal).unwrap_or(false);
-            let warn = if validated {
-                ""
-            } else {
-                " (WARNING: model failed validation)"
-            };
-            println!("SAT{warn}");
+            println!("SAT");
             let mut inputs: Vec<(&str, i64)> = model
                 .iter()
                 .filter_map(|(&sig, &v)| netlist.signal(sig).name().map(|n| (n, v)))
@@ -201,6 +257,10 @@ fn main() -> ExitCode {
         HdpllResult::Unsat => {
             println!("UNSAT");
             ExitCode::from(20)
+        }
+        HdpllResult::Unknown if result.cert_failures() > 0 => {
+            println!("UNKNOWN (certification failure)");
+            ExitCode::from(40)
         }
         HdpllResult::Unknown => {
             println!("UNKNOWN (budget exhausted)");

@@ -113,6 +113,57 @@ fn bad_usage_is_reported() {
 }
 
 #[test]
+fn malformed_text_is_error_not_panic() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_malformed");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, contents) in [
+        ("neg_shift.rtl", "netlist t\ninput a w4\nnode y w4 = shl a -1\n"),
+        ("trailing.rtl", "netlist t\ninput a w4 junk\n"),
+        ("arity.rtl", "netlist t\ninput a w4\nnode y w4 = not a a\n"),
+        ("binary.rtl", "\u{0}\u{1}\u{2}garbage\u{7f}"),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        let out = bin().arg(&path).arg("y").output().expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: expected exit 2, got {:?}; stderr: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn check_and_fallback_flags() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_supervise");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    // --check cross-checks the UNSAT verdict with the eager baseline.
+    let out = bin()
+        .arg(&netlist)
+        .arg("both")
+        .args(["--check", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cross-checked"), "{stderr}");
+    // --fallback + --stats reports the answering stage.
+    let out = bin()
+        .arg(&netlist)
+        .arg("hit")
+        .args(["--fallback", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("answered_by"), "{stderr}");
+    assert!(stderr.contains("hdpll-sp"), "{stderr}");
+}
+
+#[test]
 fn stats_flag_prints_counters() {
     let dir = std::env::temp_dir().join("rtlsat_cli_stats");
     std::fs::create_dir_all(&dir).unwrap();

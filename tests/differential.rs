@@ -1,0 +1,189 @@
+//! Differential proptest over *random small netlists*: all three HDPLL
+//! variants must agree with the eager bit-blast baseline on every
+//! instance, every `Sat` model must certify under the reference
+//! simulator, and the supervised entry point must reach the same
+//! verdict with zero certification failures.
+//!
+//! The netlists are generated from a `u64` seed by a local splitmix64
+//! stream (deterministic, shrink-free) so a failing seed reproduces
+//! exactly.
+
+use proptest::prelude::*;
+
+use rtlsat::baselines::{default_supervisor, BaselineLimits, EagerSolver};
+use rtlsat::hdpll::{HdpllResult, LearnConfig, Solver, SolverConfig};
+use rtlsat::ir::{eval, CmpOp, Netlist, SignalId};
+
+/// Deterministic splitmix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Builds a random small netlist (≤ ~16 nodes, widths ≤ 6) plus a
+/// Boolean goal mixing comparisons and control logic. Conjunction of
+/// several random comparisons keeps the SAT/UNSAT mix interesting.
+fn random_netlist(seed: u64) -> (Netlist, SignalId) {
+    let mut rng = Rng(seed);
+    let mut n = Netlist::new("diff");
+    let mut words: Vec<SignalId> = Vec::new();
+    let mut bools: Vec<SignalId> = Vec::new();
+
+    for i in 0..2 + rng.below(2) {
+        let w = 2 + rng.below(5) as u32;
+        words.push(n.input_word(&format!("w{i}"), w).unwrap());
+    }
+    for i in 0..1 + rng.below(2) {
+        bools.push(n.input_bool(&format!("b{i}")).unwrap());
+    }
+    let cw = 2 + rng.below(5) as u32;
+    let cv = rng.below(1 << cw) as i64;
+    words.push(n.const_word(cv, cw).unwrap());
+
+    let cmps = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    for _ in 0..6 + rng.below(8) {
+        let a = words[rng.below(words.len())];
+        let b = words[rng.below(words.len())];
+        match rng.below(10) {
+            0 => {
+                let w = n.ty(a).width().max(n.ty(b).width());
+                words.push(n.add_into(a, b, w).unwrap());
+            }
+            1 => words.push(n.sub(a, b).unwrap()),
+            2 => words.push(n.min(a, b).unwrap()),
+            3 => words.push(n.max(a, b).unwrap()),
+            4 => {
+                let k = rng.below(1 << n.ty(a).width()) as i64;
+                words.push(n.mul_const(a, k).unwrap());
+            }
+            5 => {
+                let w = n.ty(a).width();
+                let lo = rng.below(w as usize) as u32;
+                let hi = lo + rng.below((w - lo) as usize) as u32;
+                words.push(n.extract(a, hi, lo).unwrap());
+            }
+            6 if n.ty(a).width() == n.ty(b).width() => {
+                let sel = bools[rng.below(bools.len())];
+                words.push(n.ite(sel, a, b).unwrap());
+            }
+            7 => {
+                let x = bools[rng.below(bools.len())];
+                let y = bools[rng.below(bools.len())];
+                bools.push(n.xor(x, y).unwrap());
+            }
+            8 => {
+                let x = bools[rng.below(bools.len())];
+                bools.push(n.not(x).unwrap());
+            }
+            _ => {
+                let op = cmps[rng.below(cmps.len())];
+                bools.push(n.cmp(op, a, b).unwrap());
+            }
+        }
+    }
+
+    // Goal: conjunction of 2–4 (possibly negated) Boolean nodes.
+    let mut terms = Vec::new();
+    for _ in 0..2 + rng.below(3) {
+        let mut t = bools[rng.below(bools.len())];
+        if rng.flip() {
+            t = n.not(t).unwrap();
+        }
+        terms.push(t);
+    }
+    let goal = n.and(&terms).unwrap();
+    (n, goal)
+}
+
+fn verdict_of(r: &HdpllResult) -> bool {
+    match r {
+        HdpllResult::Sat(_) => true,
+        HdpllResult::Unsat => false,
+        HdpllResult::Unknown => panic!("no budget set — instances are tiny"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hdpll_variants_agree_with_eager(seed in any::<u64>()) {
+        let (netlist, goal) = random_netlist(seed);
+        let reference = EagerSolver::new(BaselineLimits::default()).solve(&netlist, goal);
+        let expected = verdict_of(&reference);
+        if let HdpllResult::Sat(model) = &reference {
+            prop_assert!(
+                eval::check_model(&netlist, model, goal).unwrap(),
+                "seed {seed}: eager witness rejected by the simulator"
+            );
+        }
+
+        for (label, config) in [
+            ("hdpll", SolverConfig::hdpll()),
+            ("hdpll+S", SolverConfig::structural()),
+            (
+                "hdpll+S+P",
+                SolverConfig::structural_with_learning(LearnConfig::default()),
+            ),
+        ] {
+            let mut solver = Solver::new(&netlist, config);
+            let got = solver.solve(goal);
+            prop_assert_eq!(
+                verdict_of(&got),
+                expected,
+                "seed {}: {} disagrees with eager",
+                seed,
+                label
+            );
+            if let HdpllResult::Sat(model) = &got {
+                prop_assert!(
+                    eval::check_model(&netlist, model, goal).unwrap(),
+                    "seed {seed}: {label} witness rejected by the simulator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_solve_matches_reference(seed in any::<u64>()) {
+        let (netlist, goal) = random_netlist(seed);
+        let expected =
+            verdict_of(&EagerSolver::new(BaselineLimits::default()).solve(&netlist, goal));
+        let result = default_supervisor(&netlist, None, true).solve(&netlist, goal);
+        prop_assert_eq!(
+            verdict_of(&result.verdict),
+            expected,
+            "seed {}: supervised verdict diverges",
+            seed
+        );
+        prop_assert_eq!(
+            result.cert_failures(),
+            0,
+            "seed {}: clean run reported certification failures",
+            seed
+        );
+        prop_assert!(result.answered_by.is_some());
+    }
+}

@@ -1,0 +1,381 @@
+//! Robustness tests for the solve supervisor: in-loop budget
+//! enforcement, cooperative cancellation, the degradation ladder, panic
+//! absorption, and the fault-injection matrix — every injected fault
+//! must be caught by certification or absorbed by degradation, and none
+//! may escape as a wrong final verdict, a panic, or a hang.
+
+use std::time::{Duration, Instant};
+
+use rtl_bench::hotpath;
+use rtlsat::baselines::EagerStage;
+use rtlsat::hdpll::{
+    CancelToken, FaultPlan, HdpllResult, HdpllStage, Limits, SolveStage, Solver, SolverConfig,
+    SolverStats, StageOutcome, Supervisor,
+};
+use rtlsat::ir::{eval, Netlist, SignalId};
+use rtlsat::itc99::cases::{BmcCase, Circuit, Expected};
+
+/// A known-SAT ITC'99 unrolling (`b01` property `p1` at 50 frames) —
+/// the acceptance-criteria workload.
+fn itc99_known_sat() -> (Netlist, SignalId) {
+    let case = BmcCase {
+        circuit: Circuit::B01,
+        property: "p1",
+        frames: 50,
+        expected: Expected::Sat,
+    };
+    let bmc = case.build();
+    (bmc.netlist, bmc.bad)
+}
+
+// --- satellite: budgets hold inside the propagation loop ---------------
+
+#[test]
+fn propagation_budget_enforced_mid_sweep() {
+    // deep_chain(4000) is one uninterrupted propagation sweep of ≥ 4000
+    // steps with zero decisions: the old between-iterations check never
+    // ran before the sweep finished, so the budget only holds if it is
+    // enforced inside the propagation loop itself.
+    let w = hotpath::deep_chain(4000);
+    let limits = Limits {
+        max_propagations: Some(100),
+        ..Limits::default()
+    };
+    let mut solver = Solver::new(&w.netlist, w.config.with_limits(limits));
+    let result = solver.solve(w.goal);
+    assert_eq!(result, HdpllResult::Unknown);
+    let stats = solver.stats();
+    assert!(
+        stats.engine.propagations <= 100,
+        "budget overrun: {} propagation steps",
+        stats.engine.propagations
+    );
+    assert!(stats.abort.is_some(), "abort reason must be reported");
+}
+
+#[test]
+fn deadline_enforced_mid_sweep() {
+    // A zero wall-clock budget must stop the same single sweep long
+    // before its ~4000 steps complete (the in-loop poll fires every
+    // 4096 steps, so the sweep can overshoot by at most one period).
+    let w = hotpath::deep_chain(4000);
+    let limits = Limits {
+        max_time: Some(Duration::ZERO),
+        ..Limits::default()
+    };
+    let mut solver = Solver::new(&w.netlist, w.config.with_limits(limits));
+    let start = Instant::now();
+    let result = solver.solve(w.goal);
+    assert_eq!(result, HdpllResult::Unknown);
+    assert!(start.elapsed() < Duration::from_secs(5), "deadline ignored");
+}
+
+#[test]
+fn cancellation_from_another_thread() {
+    // An unsatisfiable search instance with no other limits: only the
+    // cancel token can stop it early.
+    let w = hotpath::mux_search(14);
+    let token = CancelToken::new();
+    let canceller = token.clone();
+    let handle = std::thread::spawn(move || {
+        let mut solver = Solver::new(&w.netlist, w.config);
+        let result = solver.solve_cancellable(w.goal, &token);
+        (result, *solver.stats())
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    canceller.cancel();
+    let (result, stats): (HdpllResult, SolverStats) = handle.join().expect("no panic");
+    // The full search takes ~30 ms on the bench machine; a cancel at
+    // 20 ms either aborts it (Unknown) or loses the race and the solve
+    // finishes (Unsat). Both are sound; a wrong SAT is not.
+    match result {
+        HdpllResult::Unknown => assert!(stats.abort.is_some()),
+        HdpllResult::Unsat => {}
+        HdpllResult::Sat(_) => panic!("cancellation produced a wrong verdict"),
+    }
+}
+
+// --- degradation ladder ------------------------------------------------
+
+#[test]
+fn tiny_hdpll_budget_answers_via_eager_fallback() {
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new()
+        .stage(
+            HdpllStage::new(
+                "hdpll-tiny",
+                SolverConfig::structural().with_limits(Limits {
+                    max_propagations: Some(50),
+                    ..Limits::default()
+                }),
+            ),
+        )
+        .stage(EagerStage::default());
+    let result = sup.solve(&netlist, goal);
+    assert!(result.verdict.is_sat(), "ladder must still answer SAT");
+    assert_eq!(
+        result.answered_by.as_deref(),
+        Some("eager-bitblast"),
+        "answering stage must be reported"
+    );
+    assert!(matches!(
+        result.reports[0].outcome,
+        StageOutcome::Unknown { .. }
+    ));
+    let model = result.verdict.model().expect("sat model");
+    assert!(eval::check_model(&netlist, model, goal).unwrap());
+}
+
+/// A stage that always panics — the supervisor must absorb the unwind.
+struct PanicStage;
+
+impl SolveStage for PanicStage {
+    fn name(&self) -> &str {
+        "panicker"
+    }
+
+    fn run(
+        &mut self,
+        _netlist: &Netlist,
+        _goal: SignalId,
+        _max_time: Option<Duration>,
+        _cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>) {
+        panic!("injected stage panic");
+    }
+}
+
+/// A stage that claims SAT with a garbage model.
+struct LyingSatStage;
+
+impl SolveStage for LyingSatStage {
+    fn name(&self) -> &str {
+        "liar-sat"
+    }
+
+    fn run(
+        &mut self,
+        _netlist: &Netlist,
+        _goal: SignalId,
+        _max_time: Option<Duration>,
+        _cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>) {
+        (HdpllResult::Sat(std::collections::HashMap::new()), None)
+    }
+}
+
+/// A stage that claims UNSAT regardless of the instance.
+struct LyingUnsatStage;
+
+impl SolveStage for LyingUnsatStage {
+    fn name(&self) -> &str {
+        "liar-unsat"
+    }
+
+    fn run(
+        &mut self,
+        _netlist: &Netlist,
+        _goal: SignalId,
+        _max_time: Option<Duration>,
+        _cancel: &CancelToken,
+    ) -> (HdpllResult, Option<SolverStats>) {
+        (HdpllResult::Unsat, None)
+    }
+}
+
+#[test]
+fn panicking_stage_is_absorbed() {
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new()
+        .stage(PanicStage)
+        .stage(HdpllStage::new("hdpll-s", SolverConfig::structural()));
+    let result = sup.solve(&netlist, goal);
+    assert!(matches!(
+        result.reports[0].outcome,
+        StageOutcome::Panicked { .. }
+    ));
+    assert!(result.verdict.is_sat());
+    assert_eq!(result.answered_by.as_deref(), Some("hdpll-s"));
+}
+
+#[test]
+fn lying_sat_stage_is_discredited() {
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new()
+        .stage(LyingSatStage)
+        .stage(HdpllStage::new("hdpll-s", SolverConfig::structural()));
+    let result = sup.solve(&netlist, goal);
+    assert!(result.reports[0].outcome.is_cert_failure());
+    assert_eq!(result.cert_failures(), 1);
+    assert!(result.verdict.is_sat());
+    assert_eq!(result.answered_by.as_deref(), Some("hdpll-s"));
+}
+
+#[test]
+fn lying_unsat_stage_is_refuted_by_cross_check() {
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new()
+        .stage(LyingUnsatStage)
+        .stage(HdpllStage::new("hdpll-s", SolverConfig::structural()))
+        .check_unsat_with(EagerStage::default(), Duration::from_secs(30));
+    let result = sup.solve(&netlist, goal);
+    assert!(
+        result.reports[0].outcome.is_cert_failure(),
+        "wrong UNSAT must be refuted: {:?}",
+        result.reports[0].outcome
+    );
+    assert!(result.verdict.is_sat(), "truth must still come out");
+}
+
+#[test]
+fn unchecked_lie_never_reaches_the_user_uncertified() {
+    // Without --check the wrong UNSAT *is* reported (certifying UNSAT
+    // needs the cross-check) — but it must be visibly un-cross-checked.
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new().stage(LyingUnsatStage);
+    let result = sup.solve(&netlist, goal);
+    assert!(matches!(
+        result.reports[0].outcome,
+        StageOutcome::Unsat {
+            cross_checked: false
+        }
+    ));
+}
+
+// --- fault injection ---------------------------------------------------
+
+/// Runs a faulty HDPLL+S+P stage under the full safety net (eager
+/// cross-check + clean fallback ladder) and asserts the final verdict
+/// is still the correct one for the instance.
+fn assert_fault_contained(faults: FaultPlan, expect_sat: bool, netlist: &Netlist, goal: SignalId) {
+    let learn = rtlsat::hdpll::LearnConfig::table2_for(netlist);
+    let mut sup = Supervisor::new()
+        .budget(Duration::from_secs(120))
+        .weighted_stage(
+            HdpllStage::new("hdpll-faulty", SolverConfig::structural_with_learning(learn))
+                .with_faults(faults),
+            1.0,
+        )
+        .weighted_stage(HdpllStage::new("hdpll-clean", SolverConfig::structural()), 1.0)
+        .weighted_stage(EagerStage::default(), 1.0)
+        .check_unsat_with(EagerStage::default(), Duration::from_secs(30));
+    let result = sup.solve(netlist, goal);
+    assert_eq!(
+        result.verdict.is_sat(),
+        expect_sat,
+        "fault {faults:?} escaped as a wrong verdict (reports: {:?})",
+        result
+            .reports
+            .iter()
+            .map(|r| (r.stage.clone(), r.outcome.clone()))
+            .collect::<Vec<_>>()
+    );
+    if let HdpllResult::Sat(model) = &result.verdict {
+        assert!(eval::check_model(netlist, model, goal).unwrap());
+    }
+}
+
+#[test]
+fn fault_corrupt_learned_clause_is_contained() {
+    let (netlist, goal) = itc99_known_sat();
+    for at in [0, 3, 25] {
+        assert_fault_contained(
+            FaultPlan {
+                corrupt_learned_clause: Some(at),
+                ..FaultPlan::default()
+            },
+            true,
+            &netlist,
+            goal,
+        );
+    }
+}
+
+#[test]
+fn fault_drop_narrowing_is_contained() {
+    let (netlist, goal) = itc99_known_sat();
+    for at in [1, 50, 500] {
+        assert_fault_contained(
+            FaultPlan {
+                drop_narrowing: Some(at),
+                ..FaultPlan::default()
+            },
+            true,
+            &netlist,
+            goal,
+        );
+    }
+}
+
+#[test]
+fn fault_spurious_conflict_is_contained() {
+    let (netlist, goal) = itc99_known_sat();
+    for at in [1, 100, 2000] {
+        assert_fault_contained(
+            FaultPlan {
+                spurious_conflict: Some(at),
+                ..FaultPlan::default()
+            },
+            true,
+            &netlist,
+            goal,
+        );
+    }
+}
+
+#[test]
+fn fault_stall_propagation_hits_deadline_not_hang() {
+    // The stalled stage spins inside propagate(); only the in-loop
+    // deadline poll can break it. The supervisor must time the stage
+    // out within its slice and answer via the ladder.
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new()
+        .budget(Duration::from_secs(60))
+        .weighted_stage(
+            HdpllStage::new("hdpll-stalled", SolverConfig::structural()).with_faults(FaultPlan {
+                stall_propagation: Some(10),
+                ..FaultPlan::default()
+            }),
+            // Small weight: the stall burns its whole slice, so keep
+            // that slice short and leave the rest for the real stages.
+            1.0,
+        )
+        .weighted_stage(EagerStage::default(), 59.0);
+    let start = Instant::now();
+    let result = sup.solve(&netlist, goal);
+    assert!(
+        start.elapsed() < Duration::from_secs(55),
+        "stalled stage hung past its slice"
+    );
+    assert!(result.verdict.is_sat());
+    assert_eq!(result.answered_by.as_deref(), Some("eager-bitblast"));
+    assert!(matches!(
+        result.reports[0].outcome,
+        StageOutcome::Unknown { .. }
+    ));
+}
+
+#[test]
+fn faults_on_unsat_instance_are_contained() {
+    // The paired UNSAT workload: the subset-sum search refuted only by
+    // exhaustive search — corrupted learning must not flip it to SAT
+    // (certification rejects any bogus model) and a spurious conflict
+    // must not be trusted blindly (the cross-check confirms UNSAT).
+    let w = hotpath::mux_search(10);
+    for faults in [
+        FaultPlan {
+            corrupt_learned_clause: Some(0),
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            drop_narrowing: Some(10),
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            spurious_conflict: Some(5),
+            ..FaultPlan::default()
+        },
+    ] {
+        assert_fault_contained(faults, false, &w.netlist, w.goal);
+    }
+}
