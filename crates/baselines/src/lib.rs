@@ -53,7 +53,7 @@ use std::time::Duration;
 
 use rtl_hdpll::{
     CancelToken, HdpllResult, HdpllStage, LearnConfig, LearningMode, Limits, SolveStage, Solver,
-    SolverConfig, SolverStats, Supervisor,
+    SolverConfig, StageRun, Supervisor,
 };
 use rtl_ir::{Netlist, SignalId};
 
@@ -173,16 +173,16 @@ impl SolveStage for EagerStage {
         goal: SignalId,
         max_time: Option<Duration>,
         cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>) {
+    ) -> StageRun {
         if cancel.is_cancelled() {
-            return (HdpllResult::Unknown, None);
+            return StageRun::new(HdpllResult::Unknown);
         }
         let mut limits = self.limits;
         limits.max_time = match (limits.max_time, max_time) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        (EagerSolver::new(limits).solve(netlist, goal), None)
+        StageRun::new(EagerSolver::new(limits).solve(netlist, goal))
     }
 }
 
@@ -212,7 +212,7 @@ impl SolveStage for LazyStage {
         goal: SignalId,
         max_time: Option<Duration>,
         cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>) {
+    ) -> StageRun {
         let limits = Limits {
             max_time: match (self.limits.max_time, max_time) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -228,8 +228,11 @@ impl SolveStage for LazyStage {
         };
         let mut solver = Solver::new(netlist, config);
         let result = solver.solve_cancellable(goal, cancel);
-        let stats = *solver.stats();
-        (result, Some(stats))
+        StageRun {
+            result,
+            stats: Some(*solver.stats()),
+            proof: None,
+        }
     }
 }
 

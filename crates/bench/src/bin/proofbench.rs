@@ -1,0 +1,144 @@
+//! Measures the cost of Unsat certification: solve time without proof
+//! logging, solve time with logging, proof size, and the independent
+//! checker's re-check time, per unsatisfiable benchmark workload.
+//!
+//! ```text
+//! cargo run -p rtl-bench --release --bin proofbench -- [--samples N]
+//! ```
+//!
+//! The workloads are the unsatisfiable member of the hot-path suite
+//! (`mux_search`) plus the two ITC'99 golden-corpus unrollings
+//! (`b01_p1_20`, `b02_p1_10`). For each, the binary reports median
+//! nanoseconds over `N` samples (default 5) and the ratio
+//! `check / solve`. The acceptance bar — ratio below 1, checking must
+//! be cheaper than solving — is enforced on the *search-refuted*
+//! hot-path workloads. The ITC'99 rows are reported but not gated:
+//! those bounds are refuted by the level-0 propagation fixpoint alone
+//! (zero conflicts, a one-step proof), so the checker necessarily
+//! repeats the entire solve (the base fixpoint) plus its own lowering,
+//! and the ratio measures constant overhead, not certification cost.
+//! Run on an idle machine in release mode.
+
+use std::time::Instant;
+
+use rtl_bench::hotpath::{self, Workload};
+use rtl_hdpll::{HdpllResult, Solver, SolverConfig};
+use rtl_itc99::cases::{BmcCase, Circuit, Expected};
+use rtl_proof::{format, Checker};
+
+/// The two UNSAT golden-corpus unrollings as bench workloads.
+fn golden_unrollings() -> Vec<Workload> {
+    let cases = [
+        ("b01_p1_20", Circuit::B01, "p1", 20),
+        ("b02_p1_10", Circuit::B02, "p1", 10),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, circuit, property, frames)| {
+            let bmc = BmcCase {
+                circuit,
+                property,
+                frames,
+                expected: Expected::Unsat,
+            }
+            .build();
+            Workload {
+                name,
+                netlist: bmc.netlist,
+                goal: bmc.bad,
+                config: SolverConfig::structural(),
+                expect_sat: false,
+            }
+        })
+        .collect()
+}
+
+fn median(mut ns: Vec<u128>) -> u128 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                samples = args[i + 1].parse().expect("--samples takes a number");
+                i += 2;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    // (workload, gated): the ratio bar applies only to search-refuted
+    // instances — see the module docs.
+    let mut workloads: Vec<(Workload, bool)> = hotpath::all_workloads()
+        .into_iter()
+        .filter(|w| !w.expect_sat)
+        .map(|w| (w, true))
+        .collect();
+    workloads.extend(golden_unrollings().into_iter().map(|w| (w, false)));
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>10} {:>12} {:>7}",
+        "workload", "solve_ns", "logged_ns", "steps", "bytes", "check_ns", "ratio"
+    );
+    let mut failures = 0;
+    for (w, gated) in &workloads {
+        // Solve without logging.
+        let mut solve_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut solver = w.solver();
+            let t = Instant::now();
+            let result = solver.solve(w.goal);
+            solve_ns.push(t.elapsed().as_nanos());
+            w.check(&result);
+        }
+        // Solve with proof logging; keep the last proof.
+        let logged_config = w.config.with_proof(true);
+        let mut logged_ns = Vec::with_capacity(samples);
+        let mut proof = None;
+        for _ in 0..samples {
+            let mut solver = Solver::new(&w.netlist, logged_config);
+            let t = Instant::now();
+            let result = solver.solve(w.goal);
+            logged_ns.push(t.elapsed().as_nanos());
+            assert!(matches!(result, HdpllResult::Unsat));
+            proof = solver.take_proof();
+        }
+        let proof = proof.expect("unsat workload must log a proof");
+        assert!(proof.is_complete(), "{}: proof has gaps", w.name);
+        let bytes = format::print(&proof).len();
+        // Independent re-check.
+        let mut check_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            Checker::check_goal(&w.netlist, w.goal, &proof)
+                .unwrap_or_else(|e| panic!("{}: proof rejected: {e}", w.name));
+            check_ns.push(t.elapsed().as_nanos());
+        }
+        let (s, l, c) = (median(solve_ns), median(logged_ns), median(check_ns));
+        let ratio = c as f64 / s as f64;
+        if *gated && ratio >= 1.0 {
+            failures += 1;
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>8} {:>10} {:>12} {:>7.3}{}",
+            w.name,
+            s,
+            l,
+            proof.len(),
+            bytes,
+            c,
+            ratio,
+            if *gated { "" } else { "  (not gated)" }
+        );
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gated workload(s) with check time >= solve time");
+        std::process::exit(1);
+    }
+    println!("ok: proof checking beats solving on every gated workload");
+}

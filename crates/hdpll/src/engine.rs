@@ -19,6 +19,9 @@ use crate::types::{AbortReason, Dom, HClause, HLit, Reason, Span, TrailEntry, Va
 #[derive(Clone, Debug)]
 pub(crate) struct ConflictInfo {
     pub antecedents: Vec<u32>,
+    /// The falsified clause, when the conflict came from one (proof
+    /// logging cites it as an antecedent of the learned lemma).
+    pub source: Option<u32>,
 }
 
 /// Outcome of one [`Engine::propagate`] call.
@@ -74,6 +77,11 @@ pub(crate) struct Analyzed {
     pub lits: Vec<HLit>,
     /// Non-chronological backtrack level.
     pub blevel: u32,
+    /// Clause ids visited while walking the implication graph (sorted,
+    /// deduplicated): the lemma's clause-level antecedents for proof
+    /// logging. Constraint-implied edges have no clause id and are
+    /// covered by the checker's own lowering.
+    pub used: Vec<u32>,
 }
 
 /// Cumulative engine statistics.
@@ -356,7 +364,10 @@ impl Engine {
             }
         }
         self.drain_queues();
-        ConflictInfo { antecedents }
+        ConflictInfo {
+            antecedents,
+            source: None,
+        }
     }
 
     /// Builds the conflict record for a falsified clause and resets the
@@ -370,7 +381,10 @@ impl Engine {
             }
         }
         self.drain_queues();
-        ConflictInfo { antecedents }
+        ConflictInfo {
+            antecedents,
+            source: Some(cl),
+        }
     }
 
     /// Makes a decision: opens a new level and applies the assignment.
@@ -490,6 +504,7 @@ impl Engine {
                     self.drain_queues();
                     return Propagation::Conflict(ConflictInfo {
                         antecedents: vec![last as u32],
+                        source: None,
                     });
                 }
             }
@@ -683,21 +698,19 @@ impl Engine {
     /// asserting literal is Boolean (decisions are Boolean, so such a cut
     /// always exists), producing a hybrid learned clause.
     ///
+    /// With `bool_only = true` every word entry is expanded into its
+    /// Boolean ancestry so the learned clause contains only Boolean
+    /// literals (the weaker, pre-hybrid learning of classical lazy
+    /// combined decision procedures).
+    ///
     /// Returns `None` when the conflict is independent of all decisions —
     /// the instance is UNSAT.
-    pub fn analyze(&mut self, conflict: &ConflictInfo) -> Option<Analyzed> {
-        self.analyze_mode(conflict, false)
-    }
-
-    /// Like [`Engine::analyze`], but with `bool_only = true` every word
-    /// entry is expanded into its Boolean ancestry so the learned clause
-    /// contains only Boolean literals (the weaker, pre-hybrid learning of
-    /// classical lazy combined decision procedures).
     pub fn analyze_mode(&mut self, conflict: &ConflictInfo, bool_only: bool) -> Option<Analyzed> {
         self.stats.conflicts += 1;
         let mut marked = vec![false; self.trail.len()];
         let mut visited = vec![false; self.trail.len()];
         let mut nmarked = 0usize;
+        let mut used: Vec<u32> = conflict.source.into_iter().collect();
         // Marks an entry; in bool-only mode word entries are transitively
         // replaced by their antecedents.
         macro_rules! mark {
@@ -709,6 +722,9 @@ impl Engine {
                         continue;
                     }
                     visited[i as usize] = true;
+                    if let Reason::Clause(c) = e.reason {
+                        used.push(c);
+                    }
                     if bool_only && !e.is_bool() {
                         stack.extend_from_slice(&self.ant_pool[e.ants.range()]);
                     } else {
@@ -766,7 +782,13 @@ impl Engine {
                     blevel = blevel.max(self.trail[i].level);
                 }
                 debug_assert!(blevel < lmax);
-                return Some(Analyzed { lits, blevel });
+                used.sort_unstable();
+                used.dedup();
+                return Some(Analyzed {
+                    lits,
+                    blevel,
+                    used,
+                });
             }
             // Expand the latest marked entry at lmax.
             let e_idx = latest;
@@ -794,7 +816,8 @@ impl Engine {
     }
 
     /// Learns the analyzed clause, backtracks, and asserts the UIP literal.
-    pub fn learn_and_backtrack(&mut self, analyzed: Analyzed) {
+    /// Returns the learned clause's id (for proof logging).
+    pub fn learn_and_backtrack(&mut self, analyzed: Analyzed) -> u32 {
         self.backtrack(analyzed.blevel);
         let uip = analyzed.lits[0];
         let cid = self.add_clause(analyzed.lits, true);
@@ -806,6 +829,24 @@ impl Engine {
             }
         }
         self.decay();
+        cid
+    }
+
+    /// The current decision stack, innermost level last: for each level,
+    /// the decision variable, its value, and whether the chronological
+    /// search already flipped it. Used by proof logging in the
+    /// learning-free mode, where each conflict refutes the decision path
+    /// itself.
+    pub fn decision_stack(&self) -> Vec<(VarId, bool, bool)> {
+        self.trail_lim
+            .iter()
+            .zip(&self.flipped)
+            .map(|(&first, &flipped)| {
+                let e = &self.trail[first];
+                let value = e.new.tri().to_bool().expect("decisions are Boolean");
+                (e.var, value, flipped)
+            })
+            .collect()
     }
 }
 

@@ -226,7 +226,10 @@ pub(crate) fn final_check(engine: &mut Engine) -> FinalOutcome {
             }
             antecedents.sort_unstable();
             antecedents.dedup();
-            FinalOutcome::Conflict(ConflictInfo { antecedents })
+            FinalOutcome::Conflict(ConflictInfo {
+                antecedents,
+                source: None,
+            })
         }
     }
 }

@@ -166,7 +166,10 @@ pub(crate) fn pick_structural(
                                 ants.push(i);
                             }
                         }
-                        return Structural::JConflict(ConflictInfo { antecedents: ants });
+                        return Structural::JConflict(ConflictInfo {
+                            antecedents: ants,
+                            source: None,
+                        });
                     }
                     (true, false) => return Structural::Decision(*sel, true),
                     (false, true) => return Structural::Decision(*sel, false),

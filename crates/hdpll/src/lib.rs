@@ -60,6 +60,7 @@ mod compile;
 mod decide;
 mod engine;
 mod final_check;
+mod prooflog;
 mod propagate;
 mod types;
 
@@ -70,8 +71,8 @@ pub mod supervise;
 
 pub use crate::solver::{HdpllResult, LearningMode, Limits, Solver, SolverConfig, SolverStats};
 pub use crate::supervise::{
-    CancelToken, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport, SupervisedResult,
-    Supervisor,
+    CancelToken, Certification, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport,
+    StageRun, SupervisedResult, Supervisor,
 };
 pub use crate::types::{AbortReason, DecisionStrategy, HLit, VarId};
 

@@ -29,7 +29,9 @@ use rtl_ir::{analysis, Netlist, Op, SignalId};
 
 use crate::decide::LearnWeights;
 use crate::engine::{Engine, Propagation};
+use crate::prooflog::ProofLog;
 use crate::types::{Dom, HLit, VarId};
+use rtl_proof::PSplit;
 
 /// One learned relation: the clause literals (over solver variables whose
 /// indices match netlist signal indices).
@@ -115,13 +117,31 @@ fn ways_of(netlist: &Netlist, sig: SignalId, value: bool) -> Option<Vec<Way>> {
     }
 }
 
+/// The case-split hints a probe's lemma carries into the proof: one
+/// Boolean split per justification way except the last. Branching on
+/// the first assignment of each way reproduces the probe's case
+/// analysis inside the checker — in every branch either some way's
+/// seed assignment holds (and the checker re-derives that way's
+/// conflict or common implication) or all-but-one seeds are refuted,
+/// which forces the remaining way by unit propagation on the gate.
+fn way_split_hints(ways: &[Way]) -> Vec<PSplit> {
+    ways[..ways.len() - 1]
+        .iter()
+        .map(|w| PSplit::Bool {
+            var: w[0].0.index() as u32,
+        })
+        .collect()
+}
+
 /// Runs the pass. Learned clauses are added to `engine` (static, level 0)
-/// and their literals accumulated into `weights`.
+/// and their literals accumulated into `weights`; with proof logging
+/// enabled each learned relation also becomes a proof step.
 pub(crate) fn run(
     engine: &mut Engine,
     netlist: &Netlist,
     config: &LearnConfig,
     weights: &mut LearnWeights,
+    proof: &mut Option<ProofLog>,
 ) -> LearnReport {
     let start = Instant::now();
     let mut report = LearnReport::default();
@@ -191,7 +211,10 @@ pub(crate) fn run(
                     value: !value,
                 }];
                 report.clauses.push(unit.clone());
-                engine.add_clause(unit, true);
+                let cid = engine.add_clause(unit, true);
+                if let Some(p) = proof.as_mut() {
+                    p.log_engine_clause(engine, cid, way_split_hints(&ways), &[]);
+                }
                 report.relations += 1;
                 weights.by_value[var.index()][usize::from(!value)] += 1.0;
                 if matches!(engine.propagate(), Propagation::Conflict(_)) {
@@ -221,7 +244,10 @@ pub(crate) fn run(
                     },
                 ];
                 report.clauses.push(clause.clone());
-                engine.add_clause(clause, true);
+                let cid = engine.add_clause(clause, true);
+                if let Some(p) = proof.as_mut() {
+                    p.log_engine_clause(engine, cid, way_split_hints(&ways), &[]);
+                }
                 report.relations += 1;
                 weights.by_value[var.index()][usize::from(!value)] += 1.0;
                 weights.by_value[t_var.index()][usize::from(t_val)] += 1.0;

@@ -1,0 +1,183 @@
+//! Proof logging: the producer side of Unsat certification.
+//!
+//! When enabled ([`crate::SolverConfig::proof`]), the solver records
+//! every learned lemma — conflict-analysis clauses, §3 predicate
+//! lemmas, and (in the learning-free mode) refuted decision paths — as
+//! a step of an [`rtl_proof::Proof`]. Each step is admitted into a
+//! *mirror checker* as it is emitted, so the producer knows immediately
+//! whether the checker will accept it:
+//!
+//! * If plain reverse unit propagation does not close the lemma, the
+//!   logger runs the checker's split finder and attaches the discovered
+//!   case splits to the step.
+//! * If that also fails (finder budget, or a genuinely unsound lemma
+//!   such as one corrupted by an injected fault), the lemma is recorded
+//!   as a **gap**: the mirror database stays aligned with the solver so
+//!   later steps still replay, but the proof is marked incomplete and
+//!   can never certify the result.
+//!
+//! The logger deliberately reuses the checker's own admission code
+//! rather than a private replay: whatever the logger accepted, a fresh
+//! [`rtl_proof::Checker`] accepts for the same reasons. The trust
+//! argument does not rest on this file at all — a proof is only
+//! believed after an independent re-check (see `rtl-proof`).
+
+use rtl_ir::{Netlist, SignalId};
+use rtl_proof::{Checker, PLit, PSplit, Proof, Step};
+
+use crate::engine::Engine;
+use crate::types::{HLit, VarId};
+
+/// Sentinel in [`ProofLog::clause_step`]: the engine clause has no
+/// corresponding proof step (it was a gap).
+const NO_STEP: u32 = u32::MAX;
+
+/// An in-progress proof: a mirror checker plus the emitted steps.
+pub(crate) struct ProofLog {
+    mirror: Checker,
+    steps: Vec<Step>,
+    gaps: u32,
+    goal: String,
+    /// `engine clause id → proof step id` ([`NO_STEP`] for gaps).
+    clause_step: Vec<u32>,
+}
+
+impl ProofLog {
+    /// Starts a proof for `netlist` under `goal`. Returns `None` when
+    /// the mirror checker cannot be built (non-Boolean goal), in which
+    /// case the solve simply runs unlogged.
+    pub fn new(netlist: &Netlist, goal: SignalId) -> Option<ProofLog> {
+        let mirror = Checker::new(netlist, goal).ok()?;
+        Some(ProofLog {
+            mirror,
+            steps: Vec::new(),
+            gaps: 0,
+            goal: rtl_proof::goal_name(netlist, goal),
+            clause_step: Vec::new(),
+        })
+    }
+
+    /// The mirror's variable count; the solver cross-checks this
+    /// against its own compilation before trusting the logger.
+    pub fn var_count(&self) -> u32 {
+        self.mirror.var_count()
+    }
+
+    fn plit(lit: &HLit) -> PLit {
+        match *lit {
+            HLit::Bool { var, value } => PLit::Bool {
+                var: var.index() as u32,
+                value,
+            },
+            HLit::Word { var, iv, positive } => PLit::Word {
+                var: var.index() as u32,
+                lo: iv.lo(),
+                hi: iv.hi(),
+                positive,
+            },
+        }
+    }
+
+    /// Maps engine clause ids to the proof step ids that introduced
+    /// them, dropping gaps and ids the logger never saw (e.g. clauses
+    /// added before logging started).
+    fn ants_of(&self, cids: &[u32]) -> Vec<u32> {
+        cids.iter()
+            .filter_map(|&c| self.clause_step.get(c as usize).copied())
+            .filter(|&s| s != NO_STEP)
+            .collect()
+    }
+
+    /// Emits one step, trying in order: admit as given; admit with
+    /// finder-discovered splits; record a gap. Returns the step id, or
+    /// [`NO_STEP`] for a gap.
+    fn log_step(&mut self, lits: Vec<PLit>, splits: Vec<PSplit>, ants: Vec<u32>) -> u32 {
+        let mut step = Step { lits, splits, ants };
+        if self.mirror.admit(&step).is_err() {
+            let found = self.mirror.find_splits(&step.lits);
+            let ok = match found {
+                Some(splits) => {
+                    step.splits = splits;
+                    self.mirror.admit(&step).is_ok()
+                }
+                None => false,
+            };
+            if !ok {
+                self.gaps += 1;
+                self.mirror.assume_clause(&step.lits);
+                return NO_STEP;
+            }
+        }
+        let id = self.steps.len() as u32;
+        self.steps.push(step);
+        id
+    }
+
+    /// Logs engine clause `cid` as a lemma. The literals are read from
+    /// the stored clause — *after* any injected fault corrupted them —
+    /// so a lying solver produces a proof the checker rejects rather
+    /// than a clean transcript of what it should have learned.
+    pub fn log_engine_clause(
+        &mut self,
+        engine: &Engine,
+        cid: u32,
+        splits: Vec<PSplit>,
+        used: &[u32],
+    ) {
+        let lits: Vec<PLit> = engine.clauses[cid as usize]
+            .lits
+            .iter()
+            .map(Self::plit)
+            .collect();
+        let ants = self.ants_of(used);
+        let step = self.log_step(lits, splits, ants);
+        if self.clause_step.len() <= cid as usize {
+            self.clause_step.resize(cid as usize + 1, NO_STEP);
+        }
+        self.clause_step[cid as usize] = step;
+    }
+
+    /// Logs the lemmas refuting the current decision path, for the
+    /// learning-free chronological mode. A conflict under decisions
+    /// `d₀…dₙ` yields the lemma `(¬d₀ ∨ … ∨ ¬dₙ)`; then, mirroring
+    /// [`Engine::flip_chronological`], every trailing already-flipped
+    /// decision is popped, each pop emitting the shorter prefix lemma —
+    /// RUP-derivable from the two branch lemmas it supersedes. When
+    /// every decision was flipped the final prefix is the empty clause.
+    pub fn log_path(&mut self, stack: &[(VarId, bool, bool)]) {
+        let lemma = |k: usize| {
+            stack[..k]
+                .iter()
+                .map(|&(var, value, _)| PLit::Bool {
+                    var: var.index() as u32,
+                    value: !value,
+                })
+                .collect::<Vec<_>>()
+        };
+        self.log_step(lemma(stack.len()), Vec::new(), Vec::new());
+        let mut k = stack.len();
+        while k > 0 && stack[k - 1].2 {
+            k -= 1;
+            self.log_step(lemma(k), Vec::new(), Vec::new());
+        }
+    }
+
+    /// Emits the final empty clause (unless some earlier step already
+    /// was the empty clause).
+    pub fn log_final(&mut self) {
+        if self.steps.last().is_some_and(Step::is_empty_clause) {
+            return;
+        }
+        self.log_step(Vec::new(), Vec::new(), Vec::new());
+    }
+
+    /// Seals the log into a [`Proof`].
+    pub fn finish(self) -> Proof {
+        Proof {
+            var_count: self.mirror.var_count(),
+            goal: self.goal,
+            gaps: self.gaps,
+            steps: self.steps,
+        }
+    }
+}

@@ -11,9 +11,11 @@ use crate::engine::{Engine, EngineStats, Propagation};
 use crate::final_check::{final_check, FinalOutcome};
 use crate::justify::{pick_structural, Structural, StructuralIndex};
 use crate::predlearn::{self, LearnConfig, LearnReport};
+use crate::prooflog::ProofLog;
 use crate::supervise::{CancelToken, FaultPlan};
 use crate::types::{AbortReason, DecisionStrategy, Dom, VarId};
 use rtl_interval::Tribool;
+use rtl_proof::Proof;
 
 /// Resource budget for [`Solver::solve`]; exceeding any bound returns
 /// [`HdpllResult::Unknown`] (the experiment harness's "timeout").
@@ -64,6 +66,11 @@ pub struct SolverConfig {
     pub learning: LearningMode,
     /// Resource budget.
     pub limits: Limits,
+    /// Log an Unsat proof (retrieved with [`Solver::take_proof`] after
+    /// an Unsat verdict). Roughly doubles the cost of each conflict:
+    /// every learned lemma is replayed through a mirror of the
+    /// independent checker as it is emitted.
+    pub proof: bool,
 }
 
 impl SolverConfig {
@@ -97,6 +104,13 @@ impl SolverConfig {
     #[must_use]
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Enables or disables proof logging (builder style).
+    #[must_use]
+    pub fn with_proof(mut self, proof: bool) -> Self {
+        self.proof = proof;
         self
     }
 }
@@ -161,6 +175,7 @@ pub struct Solver {
     stats: SolverStats,
     learn_report: Option<LearnReport>,
     faults: FaultPlan,
+    last_proof: Option<Proof>,
 }
 
 impl Solver {
@@ -175,6 +190,7 @@ impl Solver {
             stats: SolverStats::default(),
             learn_report: None,
             faults: FaultPlan::default(),
+            last_proof: None,
         }
     }
 
@@ -195,6 +211,23 @@ impl Solver {
     #[must_use]
     pub fn learn_report(&self) -> Option<&LearnReport> {
         self.learn_report.as_ref()
+    }
+
+    /// Takes the proof logged by the most recent Unsat verdict, if
+    /// proof logging was enabled ([`SolverConfig::proof`]). A proof
+    /// with [`Proof::is_complete`] `== false` contains lemmas the
+    /// logger could not justify and will be rejected by the checker.
+    #[must_use]
+    pub fn take_proof(&mut self) -> Option<Proof> {
+        self.last_proof.take()
+    }
+
+    /// Seals the proof log after an Unsat verdict.
+    fn seal_proof(&mut self, proof: Option<ProofLog>) {
+        if let Some(mut p) = proof {
+            p.log_final();
+            self.last_proof = Some(p.finish());
+        }
     }
 
     /// Decides the satisfiability of `constraint = 1`.
@@ -232,6 +265,19 @@ impl Solver {
         let mut engine = Engine::new(std::rc::Rc::clone(&self.compiled));
         self.stats = SolverStats::default();
         self.learn_report = None;
+        self.last_proof = None;
+
+        // Proof logging mirrors every learned lemma through an
+        // independent checker. The variable-count cross-check guards
+        // against the two lowerings ever diverging: rather than emit
+        // proofs about the wrong variables, logging is dropped (the
+        // solve is then uncertified, never wrong).
+        let mut proof = if self.config.proof {
+            ProofLog::new(&self.netlist, constraint)
+                .filter(|p| p.var_count() as usize == self.compiled.init_dom.len())
+        } else {
+            None
+        };
 
         // Thread the budget into the propagation loop itself, so the
         // wall clock and cancellation hold even during propagation
@@ -247,12 +293,14 @@ impl Solver {
         // Assert the proposition and reach the initial fixpoint.
         if !engine.assert_external(VarId::from_signal(constraint), Dom::B(Tribool::True)) {
             self.stats.engine = engine.stats;
+            self.seal_proof(proof);
             return HdpllResult::Unsat;
         }
         engine.schedule_all();
         match engine.propagate() {
             Propagation::Conflict(_) => {
                 self.stats.engine = engine.stats;
+                self.seal_proof(proof);
                 return HdpllResult::Unsat;
             }
             Propagation::Aborted(reason) => {
@@ -266,12 +314,13 @@ impl Solver {
         // Static predicate learning (§3), timed separately (Table 1).
         let mut weights = LearnWeights::new(engine.doms.len());
         if let Some(cfg) = self.config.learn {
-            let report = predlearn::run(&mut engine, &self.netlist, &cfg, &mut weights);
+            let report = predlearn::run(&mut engine, &self.netlist, &cfg, &mut weights, &mut proof);
             self.stats.learn_time = report.time;
             let unsat = report.proved_unsat;
             self.learn_report = Some(report);
             if unsat {
                 self.stats.engine = engine.stats;
+                self.seal_proof(proof);
                 return HdpllResult::Unsat;
             }
             // The budget may have tripped mid-learning; the abort is
@@ -294,24 +343,32 @@ impl Solver {
 
         // Algorithm 1 main loop.
         let learning = self.config.learning;
-        let handle_conflict = |engine: &mut Engine, conflict: &crate::engine::ConflictInfo| -> bool {
+        let handle_conflict = |engine: &mut Engine,
+                               proof: &mut Option<ProofLog>,
+                               conflict: &crate::engine::ConflictInfo|
+         -> bool {
             match learning {
-                LearningMode::Hybrid => match engine.analyze(conflict) {
-                    None => false,
-                    Some(a) => {
-                        engine.learn_and_backtrack(a);
-                        true
+                LearningMode::Hybrid | LearningMode::BoolOnly => {
+                    let bool_only = learning == LearningMode::BoolOnly;
+                    match engine.analyze_mode(conflict, bool_only) {
+                        None => false,
+                        Some(mut a) => {
+                            let used = std::mem::take(&mut a.used);
+                            let cid = engine.learn_and_backtrack(a);
+                            if let Some(p) = proof.as_mut() {
+                                p.log_engine_clause(engine, cid, Vec::new(), &used);
+                            }
+                            true
+                        }
                     }
-                },
-                LearningMode::BoolOnly => match engine.analyze_mode(conflict, true) {
-                    None => false,
-                    Some(a) => {
-                        engine.learn_and_backtrack(a);
-                        true
-                    }
-                },
+                }
                 LearningMode::None => {
                     engine.stats.conflicts += 1;
+                    // The decision path is refuted before it is popped:
+                    // the path lemmas speak about the stack as it stands.
+                    if let Some(p) = proof.as_mut() {
+                        p.log_path(&engine.decision_stack());
+                    }
                     engine.flip_chronological()
                 }
             }
@@ -321,7 +378,7 @@ impl Solver {
         let result = loop {
             match engine.propagate() {
                 Propagation::Conflict(conflict) => {
-                    if !handle_conflict(&mut engine, &conflict) {
+                    if !handle_conflict(&mut engine, &mut proof, &conflict) {
                         break HdpllResult::Unsat;
                     }
                     continue;
@@ -342,7 +399,7 @@ impl Solver {
                     Structural::Done => None,
                     Structural::JConflict(conflict) => {
                         engine.stats.j_conflicts += 1;
-                        if !handle_conflict(&mut engine, &conflict) {
+                        if !handle_conflict(&mut engine, &mut proof, &conflict) {
                             break HdpllResult::Unsat;
                         }
                         continue;
@@ -361,7 +418,7 @@ impl Solver {
                             break HdpllResult::Sat(model);
                         }
                         FinalOutcome::Conflict(conflict) => {
-                            if !handle_conflict(&mut engine, &conflict) {
+                            if !handle_conflict(&mut engine, &mut proof, &conflict) {
                                 break HdpllResult::Unsat;
                             }
                         }
@@ -372,6 +429,9 @@ impl Solver {
         self.stats.search_time = search_start.elapsed();
         self.stats.engine = engine.stats;
         self.stats.abort = abort;
+        if result.is_unsat() {
+            self.seal_proof(proof);
+        }
         result
     }
 

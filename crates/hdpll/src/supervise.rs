@@ -8,12 +8,17 @@
 //! robust entry point:
 //!
 //! * **Certification** — every `Sat` model is re-evaluated against the
-//!   netlist by the [`rtl_ir::eval`] simulator before it is reported;
-//!   an `Unsat` verdict can optionally be cross-checked by an
-//!   independent stage (typically the eager bit-blast baseline) under a
-//!   small budget. A stage that lies produces a
-//!   [`StageOutcome::CertFailed`] report and the ladder moves on — a
-//!   wrong answer never escapes as the final verdict.
+//!   netlist by the [`rtl_ir::eval`] simulator before it is reported.
+//!   An `Unsat` verdict is certified by an **independently checked
+//!   proof** when the stage logged one ([`rtl_proof`]; the default for
+//!   [`HdpllStage`]): the supervisor re-checks the proof from scratch
+//!   against the netlist, and a complete proof that fails the check
+//!   discredits the stage. Stages without proofs fall back to the
+//!   optional cross-check by an independent stage (typically the eager
+//!   bit-blast baseline) under a small budget; failing both leaves the
+//!   verdict explicitly [`Certification::Uncertified`]. A stage that
+//!   lies produces a [`StageOutcome::CertFailed`] report and the ladder
+//!   moves on — a wrong answer never escapes as the final verdict.
 //! * **Cooperative cancellation + deadlines** — a [`CancelToken`] and a
 //!   wall-clock budget are threaded into the propagation loop itself
 //!   (checked every ~4096 steps), so `max_time` holds even during
@@ -39,6 +44,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rtl_ir::{eval, Netlist, SignalId};
+use rtl_proof::{Checker, Proof};
 
 use crate::solver::{HdpllResult, Solver, SolverConfig, SolverStats};
 
@@ -122,12 +128,37 @@ impl FaultPlan {
     }
 }
 
+/// What one stage run produced: the verdict plus optional evidence.
+#[derive(Clone, Debug)]
+pub struct StageRun {
+    /// The stage's verdict.
+    pub result: HdpllResult,
+    /// Solver statistics, when the stage exposes them.
+    pub stats: Option<SolverStats>,
+    /// An Unsat proof, when the stage logged one. The supervisor
+    /// re-checks it independently before certifying the verdict.
+    pub proof: Option<Proof>,
+}
+
+impl StageRun {
+    /// A run with a bare verdict (no statistics, no proof).
+    #[must_use]
+    pub fn new(result: HdpllResult) -> Self {
+        Self {
+            result,
+            stats: None,
+            proof: None,
+        }
+    }
+}
+
 /// One rung of the supervisor's degradation ladder.
 ///
 /// A stage receives the netlist, the goal, its share of the remaining
 /// wall-clock budget, and the supervisor's cancel token; it returns its
-/// verdict plus (for HDPLL-family stages) the solver statistics. Stages
-/// may panic — the supervisor catches the unwind at the boundary.
+/// verdict plus (for HDPLL-family stages) the solver statistics and,
+/// for Unsat, an optional proof. Stages may panic — the supervisor
+/// catches the unwind at the boundary.
 pub trait SolveStage {
     /// Stable human-readable stage name, used in reports and stats.
     fn name(&self) -> &str;
@@ -141,7 +172,7 @@ pub trait SolveStage {
         goal: SignalId,
         max_time: Option<Duration>,
         cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>);
+    ) -> StageRun;
 }
 
 /// A [`SolveStage`] running this crate's HDPLL solver under a given
@@ -151,16 +182,20 @@ pub struct HdpllStage {
     label: String,
     config: SolverConfig,
     faults: FaultPlan,
+    proof: bool,
 }
 
 impl HdpllStage {
-    /// A stage named `label` running `config`.
+    /// A stage named `label` running `config`, with proof logging on:
+    /// Unsat verdicts carry a proof the supervisor certifies
+    /// independently.
     #[must_use]
     pub fn new(label: impl Into<String>, config: SolverConfig) -> Self {
         Self {
             label: label.into(),
             config,
             faults: FaultPlan::default(),
+            proof: true,
         }
     }
 
@@ -168,6 +203,14 @@ impl HdpllStage {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables or disables proof logging (on by default; turning it off
+    /// trades Unsat certification for faster conflict handling).
+    #[must_use]
+    pub fn with_proof(mut self, proof: bool) -> Self {
+        self.proof = proof;
         self
     }
 }
@@ -183,19 +226,37 @@ impl SolveStage for HdpllStage {
         goal: SignalId,
         max_time: Option<Duration>,
         cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>) {
+    ) -> StageRun {
         // The stage's slice tightens (never widens) a configured limit.
         let mut limits = self.config.limits;
         limits.max_time = match (limits.max_time, max_time) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let mut solver = Solver::new(netlist, self.config.with_limits(limits));
+        let config = self.config.with_limits(limits).with_proof(self.proof);
+        let mut solver = Solver::new(netlist, config);
         solver.inject_faults(self.faults);
         let result = solver.solve_cancellable(goal, cancel);
-        let stats = *solver.stats();
-        (result, Some(stats))
+        StageRun {
+            result,
+            stats: Some(*solver.stats()),
+            proof: solver.take_proof(),
+        }
     }
+}
+
+/// How an `Unsat` verdict was (or was not) independently validated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Certification {
+    /// The stage's proof was re-checked from scratch by the
+    /// independent [`rtl_proof`] checker — the strongest certificate.
+    Proof,
+    /// An independent stage (typically the eager bit-blast baseline)
+    /// also concluded `Unsat` within its budget.
+    CrossChecked,
+    /// No proof and no conclusive cross-check: the verdict rests on
+    /// the reporting stage alone.
+    Uncertified,
 }
 
 /// What happened to one stage of a supervised solve.
@@ -204,11 +265,11 @@ pub enum StageOutcome {
     /// The stage reported `Sat` and the model was certified by
     /// re-simulation.
     CertifiedSat,
-    /// The stage reported `Unsat`; `cross_checked` records whether an
-    /// independent stage confirmed it within its budget.
+    /// The stage reported `Unsat`; `certification` records how the
+    /// verdict was independently validated.
     Unsat {
-        /// `true` when the cross-check stage also concluded `Unsat`.
-        cross_checked: bool,
+        /// The strongest certification obtained for the verdict.
+        certification: Certification,
     },
     /// The stage's answer failed certification (a `Sat` model the
     /// simulator rejects, or an `Unsat` refuted by a certified
@@ -241,8 +302,15 @@ impl fmt::Display for StageOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StageOutcome::CertifiedSat => write!(f, "SAT (model certified)"),
-            StageOutcome::Unsat { cross_checked: true } => write!(f, "UNSAT (cross-checked)"),
-            StageOutcome::Unsat { cross_checked: false } => write!(f, "UNSAT"),
+            StageOutcome::Unsat {
+                certification: Certification::Proof,
+            } => write!(f, "UNSAT (proof checked)"),
+            StageOutcome::Unsat {
+                certification: Certification::CrossChecked,
+            } => write!(f, "UNSAT (cross-checked)"),
+            StageOutcome::Unsat {
+                certification: Certification::Uncertified,
+            } => write!(f, "UNSAT (uncertified)"),
             StageOutcome::CertFailed { detail } => write!(f, "certification failed: {detail}"),
             StageOutcome::Unknown { reason } => write!(f, "unknown ({reason})"),
             StageOutcome::Panicked { detail } => write!(f, "panicked: {detail}"),
@@ -267,16 +335,19 @@ pub struct StageReport {
 /// The certified result of [`Supervisor::solve`].
 #[derive(Clone, Debug)]
 pub struct SupervisedResult {
-    /// The final verdict. `Sat` models are always certified; `Unsat` is
-    /// cross-checked when the supervisor was configured with
-    /// [`Supervisor::check_unsat_with`]. `Unknown` means every stage
-    /// was exhausted (or discredited) without a certified answer.
+    /// The final verdict. `Sat` models are always certified; for
+    /// `Unsat` see [`SupervisedResult::unsat_certification`].
+    /// `Unknown` means every stage was exhausted (or discredited)
+    /// without a certified answer.
     pub verdict: HdpllResult,
     /// Name of the stage whose answer became the verdict (`None` when
     /// the verdict is `Unknown`).
     pub answered_by: Option<String>,
     /// One report per stage attempted, in ladder order.
     pub reports: Vec<StageReport>,
+    /// The checked proof behind an `Unsat` verdict certified with
+    /// [`Certification::Proof`] (dump it with [`rtl_proof::format`]).
+    pub proof: Option<Proof>,
 }
 
 impl SupervisedResult {
@@ -287,6 +358,20 @@ impl SupervisedResult {
             .iter()
             .filter(|r| r.outcome.is_cert_failure())
             .count()
+    }
+
+    /// How an `Unsat` verdict was certified (`None` for other
+    /// verdicts).
+    #[must_use]
+    pub fn unsat_certification(&self) -> Option<Certification> {
+        let answered = self.answered_by.as_deref()?;
+        self.reports
+            .iter()
+            .filter(|r| r.stage == answered)
+            .find_map(|r| match r.outcome {
+                StageOutcome::Unsat { certification } => Some(certification),
+                _ => None,
+            })
     }
 }
 
@@ -438,7 +523,11 @@ impl Supervisor {
                     time: start.elapsed(),
                     stats: None,
                 }),
-                Ok((HdpllResult::Sat(model), stats)) => match certify_model(netlist, &model, goal) {
+                Ok(StageRun {
+                    result: HdpllResult::Sat(model),
+                    stats,
+                    ..
+                }) => match certify_model(netlist, &model, goal) {
                     None => {
                         reports.push(StageReport {
                             stage: name.clone(),
@@ -450,6 +539,7 @@ impl Supervisor {
                             verdict: HdpllResult::Sat(model),
                             answered_by: Some(name),
                             reports,
+                            proof: None,
                         };
                     }
                     Some(why) => reports.push(StageReport {
@@ -461,21 +551,22 @@ impl Supervisor {
                         stats,
                     }),
                 },
-                Ok((HdpllResult::Unsat, stats)) => {
-                    match self.cross_check_unsat(netlist, goal, &cancel) {
-                        UnsatCheck::Refuted(why) => reports.push(StageReport {
-                            stage: name,
-                            outcome: StageOutcome::CertFailed {
-                                detail: format!("UNSAT refuted: {why}"),
-                            },
-                            time: start.elapsed(),
-                            stats,
-                        }),
-                        verdict @ (UnsatCheck::Confirmed | UnsatCheck::Unchecked) => {
+                Ok(StageRun {
+                    result: HdpllResult::Unsat,
+                    stats,
+                    proof,
+                }) => {
+                    // Proof-first certification: an independently checked
+                    // proof is the strongest certificate and costs no
+                    // extra solve. A *complete* proof that fails the
+                    // check discredits the stage outright — it claimed a
+                    // full derivation and the derivation is wrong.
+                    match certify_proof(netlist, goal, proof) {
+                        ProofCheck::Valid(checked) => {
                             reports.push(StageReport {
                                 stage: name.clone(),
                                 outcome: StageOutcome::Unsat {
-                                    cross_checked: matches!(verdict, UnsatCheck::Confirmed),
+                                    certification: Certification::Proof,
                                 },
                                 time: start.elapsed(),
                                 stats,
@@ -484,11 +575,56 @@ impl Supervisor {
                                 verdict: HdpllResult::Unsat,
                                 answered_by: Some(name),
                                 reports,
+                                proof: Some(checked),
                             };
+                        }
+                        ProofCheck::Invalid(why) => reports.push(StageReport {
+                            stage: name,
+                            outcome: StageOutcome::CertFailed {
+                                detail: format!("UNSAT proof rejected: {why}"),
+                            },
+                            time: start.elapsed(),
+                            stats,
+                        }),
+                        ProofCheck::Absent => {
+                            match self.cross_check_unsat(netlist, goal, &cancel) {
+                                UnsatCheck::Refuted(why) => reports.push(StageReport {
+                                    stage: name,
+                                    outcome: StageOutcome::CertFailed {
+                                        detail: format!("UNSAT refuted: {why}"),
+                                    },
+                                    time: start.elapsed(),
+                                    stats,
+                                }),
+                                verdict @ (UnsatCheck::Confirmed | UnsatCheck::Unchecked) => {
+                                    let certification =
+                                        if matches!(verdict, UnsatCheck::Confirmed) {
+                                            Certification::CrossChecked
+                                        } else {
+                                            Certification::Uncertified
+                                        };
+                                    reports.push(StageReport {
+                                        stage: name.clone(),
+                                        outcome: StageOutcome::Unsat { certification },
+                                        time: start.elapsed(),
+                                        stats,
+                                    });
+                                    return SupervisedResult {
+                                        verdict: HdpllResult::Unsat,
+                                        answered_by: Some(name),
+                                        reports,
+                                        proof: None,
+                                    };
+                                }
+                            }
                         }
                     }
                 }
-                Ok((HdpllResult::Unknown, stats)) => {
+                Ok(StageRun {
+                    result: HdpllResult::Unknown,
+                    stats,
+                    ..
+                }) => {
                     let reason = stats
                         .and_then(|s| s.abort)
                         .map_or_else(|| "budget exhausted".to_string(), |r| r.to_string());
@@ -506,6 +642,7 @@ impl Supervisor {
             verdict: HdpllResult::Unknown,
             answered_by: None,
             reports,
+            proof: None,
         }
     }
 
@@ -523,8 +660,8 @@ impl Supervisor {
         let run = catch_unwind(AssertUnwindSafe(|| {
             checker.run(netlist, goal, Some(budget), cancel)
         }));
-        match run {
-            Ok((HdpllResult::Sat(counter), _)) => {
+        match run.map(|r| r.result) {
+            Ok(HdpllResult::Sat(counter)) => {
                 // Only a counter-model the simulator certifies can
                 // overturn the verdict — an uncertified one just means
                 // the checker is broken too.
@@ -534,9 +671,36 @@ impl Supervisor {
                     UnsatCheck::Unchecked
                 }
             }
-            Ok((HdpllResult::Unsat, _)) => UnsatCheck::Confirmed,
-            Ok((HdpllResult::Unknown, _)) | Err(_) => UnsatCheck::Unchecked,
+            Ok(HdpllResult::Unsat) => UnsatCheck::Confirmed,
+            Ok(HdpllResult::Unknown) | Err(_) => UnsatCheck::Unchecked,
         }
+    }
+}
+
+/// Result of checking a stage's Unsat proof.
+enum ProofCheck {
+    /// A complete proof the independent checker accepted.
+    Valid(Proof),
+    /// A complete proof the checker rejected — the stage is lying or
+    /// broken.
+    Invalid(String),
+    /// No proof, or an incomplete one (gaps): certifies nothing, but
+    /// does not by itself discredit the verdict.
+    Absent,
+}
+
+/// Re-checks a stage's proof from scratch with the independent
+/// [`rtl_proof`] checker.
+fn certify_proof(netlist: &Netlist, goal: SignalId, proof: Option<Proof>) -> ProofCheck {
+    let Some(proof) = proof else {
+        return ProofCheck::Absent;
+    };
+    if !proof.is_complete() {
+        return ProofCheck::Absent;
+    }
+    match Checker::check_goal(netlist, goal, &proof) {
+        Ok(_) => ProofCheck::Valid(proof),
+        Err(e) => ProofCheck::Invalid(e.to_string()),
     }
 }
 

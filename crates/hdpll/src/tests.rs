@@ -725,3 +725,126 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Proof logging
+// ---------------------------------------------------------------------
+
+/// Small UNSAT instances exercising different refutation machinery:
+/// pure Boolean contradiction, mux routing, modular arithmetic, and a
+/// parity argument that needs a case split even at level 0.
+fn unsat_instances() -> Vec<(&'static str, Netlist, SignalId)> {
+    let mut out = Vec::new();
+
+    let mut n = Netlist::new("bool");
+    let x = n.input_bool("x").unwrap();
+    let nx = n.not(x).unwrap();
+    let goal = n.and(&[x, nx]).unwrap();
+    out.push(("bool", n, goal));
+
+    let mut n = Netlist::new("mux");
+    let five = n.const_word(5, 4).unwrap();
+    let zero = n.const_word(0, 4).unwrap();
+    let mut cur = five;
+    for i in 0..4 {
+        let s = n.input_bool(&format!("s{i}")).unwrap();
+        cur = n.ite(s, cur, zero).unwrap();
+    }
+    let goal = n.eq_const(cur, 6).unwrap();
+    out.push(("mux", n, goal));
+
+    let mut n = Netlist::new("range");
+    let x = n.input_word("x", 4).unwrap();
+    let c14 = n.const_word(14, 4).unwrap();
+    let gt = n.cmp(CmpOp::Gt, x, c14).unwrap();
+    let lt = n.eq_const(x, 3).unwrap();
+    let goal = n.and(&[gt, lt]).unwrap();
+    out.push(("range", n, goal));
+
+    // x + y = 5 with x = y: interval propagation alone cannot refute
+    // 2x = 5, so even the *final* empty clause needs the split finder.
+    let mut n = Netlist::new("parity");
+    let x = n.input_word("x", 3).unwrap();
+    let y = n.input_word("y", 3).unwrap();
+    let s = n.add_into(x, y, 4).unwrap();
+    let eq = n.eq_const(s, 5).unwrap();
+    let xeqy = n.cmp(CmpOp::Eq, x, y).unwrap();
+    let goal = n.and(&[eq, xeqy]).unwrap();
+    out.push(("parity", n, goal));
+
+    out
+}
+
+#[test]
+fn unsat_verdicts_emit_checkable_proofs() {
+    let mut configs = all_configs();
+    configs.push(("no-learning", no_learning_config()));
+    for (cname, config) in configs {
+        for (iname, n, goal) in unsat_instances() {
+            let mut solver = Solver::new(&n, config.with_proof(true));
+            assert!(
+                matches!(solver.solve(goal), HdpllResult::Unsat),
+                "{cname}/{iname}: expected UNSAT"
+            );
+            let proof = solver
+                .take_proof()
+                .unwrap_or_else(|| panic!("{cname}/{iname}: no proof logged"));
+            assert!(
+                proof.is_complete(),
+                "{cname}/{iname}: proof has {} gaps",
+                proof.gaps
+            );
+            let report = rtl_proof::Checker::check_goal(&n, goal, &proof)
+                .unwrap_or_else(|e| panic!("{cname}/{iname}: proof rejected: {e}"));
+            assert_eq!(report.steps as usize, proof.len());
+            // The textual round-trip preserves the proof exactly.
+            let text = rtl_proof::format::print(&proof);
+            assert_eq!(rtl_proof::format::parse(&text).unwrap(), proof);
+        }
+    }
+}
+
+#[test]
+fn sat_and_disabled_logging_yield_no_proof() {
+    let (_, n, goal) = unsat_instances().remove(0);
+    // Proof logging off: no proof even on UNSAT.
+    let mut solver = Solver::new(&n, SolverConfig::hdpll());
+    assert!(matches!(solver.solve(goal), HdpllResult::Unsat));
+    assert!(solver.take_proof().is_none());
+
+    // SAT verdict: no proof even with logging on.
+    let mut n = Netlist::new("sat");
+    let x = n.input_bool("x").unwrap();
+    let mut solver = Solver::new(&n, SolverConfig::hdpll().with_proof(true));
+    assert!(solver.solve(x).is_sat());
+    assert!(solver.take_proof().is_none());
+}
+
+#[test]
+fn corrupted_solver_cannot_produce_a_complete_accepted_proof() {
+    // Arm the clause-corruption fault: the first learned clause has its
+    // first literal's polarity flipped. The logger records the clause
+    // *as stored*, so the mirror checker refuses to admit it and the
+    // proof comes out incomplete (or, if somehow complete, rejected).
+    for (iname, n, goal) in unsat_instances() {
+        let mut solver = Solver::new(&n, SolverConfig::hdpll().with_proof(true));
+        solver.inject_faults(crate::FaultPlan {
+            corrupt_learned_clause: Some(0),
+            ..crate::FaultPlan::default()
+        });
+        let verdict = solver.solve(goal);
+        if !matches!(verdict, HdpllResult::Unsat) {
+            continue; // corruption may flip the verdict itself
+        }
+        if solver.stats().engine.learned == 0 {
+            continue; // instance refuted before any clause was learned
+        }
+        let Some(proof) = solver.take_proof() else {
+            continue;
+        };
+        assert!(
+            !proof.is_complete() || rtl_proof::Checker::check_goal(&n, goal, &proof).is_err(),
+            "{iname}: corrupted run produced a complete, accepted proof"
+        );
+    }
+}

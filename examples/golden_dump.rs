@@ -1,0 +1,43 @@
+//! Regenerates the ITC'99 members of the golden corpus
+//! (`tests/golden/b01_p1_20.rtl`, `tests/golden/b02_p1_10.rtl`): the
+//! two unsatisfiable BMC unrollings from the paper's Table 1 small
+//! enough to solve — and proof-check — in a debug-build test run.
+//!
+//! The dumped files are committed; run this only when the unroller or
+//! the textual format changes:
+//!
+//! ```text
+//! cargo run --example golden_dump
+//! ```
+
+use rtlsat::ir::text;
+use rtlsat::itc99::cases::{BmcCase, Circuit, Expected};
+
+fn main() {
+    let cases = [
+        (
+            "b01_p1_20",
+            BmcCase {
+                circuit: Circuit::B01,
+                property: "p1",
+                frames: 20,
+                expected: Expected::Unsat,
+            },
+        ),
+        (
+            "b02_p1_10",
+            BmcCase {
+                circuit: Circuit::B02,
+                property: "p1",
+                frames: 10,
+                expected: Expected::Unsat,
+            },
+        ),
+    ];
+    for (stem, case) in cases {
+        let bmc = case.build();
+        let path = format!("tests/golden/{stem}.rtl");
+        std::fs::write(&path, text::to_text(&bmc.netlist)).expect("write golden netlist");
+        println!("wrote {path}");
+    }
+}

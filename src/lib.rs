@@ -20,6 +20,7 @@
 //! | [`sat`] | `rtl-sat` | CDCL Boolean SAT solver |
 //! | [`bitblast`] | `rtl-bitblast` | Tseitin CNF translation of netlists |
 //! | [`baselines`] | `rtl-baselines` | eager (UCLID-like) and lazy (ICS-like) baselines |
+//! | [`proof`] | `rtl-proof` | Unsat proof format and independent proof checker |
 //! | [`itc99`] | `rtl-itc99` | reconstructed b01/b02/b04/b13 benchmarks and BMC cases |
 //!
 //! # Quick start
@@ -65,4 +66,5 @@ pub use rtl_hdpll as hdpll;
 pub use rtl_interval as interval;
 pub use rtl_ir as ir;
 pub use rtl_itc99 as itc99;
+pub use rtl_proof as proof;
 pub use rtl_sat as sat;

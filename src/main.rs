@@ -6,32 +6,45 @@
 //!
 //! ```text
 //! rtlsat <netlist-file> <goal-signal> [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
-//!        [--timeout <secs>] [--check] [--fallback] [--dump-cnf <file>] [--stats]
+//!        [--timeout <secs>] [--check] [--fallback] [--dump-cnf <file>]
+//!        [--proof <file>] [--stats]
+//! rtlsat check-proof <netlist-file> <proof-file>
 //! ```
 //!
 //! Every solve runs under the [`rtlsat::hdpll::Supervisor`]: a `SAT`
 //! answer is printed only after its model has been certified by the
-//! reference simulator, `--check` cross-checks `UNSAT` answers with the
-//! eager bit-blast baseline under a tenth of the budget, and
-//! `--fallback` appends the degradation ladder (HDPLL activity → eager
-//! bit-blast) behind the selected engine so an exhausted budget can
-//! still be answered by a different strategy. `--dump-cnf` additionally
-//! writes the bit-blasted DIMACS CNF of the goal for use with external
-//! SAT solvers; `--stats` prints search statistics plus the per-stage
-//! supervisor report to stderr.
+//! reference simulator, an `UNSAT` answer carries an independently
+//! re-checked proof whenever the answering stage logged one, `--check`
+//! additionally cross-checks proof-less `UNSAT` answers with the eager
+//! bit-blast baseline under a tenth of the budget, and `--fallback`
+//! appends the degradation ladder (HDPLL activity → eager bit-blast)
+//! behind the selected engine so an exhausted budget can still be
+//! answered by a different strategy. `--dump-cnf` additionally writes
+//! the bit-blasted DIMACS CNF of the goal for use with external SAT
+//! solvers; `--proof` writes the checked `UNSAT` proof in the
+//! [`rtlsat::proof::format`] text format; `--stats` prints search
+//! statistics plus the per-stage supervisor report (including how the
+//! verdict was certified) to stderr.
 //!
-//! Exit codes: `0` SAT, `20` UNSAT, `30` unknown (budget exhausted),
-//! `40` unknown *because* an answer failed certification, `2` usage or
-//! input errors.
+//! The `check-proof` subcommand re-validates a previously dumped proof
+//! against the netlist from scratch — no solver code is involved, only
+//! the independent [`rtlsat::proof`] checker. It exits `0` when the
+//! proof is accepted and `1` when it is rejected.
+//!
+//! Exit codes (solve): `0` SAT, `20` UNSAT, `30` unknown (budget
+//! exhausted), `40` unknown *because* an answer failed certification,
+//! `2` usage or input errors.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use rtlsat::baselines::{EagerStage, LazyStage};
 use rtlsat::hdpll::{
-    HdpllResult, HdpllStage, LearnConfig, SolverConfig, SolverStats, SupervisedResult, Supervisor,
+    Certification, HdpllResult, HdpllStage, LearnConfig, SolverConfig, SolverStats,
+    SupervisedResult, Supervisor,
 };
 use rtlsat::ir::{text, Netlist};
+use rtlsat::proof;
 
 struct Args {
     file: String,
@@ -41,6 +54,7 @@ struct Args {
     check: bool,
     fallback: bool,
     dump_cnf: Option<String>,
+    proof_out: Option<String>,
     stats: bool,
 }
 
@@ -51,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
     let mut check = false;
     let mut fallback = false;
     let mut dump_cnf = None;
+    let mut proof_out = None;
     let mut stats = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -71,12 +86,16 @@ fn parse_args() -> Result<Args, String> {
             "--dump-cnf" => {
                 dump_cnf = Some(it.next().ok_or("--dump-cnf needs a path")?);
             }
+            "--proof" => {
+                proof_out = Some(it.next().ok_or("--proof needs a path")?);
+            }
             "--stats" => stats = true,
             "--help" | "-h" => {
                 return Err("usage: rtlsat <netlist-file> <goal-signal> \
                      [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
                      [--timeout <secs>] [--check] [--fallback] \
-                     [--dump-cnf <file>] [--stats]"
+                     [--dump-cnf <file>] [--proof <file>] [--stats]\n\
+                     \x20      rtlsat check-proof <netlist-file> <proof-file>"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -93,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         check,
         fallback,
         dump_cnf,
+        proof_out,
         stats,
     })
 }
@@ -174,9 +194,79 @@ fn print_report(result: &SupervisedResult) {
         Some(stage) => eprintln!("c answered_by     {stage}"),
         None => eprintln!("c answered_by     (none)"),
     }
+    if let Some(cert) = result.unsat_certification() {
+        let label = match cert {
+            Certification::Proof => "proof checked",
+            Certification::CrossChecked => "cross-checked",
+            Certification::Uncertified => "uncertified",
+        };
+        eprintln!("c certification   {label}");
+    }
+}
+
+/// Reads and parses a textual netlist, reporting errors CLI-style.
+fn load_netlist(path: &str) -> Result<Netlist, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    text::parse(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `rtlsat check-proof <netlist> <proof>`: re-validates a dumped proof
+/// from scratch with the independent checker. Exit `0` accepted, `1`
+/// rejected, `2` usage/input errors.
+fn check_proof_command(rest: &[String]) -> ExitCode {
+    let [netlist_path, proof_path] = rest else {
+        eprintln!("usage: rtlsat check-proof <netlist-file> <proof-file>");
+        return ExitCode::from(2);
+    };
+    let netlist = match load_netlist(netlist_path) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let proof_text = match std::fs::read_to_string(proof_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{proof_path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let proof = match proof::format::parse(&proof_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{proof_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(goal) = proof::resolve_goal(&netlist, &proof.goal) else {
+        eprintln!(
+            "{proof_path}: goal `{}` not found in `{netlist_path}`",
+            proof.goal
+        );
+        return ExitCode::from(2);
+    };
+    match proof::Checker::check_goal(&netlist, goal, &proof) {
+        Ok(report) => {
+            println!(
+                "VERIFIED ({} steps, {} search nodes)",
+                report.steps, report.search_nodes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("REJECTED: {e}");
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("check-proof") {
+        return check_proof_command(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -184,21 +274,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = match std::fs::read_to_string(&args.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read `{}`: {e}", args.file);
-            return ExitCode::from(2);
-        }
-    };
-    let netlist = match text::parse(&source) {
+    let netlist = match load_netlist(&args.file) {
         Ok(n) => n,
-        Err(e) => {
-            eprintln!("{}: {e}", args.file);
+        Err(msg) => {
+            eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
-    let Some(goal) = netlist.find(&args.goal) else {
+    let Some(goal) = proof::resolve_goal(&netlist, &args.goal) else {
         eprintln!("no signal named `{}` in `{}`", args.goal, args.file);
         return ExitCode::from(2);
     };
@@ -256,6 +339,25 @@ fn main() -> ExitCode {
         }
         HdpllResult::Unsat => {
             println!("UNSAT");
+            if let Some(path) = &args.proof_out {
+                // Only a *checked* proof is ever written — the
+                // supervisor attaches one exactly when the verdict was
+                // certified with `Certification::Proof`.
+                match &result.proof {
+                    Some(p) => {
+                        if let Err(e) = std::fs::write(path, proof::format::print(p)) {
+                            eprintln!("cannot write `{path}`: {e}");
+                            return ExitCode::from(2);
+                        }
+                        eprintln!("wrote checked UNSAT proof to {path}");
+                    }
+                    None => eprintln!(
+                        "warning: no checked proof available for this UNSAT \
+                         (engine `{}`); nothing written to {path}",
+                        args.engine
+                    ),
+                }
+            }
             ExitCode::from(20)
         }
         HdpllResult::Unknown if result.cert_failures() > 0 => {

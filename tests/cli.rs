@@ -140,11 +140,23 @@ fn check_and_fallback_flags() {
     let dir = std::env::temp_dir().join("rtlsat_cli_supervise");
     std::fs::create_dir_all(&dir).unwrap();
     let netlist = write_netlist(&dir);
-    // --check cross-checks the UNSAT verdict with the eager baseline.
+    // The default HDPLL engine certifies its own UNSAT with a checked
+    // proof — the strongest certificate, reported in the stats.
     let out = bin()
         .arg(&netlist)
         .arg("both")
         .args(["--check", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("proof checked"), "{stderr}");
+    // A proof-less engine (eager bit-blast) falls back to the --check
+    // cross-check for its certificate.
+    let out = bin()
+        .arg(&netlist)
+        .arg("both")
+        .args(["--engine", "eager", "--check", "--stats"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(20));
@@ -161,6 +173,70 @@ fn check_and_fallback_flags() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("answered_by"), "{stderr}");
     assert!(stderr.contains("hdpll-sp"), "{stderr}");
+}
+
+#[test]
+fn proof_dump_and_check_proof_roundtrip() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_proof");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    let proof_path = dir.join("both.proof");
+    // UNSAT with --proof dumps the checked certificate.
+    let out = bin()
+        .arg(&netlist)
+        .arg("both")
+        .args(["--proof", proof_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    let proof_text = std::fs::read_to_string(&proof_path).expect("proof written");
+    assert!(proof_text.starts_with("rtlproof 1"), "{proof_text}");
+
+    // check-proof re-validates it from scratch.
+    let out = bin()
+        .arg("check-proof")
+        .arg(&netlist)
+        .arg(&proof_path)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.starts_with("VERIFIED"), "{stdout}");
+
+    // A single corrupted line must be rejected (exit 1, not 0).
+    let corrupted: String = proof_text
+        .lines()
+        .map(|l| {
+            if let Some(n) = l.strip_prefix("vars ") {
+                let n: u32 = n.trim().parse().expect("vars count");
+                format!("vars {}\n", n + 1)
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let bad_path = dir.join("both_corrupt.proof");
+    std::fs::write(&bad_path, corrupted).unwrap();
+    let out = bin()
+        .arg("check-proof")
+        .arg(&netlist)
+        .arg(&bad_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("REJECTED"), "{stdout}");
+
+    // A SAT goal with --proof warns and writes nothing.
+    let missing = dir.join("none.proof");
+    let out = bin()
+        .arg(&netlist)
+        .arg("hit")
+        .args(["--proof", missing.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(!missing.exists(), "no proof file for a SAT verdict");
 }
 
 #[test]

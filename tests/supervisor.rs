@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 use rtl_bench::hotpath;
 use rtlsat::baselines::EagerStage;
 use rtlsat::hdpll::{
-    CancelToken, FaultPlan, HdpllResult, HdpllStage, Limits, SolveStage, Solver, SolverConfig,
-    SolverStats, StageOutcome, Supervisor,
+    CancelToken, Certification, FaultPlan, HdpllResult, HdpllStage, Limits, SolveStage, Solver,
+    SolverConfig, SolverStats, StageOutcome, StageRun, Supervisor,
 };
 use rtlsat::ir::{eval, Netlist, SignalId};
 use rtlsat::itc99::cases::{BmcCase, Circuit, Expected};
@@ -140,7 +140,7 @@ impl SolveStage for PanicStage {
         _goal: SignalId,
         _max_time: Option<Duration>,
         _cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>) {
+    ) -> StageRun {
         panic!("injected stage panic");
     }
 }
@@ -159,8 +159,8 @@ impl SolveStage for LyingSatStage {
         _goal: SignalId,
         _max_time: Option<Duration>,
         _cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>) {
-        (HdpllResult::Sat(std::collections::HashMap::new()), None)
+    ) -> StageRun {
+        StageRun::new(HdpllResult::Sat(std::collections::HashMap::new()))
     }
 }
 
@@ -178,8 +178,8 @@ impl SolveStage for LyingUnsatStage {
         _goal: SignalId,
         _max_time: Option<Duration>,
         _cancel: &CancelToken,
-    ) -> (HdpllResult, Option<SolverStats>) {
-        (HdpllResult::Unsat, None)
+    ) -> StageRun {
+        StageRun::new(HdpllResult::Unsat)
     }
 }
 
@@ -230,16 +230,58 @@ fn lying_unsat_stage_is_refuted_by_cross_check() {
 #[test]
 fn unchecked_lie_never_reaches_the_user_uncertified() {
     // Without --check the wrong UNSAT *is* reported (certifying UNSAT
-    // needs the cross-check) — but it must be visibly un-cross-checked.
+    // needs a proof or the cross-check) — but since the lying stage
+    // supplies no proof, the verdict must be visibly uncertified.
     let (netlist, goal) = itc99_known_sat();
     let mut sup = Supervisor::new().stage(LyingUnsatStage);
     let result = sup.solve(&netlist, goal);
     assert!(matches!(
         result.reports[0].outcome,
         StageOutcome::Unsat {
-            cross_checked: false
+            certification: Certification::Uncertified
         }
     ));
+    assert_eq!(
+        result.unsat_certification(),
+        Some(Certification::Uncertified)
+    );
+    assert!(result.proof.is_none());
+}
+
+#[test]
+fn recovered_unsat_without_proof_is_downgraded_not_certified() {
+    // Regression: an UNSAT that arrives after an earlier stage panicked
+    // (recovered by catch_unwind) and carries no proof, with no
+    // cross-check configured, must stand as the verdict but be
+    // explicitly uncertified — never silently promoted to certified.
+    let (netlist, goal) = itc99_known_sat();
+    let mut sup = Supervisor::new().stage(PanicStage).stage(LyingUnsatStage);
+    let result = sup.solve(&netlist, goal);
+    assert!(matches!(
+        result.reports[0].outcome,
+        StageOutcome::Panicked { .. }
+    ));
+    assert_eq!(result.verdict, HdpllResult::Unsat);
+    assert_eq!(result.answered_by.as_deref(), Some("liar-unsat"));
+    assert_eq!(
+        result.unsat_certification(),
+        Some(Certification::Uncertified)
+    );
+    assert!(result.proof.is_none());
+}
+
+#[test]
+fn honest_unsat_is_certified_by_its_own_proof() {
+    // A real HDPLL stage on a real UNSAT instance certifies via its
+    // logged proof — no cross-check stage configured or needed.
+    let w = hotpath::mux_search(8);
+    let mut sup =
+        Supervisor::new().stage(HdpllStage::new("hdpll-s", SolverConfig::structural()));
+    let result = sup.solve(&w.netlist, w.goal);
+    assert_eq!(result.verdict, HdpllResult::Unsat);
+    assert_eq!(result.unsat_certification(), Some(Certification::Proof));
+    let proof = result.proof.expect("certified verdict carries the proof");
+    assert!(proof.is_complete());
 }
 
 // --- fault injection ---------------------------------------------------
