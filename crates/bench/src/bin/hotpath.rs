@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run -p rtl-bench --release --bin hotpath -- \
-//!     [--out BENCH_hotpath.json] [--baseline <old.json>] [--samples N]
+//!     [--out BENCH_hotpath.json] [--baseline <old.json>] [--samples N] \
+//!     [--gate-overhead FRAC]
 //! ```
 //!
 //! Each workload compiles its solver once, then runs one warm-up solve
@@ -15,7 +16,13 @@
 //! `guarded_median_ns`, `guard_overhead`) timing each workload with
 //! the deadline and cancellation guard armed — the acceptance bar for
 //! the budget checks is ≤ 2% overhead, measured median-vs-median over
-//! the interleaved samples. With `--baseline`, median times from a previous
+//! the interleaved samples. A third interleaved sample set times each
+//! workload with the telemetry tracer *armed* (`traced_median_ns`,
+//! `trace_overhead`); the plain solver doubles as the tracing-off
+//! measurement, since its hot path carries the disabled hooks.
+//! `--gate-overhead FRAC` exits non-zero when any workload's
+//! tracing-off guard overhead exceeds `FRAC` (CI uses `0.02`).
+//! With `--baseline`, median times from a previous
 //! run are merged in and a `speedup` factor (baseline ÷ current) is
 //! emitted per workload.
 
@@ -36,6 +43,12 @@ struct Row {
     /// conditions and load spikes cancel out.
     guarded_min_ns: u128,
     guarded_median_ns: u128,
+    /// Timings with the telemetry tracer armed (a fresh sink per
+    /// sample, created outside the timed region); `trace_overhead` is
+    /// `traced_median_ns / median_ns`. Informative — the gate applies
+    /// to the tracing-off configuration, not to armed runs.
+    traced_min_ns: u128,
+    traced_median_ns: u128,
     baseline_median_ns: Option<u128>,
 }
 
@@ -43,6 +56,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::from("BENCH_hotpath.json");
     let mut baseline: Option<String> = None;
+    let mut gate: Option<f64> = None;
     let mut samples = 10usize;
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +71,14 @@ fn main() {
             }
             "--samples" => {
                 samples = args[i + 1].parse().expect("--samples takes a number");
+                i += 2;
+            }
+            "--gate-overhead" => {
+                gate = Some(
+                    args[i + 1]
+                        .parse::<f64>()
+                        .expect("--gate-overhead takes a fraction, e.g. 0.02"),
+                );
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -88,8 +110,16 @@ fn main() {
         let token = rtl_hdpll::CancelToken::new();
         w.check(&w.run_guarded(&mut guarded, &token)); // warm-up
 
+        // Traced twin: the same instance with the telemetry tracer
+        // armed. A fresh sink is installed before each timed sample
+        // (outside the timed region) so no run inherits a full buffer.
+        let mut traced = w.solver();
+        traced.set_obs(rtl_hdpll::ObsHandle::armed(rtl_hdpll::ObsConfig::default()));
+        w.check(&traced.solve(w.goal)); // warm-up
+
         let mut ns: Vec<u128> = Vec::with_capacity(samples.max(1));
         let mut gns: Vec<u128> = Vec::with_capacity(samples.max(1));
+        let mut tns: Vec<u128> = Vec::with_capacity(samples.max(1));
         for _ in 0..samples.max(1) {
             let start = Instant::now();
             let result = solver.solve(w.goal);
@@ -100,9 +130,16 @@ fn main() {
             let result = w.run_guarded(&mut guarded, &token);
             gns.push(start.elapsed().as_nanos());
             w.check(&result);
+
+            traced.set_obs(rtl_hdpll::ObsHandle::armed(rtl_hdpll::ObsConfig::default()));
+            let start = Instant::now();
+            let result = traced.solve(w.goal);
+            tns.push(start.elapsed().as_nanos());
+            w.check(&result);
         }
         ns.sort_unstable();
         gns.sort_unstable();
+        tns.sort_unstable();
 
         let row = Row {
             name: w.name,
@@ -111,15 +148,18 @@ fn main() {
             mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
             guarded_min_ns: gns[0],
             guarded_median_ns: gns[gns.len() / 2],
+            traced_min_ns: tns[0],
+            traced_median_ns: tns[tns.len() / 2],
             baseline_median_ns: baseline_medians
                 .iter()
                 .find(|(n, _)| n == w.name)
                 .map(|&(_, m)| m),
         };
         eprint!(
-            "median {:>12.3} ms  guard {:+.2}%",
+            "median {:>12.3} ms  guard {:+.2}%  trace {:+.2}%",
             row.median_ns as f64 / 1e6,
-            (row.guarded_median_ns as f64 / row.median_ns as f64 - 1.0) * 100.0
+            (row.guarded_median_ns as f64 / row.median_ns as f64 - 1.0) * 100.0,
+            (row.traced_median_ns as f64 / row.median_ns as f64 - 1.0) * 100.0
         );
         if let Some(base) = row.baseline_median_ns {
             eprint!("  speedup {:.2}x", base as f64 / row.median_ns as f64);
@@ -130,6 +170,27 @@ fn main() {
 
     std::fs::write(&out, render_json(&rows)).expect("write bench json");
     eprintln!("wrote {out}");
+
+    // The CI gate: the tracing-off hot path (plain solver, disabled
+    // hooks) must hold the guard-overhead bar on every workload.
+    if let Some(bar) = gate {
+        let offenders: Vec<String> = rows
+            .iter()
+            .filter_map(|r| {
+                let overhead = r.guarded_median_ns as f64 / r.median_ns as f64 - 1.0;
+                (overhead > bar).then(|| format!("{} {:+.2}%", r.name, overhead * 100.0))
+            })
+            .collect();
+        if !offenders.is_empty() {
+            eprintln!(
+                "guard overhead above the {:.1}% bar: {}",
+                bar * 100.0,
+                offenders.join(", ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!("guard overhead within the {:.1}% bar on all workloads", bar * 100.0);
+    }
 }
 
 /// Renders the result rows as a stable, hand-rolled JSON document.
@@ -138,14 +199,17 @@ fn render_json(rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"guarded_min_ns\": {}, \"guarded_median_ns\": {}, \"guard_overhead\": {:.4}",
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"guarded_min_ns\": {}, \"guarded_median_ns\": {}, \"guard_overhead\": {:.4}, \"traced_min_ns\": {}, \"traced_median_ns\": {}, \"trace_overhead\": {:.4}",
             r.name,
             r.min_ns,
             r.median_ns,
             r.mean_ns,
             r.guarded_min_ns,
             r.guarded_median_ns,
-            r.guarded_median_ns as f64 / r.median_ns as f64 - 1.0
+            r.guarded_median_ns as f64 / r.median_ns as f64 - 1.0,
+            r.traced_min_ns,
+            r.traced_median_ns,
+            r.traced_median_ns as f64 / r.median_ns as f64 - 1.0
         );
         if let Some(base) = r.baseline_median_ns {
             let _ = write!(

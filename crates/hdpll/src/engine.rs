@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rtl_interval::{Interval, Tribool};
+use rtl_obs::ObsHandle;
 
 use crate::compile::Compiled;
 use crate::propagate::{step, PropResult};
@@ -110,6 +111,20 @@ pub struct EngineStats {
     pub max_clqueue: u64,
     /// High-water mark of the antecedent pool (implication-graph memory).
     pub ant_pool_peak: u64,
+    /// Search backtracks: non-chronological jumps after learning plus
+    /// chronological flips (static-learning probe pops are excluded).
+    pub backtracks: u64,
+    /// Restarts: conflicts whose learned lemma asserts at level 0,
+    /// resetting the search to the root (the engine has no randomized
+    /// restart schedule; this counts the forced returns to the root).
+    pub restarts: u64,
+    /// Predicate-learning probes that learned at least one relation.
+    pub probe_hits: u64,
+    /// Predicate-learning probes that learned nothing.
+    pub probe_misses: u64,
+    /// FM oracle leaf invocations, including case-split branches (the
+    /// per-final-check count is [`EngineStats::fm_calls`]).
+    pub fm_subcalls: u64,
 }
 
 pub(crate) struct Engine {
@@ -151,6 +166,9 @@ pub(crate) struct Engine {
     aborted: Option<AbortReason>,
     /// Test-only fault injection (all fields `None` in production).
     faults: FaultPlan,
+    /// Telemetry sink; the default handle is off and every hook call is
+    /// a single inlined branch (read-only w.r.t. the search).
+    pub obs: ObsHandle,
     pub stats: EngineStats,
 }
 
@@ -181,6 +199,7 @@ impl Engine {
             budget: BudgetGuard::default(),
             aborted: None,
             faults: FaultPlan::default(),
+            obs: ObsHandle::off(),
             stats: EngineStats::default(),
         }
     }
@@ -201,6 +220,11 @@ impl Engine {
     /// Installs a test-only fault plan (see [`crate::supervise::FaultPlan`]).
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// Installs the telemetry handle (the default is off).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// The sticky abort reason, if the budget guard has tripped.
@@ -395,6 +419,7 @@ impl Engine {
         self.flipped.push(false);
         let ants = self.empty_ants();
         self.apply(var, Dom::B(Tribool::from(value)), Reason::Decision, ants);
+        self.obs.decision(var.index() as u32, value, self.level());
     }
 
     /// Chronological backtracking for the learning-free search mode: undoes
@@ -416,10 +441,12 @@ impl Engine {
             self.backtrack(lvl - 1);
             if !was_flipped {
                 self.stats.decisions += 1;
+                self.stats.backtracks += 1;
                 self.trail_lim.push(self.trail.len());
                 self.flipped.push(true);
                 let ants = self.empty_ants();
                 self.apply(var, Dom::B(Tribool::from(!value)), Reason::Decision, ants);
+                self.obs.decision(var.index() as u32, !value, self.level());
                 return true;
             }
         }
@@ -497,6 +524,12 @@ impl Engine {
             };
             self.in_cqueue[ci as usize] = false;
             self.stats.propagations += 1;
+            self.obs.prop_tick(
+                self.stats.propagations,
+                self.stats.narrowings,
+                self.cqueue.len() as u32,
+                self.clqueue.len() as u32,
+            );
             if self.faults.spurious_conflict == Some(self.stats.propagations) {
                 // Injected fault: report a conflict that does not exist,
                 // seeded by the most recent trail entry (if any).
@@ -549,6 +582,19 @@ impl Engine {
                     _ => unreachable!("contractor changed domain kind"),
                 };
                 self.stats.narrowings += 1;
+                if self.obs.on() {
+                    // Narrowing magnitude = span shrink (1 for a Boolean
+                    // fix); spans fit i64, so the difference fits u64.
+                    let magnitude = match (self.doms[var.index()], merged) {
+                        (Dom::W(old), Dom::W(new)) => {
+                            let old_span = old.hi().wrapping_sub(old.lo());
+                            let new_span = new.hi().wrapping_sub(new.lo());
+                            old_span.wrapping_sub(new_span).max(1) as u64
+                        }
+                        _ => 1,
+                    };
+                    self.obs.narrowing(magnitude);
+                }
                 if self.faults.drop_narrowing == Some(self.stats.narrowings) {
                     continue; // injected fault: silently lose this deduction
                 }
@@ -659,6 +705,10 @@ impl Engine {
         if level == self.level() {
             return;
         }
+        // Trace every unwind, including static-learning probe pops; the
+        // `backtracks` *counter* only counts search backtracks (see the
+        // `learn_and_backtrack` / `flip_chronological` call sites).
+        self.obs.backtrack(self.level(), level);
         let target = self.trail_lim[level as usize];
         for i in (target..self.trail.len()).rev() {
             let e = &self.trail[i];
@@ -784,6 +834,11 @@ impl Engine {
                 debug_assert!(blevel < lmax);
                 used.sort_unstable();
                 used.dedup();
+                self.obs.conflict(
+                    lits.len() as u32,
+                    conflict.antecedents.len() as u32,
+                    lmax,
+                );
                 return Some(Analyzed {
                     lits,
                     blevel,
@@ -818,6 +873,10 @@ impl Engine {
     /// Learns the analyzed clause, backtracks, and asserts the UIP literal.
     /// Returns the learned clause's id (for proof logging).
     pub fn learn_and_backtrack(&mut self, analyzed: Analyzed) -> u32 {
+        self.stats.backtracks += 1;
+        if analyzed.blevel == 0 {
+            self.stats.restarts += 1;
+        }
         self.backtrack(analyzed.blevel);
         let uip = analyzed.lits[0];
         let cid = self.add_clause(analyzed.lits, true);

@@ -189,7 +189,13 @@ pub(crate) fn final_check(engine: &mut Engine) -> FinalOutcome {
         }
     }
 
-    match solve_with_splits(&problem, &splits, 0) {
+    let mut subcalls = 0u64;
+    let outcome = solve_with_splits(&problem, &splits, 0, &mut subcalls);
+    engine.stats.fm_subcalls += subcalls;
+    engine
+        .obs
+        .fm_call(outcome.is_ok(), subcalls.min(u64::from(u32::MAX)) as u32);
+    match outcome {
         Ok(model) => {
             // Assemble a full assignment for every solver variable.
             let values: Vec<i64> = (0..engine.doms.len())
@@ -240,8 +246,10 @@ fn solve_with_splits(
     base: &Problem,
     splits: &[Split],
     depth: usize,
+    subcalls: &mut u64,
 ) -> Result<Vec<i64>, (Vec<usize>, Vec<u32>)> {
     if depth == splits.len() {
+        *subcalls += 1;
         return match base.solve() {
             FmOutcome::Sat(m) => Ok(m),
             FmOutcome::Unsat(c) => Err((c.tags, c.bound_vars)),
@@ -258,7 +266,7 @@ fn solve_with_splits(
         for e in &opt.les {
             branch.add_le(e.clone(), split.tag);
         }
-        match solve_with_splits(&branch, splits, depth + 1) {
+        match solve_with_splits(&branch, splits, depth + 1, subcalls) {
             Ok(m) => return Ok(m),
             Err((t, b)) => {
                 tags_acc.extend(t);

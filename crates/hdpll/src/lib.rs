@@ -69,6 +69,7 @@ pub mod predlearn;
 pub mod solver;
 pub mod supervise;
 
+pub use crate::engine::EngineStats;
 pub use crate::solver::{HdpllResult, LearningMode, Limits, Solver, SolverConfig, SolverStats};
 pub use crate::supervise::{
     CancelToken, Certification, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport,
@@ -77,6 +78,8 @@ pub use crate::supervise::{
 pub use crate::types::{AbortReason, DecisionStrategy, HLit, VarId};
 
 pub use crate::predlearn::{LearnConfig, LearnReport, Relation};
+
+pub use rtl_obs::{ObsConfig, ObsHandle};
 
 #[cfg(test)]
 mod tests;

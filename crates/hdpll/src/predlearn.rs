@@ -216,6 +216,10 @@ pub(crate) fn run(
                     p.log_engine_clause(engine, cid, way_split_hints(&ways), &[]);
                 }
                 report.relations += 1;
+                engine.stats.probe_hits += 1;
+                engine
+                    .obs
+                    .way_split(var.index() as u32, value, ways.len() as u32, 1);
                 weights.by_value[var.index()][usize::from(!value)] += 1.0;
                 if matches!(engine.propagate(), Propagation::Conflict(_)) {
                     report.proved_unsat = true;
@@ -226,12 +230,13 @@ pub(crate) fn run(
             }
 
             // Learn each common implication as (¬val(sig) ∨ implication).
+            let relations_before = report.relations;
             for &(t_var, t_val) in &common {
                 if t_var == var {
                     continue;
                 }
                 if report.relations >= config.threshold {
-                    continue 'candidates;
+                    break;
                 }
                 if !seen_clauses.insert((var, value, t_var, t_val)) {
                     continue;
@@ -251,6 +256,18 @@ pub(crate) fn run(
                 report.relations += 1;
                 weights.by_value[var.index()][usize::from(!value)] += 1.0;
                 weights.by_value[t_var.index()][usize::from(t_val)] += 1.0;
+            }
+            let learned = (report.relations - relations_before) as u32;
+            if learned > 0 {
+                engine.stats.probe_hits += 1;
+            } else {
+                engine.stats.probe_misses += 1;
+            }
+            engine
+                .obs
+                .way_split(var.index() as u32, value, ways.len() as u32, learned);
+            if report.relations >= config.threshold {
+                continue 'candidates;
             }
             if matches!(engine.propagate(), Propagation::Conflict(_)) {
                 report.proved_unsat = true;

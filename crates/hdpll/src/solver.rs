@@ -15,6 +15,7 @@ use crate::prooflog::ProofLog;
 use crate::supervise::{CancelToken, FaultPlan};
 use crate::types::{AbortReason, DecisionStrategy, Dom, VarId};
 use rtl_interval::Tribool;
+use rtl_obs::ObsHandle;
 use rtl_proof::Proof;
 
 /// Resource budget for [`Solver::solve`]; exceeding any bound returns
@@ -175,6 +176,7 @@ pub struct Solver {
     stats: SolverStats,
     learn_report: Option<LearnReport>,
     faults: FaultPlan,
+    obs: ObsHandle,
     last_proof: Option<Proof>,
 }
 
@@ -190,6 +192,7 @@ impl Solver {
             stats: SolverStats::default(),
             learn_report: None,
             faults: FaultPlan::default(),
+            obs: ObsHandle::off(),
             last_proof: None,
         }
     }
@@ -198,6 +201,12 @@ impl Solver {
     /// default plan is clean and free on the hot path).
     pub fn inject_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// Installs a telemetry handle for subsequent solve calls (the
+    /// default handle is off and costs one branch per hook site).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Statistics of the most recent solve call.
@@ -289,23 +298,24 @@ impl Solver {
             self.config.limits.max_propagations,
         );
         engine.set_faults(self.faults);
+        engine.set_obs(self.obs.clone());
 
         // Assert the proposition and reach the initial fixpoint.
         if !engine.assert_external(VarId::from_signal(constraint), Dom::B(Tribool::True)) {
-            self.stats.engine = engine.stats;
+            self.finish_stats(&engine);
             self.seal_proof(proof);
             return HdpllResult::Unsat;
         }
         engine.schedule_all();
         match engine.propagate() {
             Propagation::Conflict(_) => {
-                self.stats.engine = engine.stats;
+                self.finish_stats(&engine);
                 self.seal_proof(proof);
                 return HdpllResult::Unsat;
             }
             Propagation::Aborted(reason) => {
                 self.stats.abort = Some(reason);
-                self.stats.engine = engine.stats;
+                self.finish_stats(&engine);
                 return HdpllResult::Unknown;
             }
             Propagation::Fixpoint => {}
@@ -319,7 +329,7 @@ impl Solver {
             let unsat = report.proved_unsat;
             self.learn_report = Some(report);
             if unsat {
-                self.stats.engine = engine.stats;
+                self.finish_stats(&engine);
                 self.seal_proof(proof);
                 return HdpllResult::Unsat;
             }
@@ -327,7 +337,7 @@ impl Solver {
             // sticky, so stop here rather than entering the main loop.
             if let Some(reason) = engine.abort_reason() {
                 self.stats.abort = Some(reason);
-                self.stats.engine = engine.stats;
+                self.finish_stats(&engine);
                 return HdpllResult::Unknown;
             }
         }
@@ -427,12 +437,48 @@ impl Solver {
             }
         };
         self.stats.search_time = search_start.elapsed();
-        self.stats.engine = engine.stats;
+        self.finish_stats(&engine);
         self.stats.abort = abort;
         if result.is_unsat() {
             self.seal_proof(proof);
         }
         result
+    }
+
+    /// Copies the engine counters into [`SolverStats`] and projects them
+    /// into the telemetry registry (counters accumulate and peaks
+    /// max-merge across a supervisor ladder's stages, so both remain
+    /// monotonic over a run).
+    fn finish_stats(&mut self, engine: &Engine) {
+        self.stats.engine = engine.stats;
+        if !self.obs.on() {
+            return;
+        }
+        let s = &engine.stats;
+        for (name, v) in [
+            ("decisions", s.decisions),
+            ("propagations", s.propagations),
+            ("narrowings", s.narrowings),
+            ("clause_props", s.clause_props),
+            ("conflicts", s.conflicts),
+            ("learned", s.learned),
+            ("backtracks", s.backtracks),
+            ("restarts", s.restarts),
+            ("fm_calls", s.fm_calls),
+            ("fm_subcalls", s.fm_subcalls),
+            ("j_conflicts", s.j_conflicts),
+            ("probe_hits", s.probe_hits),
+            ("probe_misses", s.probe_misses),
+        ] {
+            self.obs.record_counter(name, v);
+        }
+        for (name, v) in [
+            ("max_cqueue", s.max_cqueue),
+            ("max_clqueue", s.max_clqueue),
+            ("ant_pool_peak", s.ant_pool_peak),
+        ] {
+            self.obs.record_peak(name, v);
+        }
     }
 
     fn exceeded(&self, engine: &Engine, deadline: Option<Instant>) -> Option<AbortReason> {

@@ -44,6 +44,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rtl_ir::{eval, Netlist, SignalId};
+use rtl_obs::ObsHandle;
 use rtl_proof::{Checker, Proof};
 
 use crate::solver::{HdpllResult, Solver, SolverConfig, SolverStats};
@@ -173,6 +174,11 @@ pub trait SolveStage {
         max_time: Option<Duration>,
         cancel: &CancelToken,
     ) -> StageRun;
+
+    /// Installs a telemetry handle for subsequent runs. The default
+    /// implementation ignores it, so stages without engine-level
+    /// telemetry (the baselines) need not care.
+    fn install_obs(&mut self, _obs: &ObsHandle) {}
 }
 
 /// A [`SolveStage`] running this crate's HDPLL solver under a given
@@ -183,6 +189,7 @@ pub struct HdpllStage {
     config: SolverConfig,
     faults: FaultPlan,
     proof: bool,
+    obs: ObsHandle,
 }
 
 impl HdpllStage {
@@ -196,6 +203,7 @@ impl HdpllStage {
             config,
             faults: FaultPlan::default(),
             proof: true,
+            obs: ObsHandle::off(),
         }
     }
 
@@ -236,12 +244,17 @@ impl SolveStage for HdpllStage {
         let config = self.config.with_limits(limits).with_proof(self.proof);
         let mut solver = Solver::new(netlist, config);
         solver.inject_faults(self.faults);
+        solver.set_obs(self.obs.clone());
         let result = solver.solve_cancellable(goal, cancel);
         StageRun {
             result,
             stats: Some(*solver.stats()),
             proof: solver.take_proof(),
         }
+    }
+
+    fn install_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -401,6 +414,7 @@ pub struct Supervisor {
     budget: Option<Duration>,
     unsat_check: Option<(Box<dyn SolveStage>, Duration)>,
     cancel: CancelToken,
+    obs: ObsHandle,
 }
 
 impl fmt::Debug for Supervisor {
@@ -465,6 +479,15 @@ impl Supervisor {
         self
     }
 
+    /// Installs a telemetry handle: stage spans are traced and every
+    /// ladder stage's engine feeds the same event stream and metrics
+    /// registry (the default handle is off).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The supervisor's cancel token. Clone it before calling
     /// [`Supervisor::solve`] to cancel from another thread.
     #[must_use]
@@ -482,6 +505,10 @@ impl Supervisor {
     pub fn solve(&mut self, netlist: &Netlist, goal: SignalId) -> SupervisedResult {
         let deadline = self.budget.map(|b| Instant::now() + b);
         let cancel = self.cancel.clone();
+        let obs = self.obs.clone();
+        for (stage, _) in &mut self.stages {
+            stage.install_obs(&obs);
+        }
         let mut reports = Vec::new();
         let n_stages = self.stages.len();
 
@@ -513,9 +540,10 @@ impl Supervisor {
             let start = Instant::now();
             let stage = &mut self.stages[i].0;
             let name = stage.name().to_string();
+            obs.stage_start(&name);
             let run = catch_unwind(AssertUnwindSafe(|| stage.run(netlist, goal, slice, &cancel)));
             match run {
-                Err(payload) => reports.push(StageReport {
+                Err(payload) => push_report(&obs, &mut reports, StageReport {
                     stage: name,
                     outcome: StageOutcome::Panicked {
                         detail: panic_message(&payload),
@@ -529,7 +557,7 @@ impl Supervisor {
                     ..
                 }) => match certify_model(netlist, &model, goal) {
                     None => {
-                        reports.push(StageReport {
+                        push_report(&obs, &mut reports, StageReport {
                             stage: name.clone(),
                             outcome: StageOutcome::CertifiedSat,
                             time: start.elapsed(),
@@ -542,7 +570,7 @@ impl Supervisor {
                             proof: None,
                         };
                     }
-                    Some(why) => reports.push(StageReport {
+                    Some(why) => push_report(&obs, &mut reports, StageReport {
                         stage: name,
                         outcome: StageOutcome::CertFailed {
                             detail: format!("SAT model rejected: {why}"),
@@ -563,7 +591,7 @@ impl Supervisor {
                     // full derivation and the derivation is wrong.
                     match certify_proof(netlist, goal, proof) {
                         ProofCheck::Valid(checked) => {
-                            reports.push(StageReport {
+                            push_report(&obs, &mut reports, StageReport {
                                 stage: name.clone(),
                                 outcome: StageOutcome::Unsat {
                                     certification: Certification::Proof,
@@ -578,7 +606,7 @@ impl Supervisor {
                                 proof: Some(checked),
                             };
                         }
-                        ProofCheck::Invalid(why) => reports.push(StageReport {
+                        ProofCheck::Invalid(why) => push_report(&obs, &mut reports, StageReport {
                             stage: name,
                             outcome: StageOutcome::CertFailed {
                                 detail: format!("UNSAT proof rejected: {why}"),
@@ -588,7 +616,7 @@ impl Supervisor {
                         }),
                         ProofCheck::Absent => {
                             match self.cross_check_unsat(netlist, goal, &cancel) {
-                                UnsatCheck::Refuted(why) => reports.push(StageReport {
+                                UnsatCheck::Refuted(why) => push_report(&obs, &mut reports, StageReport {
                                     stage: name,
                                     outcome: StageOutcome::CertFailed {
                                         detail: format!("UNSAT refuted: {why}"),
@@ -603,7 +631,7 @@ impl Supervisor {
                                         } else {
                                             Certification::Uncertified
                                         };
-                                    reports.push(StageReport {
+                                    push_report(&obs, &mut reports, StageReport {
                                         stage: name.clone(),
                                         outcome: StageOutcome::Unsat { certification },
                                         time: start.elapsed(),
@@ -628,7 +656,7 @@ impl Supervisor {
                     let reason = stats
                         .and_then(|s| s.abort)
                         .map_or_else(|| "budget exhausted".to_string(), |r| r.to_string());
-                    reports.push(StageReport {
+                    push_report(&obs, &mut reports, StageReport {
                         stage: name,
                         outcome: StageOutcome::Unknown { reason },
                         time: start.elapsed(),
@@ -675,6 +703,14 @@ impl Supervisor {
             Ok(HdpllResult::Unknown) | Err(_) => UnsatCheck::Unchecked,
         }
     }
+}
+
+/// Appends a stage report, mirroring it into the trace as a
+/// `stage_end` event (wall-clock-free; the span *time* lives in the
+/// report and the stats-json record, keeping traces deterministic).
+fn push_report(obs: &ObsHandle, reports: &mut Vec<StageReport>, report: StageReport) {
+    obs.stage_end(&report.stage, &report.outcome.to_string());
+    reports.push(report);
 }
 
 /// Result of checking a stage's Unsat proof.

@@ -1,0 +1,490 @@
+//! The structured event trace: compact `Copy` events appended to a
+//! preallocated buffer, exported as JSONL (`trace-format 1`).
+//!
+//! Events carry *counters, not clocks*: two runs of the same solver on
+//! the same instance with the same configuration produce byte-identical
+//! traces (the determinism tests in `tests/telemetry.rs` pin this).
+//! Wall-clock timings live in the per-stage spans of the stats-json
+//! record instead.
+
+use crate::json::{self, Value};
+
+/// An interned string id (stage names, outcome labels). Interning keeps
+/// [`Event`] `Copy` and the trace buffer allocation-free after arming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NameId(pub u16);
+
+/// One trace event. All payloads are plain integers so the event is
+/// `Copy` and a buffer slot is a few words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A search decision: variable, chosen value, and the decision level
+    /// it opened.
+    Decision {
+        /// Solver variable index.
+        var: u32,
+        /// The asserted Boolean value.
+        value: bool,
+        /// Decision level after the decision.
+        level: u32,
+    },
+    /// A propagation batch marker, emitted every `batch_period`
+    /// constraint propagation steps: cumulative counters plus the
+    /// current worklist depths.
+    PropBatch {
+        /// Cumulative constraint propagation steps.
+        propagations: u64,
+        /// Cumulative domain narrowings.
+        narrowings: u64,
+        /// Constraint worklist depth at the sample point.
+        cqueue: u32,
+        /// Clause worklist depth at the sample point.
+        clqueue: u32,
+    },
+    /// A conflict analyzed into a learned lemma.
+    Conflict {
+        /// Literal count of the learned lemma.
+        width: u32,
+        /// Number of implication-graph cut seeds (antecedents).
+        antecedents: u32,
+        /// Decision level the conflict arose at.
+        level: u32,
+    },
+    /// A backtrack (non-chronological jump, chronological flip, or a
+    /// static-learning probe being undone).
+    Backtrack {
+        /// Level before the backtrack.
+        from: u32,
+        /// Level after the backtrack.
+        to: u32,
+    },
+    /// A predicate-learning probe: one candidate value split into its
+    /// justification ways.
+    WaySplit {
+        /// Netlist signal index of the probed candidate.
+        sig: u32,
+        /// The probed value.
+        value: bool,
+        /// Number of justification ways.
+        ways: u32,
+        /// Relations learned from this probe (0 = miss).
+        learned: u32,
+    },
+    /// One arithmetic (Fourier–Motzkin) final check.
+    FmCall {
+        /// Whether the solution box contained an integer point.
+        sat: bool,
+        /// FM oracle invocations the check needed (case-split branches).
+        subcalls: u32,
+    },
+    /// A supervisor stage starting.
+    StageStart {
+        /// Interned stage name.
+        name: NameId,
+    },
+    /// A supervisor stage finishing.
+    StageEnd {
+        /// Interned stage name.
+        name: NameId,
+        /// Interned outcome description.
+        outcome: NameId,
+    },
+}
+
+/// The trace format version written in the JSONL header line.
+pub const TRACE_FORMAT: u32 = 1;
+
+/// A bounded event buffer. Events past the capacity are counted in
+/// [`TraceBuf::dropped`] rather than grown into — the tracer never
+/// reallocates mid-search, and a truncated trace says so in its header.
+#[derive(Debug)]
+pub struct TraceBuf {
+    events: Vec<Event>,
+    cap: usize,
+    dropped: u64,
+    names: Vec<String>,
+}
+
+impl TraceBuf {
+    /// A buffer holding at most `cap` events.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        TraceBuf {
+            events: Vec::with_capacity(cap.min(1 << 16)),
+            cap,
+            dropped: 0,
+            names: Vec::new(),
+        }
+    }
+
+    /// Appends an event (or counts it as dropped at capacity).
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Interns `name`, returning a stable id. The name table is tiny
+    /// (stage names and outcome labels), so a linear scan suffices.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NameId(i as u16);
+        }
+        let id = NameId(self.names.len() as u16);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events discarded after the buffer filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn name(&self, id: NameId) -> &str {
+        self.names
+            .get(id.0 as usize)
+            .map_or("<unknown>", String::as_str)
+    }
+
+    /// Renders the trace as JSONL: a header line
+    /// (`{"trace":"rtl-obs","format":1,...}`) followed by one JSON
+    /// object per event.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(32 * (self.events.len() + 1));
+        let _ = writeln!(
+            out,
+            "{{\"trace\":\"rtl-obs\",\"format\":{},\"events\":{},\"dropped\":{}}}",
+            TRACE_FORMAT,
+            self.events.len(),
+            self.dropped
+        );
+        for e in &self.events {
+            match *e {
+                Event::Decision { var, value, level } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"decision\",\"var\":{var},\"value\":{value},\"level\":{level}}}"
+                    );
+                }
+                Event::PropBatch {
+                    propagations,
+                    narrowings,
+                    cqueue,
+                    clqueue,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"batch\",\"propagations\":{propagations},\"narrowings\":{narrowings},\"cqueue\":{cqueue},\"clqueue\":{clqueue}}}"
+                    );
+                }
+                Event::Conflict {
+                    width,
+                    antecedents,
+                    level,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"conflict\",\"width\":{width},\"antecedents\":{antecedents},\"level\":{level}}}"
+                    );
+                }
+                Event::Backtrack { from, to } => {
+                    let _ = writeln!(out, "{{\"e\":\"backtrack\",\"from\":{from},\"to\":{to}}}");
+                }
+                Event::WaySplit {
+                    sig,
+                    value,
+                    ways,
+                    learned,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"waysplit\",\"sig\":{sig},\"value\":{value},\"ways\":{ways},\"learned\":{learned}}}"
+                    );
+                }
+                Event::FmCall { sat, subcalls } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"fm\",\"sat\":{sat},\"subcalls\":{subcalls}}}"
+                    );
+                }
+                Event::StageStart { name } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"stage_start\",\"name\":\"{}\"}}",
+                        json::escape(self.name(name))
+                    );
+                }
+                Event::StageEnd { name, outcome } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"stage_end\",\"name\":\"{}\",\"outcome\":\"{}\"}}",
+                        json::escape(self.name(name)),
+                        json::escape(self.name(outcome))
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Summary of a validated trace file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Event count announced by the header.
+    pub events: u64,
+    /// Dropped-event count announced by the header.
+    pub dropped: u64,
+    /// Per-kind event counts, in a fixed order (see
+    /// [`TraceSummary::KINDS`]).
+    pub by_kind: [u64; 8],
+}
+
+impl TraceSummary {
+    /// The event kinds of the schema, index-aligned with
+    /// [`TraceSummary::by_kind`].
+    pub const KINDS: [&'static str; 8] = [
+        "decision",
+        "batch",
+        "conflict",
+        "backtrack",
+        "waysplit",
+        "fm",
+        "stage_start",
+        "stage_end",
+    ];
+}
+
+/// Required integer/Boolean/string fields per event kind (the JSONL
+/// schema, version [`TRACE_FORMAT`]).
+const SCHEMA: [(&str, &[(&str, FieldKind)]); 8] = [
+    (
+        "decision",
+        &[
+            ("var", FieldKind::Uint),
+            ("value", FieldKind::Bool),
+            ("level", FieldKind::Uint),
+        ],
+    ),
+    (
+        "batch",
+        &[
+            ("propagations", FieldKind::Uint),
+            ("narrowings", FieldKind::Uint),
+            ("cqueue", FieldKind::Uint),
+            ("clqueue", FieldKind::Uint),
+        ],
+    ),
+    (
+        "conflict",
+        &[
+            ("width", FieldKind::Uint),
+            ("antecedents", FieldKind::Uint),
+            ("level", FieldKind::Uint),
+        ],
+    ),
+    (
+        "backtrack",
+        &[("from", FieldKind::Uint), ("to", FieldKind::Uint)],
+    ),
+    (
+        "waysplit",
+        &[
+            ("sig", FieldKind::Uint),
+            ("value", FieldKind::Bool),
+            ("ways", FieldKind::Uint),
+            ("learned", FieldKind::Uint),
+        ],
+    ),
+    (
+        "fm",
+        &[("sat", FieldKind::Bool), ("subcalls", FieldKind::Uint)],
+    ),
+    ("stage_start", &[("name", FieldKind::Str)]),
+    (
+        "stage_end",
+        &[("name", FieldKind::Str), ("outcome", FieldKind::Str)],
+    ),
+];
+
+#[derive(Clone, Copy)]
+enum FieldKind {
+    Uint,
+    Bool,
+    Str,
+}
+
+/// Validates a JSONL trace against the `trace-format 1` schema: the
+/// header line, every event line's kind and required fields, and the
+/// header's event count against the actual line count.
+///
+/// # Errors
+///
+/// Returns `Err` with the offending line number and reason.
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace file")?;
+    let header = json::parse(header).map_err(|e| format!("line 1 (header): {e}"))?;
+    if header.get("trace").and_then(Value::as_str) != Some("rtl-obs") {
+        return Err("line 1: not an rtl-obs trace header".to_string());
+    }
+    match header.get("format").and_then(Value::as_u64) {
+        Some(f) if f == u64::from(TRACE_FORMAT) => {}
+        Some(f) => return Err(format!("line 1: unsupported trace format {f}")),
+        None => return Err("line 1: header missing `format`".to_string()),
+    }
+    let mut summary = TraceSummary {
+        events: header
+            .get("events")
+            .and_then(Value::as_u64)
+            .ok_or("line 1: header missing `events`")?,
+        dropped: header
+            .get("dropped")
+            .and_then(Value::as_u64)
+            .ok_or("line 1: header missing `dropped`")?,
+        ..TraceSummary::default()
+    };
+    let mut count = 0u64;
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let kind = v
+            .get("e")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {lineno}: missing event kind `e`"))?;
+        let Some(k) = SCHEMA.iter().position(|(name, _)| *name == kind) else {
+            return Err(format!("line {lineno}: unknown event kind `{kind}`"));
+        };
+        for &(field, fk) in SCHEMA[k].1 {
+            let fv = v
+                .get(field)
+                .ok_or(format!("line {lineno}: `{kind}` missing field `{field}`"))?;
+            let ok = match fk {
+                FieldKind::Uint => fv.as_u64().is_some(),
+                FieldKind::Bool => fv.as_bool().is_some(),
+                FieldKind::Str => fv.as_str().is_some(),
+            };
+            if !ok {
+                return Err(format!(
+                    "line {lineno}: `{kind}` field `{field}` has the wrong type"
+                ));
+            }
+        }
+        summary.by_kind[k] += 1;
+        count += 1;
+    }
+    if count != summary.events {
+        return Err(format!(
+            "header announces {} events but the file holds {count}",
+            summary.events
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceBuf {
+        let mut t = TraceBuf::new(16);
+        let name = t.intern("hdpll");
+        let outcome = t.intern("SAT (model certified)");
+        t.push(Event::StageStart { name });
+        t.push(Event::Decision {
+            var: 3,
+            value: true,
+            level: 1,
+        });
+        t.push(Event::PropBatch {
+            propagations: 1024,
+            narrowings: 700,
+            cqueue: 2,
+            clqueue: 0,
+        });
+        t.push(Event::Conflict {
+            width: 3,
+            antecedents: 5,
+            level: 2,
+        });
+        t.push(Event::Backtrack { from: 2, to: 1 });
+        t.push(Event::WaySplit {
+            sig: 7,
+            value: false,
+            ways: 2,
+            learned: 1,
+        });
+        t.push(Event::FmCall {
+            sat: true,
+            subcalls: 1,
+        });
+        t.push(Event::StageEnd { name, outcome });
+        t
+    }
+
+    #[test]
+    fn jsonl_roundtrip_validates() {
+        let text = sample().to_jsonl();
+        let summary = validate_jsonl(&text).expect("valid trace");
+        assert_eq!(summary.events, 8);
+        assert_eq!(summary.dropped, 0);
+        assert_eq!(summary.by_kind.iter().sum::<u64>(), 8);
+        assert_eq!(summary.by_kind[0], 1); // one decision
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let mut t = TraceBuf::new(2);
+        for _ in 0..5 {
+            t.push(Event::Backtrack { from: 1, to: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let summary = validate_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.dropped, 3);
+    }
+
+    #[test]
+    fn validation_rejects_corruption() {
+        let good = sample().to_jsonl();
+        // Unknown kind.
+        let bad = good.replace("\"e\":\"conflict\"", "\"e\":\"confusion\"");
+        assert!(validate_jsonl(&bad).is_err());
+        // Missing field.
+        let bad = good.replace(",\"antecedents\":5", "");
+        assert!(validate_jsonl(&bad).is_err());
+        // Wrong type.
+        let bad = good.replace("\"width\":3", "\"width\":\"three\"");
+        assert!(validate_jsonl(&bad).is_err());
+        // Header/body mismatch.
+        let bad = good.replace("\"events\":8", "\"events\":9");
+        assert!(validate_jsonl(&bad).is_err());
+        // Not a header.
+        assert!(validate_jsonl("{\"e\":\"decision\"}\n").is_err());
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let mut t = TraceBuf::new(4);
+        let a = t.intern("x");
+        let b = t.intern("y");
+        assert_eq!(t.intern("x"), a);
+        assert_ne!(a, b);
+    }
+}

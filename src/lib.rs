@@ -21,6 +21,7 @@
 //! | [`bitblast`] | `rtl-bitblast` | Tseitin CNF translation of netlists |
 //! | [`baselines`] | `rtl-baselines` | eager (UCLID-like) and lazy (ICS-like) baselines |
 //! | [`proof`] | `rtl-proof` | Unsat proof format and independent proof checker |
+//! | [`obs`] | `rtl-obs` | search telemetry: event trace, metrics registry, report generator |
 //! | [`itc99`] | `rtl-itc99` | reconstructed b01/b02/b04/b13 benchmarks and BMC cases |
 //!
 //! # Quick start
@@ -66,5 +67,6 @@ pub use rtl_hdpll as hdpll;
 pub use rtl_interval as interval;
 pub use rtl_ir as ir;
 pub use rtl_itc99 as itc99;
+pub use rtl_obs as obs;
 pub use rtl_proof as proof;
 pub use rtl_sat as sat;

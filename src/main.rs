@@ -7,8 +7,10 @@
 //! ```text
 //! rtlsat <netlist-file> <goal-signal> [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
 //!        [--timeout <secs>] [--check] [--fallback] [--dump-cnf <file>]
-//!        [--proof <file>] [--stats]
+//!        [--proof <file>] [--stats] [--stats-json <file>] [--trace <file>]
 //! rtlsat check-proof <netlist-file> <proof-file>
+//! rtlsat check-trace <trace-file>
+//! rtlsat report <dir> [--csv]
 //! ```
 //!
 //! Every solve runs under the [`rtlsat::hdpll::Supervisor`]: a `SAT`
@@ -24,12 +26,25 @@
 //! solvers; `--proof` writes the checked `UNSAT` proof in the
 //! [`rtlsat::proof::format`] text format; `--stats` prints search
 //! statistics plus the per-stage supervisor report (including how the
-//! verdict was certified) to stderr.
+//! verdict was certified) to stderr, versioned by a `stats-format 1`
+//! header line.
+//!
+//! Telemetry ([`rtlsat::obs`], DESIGN.md §2.9): `--trace <file>` arms
+//! the event tracer and writes the counter-stamped JSONL event stream
+//! (decisions, propagation batches, conflicts, backtracks, predicate
+//! probes, FM calls, stage transitions); `--stats-json <file>` writes a
+//! machine-readable run record (verdict, certification, per-stage
+//! spans, counters, peaks, histograms). Without either flag the tracer
+//! is off and costs one branch per hook site.
 //!
 //! The `check-proof` subcommand re-validates a previously dumped proof
 //! against the netlist from scratch — no solver code is involved, only
 //! the independent [`rtlsat::proof`] checker. It exits `0` when the
-//! proof is accepted and `1` when it is rejected.
+//! proof is accepted and `1` when it is rejected. `check-trace`
+//! validates a `--trace` file against the JSONL event schema (exit `0`
+//! valid, `1` invalid). `report` aggregates every stats-json record in
+//! a directory into the paper's per-circuit table layout (markdown, or
+//! CSV with `--csv`).
 //!
 //! Exit codes (solve): `0` SAT, `20` UNSAT, `30` unknown (budget
 //! exhausted), `40` unknown *because* an answer failed certification,
@@ -44,6 +59,7 @@ use rtlsat::hdpll::{
     SupervisedResult, Supervisor,
 };
 use rtlsat::ir::{text, Netlist};
+use rtlsat::obs::{self, ObsConfig, ObsHandle};
 use rtlsat::proof;
 
 struct Args {
@@ -56,6 +72,8 @@ struct Args {
     dump_cnf: Option<String>,
     proof_out: Option<String>,
     stats: bool,
+    stats_json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
     let mut dump_cnf = None;
     let mut proof_out = None;
     let mut stats = false;
+    let mut stats_json = None;
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -90,12 +110,21 @@ fn parse_args() -> Result<Args, String> {
                 proof_out = Some(it.next().ok_or("--proof needs a path")?);
             }
             "--stats" => stats = true,
+            "--stats-json" => {
+                stats_json = Some(it.next().ok_or("--stats-json needs a path")?);
+            }
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err("usage: rtlsat <netlist-file> <goal-signal> \
                      [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
                      [--timeout <secs>] [--check] [--fallback] \
-                     [--dump-cnf <file>] [--proof <file>] [--stats]\n\
-                     \x20      rtlsat check-proof <netlist-file> <proof-file>"
+                     [--dump-cnf <file>] [--proof <file>] [--stats] \
+                     [--stats-json <file>] [--trace <file>]\n\
+                     \x20      rtlsat check-proof <netlist-file> <proof-file>\n\
+                     \x20      rtlsat check-trace <trace-file>\n\
+                     \x20      rtlsat report <dir> [--csv]"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -114,6 +143,8 @@ fn parse_args() -> Result<Args, String> {
         dump_cnf,
         proof_out,
         stats,
+        stats_json,
+        trace,
     })
 }
 
@@ -159,9 +190,12 @@ fn build_supervisor(args: &Args, netlist: &Netlist) -> Result<Supervisor, String
     Ok(sup)
 }
 
-/// Prints the search statistics block (`--stats`) to stderr.
+/// Prints the search statistics block (`--stats`) to stderr. The block
+/// is versioned: the `stats-format 1` header pins the set and order of
+/// the counter lines, so scripts scraping stderr can detect skew.
 fn print_stats(stats: &SolverStats) {
     let e = &stats.engine;
+    eprintln!("c stats-format    {}", obs::STATS_FORMAT);
     eprintln!("c search_time     {:?}", stats.search_time);
     eprintln!("c learn_time      {:?}", stats.learn_time);
     eprintln!("c decisions       {}", e.decisions);
@@ -170,8 +204,13 @@ fn print_stats(stats: &SolverStats) {
     eprintln!("c clause_props    {}", e.clause_props);
     eprintln!("c conflicts       {}", e.conflicts);
     eprintln!("c learned         {}", e.learned);
+    eprintln!("c backtracks      {}", e.backtracks);
+    eprintln!("c restarts        {}", e.restarts);
     eprintln!("c fm_calls        {}", e.fm_calls);
+    eprintln!("c fm_subcalls     {}", e.fm_subcalls);
     eprintln!("c j_conflicts     {}", e.j_conflicts);
+    eprintln!("c probe_hits      {}", e.probe_hits);
+    eprintln!("c probe_misses    {}", e.probe_misses);
     eprintln!("c max_cqueue      {}", e.max_cqueue);
     eprintln!("c max_clqueue     {}", e.max_clqueue);
     eprintln!("c ant_pool_peak   {}", e.ant_pool_peak);
@@ -202,6 +241,134 @@ fn print_report(result: &SupervisedResult) {
         };
         eprintln!("c certification   {label}");
     }
+}
+
+/// Composes the `--stats-json` run record: a single self-describing
+/// JSON object (`"stats_format": 1`) holding the verdict, how it was
+/// certified, the per-stage supervisor spans, the solver counters and
+/// peaks projected through the metrics registry, and the hot-path
+/// histograms. `rtlsat report` consumes a directory of these.
+fn stats_json_record(args: &Args, result: &SupervisedResult, handle: &ObsHandle) -> String {
+    use std::fmt::Write as _;
+    let esc = obs::json::escape;
+
+    let case = std::path::Path::new(&args.file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(&args.file)
+        .to_string();
+    let verdict = match &result.verdict {
+        HdpllResult::Sat(_) => "SAT",
+        HdpllResult::Unsat => "UNSAT",
+        HdpllResult::Unknown => "UNKNOWN",
+    };
+    // Certification mirrors the supervisor's trust ladder: SAT models
+    // are always simulator-certified; UNSAT carries the proof /
+    // cross-check / uncertified distinction; UNKNOWN certifies nothing.
+    let certification = match &result.verdict {
+        HdpllResult::Sat(_) => "model certified",
+        HdpllResult::Unsat => match result.unsat_certification() {
+            Some(Certification::Proof) => "proof checked",
+            Some(Certification::CrossChecked) => "cross-checked",
+            _ => "uncertified",
+        },
+        HdpllResult::Unknown => "none",
+    };
+    let answering = result
+        .answered_by
+        .as_ref()
+        .and_then(|name| result.reports.iter().find(|r| &r.stage == name))
+        .and_then(|r| r.stats.as_ref());
+    let (search_ms, learn_ms) = answering.map_or((0.0, 0.0), |s| {
+        (
+            s.search_time.as_secs_f64() * 1e3,
+            s.learn_time.as_secs_f64() * 1e3,
+        )
+    });
+
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(out, "\"stats_format\":{}", obs::STATS_FORMAT);
+    let _ = write!(out, ",\"case\":\"{}\"", esc(&case));
+    let _ = write!(out, ",\"file\":\"{}\"", esc(&args.file));
+    let _ = write!(out, ",\"goal\":\"{}\"", esc(&args.goal));
+    let _ = write!(out, ",\"engine\":\"{}\"", esc(&args.engine));
+    let _ = write!(out, ",\"verdict\":\"{verdict}\"");
+    match &result.answered_by {
+        Some(stage) => {
+            let _ = write!(out, ",\"answered_by\":\"{}\"", esc(stage));
+        }
+        None => out.push_str(",\"answered_by\":null"),
+    }
+    let _ = write!(out, ",\"certification\":\"{certification}\"");
+    let _ = write!(out, ",\"search_time_ms\":{search_ms:.3}");
+    let _ = write!(out, ",\"learn_time_ms\":{learn_ms:.3}");
+
+    out.push_str(",\"stages\":[");
+    for (i, report) in result.reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"time_ms\":{:.3},\"outcome\":\"{}\"",
+            esc(&report.stage),
+            report.time.as_secs_f64() * 1e3,
+            esc(&report.outcome.to_string()),
+        );
+        match report.stats.as_ref().and_then(|s| s.abort) {
+            Some(reason) => {
+                let _ = write!(out, ",\"abort\":\"{}\"", esc(&reason.to_string()));
+            }
+            None => out.push_str(",\"abort\":null"),
+        }
+        out.push('}');
+    }
+    out.push(']');
+
+    let snapshot = handle.snapshot().unwrap_or_default();
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("},\"peaks\":{");
+    for (i, (name, v)) in snapshot.peaks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, kind) in obs::HistKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let hist = snapshot.hist(*kind);
+        let _ = write!(out, "\"{}\":{{\"bounds\":[", kind.name());
+        for (j, b) in obs::HIST_BOUNDS.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("],\"counts\":[");
+        for (j, c) in hist.counts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(out, "],\"total\":{}}}", hist.total);
+    }
+    out.push('}');
+
+    let (events, dropped) = handle.trace_counts().unwrap_or((0, 0));
+    let _ = write!(out, ",\"trace\":{{\"events\":{events},\"dropped\":{dropped}}}");
+    out.push_str("}\n");
+    out
 }
 
 /// Reads and parses a textual netlist, reporting errors CLI-style.
@@ -262,10 +429,85 @@ fn check_proof_command(rest: &[String]) -> ExitCode {
     }
 }
 
+/// `rtlsat check-trace <trace-file>`: validates a `--trace` JSONL file
+/// against the event schema. Exit `0` valid, `1` invalid, `2` usage.
+fn check_trace_command(rest: &[String]) -> ExitCode {
+    let [trace_path] = rest else {
+        eprintln!("usage: rtlsat check-trace <trace-file>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{trace_path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match obs::validate_jsonl(&text) {
+        Ok(summary) => {
+            println!(
+                "VALID ({} events, {} dropped)",
+                summary.events, summary.dropped
+            );
+            for (kind, count) in obs::TraceSummary::KINDS.iter().zip(summary.by_kind.iter()) {
+                if *count > 0 {
+                    println!("  {kind:<12} {count}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("INVALID: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `rtlsat report <dir> [--csv]`: aggregates every `--stats-json`
+/// record in a directory into the paper's per-circuit table layout.
+fn report_command(rest: &[String]) -> ExitCode {
+    let mut dir = None;
+    let mut csv = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\nusage: rtlsat report <dir> [--csv]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: rtlsat report <dir> [--csv]");
+        return ExitCode::from(2);
+    };
+    let records = match obs::load_dir(std::path::Path::new(&dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if records.is_empty() {
+        eprintln!("no stats-json records found in `{dir}`");
+        return ExitCode::from(2);
+    }
+    if csv {
+        print!("{}", obs::render_csv(&records));
+    } else {
+        print!("{}", obs::render_markdown(&records));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("check-proof") {
-        return check_proof_command(&raw[1..]);
+    match raw.first().map(String::as_str) {
+        Some("check-proof") => return check_proof_command(&raw[1..]),
+        Some("check-trace") => return check_trace_command(&raw[1..]),
+        Some("report") => return report_command(&raw[1..]),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -307,7 +549,34 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Telemetry is armed only when requested; otherwise the solver
+    // carries a disabled handle and every hook is a single branch.
+    let handle = if args.trace.is_some() || args.stats_json.is_some() {
+        ObsHandle::armed(ObsConfig::default())
+    } else {
+        ObsHandle::off()
+    };
+    if handle.on() {
+        sup = sup.with_obs(handle.clone());
+    }
     let result = sup.solve(&netlist, goal);
+    if let Some(path) = &args.trace {
+        let jsonl = handle.export_jsonl().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        let (events, dropped) = handle.trace_counts().unwrap_or((0, 0));
+        eprintln!("c wrote event trace to {path} ({events} events, {dropped} dropped)");
+    }
+    if let Some(path) = &args.stats_json {
+        let record = stats_json_record(&args, &result, &handle);
+        if let Err(e) = std::fs::write(path, record) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("c wrote stats-json record to {path}");
+    }
     if args.stats {
         // The answering stage's solver statistics (when it has any),
         // then the full per-stage supervisor report.

@@ -252,15 +252,40 @@ fn stats_flag_prints_counters() {
         .expect("binary runs");
     assert!(out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for key in [
-        "decisions",
-        "propagations",
-        "clause_props",
-        "max_cqueue",
-        "max_clqueue",
-        "ant_pool_peak",
-    ] {
-        assert!(stderr.contains(key), "missing `{key}` in stats: {stderr}");
+    // The stats block is format-pinned: version header first, then the
+    // counter lines in this exact order. Growing the block means bumping
+    // `stats-format` — this test is the tripwire.
+    assert!(
+        stderr.contains("c stats-format    1"),
+        "missing stats-format header: {stderr}"
+    );
+    let keys = [
+        "c stats-format",
+        "c search_time",
+        "c learn_time",
+        "c decisions",
+        "c propagations",
+        "c narrowings",
+        "c clause_props",
+        "c conflicts",
+        "c learned",
+        "c backtracks",
+        "c restarts",
+        "c fm_calls",
+        "c fm_subcalls",
+        "c j_conflicts",
+        "c probe_hits",
+        "c probe_misses",
+        "c max_cqueue",
+        "c max_clqueue",
+        "c ant_pool_peak",
+    ];
+    let mut from = 0;
+    for key in keys {
+        match stderr[from..].find(key) {
+            Some(at) => from += at + key.len(),
+            None => panic!("missing or out-of-order `{key}` in stats: {stderr}"),
+        }
     }
     // The verdict itself stays on stdout, uncluttered.
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -275,4 +300,78 @@ fn stats_flag_prints_counters() {
     assert!(out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("no statistics"), "{stderr}");
+}
+
+#[test]
+fn trace_stats_json_and_report_roundtrip() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    let trace_path = dir.join("both.trace.jsonl");
+    let json_path = dir.join("demo.json");
+    let out = bin()
+        .arg(&netlist)
+        .arg("both")
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .args(["--stats-json", json_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+
+    // The trace is schema-valid JSONL, accepted by `check-trace`.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    assert!(
+        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":1,"),
+        "{trace_text}"
+    );
+    rtlsat::obs::validate_jsonl(&trace_text).expect("trace validates");
+    let out = bin()
+        .arg("check-trace")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.starts_with("VALID"), "{stdout}");
+
+    // A corrupted trace is rejected with exit 1.
+    let bad_path = dir.join("corrupt.trace.jsonl");
+    std::fs::write(&bad_path, trace_text.replace("\"e\":\"stage_start\"", "\"e\":\"bogus\"")).unwrap();
+    let out = bin()
+        .arg("check-trace")
+        .arg(&bad_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("INVALID"));
+
+    // The stats-json record parses and carries the verdict + counters.
+    let record_text = std::fs::read_to_string(&json_path).expect("record written");
+    let record = rtlsat::obs::parse_record(&record_text).expect("record parses");
+    assert_eq!(record.case, "demo");
+    assert_eq!(record.goal, "both");
+    assert_eq!(record.verdict, "UNSAT");
+    assert_eq!(record.certification, "proof checked");
+
+    // `report` aggregates the directory into a table naming the case.
+    let out = bin()
+        .arg("report")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{table}");
+    assert!(table.contains("| Ckt |"), "{table}");
+    assert!(table.contains("| demo | both |"), "{table}");
+    let out = bin()
+        .arg("report")
+        .arg(&dir)
+        .arg("--csv")
+        .output()
+        .expect("binary runs");
+    let csv = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{csv}");
+    assert!(csv.starts_with("case,goal,engine,verdict,"), "{csv}");
+    assert!(csv.contains("demo,both,"), "{csv}");
 }
