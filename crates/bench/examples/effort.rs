@@ -1,0 +1,28 @@
+//! Quick search-effort snapshot of the hot-path workloads: one solve
+//! per workload, wall time plus the engine counters, no sampling.
+//! Handy when tuning clause-DB / restart heuristics without paying for
+//! a full `hotpath` run.
+
+fn main() {
+    for w in rtl_bench::hotpath::all_workloads() {
+        let t = std::time::Instant::now();
+        let stats = w.run();
+        let e = stats.engine;
+        println!(
+            "{}: {:.1}ms conflicts={} learned={} deleted={} reductions={} restarts={}+{} decisions={} props={} clause_props={} fm={}/{}",
+            w.name,
+            t.elapsed().as_secs_f64() * 1e3,
+            e.conflicts,
+            e.learned,
+            e.lemmas_deleted,
+            e.db_reductions,
+            e.restarts,
+            e.restarts_scheduled,
+            e.decisions,
+            e.propagations,
+            e.clause_props,
+            e.fm_calls,
+            e.fm_subcalls
+        );
+    }
+}

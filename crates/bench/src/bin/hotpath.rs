@@ -25,6 +25,11 @@
 //! With `--baseline`, median times from a previous
 //! run are merged in and a `speedup` factor (baseline ÷ current) is
 //! emitted per workload.
+//!
+//! Each row also records the search effort of the run (`conflicts`,
+//! `restarts_forced`, `restarts_scheduled`, `lemmas_live`,
+//! `lemmas_deleted`), so timing regressions can be attributed to either
+//! raw propagation cost or a search-quality change without re-running.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -50,6 +55,15 @@ struct Row {
     traced_min_ns: u128,
     traced_median_ns: u128,
     baseline_median_ns: Option<u128>,
+    /// Search effort of the final plain solve: together with the
+    /// timings these make regressions diagnosable from the JSON alone
+    /// (a slowdown with flat conflicts is propagation cost; one with a
+    /// conflict blow-up is a search-quality change).
+    conflicts: u64,
+    restarts_forced: u64,
+    restarts_scheduled: u64,
+    lemmas_live: u64,
+    lemmas_deleted: u64,
 }
 
 fn main() {
@@ -141,6 +155,7 @@ fn main() {
         gns.sort_unstable();
         tns.sort_unstable();
 
+        let effort = solver.stats().engine;
         let row = Row {
             name: w.name,
             min_ns: ns[0],
@@ -154,6 +169,11 @@ fn main() {
                 .iter()
                 .find(|(n, _)| n == w.name)
                 .map(|&(_, m)| m),
+            conflicts: effort.conflicts,
+            restarts_forced: effort.restarts,
+            restarts_scheduled: effort.restarts_scheduled,
+            lemmas_live: effort.learned.saturating_sub(effort.lemmas_deleted),
+            lemmas_deleted: effort.lemmas_deleted,
         };
         eprint!(
             "median {:>12.3} ms  guard {:+.2}%  trace {:+.2}%",
@@ -210,6 +230,15 @@ fn render_json(rows: &[Row]) -> String {
             r.traced_min_ns,
             r.traced_median_ns,
             r.traced_median_ns as f64 / r.median_ns as f64 - 1.0
+        );
+        let _ = write!(
+            s,
+            ", \"conflicts\": {}, \"restarts_forced\": {}, \"restarts_scheduled\": {}, \"lemmas_live\": {}, \"lemmas_deleted\": {}",
+            r.conflicts,
+            r.restarts_forced,
+            r.restarts_scheduled,
+            r.lemmas_live,
+            r.lemmas_deleted
         );
         if let Some(base) = r.baseline_median_ns {
             let _ = write!(

@@ -39,9 +39,16 @@ impl LearnWeights {
 
 /// Picks the next decision: the unassigned Boolean decision variable with
 /// the highest combined activity, or `None` when all are assigned.
+///
+/// `use_saved_phase` enables phase saving for the value choice. The
+/// activity strategy passes `true` — repeating the last value rebuilds
+/// the subtree a restart or backjump abandoned, which is what makes
+/// scheduled restarts cheap. The structural strategy's frontier-empty
+/// fallback passes `false` (see `justify::pick_structural`).
 pub(crate) fn pick_activity(
     engine: &Engine,
     weights: Option<&LearnWeights>,
+    use_saved_phase: bool,
 ) -> Option<(VarId, bool)> {
     let mut best: Option<(VarId, f64)> = None;
     for &v in &engine.compiled.decision_vars {
@@ -58,6 +65,17 @@ pub(crate) fn pick_activity(
         }
     }
     let (var, _) = best?;
-    let value = weights.map(|w| w.preferred_value(var)).unwrap_or(false);
+    // Value choice: the saved phase (the value this variable last held
+    // before being unassigned) when enabled and present, else the
+    // learned-relation preference (§4.4), then `false`.
+    let saved = if use_saved_phase {
+        engine.saved_phase(var).to_bool()
+    } else {
+        None
+    };
+    let value = match saved {
+        Some(saved) => saved,
+        None => weights.map(|w| w.preferred_value(var)).unwrap_or(false),
+    };
     Some((var, value))
 }

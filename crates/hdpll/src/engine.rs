@@ -13,7 +13,9 @@ use rtl_obs::ObsHandle;
 use crate::compile::Compiled;
 use crate::propagate::{step, PropResult};
 use crate::supervise::FaultPlan;
-use crate::types::{AbortReason, Dom, HClause, HLit, Reason, Span, TrailEntry, VarId};
+use crate::types::{
+    AbortReason, ClauseDbConfig, Dom, HClause, HLit, Reason, RestartMode, Span, TrailEntry, VarId,
+};
 
 /// A conflict discovered during deduction: the trail entries that directly
 /// participate (the antecedent cut seeds of the hybrid implication graph).
@@ -114,10 +116,20 @@ pub struct EngineStats {
     /// Search backtracks: non-chronological jumps after learning plus
     /// chronological flips (static-learning probe pops are excluded).
     pub backtracks: u64,
-    /// Restarts: conflicts whose learned lemma asserts at level 0,
-    /// resetting the search to the root (the engine has no randomized
-    /// restart schedule; this counts the forced returns to the root).
+    /// Forced restarts: conflicts whose learned lemma asserts at level
+    /// 0, resetting the search to the root. Scheduled (EMA/Luby)
+    /// restarts are counted separately in
+    /// [`EngineStats::restarts_scheduled`].
     pub restarts: u64,
+    /// Scheduled restarts fired by the EMA or Luby policy
+    /// ([`crate::RestartMode`]), as opposed to the forced level-0
+    /// returns in [`EngineStats::restarts`].
+    pub restarts_scheduled: u64,
+    /// Learned-clause database reductions performed.
+    pub db_reductions: u64,
+    /// Conflict lemmas tombstoned by DB reduction (their ids stay valid
+    /// for reasons and proof steps; only the literals are dropped).
+    pub lemmas_deleted: u64,
     /// Predicate-learning probes that learned at least one relation.
     pub probe_hits: u64,
     /// Predicate-learning probes that learned nothing.
@@ -152,6 +164,29 @@ pub(crate) struct Engine {
     /// VSIDS-style activities (fanout-seeded, paper §2.4).
     pub activity: Vec<f64>,
     var_inc: f64,
+    /// Clause-activity bump amount, decayed alongside `var_inc`.
+    cla_inc: f64,
+    /// Fast/slow exponential moving averages of conflict-lemma LBD
+    /// (Glucose restarts): fast α = 1/32, slow α = 1/4096.
+    ema_fast: f64,
+    ema_slow: f64,
+    /// Conflicts analyzed since the last scheduled restart.
+    conflicts_since_restart: u64,
+    /// EMA of the trail length at conflict time (α = 1/32, seeded by
+    /// the first conflict), plus the most recent sample — the blocking
+    /// signal: a conflict with a much longer trail than average means
+    /// the search is deep in a promising subtree and a restart would
+    /// throw that progress away (Audemard & Simon, "Refining restarts",
+    /// 2012).
+    ema_trail: f64,
+    last_conflict_trail: f64,
+    /// Completed scheduled restarts (indexes the Luby sequence).
+    luby_idx: u64,
+    /// Conflict lemmas learned since the last DB reduction.
+    learned_since_reduce: u64,
+    /// Last assigned Boolean value per variable, recorded as the trail
+    /// unwinds (phase saving); `Unknown` until first unassigned.
+    saved_phase: Vec<Tribool>,
     /// Append-only pool of antecedent trail indices; [`TrailEntry::ants`]
     /// spans point here. Truncated in lockstep with the trail on
     /// backtracking (span starts are monotone along the trail).
@@ -194,6 +229,15 @@ impl Engine {
             in_clqueue: vec![false; 0],
             activity,
             var_inc: 1.0,
+            cla_inc: 1.0,
+            ema_fast: 0.0,
+            ema_slow: 0.0,
+            conflicts_since_restart: 0,
+            ema_trail: 0.0,
+            last_conflict_trail: 0.0,
+            luby_idx: 0,
+            learned_since_reduce: 0,
+            saved_phase: vec![Tribool::Unknown; n],
             ant_pool: Vec::new(),
             change_buf: Vec::new(),
             budget: BudgetGuard::default(),
@@ -620,6 +664,11 @@ impl Engine {
     /// reports a conflict.
     fn propagate_clause(&mut self, cl: u32) -> Option<ConflictInfo> {
         let clause = &self.clauses[cl as usize];
+        if clause.deleted {
+            // A tombstoned clause has no literals; without this guard it
+            // would look "all falsified" below.
+            return None;
+        }
         let mut unknown: Option<HLit> = None;
         for lit in &clause.lits {
             match lit.eval(&self.doms[lit.var().index()]) {
@@ -687,7 +736,13 @@ impl Engine {
         for lit in &lits {
             self.clause_watch[lit.var().index()].push(id);
         }
-        self.clauses.push(HClause { lits, learned });
+        self.clauses.push(HClause {
+            lits,
+            learned,
+            lbd: 0,
+            activity: 0.0,
+            deleted: false,
+        });
         self.in_clqueue.push(false);
         if !self.in_clqueue[id as usize] {
             self.in_clqueue[id as usize] = true;
@@ -712,6 +767,13 @@ impl Engine {
         let target = self.trail_lim[level as usize];
         for i in (target..self.trail.len()).rev() {
             let e = &self.trail[i];
+            // Phase saving: remember the Boolean value being unassigned
+            // so the next decision on this variable repeats it.
+            if let Dom::B(t) = e.new {
+                if t.is_assigned() {
+                    self.saved_phase[e.var.index()] = t;
+                }
+            }
             self.doms[e.var.index()] = e.old;
             self.latest[e.var.index()] = e.prev_latest;
         }
@@ -738,9 +800,160 @@ impl Engine {
     }
 
     /// Exponential decay of activities after each conflict (§2.4's
-    /// "exponentially decaying function").
+    /// "exponentially decaying function"); clause activities decay more
+    /// slowly than variable activities, MiniSat-style.
     pub fn decay(&mut self) {
         self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    /// Bumps a clause's activity (conflict-analysis participation).
+    /// Static clauses are ignored — they are never deletion candidates.
+    fn bump_clause(&mut self, cid: u32) {
+        let clause = &mut self.clauses[cid as usize];
+        if !clause.learned || clause.deleted {
+            return;
+        }
+        clause.activity += self.cla_inc;
+        if clause.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// The saved phase of a Boolean variable (`Unknown` if it was never
+    /// assigned and unassigned).
+    pub fn saved_phase(&self, var: VarId) -> Tribool {
+        self.saved_phase[var.index()]
+    }
+
+    /// Literal-block distance of a clause whose literals are currently
+    /// all assigned (a freshly derived conflict lemma, *before*
+    /// backtracking): the number of distinct non-root decision levels
+    /// among them, floored at 1 so conflict lemmas are distinguishable
+    /// from static clauses (`lbd == 0`).
+    fn compute_lbd(&self, lits: &[HLit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .filter_map(|l| self.latest[l.var().index()])
+            .map(|i| self.trail[i as usize].level)
+            .filter(|&l| l > 0)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        (levels.len() as u32).max(1)
+    }
+
+    /// Whether the restart policy wants a scheduled restart now. Only
+    /// meaningful between conflicts in a learning search mode (the
+    /// chronological mode's termination argument forbids restarts).
+    pub fn should_restart(&mut self, mode: RestartMode) -> bool {
+        if self.level() == 0 {
+            return false;
+        }
+        match mode {
+            RestartMode::Off => false,
+            // Glucose: the recent lemmas are markedly worse (higher
+            // glue) than the long-run mix — search is thrashing. But a
+            // restart is *blocked* (postponed a full window) when the
+            // last conflict sat on a much longer trail than average:
+            // the search is deep in a promising subtree, and in the
+            // hybrid engine abandoning it also forfeits the interval
+            // narrowing that trail paid for (Audemard & Simon 2012).
+            RestartMode::Ema => {
+                if self.conflicts_since_restart < 50 {
+                    return false;
+                }
+                if self.last_conflict_trail > 1.4 * self.ema_trail {
+                    self.conflicts_since_restart = 0;
+                    return false;
+                }
+                self.ema_fast > 1.25 * self.ema_slow
+            }
+            RestartMode::Luby => self.conflicts_since_restart >= 100 * luby(self.luby_idx),
+        }
+    }
+
+    /// Performs a scheduled restart: returns to the root, keeping the
+    /// clause DB, activities, and saved phases.
+    pub fn restart(&mut self) {
+        debug_assert!(self.level() > 0);
+        self.stats.restarts_scheduled += 1;
+        self.obs.restart(self.stats.conflicts);
+        self.backtrack(0);
+        self.conflicts_since_restart = 0;
+        self.luby_idx += 1;
+        // Forget the thrashing window: restart the fast average from the
+        // long-run baseline so one bad streak triggers at most once.
+        self.ema_fast = self.ema_slow;
+    }
+
+    /// Runs a DB reduction if enough lemmas accumulated since the last
+    /// one; returns the deleted clause ids (for deletion-aware proof
+    /// logging), or `None` when no reduction fired.
+    pub fn maybe_reduce(&mut self, cfg: &ClauseDbConfig) -> Option<Vec<u32>> {
+        if !cfg.reduce {
+            return None;
+        }
+        let threshold =
+            cfg.first_reduce as u64 + cfg.reduce_inc as u64 * self.stats.db_reductions;
+        if self.learned_since_reduce < threshold {
+            return None;
+        }
+        Some(self.reduce_db())
+    }
+
+    /// Deletes the worst half of the deletable lemmas: conflict clauses
+    /// with glue > 2 that are neither locked (the reason of a live trail
+    /// entry) nor already deleted. Static clauses (`lbd == 0`) and glue
+    /// clauses (`lbd <= 2`) are always kept.
+    fn reduce_db(&mut self) -> Vec<u32> {
+        let mut locked = vec![false; self.clauses.len()];
+        for e in &self.trail {
+            if let Reason::Clause(c) = e.reason {
+                locked[c as usize] = true;
+            }
+        }
+        let mut cands: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learned && !cl.deleted && cl.lbd > 2 && !locked[c as usize]
+            })
+            .collect();
+        // Worst first: highest glue, then lowest activity, then oldest.
+        cands.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.total_cmp(&cb.activity))
+                .then(a.cmp(&b))
+        });
+        cands.truncate(cands.len() / 2);
+        for &c in &cands {
+            self.delete_clause(c);
+        }
+        self.stats.db_reductions += 1;
+        self.learned_since_reduce = 0;
+        let live = self.clauses.iter().filter(|c| !c.deleted).count() as u32;
+        self.obs.db_reduce(live, cands.len() as u32);
+        cands
+    }
+
+    /// Tombstones one clause: drops its literals, unhooks it from every
+    /// watch list, and marks it deleted. The id (and thus `clauses`
+    /// indexing) stays valid — reasons and proof steps cite ids.
+    fn delete_clause(&mut self, cid: u32) {
+        let lits = std::mem::take(&mut self.clauses[cid as usize].lits);
+        for lit in &lits {
+            let watch = &mut self.clause_watch[lit.var().index()];
+            if let Some(pos) = watch.iter().position(|&c| c == cid) {
+                watch.swap_remove(pos);
+            }
+        }
+        self.clauses[cid as usize].deleted = true;
+        self.stats.lemmas_deleted += 1;
     }
 
     /// Hybrid conflict analysis on the implication graph: walks back from
@@ -834,6 +1047,9 @@ impl Engine {
                 debug_assert!(blevel < lmax);
                 used.sort_unstable();
                 used.dedup();
+                for &cid in &used {
+                    self.bump_clause(cid);
+                }
                 self.obs.conflict(
                     lits.len() as u32,
                     conflict.antecedents.len() as u32,
@@ -877,9 +1093,29 @@ impl Engine {
         if analyzed.blevel == 0 {
             self.stats.restarts += 1;
         }
+        // Glue is computed while the lemma's literals are still
+        // assigned, i.e. before the backtrack unwinds their levels.
+        let lbd = self.compute_lbd(&analyzed.lits);
+        self.ema_fast += (lbd as f64 - self.ema_fast) / 32.0;
+        self.ema_slow += (lbd as f64 - self.ema_slow) / 4096.0;
+        // Trail length is likewise sampled pre-backtrack: it feeds the
+        // restart-blocking test in `should_restart`.
+        let trail_len = self.trail.len() as f64;
+        self.last_conflict_trail = trail_len;
+        if self.ema_trail == 0.0 {
+            self.ema_trail = trail_len;
+        } else {
+            self.ema_trail += (trail_len - self.ema_trail) / 32.0;
+        }
+        self.conflicts_since_restart += 1;
+        self.learned_since_reduce += 1;
+        self.obs.clause_glue(lbd);
         self.backtrack(analyzed.blevel);
         let uip = analyzed.lits[0];
         let cid = self.add_clause(analyzed.lits, true);
+        let clause = &mut self.clauses[cid as usize];
+        clause.lbd = lbd;
+        clause.activity = self.cla_inc;
         // Assert the UIP literal immediately (the clause is unit now).
         if let HLit::Bool { var, value } = uip {
             if !self.dom(var).is_fixed() {
@@ -909,6 +1145,21 @@ impl Engine {
     }
 }
 
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …), 0-indexed.
+fn luby(mut x: u64) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
 /// `cur \ iv` when the result is a single interval (the removal overlaps an
 /// end of `cur`); `None` = empty result; `Some(cur)` = not representable or
 /// no overlap.
@@ -931,6 +1182,12 @@ fn subtract_interval(cur: Interval, iv: Interval) -> Option<Interval> {
 #[cfg(test)]
 mod unit {
     use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
 
     #[test]
     fn subtract_interval_cases() {

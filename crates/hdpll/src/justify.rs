@@ -182,8 +182,12 @@ pub(crate) fn pick_structural(
             _ => {}
         }
     }
-    // J-frontier empty: assign remaining free Booleans by activity.
-    match pick_activity(engine, weights) {
+    // J-frontier empty: assign remaining free Booleans by activity,
+    // but WITHOUT saved phases: this endgame value policy (learned-
+    // relation preference, then `false`) picks the solution boxes the
+    // arithmetic final check sees, and replaying stale phases here
+    // steers it into far more expensive Fourier–Motzkin calls.
+    match pick_activity(engine, weights, false) {
         Some((var, value)) => Structural::Decision(var, value),
         None => Structural::Done,
     }

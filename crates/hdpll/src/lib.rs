@@ -75,7 +75,9 @@ pub use crate::supervise::{
     CancelToken, Certification, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport,
     StageRun, SupervisedResult, Supervisor,
 };
-pub use crate::types::{AbortReason, DecisionStrategy, HLit, VarId};
+pub use crate::types::{
+    AbortReason, ClauseDbConfig, DecisionStrategy, HLit, RestartMode, VarId,
+};
 
 pub use crate::predlearn::{LearnConfig, LearnReport, Relation};
 

@@ -40,6 +40,10 @@ pub(crate) struct ProofLog {
     goal: String,
     /// `engine clause id → proof step id` ([`NO_STEP`] for gaps).
     clause_step: Vec<u32>,
+    /// Step ids retired by DB reductions since the last emitted step;
+    /// attached to the *next* step's `dels` section (deletions carry no
+    /// deductive content, so they need no step of their own).
+    pending_dels: Vec<u32>,
 }
 
 impl ProofLog {
@@ -54,6 +58,7 @@ impl ProofLog {
             gaps: 0,
             goal: rtl_proof::goal_name(netlist, goal),
             clause_step: Vec::new(),
+            pending_dels: Vec::new(),
         })
     }
 
@@ -92,25 +97,62 @@ impl ProofLog {
     /// finder-discovered splits; record a gap. Returns the step id, or
     /// [`NO_STEP`] for a gap.
     fn log_step(&mut self, lits: Vec<PLit>, splits: Vec<PSplit>, ants: Vec<u32>) -> u32 {
-        let mut step = Step { lits, splits, ants };
+        let mut dels = std::mem::take(&mut self.pending_dels);
+        dels.sort_unstable();
+        dels.dedup();
+        let mut step = Step {
+            lits,
+            splits,
+            ants,
+            dels,
+        };
         if self.mirror.admit(&step).is_err() {
             let found = self.mirror.find_splits(&step.lits);
             let ok = match found {
                 Some(splits) => {
+                    // The retry re-applies the step's deletions; the
+                    // checker's retire is idempotent, so this is safe.
                     step.splits = splits;
                     self.mirror.admit(&step).is_ok()
                 }
                 None => false,
             };
             if !ok {
+                // A gapped step is never emitted, so its deletions roll
+                // over to the next step (the mirror may already have
+                // retired them — harmless, retirement only weakens).
                 self.gaps += 1;
                 self.mirror.assume_clause(&step.lits);
+                self.pending_dels = step.dels;
                 return NO_STEP;
             }
         }
         let id = self.steps.len() as u32;
         self.steps.push(step);
         id
+    }
+
+    /// Records that the engine retired the given clauses: their proof
+    /// steps are queued for the next emitted step's deletion section,
+    /// bounding the checker's live clause set the same way the solver's
+    /// DB reduction bounds its own. Gapped or never-logged clauses have
+    /// no step and vanish silently.
+    pub fn log_deletions(&mut self, cids: &[u32]) {
+        for &c in cids {
+            if let Some(&s) = self.clause_step.get(c as usize) {
+                if s != NO_STEP {
+                    self.pending_dels.push(s);
+                }
+            }
+        }
+    }
+
+    /// Test-only fault hook ([`crate::supervise::FaultPlan`]): queues a
+    /// deletion citing a step id that can never exist, which the mirror
+    /// (and any fresh checker) must reject — from then on every step
+    /// gaps and the proof cannot certify.
+    pub fn log_bogus_deletion(&mut self) {
+        self.pending_dels.push(u32::MAX);
     }
 
     /// Logs engine clause `cid` as a lemma. The literals are read from

@@ -13,7 +13,7 @@ use crate::justify::{pick_structural, Structural, StructuralIndex};
 use crate::predlearn::{self, LearnConfig, LearnReport};
 use crate::prooflog::ProofLog;
 use crate::supervise::{CancelToken, FaultPlan};
-use crate::types::{AbortReason, DecisionStrategy, Dom, VarId};
+use crate::types::{AbortReason, ClauseDbConfig, DecisionStrategy, Dom, RestartMode, VarId};
 use rtl_interval::Tribool;
 use rtl_obs::ObsHandle;
 use rtl_proof::Proof;
@@ -72,6 +72,15 @@ pub struct SolverConfig {
     /// every learned lemma is replayed through a mirror of the
     /// independent checker as it is emitted.
     pub proof: bool,
+    /// Scheduled-restart policy. Applies only to the
+    /// [`DecisionStrategy::Activity`] search (the structural strategy's
+    /// restart-rebuild cost dwarfs the benefit — see `solve`), and is
+    /// ignored by [`LearningMode::None`], whose termination argument
+    /// requires an intact decision tree.
+    pub restarts: RestartMode,
+    /// Learned-clause database management (reduction on by default;
+    /// likewise inert under [`LearningMode::None`]).
+    pub db: ClauseDbConfig,
 }
 
 impl SolverConfig {
@@ -112,6 +121,20 @@ impl SolverConfig {
     #[must_use]
     pub fn with_proof(mut self, proof: bool) -> Self {
         self.proof = proof;
+        self
+    }
+
+    /// Replaces the scheduled-restart policy (builder style).
+    #[must_use]
+    pub fn with_restarts(mut self, restarts: RestartMode) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Replaces the clause-DB management knobs (builder style).
+    #[must_use]
+    pub fn with_clause_db(mut self, db: ClauseDbConfig) -> Self {
+        self.db = db;
         self
     }
 }
@@ -241,8 +264,12 @@ impl Solver {
 
     /// Decides the satisfiability of `constraint = 1`.
     ///
-    /// Each call restarts from scratch (learned clauses are not carried
-    /// across calls).
+    /// Each call builds a fresh engine, so no state is carried *across*
+    /// calls. *Within* a call, learned lemmas live under the clause-DB
+    /// manager ([`SolverConfig::db`]): a lemma persists until a periodic
+    /// reduction retires it for low activity and high glue; its id (and,
+    /// with proof logging, its proof step) outlives the deletion, so
+    /// reasons and later proof steps may still cite it.
     ///
     /// # Panics
     ///
@@ -353,6 +380,21 @@ impl Solver {
 
         // Algorithm 1 main loop.
         let learning = self.config.learning;
+        // Scheduled restarts pay off only when rebuilding the abandoned
+        // subtree is cheap. Under the activity strategy it is: saved
+        // phases replay the old assignment and clause propagation does
+        // the rest. Under the structural strategy a restart forfeits the
+        // interval narrowing the whole descent paid for and re-derives
+        // it from scratch — measured on itc99_b04 a single restart
+        // quadruples solve time at an unchanged conflict count — so the
+        // scheduled policy applies to the activity strategy only
+        // (level-0 forced restarts are unaffected).
+        let restart_mode = match self.config.decision {
+            DecisionStrategy::Activity => self.config.restarts,
+            DecisionStrategy::Structural => RestartMode::Off,
+        };
+        let db_cfg = self.config.db;
+        let corrupt_deletion = self.faults.corrupt_deletion;
         let handle_conflict = |engine: &mut Engine,
                                proof: &mut Option<ProofLog>,
                                conflict: &crate::engine::ConflictInfo|
@@ -367,6 +409,22 @@ impl Solver {
                             let cid = engine.learn_and_backtrack(a);
                             if let Some(p) = proof.as_mut() {
                                 p.log_engine_clause(engine, cid, Vec::new(), &used);
+                            }
+                            // Scheduled restart, then DB housekeeping
+                            // (post-restart the trail is short, so few
+                            // lemmas are locked as reasons).
+                            if engine.should_restart(restart_mode) {
+                                engine.restart();
+                            }
+                            if let Some(dropped) = engine.maybe_reduce(&db_cfg) {
+                                if let Some(p) = proof.as_mut() {
+                                    if corrupt_deletion
+                                        == Some(engine.stats.db_reductions - 1)
+                                    {
+                                        p.log_bogus_deletion();
+                                    }
+                                    p.log_deletions(&dropped);
+                                }
                             }
                             true
                         }
@@ -415,7 +473,7 @@ impl Solver {
                         continue;
                     }
                 },
-                None => pick_activity(&engine, weights_ref),
+                None => pick_activity(&engine, weights_ref, true),
             };
             match decision {
                 Some((var, value)) => engine.decide(var, value),
@@ -464,6 +522,9 @@ impl Solver {
             ("learned", s.learned),
             ("backtracks", s.backtracks),
             ("restarts", s.restarts),
+            ("restarts_scheduled", s.restarts_scheduled),
+            ("db_reductions", s.db_reductions),
+            ("lemmas_deleted", s.lemmas_deleted),
             ("fm_calls", s.fm_calls),
             ("fm_subcalls", s.fm_subcalls),
             ("j_conflicts", s.j_conflicts),

@@ -104,7 +104,10 @@ impl CancelToken {
 ///   analysis cannot explain — the wrong `Unsat` must be caught by the
 ///   cross-check;
 /// * a **stalled propagation** spins inside the hot loop — only the
-///   in-loop deadline/cancel polling can get the solve back.
+///   in-loop deadline/cancel polling can get the solve back;
+/// * a **corrupted deletion** records a deletion event citing a proof
+///   step that can never exist — the proof log's deletion bookkeeping
+///   must fail closed (an uncertifiable proof, never a checked lie).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Flip the first literal of the `n`-th learned clause (0-based,
@@ -119,6 +122,9 @@ pub struct FaultPlan {
     /// Spin inside `propagate()` at the `n`-th propagation step until a
     /// deadline or cancellation trips (1-based).
     pub stall_propagation: Option<u64>,
+    /// Log a bogus deletion event alongside the `n`-th DB reduction
+    /// (0-based, counted by `EngineStats::db_reductions`).
+    pub corrupt_deletion: Option<u64>,
 }
 
 impl FaultPlan {

@@ -329,13 +329,66 @@ pub enum DecisionStrategy {
 }
 
 /// A hybrid clause: a disjunction of hybrid literals (paper §2.1).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HClause {
     /// The literals.
     pub lits: Vec<HLit>,
     /// `true` for clauses produced by learning (conflict analysis or the
     /// static predicate-learning pass).
     pub learned: bool,
+    /// Literal-block distance (glue) at learn time: the number of
+    /// distinct non-root decision levels among the lemma's literals.
+    /// `0` for clauses not produced by conflict analysis (static
+    /// predicate lemmas, external clauses), which the DB manager never
+    /// deletes.
+    pub lbd: u32,
+    /// Activity, bumped whenever the clause participates in conflict
+    /// analysis and decayed geometrically; drives DB reduction.
+    pub activity: f64,
+    /// Tombstone flag: a deleted clause keeps its id (reasons and proof
+    /// steps cite ids) but is unwatched and never propagated again.
+    pub deleted: bool,
+}
+
+/// How scheduled restarts are triggered ([`crate::SolverConfig`]).
+/// Forced level-0 returns (a lemma asserting at the root) are always
+/// accounted separately in [`crate::EngineStats::restarts`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Glucose-style adaptive restarts: restart when the fast
+    /// exponential moving average of conflict LBDs exceeds the slow one
+    /// (the recent lemmas are markedly worse than the long-run mix).
+    #[default]
+    Ema,
+    /// Luby-sequence restarts with a fixed conflict unit — the
+    /// heavy-tail fallback when the EMA schedule misbehaves.
+    Luby,
+    /// No scheduled restarts (the pre-DB-manager behavior).
+    Off,
+}
+
+/// Learned-clause database management knobs ([`crate::SolverConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClauseDbConfig {
+    /// Enable periodic reduction. When off the DB only grows (the
+    /// pre-manager behavior; used by the differential harness as the
+    /// reference variant).
+    pub reduce: bool,
+    /// Conflict-learned lemmas accumulated before the first reduction.
+    pub first_reduce: u32,
+    /// Threshold growth per completed reduction (keeps the live set
+    /// slowly expanding, so hard instances retain more context).
+    pub reduce_inc: u32,
+}
+
+impl Default for ClauseDbConfig {
+    fn default() -> Self {
+        ClauseDbConfig {
+            reduce: true,
+            first_reduce: 32,
+            reduce_inc: 16,
+        }
+    }
 }
 
 #[cfg(test)]

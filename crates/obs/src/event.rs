@@ -1,5 +1,5 @@
 //! The structured event trace: compact `Copy` events appended to a
-//! preallocated buffer, exported as JSONL (`trace-format 1`).
+//! preallocated buffer, exported as JSONL (`trace-format 2`).
 //!
 //! Events carry *counters, not clocks*: two runs of the same solver on
 //! the same instance with the same configuration produce byte-identical
@@ -77,6 +77,18 @@ pub enum Event {
         /// FM oracle invocations the check needed (case-split branches).
         subcalls: u32,
     },
+    /// A scheduled (EMA/Luby) restart of the search engine.
+    Restart {
+        /// Cumulative conflicts at the restart.
+        conflicts: u64,
+    },
+    /// A learned-clause database reduction.
+    DbReduce {
+        /// Live clauses remaining after the reduction.
+        kept: u32,
+        /// Clauses tombstoned by this reduction.
+        dropped: u32,
+    },
     /// A supervisor stage starting.
     StageStart {
         /// Interned stage name.
@@ -92,7 +104,8 @@ pub enum Event {
 }
 
 /// The trace format version written in the JSONL header line.
-pub const TRACE_FORMAT: u32 = 1;
+/// Version 2 added the `restart` and `db_reduce` event kinds.
+pub const TRACE_FORMAT: u32 = 2;
 
 /// A bounded event buffer. Events past the capacity are counted in
 /// [`TraceBuf::dropped`] rather than grown into — the tracer never
@@ -219,6 +232,15 @@ impl TraceBuf {
                         "{{\"e\":\"fm\",\"sat\":{sat},\"subcalls\":{subcalls}}}"
                     );
                 }
+                Event::Restart { conflicts } => {
+                    let _ = writeln!(out, "{{\"e\":\"restart\",\"conflicts\":{conflicts}}}");
+                }
+                Event::DbReduce { kept, dropped } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"db_reduce\",\"kept\":{kept},\"dropped\":{dropped}}}"
+                    );
+                }
                 Event::StageStart { name } => {
                     let _ = writeln!(
                         out,
@@ -249,19 +271,21 @@ pub struct TraceSummary {
     pub dropped: u64,
     /// Per-kind event counts, in a fixed order (see
     /// [`TraceSummary::KINDS`]).
-    pub by_kind: [u64; 8],
+    pub by_kind: [u64; 10],
 }
 
 impl TraceSummary {
     /// The event kinds of the schema, index-aligned with
     /// [`TraceSummary::by_kind`].
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 10] = [
         "decision",
         "batch",
         "conflict",
         "backtrack",
         "waysplit",
         "fm",
+        "restart",
+        "db_reduce",
         "stage_start",
         "stage_end",
     ];
@@ -269,7 +293,7 @@ impl TraceSummary {
 
 /// Required integer/Boolean/string fields per event kind (the JSONL
 /// schema, version [`TRACE_FORMAT`]).
-const SCHEMA: [(&str, &[(&str, FieldKind)]); 8] = [
+const SCHEMA: [(&str, &[(&str, FieldKind)]); 10] = [
     (
         "decision",
         &[
@@ -312,6 +336,11 @@ const SCHEMA: [(&str, &[(&str, FieldKind)]); 8] = [
         "fm",
         &[("sat", FieldKind::Bool), ("subcalls", FieldKind::Uint)],
     ),
+    ("restart", &[("conflicts", FieldKind::Uint)]),
+    (
+        "db_reduce",
+        &[("kept", FieldKind::Uint), ("dropped", FieldKind::Uint)],
+    ),
     ("stage_start", &[("name", FieldKind::Str)]),
     (
         "stage_end",
@@ -326,7 +355,7 @@ enum FieldKind {
     Str,
 }
 
-/// Validates a JSONL trace against the `trace-format 1` schema: the
+/// Validates a JSONL trace against the `trace-format 2` schema: the
 /// header line, every event line's kind and required fields, and the
 /// header's event count against the actual line count.
 ///
@@ -433,6 +462,11 @@ mod tests {
             sat: true,
             subcalls: 1,
         });
+        t.push(Event::Restart { conflicts: 120 });
+        t.push(Event::DbReduce {
+            kept: 40,
+            dropped: 37,
+        });
         t.push(Event::StageEnd { name, outcome });
         t
     }
@@ -441,9 +475,9 @@ mod tests {
     fn jsonl_roundtrip_validates() {
         let text = sample().to_jsonl();
         let summary = validate_jsonl(&text).expect("valid trace");
-        assert_eq!(summary.events, 8);
+        assert_eq!(summary.events, 10);
         assert_eq!(summary.dropped, 0);
-        assert_eq!(summary.by_kind.iter().sum::<u64>(), 8);
+        assert_eq!(summary.by_kind.iter().sum::<u64>(), 10);
         assert_eq!(summary.by_kind[0], 1); // one decision
     }
 
@@ -473,7 +507,8 @@ mod tests {
         let bad = good.replace("\"width\":3", "\"width\":\"three\"");
         assert!(validate_jsonl(&bad).is_err());
         // Header/body mismatch.
-        let bad = good.replace("\"events\":8", "\"events\":9");
+        let bad = good.replace("\"events\":10", "\"events\":11");
+        assert_ne!(bad, good, "header must announce 10 events");
         assert!(validate_jsonl(&bad).is_err());
         // Not a header.
         assert!(validate_jsonl("{\"e\":\"decision\"}\n").is_err());

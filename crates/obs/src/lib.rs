@@ -171,6 +171,38 @@ impl ObsHandle {
         }
     }
 
+    /// A scheduled (EMA/Luby) restart fired at the given cumulative
+    /// conflict count.
+    #[inline]
+    pub fn restart(&self, conflicts: u64) {
+        if let Some(obs) = &self.0 {
+            obs.borrow_mut().trace.push(Event::Restart { conflicts });
+        }
+    }
+
+    /// A learned-clause DB reduction kept `kept` live clauses and
+    /// tombstoned `dropped`; the post-reduction size feeds the
+    /// [`HistKind::DbSize`] histogram.
+    #[inline]
+    pub fn db_reduce(&self, kept: u32, dropped: u32) {
+        if let Some(obs) = &self.0 {
+            let mut obs = obs.borrow_mut();
+            obs.trace.push(Event::DbReduce { kept, dropped });
+            obs.metrics.record_hist(HistKind::DbSize, u64::from(kept));
+        }
+    }
+
+    /// A conflict lemma was learned with the given LBD (glue).
+    /// Histogram-only: the `conflict` event already marks the moment.
+    #[inline]
+    pub fn clause_glue(&self, glue: u32) {
+        if let Some(obs) = &self.0 {
+            obs.borrow_mut()
+                .metrics
+                .record_hist(HistKind::ClauseGlue, u64::from(glue));
+        }
+    }
+
     /// A predicate-learning probe split `sig=value` into `ways`
     /// justification ways and learned `learned` relations.
     #[inline]

@@ -23,16 +23,22 @@ pub enum HistKind {
     CqueueDepth = 3,
     /// Clause worklist depth, sampled every batch period.
     ClqueueDepth = 4,
+    /// LBD (glue) of each conflict-learned lemma.
+    ClauseGlue = 5,
+    /// Live learned-clause DB size at each reduction (post-deletion).
+    DbSize = 6,
 }
 
 impl HistKind {
     /// Every kind, index-aligned with the registry's storage.
-    pub const ALL: [HistKind; 5] = [
+    pub const ALL: [HistKind; 7] = [
         HistKind::BacktrackDepth,
         HistKind::LemmaWidth,
         HistKind::NarrowMagnitude,
         HistKind::CqueueDepth,
         HistKind::ClqueueDepth,
+        HistKind::ClauseGlue,
+        HistKind::DbSize,
     ];
 
     /// Stable snake_case name used in `--stats-json`.
@@ -44,6 +50,8 @@ impl HistKind {
             HistKind::NarrowMagnitude => "narrow_magnitude",
             HistKind::CqueueDepth => "cqueue_depth",
             HistKind::ClqueueDepth => "clqueue_depth",
+            HistKind::ClauseGlue => "clause_glue",
+            HistKind::DbSize => "db_size",
         }
     }
 }

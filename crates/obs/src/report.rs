@@ -7,8 +7,11 @@ use std::path::Path;
 
 use crate::json::{self, Value};
 
-/// The stats-json format version (`"stats_format"` field).
-pub const STATS_FORMAT: u32 = 1;
+/// The stats-json format version (`"stats_format"` field). Version 2
+/// added the clause-DB management counters (the forced/scheduled
+/// restart split, `db_reductions`, `lemmas_deleted`); version-1 records
+/// still parse, with those counters reading as zero.
+pub const STATS_FORMAT: u32 = 2;
 
 /// One recorded run, as reconstructed from a stats-json file.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +36,10 @@ pub struct RunRecord {
     pub conflicts: u64,
     /// Learned lemma count.
     pub learned: u64,
+    /// Restart count, forced (level-0 relearn) plus scheduled (EMA/Luby).
+    pub restarts: u64,
+    /// Lemmas retired by clause-DB reductions.
+    pub lemmas_deleted: u64,
     /// Static-learning (predicate learning) time, milliseconds.
     pub learn_ms: f64,
     /// Search time, milliseconds.
@@ -64,7 +71,7 @@ fn counter(v: &Value, name: &str) -> u64 {
 pub fn parse_record(text: &str) -> Result<RunRecord, String> {
     let v = json::parse(text)?;
     match v.get("stats_format").and_then(Value::as_u64) {
-        Some(f) if f == u64::from(STATS_FORMAT) => {}
+        Some(1 | 2) => {}
         Some(f) => return Err(format!("unsupported stats_format {f}")),
         None => return Err("not a stats-json record (no `stats_format`)".to_string()),
     }
@@ -83,6 +90,8 @@ pub fn parse_record(text: &str) -> Result<RunRecord, String> {
         backtracks: counter(&v, "backtracks"),
         conflicts: counter(&v, "conflicts"),
         learned: counter(&v, "learned"),
+        restarts: counter(&v, "restarts") + counter(&v, "restarts_scheduled"),
+        lemmas_deleted: counter(&v, "lemmas_deleted"),
         learn_ms: v
             .get("learn_time_ms")
             .and_then(Value::as_f64)
@@ -148,16 +157,16 @@ pub fn render_markdown(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| Ckt | Goal | Engine | Verdict | Decisions | Backtracks | Conflicts | Learned | Learn time | Search time | Certification |"
+        "| Ckt | Goal | Engine | Verdict | Decisions | Backtracks | Conflicts | Learned | Restarts | Deleted | Learn time | Search time | Certification |"
     );
     let _ = writeln!(
         out,
-        "|-----|------|--------|---------|-----------|------------|-----------|---------|------------|-------------|---------------|"
+        "|-----|------|--------|---------|-----------|------------|-----------|---------|----------|---------|------------|-------------|---------------|"
     );
     for r in records {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.case,
             r.goal,
             r.engine,
@@ -166,6 +175,8 @@ pub fn render_markdown(records: &[RunRecord]) -> String {
             r.backtracks,
             r.conflicts,
             r.learned,
+            r.restarts,
+            r.lemmas_deleted,
             fmt_ms(r.learn_ms),
             fmt_ms(r.search_ms),
             r.certification,
@@ -180,12 +191,12 @@ pub fn render_markdown(records: &[RunRecord]) -> String {
 pub fn render_csv(records: &[RunRecord]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "case,goal,engine,verdict,decisions,backtracks,conflicts,learned,learn_ms,search_ms,certification,answered_by,stages\n",
+        "case,goal,engine,verdict,decisions,backtracks,conflicts,learned,restarts,lemmas_deleted,learn_ms,search_ms,certification,answered_by,stages\n",
     );
     for r in records {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{}",
             r.case,
             r.goal,
             r.engine,
@@ -194,6 +205,8 @@ pub fn render_csv(records: &[RunRecord]) -> String {
             r.backtracks,
             r.conflicts,
             r.learned,
+            r.restarts,
+            r.lemmas_deleted,
             r.learn_ms,
             r.search_ms,
             r.certification,
@@ -208,7 +221,7 @@ pub fn render_csv(records: &[RunRecord]) -> String {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = r#"{"stats_format":1,"case":"b01_p1_20","file":"tests/golden/b01_p1_20.rtl","goal":"bad_p1","engine":"hdpll-sp","verdict":"UNSAT","answered_by":"hdpll-sp","certification":"proof checked","stages":[{"name":"hdpll-sp","time_ms":0.4,"outcome":"UNSAT (proof checked)","abort":null}],"search_time_ms":0.31,"learn_time_ms":0.05,"counters":{"decisions":12,"backtracks":3,"conflicts":4,"learned":4,"propagations":900},"peaks":{"max_cqueue":7},"histograms":{},"trace":{"events":0,"dropped":0}}"#;
+    const SAMPLE: &str = r#"{"stats_format":2,"case":"b01_p1_20","file":"tests/golden/b01_p1_20.rtl","goal":"bad_p1","engine":"hdpll-sp","verdict":"UNSAT","answered_by":"hdpll-sp","certification":"proof checked","stages":[{"name":"hdpll-sp","time_ms":0.4,"outcome":"UNSAT (proof checked)","abort":null}],"search_time_ms":0.31,"learn_time_ms":0.05,"counters":{"decisions":12,"backtracks":3,"conflicts":4,"learned":4,"restarts":1,"restarts_scheduled":2,"lemmas_deleted":5,"propagations":900},"peaks":{"max_cqueue":7},"histograms":{},"trace":{"events":0,"dropped":0}}"#;
 
     #[test]
     fn record_roundtrip() {
@@ -217,9 +230,22 @@ mod tests {
         assert_eq!(r.verdict, "UNSAT");
         assert_eq!(r.decisions, 12);
         assert_eq!(r.backtracks, 3);
+        assert_eq!(r.restarts, 3); // forced + scheduled
+        assert_eq!(r.lemmas_deleted, 5);
         assert_eq!(r.certification, "proof checked");
         assert_eq!(r.stages, 1);
         assert!((r.search_ms - 0.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn version_one_records_still_parse() {
+        let v1 = SAMPLE
+            .replace("\"stats_format\":2", "\"stats_format\":1")
+            .replace(",\"restarts\":1,\"restarts_scheduled\":2,\"lemmas_deleted\":5", "");
+        let r = parse_record(&v1).unwrap();
+        assert_eq!(r.case, "b01_p1_20");
+        assert_eq!(r.restarts, 0);
+        assert_eq!(r.lemmas_deleted, 0);
     }
 
     #[test]

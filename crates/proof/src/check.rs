@@ -75,6 +75,14 @@ pub enum CheckError {
         /// The cited id.
         cited: u32,
     },
+    /// A deletion cites a step that is not an earlier, clause-bearing
+    /// step (self/future id, or the empty-clause step).
+    BadDeletion {
+        /// 0-based id of the offending step.
+        step: u32,
+        /// The cited id.
+        cited: u32,
+    },
     /// The lemma's negation survived propagation and all recorded
     /// splits: the step does not follow.
     NotImplied {
@@ -105,6 +113,9 @@ impl std::fmt::Display for CheckError {
             CheckError::BadSplit { step, detail } => write!(f, "step {step}: {detail}"),
             CheckError::FutureAntecedent { step, cited } => {
                 write!(f, "step {step} cites step {cited} (not yet admitted)")
+            }
+            CheckError::BadDeletion { step, cited } => {
+                write!(f, "step {step} deletes step {cited} (not an earlier clause step)")
             }
             CheckError::NotImplied { step } => write!(f, "step {step} does not follow"),
             CheckError::Budget { step } => write!(f, "step {step}: split replay budget exceeded"),
@@ -412,6 +423,9 @@ struct Ctx<'a> {
     lowered: &'a Lowered,
     clauses: &'a [Vec<PLit>],
     clause_watch: &'a [Vec<u32>],
+    /// Retired clauses (deletion-aware proofs): their literal vectors
+    /// are empty, so without this flag they would read as falsified.
+    deleted: &'a [bool],
 }
 
 impl Ctx<'_> {
@@ -495,6 +509,11 @@ impl Ctx<'_> {
 
     /// Unit propagation of one admitted clause; `false` when falsified.
     fn propagate_clause(&self, cl: u32, doms: &mut [VDom], scratch: &mut Scratch) -> bool {
+        if self.deleted[cl as usize] {
+            // A retired clause contributes nothing (its empty literal
+            // vector must not read as "all falsified").
+            return true;
+        }
         let clause = &self.clauses[cl as usize];
         let mut unknown: Option<&PLit> = None;
         for lit in clause {
@@ -704,6 +723,10 @@ fn choose_split(doms: &[VDom]) -> Option<PSplit> {
     })
 }
 
+/// Sentinel in [`Checker::step_clause`]: the step installed no clause
+/// (it was the empty clause).
+const NO_CLAUSE: u32 = u32::MAX;
+
 /// An incremental proof checker for one `(netlist, goal)` pair.
 pub struct Checker {
     lowered: Lowered,
@@ -711,6 +734,14 @@ pub struct Checker {
     base_conflict: bool,
     clauses: Vec<Vec<PLit>>,
     clause_watch: Vec<Vec<u32>>,
+    /// Retirement flags parallel to `clauses`. Base narrowings a clause
+    /// contributed before retirement persist — sound, since deletion
+    /// retracts a clause's future use, not its proven consequences.
+    deleted: Vec<bool>,
+    /// `step id → installed clause id` ([`NO_CLAUSE`] for empty-clause
+    /// steps); deletion sections cite step ids, the database is indexed
+    /// by clause ids (which also cover `assume_clause` entries).
+    step_clause: Vec<u32>,
     admitted: u32,
     scratch: Scratch,
     nodes_used: u64,
@@ -745,6 +776,8 @@ impl Checker {
             base_conflict,
             clauses: Vec::new(),
             clause_watch,
+            deleted: Vec::new(),
+            step_clause: Vec::new(),
             admitted: 0,
             scratch: Scratch::default(),
             nodes_used: 0,
@@ -755,6 +788,7 @@ impl Checker {
                 base,
                 clauses,
                 clause_watch,
+                deleted,
                 scratch,
                 ..
             } = &mut checker;
@@ -762,6 +796,7 @@ impl Checker {
                 lowered,
                 clauses,
                 clause_watch,
+                deleted,
             };
             if !ctx.fixpoint(base, scratch, &[], true, &[]) {
                 checker.base_conflict = true;
@@ -846,7 +881,35 @@ impl Checker {
                 return Err(CheckError::FutureAntecedent { step: id, cited: ant });
             }
         }
+        for &del in &step.dels {
+            // `del < id` implies `step_clause[del]` exists (one entry
+            // per admitted step). Deleting an already-deleted step is
+            // allowed: retirement is idempotent.
+            if del >= id || self.step_clause[del as usize] == NO_CLAUSE {
+                return Err(CheckError::BadDeletion { step: id, cited: del });
+            }
+        }
         Ok(())
+    }
+
+    /// Retires the clauses of the steps cited in `step.dels` (validated
+    /// already): unhooks them from the watch lists and empties their
+    /// literal vectors, bounding the live set of every later fixpoint.
+    fn apply_dels(&mut self, step: &Step) {
+        for &del in &step.dels {
+            let cid = self.step_clause[del as usize];
+            if self.deleted[cid as usize] {
+                continue;
+            }
+            self.deleted[cid as usize] = true;
+            let lits = std::mem::take(&mut self.clauses[cid as usize]);
+            for lit in &lits {
+                let watch = &mut self.clause_watch[lit.var() as usize];
+                if let Some(pos) = watch.iter().position(|&c| c == cid) {
+                    watch.swap_remove(pos);
+                }
+            }
+        }
     }
 
     /// Asserts the negation of every literal into `doms`. Returns
@@ -891,19 +954,22 @@ impl Checker {
         false
     }
 
-    /// Installs an admitted clause and propagates it into the base.
-    fn install(&mut self, lits: &[PLit]) {
+    /// Installs an admitted clause and propagates it into the base;
+    /// returns its clause id.
+    fn install(&mut self, lits: &[PLit]) -> u32 {
         let id = self.clauses.len() as u32;
         for lit in lits {
             self.clause_watch[lit.var() as usize].push(id);
         }
         self.clauses.push(lits.to_vec());
+        self.deleted.push(false);
         if !self.base_conflict {
             let Checker {
                 lowered,
                 base,
                 clauses,
                 clause_watch,
+                deleted,
                 scratch,
                 ..
             } = self;
@@ -911,11 +977,13 @@ impl Checker {
                 lowered,
                 clauses,
                 clause_watch,
+                deleted,
             };
             if !ctx.fixpoint(base, scratch, &[], false, &[id]) {
                 self.base_conflict = true;
             }
         }
+        id
     }
 
     /// Admits one step: verifies the lemma follows from the netlist,
@@ -925,12 +993,18 @@ impl Checker {
     /// # Errors
     ///
     /// Rejects malformed steps ([`CheckError::BadLit`],
-    /// [`CheckError::BadSplit`], [`CheckError::FutureAntecedent`]) and
-    /// lemmas that do not follow ([`CheckError::NotImplied`],
-    /// [`CheckError::Budget`]).
+    /// [`CheckError::BadSplit`], [`CheckError::FutureAntecedent`],
+    /// [`CheckError::BadDeletion`]) and lemmas that do not follow
+    /// ([`CheckError::NotImplied`], [`CheckError::Budget`]).
     pub fn admit(&mut self, step: &Step) -> Result<(), CheckError> {
         self.validate(step)?;
         let id = self.admitted;
+        // Deletions precede the derivation (the producer retired these
+        // clauses *before* learning this lemma), so apply them before
+        // the refutation search. On a failed admit the retirements
+        // stick, mirroring the producer: its clauses are gone whether or
+        // not the next lemma justifies.
+        self.apply_dels(step);
         if !self.base_conflict {
             let mut trial = self.base.clone();
             let mut touched = Vec::new();
@@ -941,6 +1015,7 @@ impl Checker {
                     lowered,
                     clauses,
                     clause_watch,
+                    deleted,
                     scratch,
                     ..
                 } = &mut *self;
@@ -948,6 +1023,7 @@ impl Checker {
                     lowered,
                     clauses,
                     clause_watch,
+                    deleted,
                 };
                 let r = ctx.refute(trial, scratch, &touched, true, &step.splits, 0, &mut nodes);
                 self.nodes_used += REFUTE_BUDGET - nodes;
@@ -962,8 +1038,10 @@ impl Checker {
         }
         if step.lits.is_empty() {
             self.base_conflict = true;
+            self.step_clause.push(NO_CLAUSE);
         } else {
-            self.install(&step.lits);
+            let cid = self.install(&step.lits);
+            self.step_clause.push(cid);
         }
         self.admitted += 1;
         Ok(())
@@ -1000,6 +1078,7 @@ impl Checker {
             lowered,
             clauses,
             clause_watch,
+            deleted,
             scratch,
             ..
         } = &mut *self;
@@ -1007,6 +1086,7 @@ impl Checker {
             lowered,
             clauses,
             clause_watch,
+            deleted,
         };
         let ok = ctx.grow(trial, scratch, &touched, true, &mut splits, 0, &mut nodes);
         self.nodes_used += FIND_BUDGET - nodes;

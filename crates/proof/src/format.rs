@@ -1,20 +1,22 @@
 //! Compact text serialization of proofs.
 //!
 //! ```text
-//! rtlproof 1
+//! rtlproof 2
 //! vars 37
 //! goal bad_p1
 //! gaps 0
 //! l -b5 w7:3..9 ; s b2 w7@5 ; a 0 1
-//! l b3
+//! l b3 ; d 0
 //! f ; a 0 2
 //! ```
 //!
 //! * Header: magic+version, variable count, goal signal name, gap
-//!   count, one per line, in that order.
+//!   count, one per line, in that order. Version 2 added the `d`
+//!   section; version-1 proofs still parse.
 //! * One step per line. `l` opens a lemma, `f` the final empty clause.
 //!   Sections are separated by `;`: literals, then optionally
-//!   `s <splits>` and `a <antecedent-ids>` in either order.
+//!   `s <splits>`, `a <antecedent-ids>`, and `d <deleted-step-ids>` in
+//!   any order.
 //! * Literal tokens: `b12`/`-b12` — Boolean variable 12 true/false;
 //!   `w7:3..9` — variable 7 ∈ ⟨3,9⟩; `-w7:3..9` — variable 7 ∉ ⟨3,9⟩.
 //!   Bounds may be negative.
@@ -64,7 +66,7 @@ fn write_lit(out: &mut String, lit: &PLit) {
 #[must_use]
 pub fn print(proof: &Proof) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "rtlproof 1");
+    let _ = writeln!(out, "rtlproof 2");
     let _ = writeln!(out, "vars {}", proof.var_count);
     let _ = writeln!(out, "goal {}", proof.goal);
     let _ = writeln!(out, "gaps {}", proof.gaps);
@@ -94,6 +96,12 @@ pub fn print(proof: &Proof) -> String {
         if !step.ants.is_empty() {
             out.push_str(" ; a");
             for id in &step.ants {
+                let _ = write!(out, " {id}");
+            }
+        }
+        if !step.dels.is_empty() {
+            out.push_str(" ; d");
+            for id in &step.dels {
                 let _ = write!(out, " {id}");
             }
         }
@@ -211,6 +219,11 @@ impl LineParser<'_> {
                         step.ants.push(self.parse_u32(tok, "antecedent id")?);
                     }
                 }
+                Some("d") => {
+                    for tok in toks {
+                        step.dels.push(self.parse_u32(tok, "deleted step id")?);
+                    }
+                }
                 Some(other) => {
                     return Err(self.err(format!("unknown section `{other}`")));
                 }
@@ -257,7 +270,7 @@ pub fn parse(text: &str) -> Result<Proof, ParseError> {
     };
 
     let (line, magic) = header("rtlproof")?;
-    if magic != "1" {
+    if magic != "1" && magic != "2" {
         return Err(ParseError {
             line,
             message: format!("unsupported proof version `{magic}`"),

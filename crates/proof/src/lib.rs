@@ -112,6 +112,12 @@ pub struct Step {
     /// checker validates the ids but propagates over *all* admitted
     /// steps, which is sound and strictly more deductive power).
     pub ants: Vec<u32>,
+    /// Ids of earlier steps whose clauses the producer retired from its
+    /// database *before* deriving this step (DB reduction). The checker
+    /// retires them from its live set — deletion only removes deductive
+    /// power, so honoring it is sound, and it keeps the checker's
+    /// propagation workload bounded the same way the producer's is.
+    pub dels: Vec<u32>,
 }
 
 impl Step {

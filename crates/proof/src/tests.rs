@@ -61,11 +61,13 @@ fn round_trip_all_features() {
                 lits: vec![lit_b(3, true), lit_b(7, false), lit_w(9, -4, 12, false)],
                 splits: vec![PSplit::Bool { var: 3 }, PSplit::Word { var: 9, at: -1 }],
                 ants: vec![0, 1, 5],
+                dels: vec![],
             },
             Step {
                 lits: vec![lit_w(2, 0, 0, true)],
                 splits: vec![],
                 ants: vec![],
+                dels: vec![0],
             },
             Step::default(), // final empty clause
         ],
@@ -82,7 +84,7 @@ fn parse_rejects_malformed_input() {
     let header = "rtlproof 1\nvars 4\ngoal g\ngaps 0\n";
     for (bad, why) in [
         ("vars 4\ngoal g\ngaps 0\n", "missing magic"),
-        ("rtlproof 2\nvars 4\ngoal g\ngaps 0\n", "bad version"),
+        ("rtlproof 3\nvars 4\ngoal g\ngaps 0\n", "bad version"),
         (
             &format!("{header}x b1\n") as &str,
             "unknown step kind",
@@ -94,6 +96,7 @@ fn parse_rejects_malformed_input() {
         (&format!("{header}l b1 ; z 0\n") as &str, "unknown section"),
         (&format!("{header}f b1\n") as &str, "literal on final step"),
         (&format!("{header}l b1 ; a x\n") as &str, "bad antecedent"),
+        (&format!("{header}l b1 ; d x\n") as &str, "bad deletion"),
     ] {
         assert!(format::parse(bad).is_err(), "accepted {why}: {bad:?}");
     }
@@ -139,6 +142,7 @@ fn future_antecedent_rejected() {
         lits: vec![],
         splits: vec![],
         ants: vec![0],
+        dels: vec![],
     };
     assert_eq!(
         checker.admit(&step),
@@ -155,6 +159,7 @@ fn tautological_lemma_admits() {
         lits: vec![lit_b(y, true), lit_b(y, false)],
         splits: vec![],
         ants: vec![],
+        dels: vec![],
     };
     assert_eq!(checker.admit(&taut), Ok(()));
     // A tautology adds no information: the netlist stays satisfiable,
@@ -252,6 +257,7 @@ fn split_replay_closes_what_propagation_cannot() {
         lits: vec![],
         splits: vec![PSplit::Word { var: x_var, at: 2 }],
         ants: vec![],
+        dels: vec![],
     };
     assert_eq!(checker.admit(&step), Ok(()));
     assert!(checker.derived_empty());
@@ -269,8 +275,72 @@ fn find_splits_discovers_a_replayable_tree() {
         lits: vec![],
         splits,
         ants: vec![],
+        dels: vec![],
     };
     assert_eq!(checker.admit(&step), Ok(()));
+}
+
+#[test]
+fn deletion_of_future_or_clauseless_step_rejected() {
+    let (n, x, y) = satisfiable();
+    let mut checker = Checker::new(&n, x).unwrap();
+    let y = y.index() as u32;
+    let taut = |dels: Vec<u32>| Step {
+        lits: vec![lit_b(y, true), lit_b(y, false)],
+        splits: vec![],
+        ants: vec![],
+        dels,
+    };
+    // A step cannot retire itself or anything later.
+    assert_eq!(
+        checker.admit(&taut(vec![0])),
+        Err(CheckError::BadDeletion { step: 0, cited: 0 })
+    );
+    // Nothing was admitted by the failed step; start over cleanly.
+    assert_eq!(checker.admitted(), 0);
+    assert_eq!(checker.admit(&taut(vec![])), Ok(()));
+    // Retiring step 0 is fine — and doing it twice is idempotent.
+    assert_eq!(checker.admit(&taut(vec![0])), Ok(()));
+    assert_eq!(checker.admit(&taut(vec![0])), Ok(()));
+    // The empty clause still does not follow on a satisfiable netlist:
+    // deletion only ever *removes* deductive power.
+    assert_eq!(
+        checker.admit(&Step::default()),
+        Err(CheckError::NotImplied { step: 3 })
+    );
+}
+
+#[test]
+fn proof_with_deletions_round_trips_and_certifies() {
+    // Produce a proof whose final step retires an earlier lemma, push
+    // it through the text format, and re-check from scratch — the whole
+    // deletion-aware pipeline in one pass.
+    let (n, goal) = trivially_unsat();
+    let vars = Checker::new(&n, goal).unwrap().var_count();
+    let proof = Proof {
+        var_count: vars,
+        goal: "goal".into(),
+        gaps: 0,
+        steps: vec![
+            Step {
+                lits: vec![lit_b(0, true)],
+                splits: vec![],
+                ants: vec![],
+                dels: vec![],
+            },
+            Step {
+                lits: vec![],
+                splits: vec![],
+                ants: vec![],
+                dels: vec![0],
+            },
+        ],
+    };
+    let text = format::print(&proof);
+    assert!(text.contains("; d 0"), "{text}");
+    let back = format::parse(&text).unwrap();
+    assert_eq!(back, proof);
+    assert!(Checker::check_goal(&n, goal, &back).is_ok());
 }
 
 #[test]

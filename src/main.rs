@@ -191,8 +191,10 @@ fn build_supervisor(args: &Args, netlist: &Netlist) -> Result<Supervisor, String
 }
 
 /// Prints the search statistics block (`--stats`) to stderr. The block
-/// is versioned: the `stats-format 1` header pins the set and order of
+/// is versioned: the `stats-format 2` header pins the set and order of
 /// the counter lines, so scripts scraping stderr can detect skew.
+/// Version 2 split restarts into forced (level-0 relearn) vs scheduled
+/// (EMA/Luby) and added the clause-DB reduction counters.
 fn print_stats(stats: &SolverStats) {
     let e = &stats.engine;
     eprintln!("c stats-format    {}", obs::STATS_FORMAT);
@@ -205,7 +207,10 @@ fn print_stats(stats: &SolverStats) {
     eprintln!("c conflicts       {}", e.conflicts);
     eprintln!("c learned         {}", e.learned);
     eprintln!("c backtracks      {}", e.backtracks);
-    eprintln!("c restarts        {}", e.restarts);
+    eprintln!("c restarts_forced {}", e.restarts);
+    eprintln!("c restarts_sched  {}", e.restarts_scheduled);
+    eprintln!("c db_reductions   {}", e.db_reductions);
+    eprintln!("c lemmas_deleted  {}", e.lemmas_deleted);
     eprintln!("c fm_calls        {}", e.fm_calls);
     eprintln!("c fm_subcalls     {}", e.fm_subcalls);
     eprintln!("c j_conflicts     {}", e.j_conflicts);

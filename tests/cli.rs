@@ -190,7 +190,7 @@ fn proof_dump_and_check_proof_roundtrip() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(20));
     let proof_text = std::fs::read_to_string(&proof_path).expect("proof written");
-    assert!(proof_text.starts_with("rtlproof 1"), "{proof_text}");
+    assert!(proof_text.starts_with("rtlproof 2"), "{proof_text}");
 
     // check-proof re-validates it from scratch.
     let out = bin()
@@ -256,7 +256,7 @@ fn stats_flag_prints_counters() {
     // counter lines in this exact order. Growing the block means bumping
     // `stats-format` — this test is the tripwire.
     assert!(
-        stderr.contains("c stats-format    1"),
+        stderr.contains("c stats-format    2"),
         "missing stats-format header: {stderr}"
     );
     let keys = [
@@ -270,7 +270,10 @@ fn stats_flag_prints_counters() {
         "c conflicts",
         "c learned",
         "c backtracks",
-        "c restarts",
+        "c restarts_forced",
+        "c restarts_sched",
+        "c db_reductions",
+        "c lemmas_deleted",
         "c fm_calls",
         "c fm_subcalls",
         "c j_conflicts",
@@ -322,7 +325,7 @@ fn trace_stats_json_and_report_roundtrip() {
     // The trace is schema-valid JSONL, accepted by `check-trace`.
     let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
     assert!(
-        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":1,"),
+        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":2,"),
         "{trace_text}"
     );
     rtlsat::obs::validate_jsonl(&trace_text).expect("trace validates");

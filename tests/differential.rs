@@ -11,7 +11,9 @@
 use proptest::prelude::*;
 
 use rtlsat::baselines::{default_supervisor, BaselineLimits, EagerSolver};
-use rtlsat::hdpll::{HdpllResult, LearnConfig, Solver, SolverConfig};
+use rtlsat::hdpll::{
+    ClauseDbConfig, HdpllResult, LearnConfig, RestartMode, Solver, SolverConfig,
+};
 use rtlsat::ir::eval;
 
 mod common;
@@ -54,6 +56,53 @@ proptest! {
                 verdict_of(&got),
                 expected,
                 "seed {}: {} disagrees with eager",
+                seed,
+                label
+            );
+            if let HdpllResult::Sat(model) = &got {
+                prop_assert!(
+                    eval::check_model(&netlist, model, goal).unwrap(),
+                    "seed {seed}: {label} witness rejected by the simulator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clause_db_management_preserves_verdicts(seed in any::<u64>()) {
+        // Clause-DB reduction and scheduled restarts only re-order and
+        // prune the search — the verdict must be invariant. Reference:
+        // management fully off (no deletions, no scheduled restarts).
+        let (netlist, goal) = random_netlist(seed);
+        let off = SolverConfig::structural()
+            .with_restarts(RestartMode::Off)
+            .with_clause_db(ClauseDbConfig {
+                reduce: false,
+                ..ClauseDbConfig::default()
+            });
+        let expected = verdict_of(&Solver::new(&netlist, off).solve(goal));
+
+        // Aggressive schedule so reductions actually fire on these tiny
+        // instances (defaults are tuned for real workloads).
+        let aggressive = ClauseDbConfig {
+            reduce: true,
+            first_reduce: 1,
+            reduce_inc: 1,
+        };
+        for (label, restarts, db) in [
+            ("ema+aggressive-db", RestartMode::Ema, aggressive),
+            ("luby+aggressive-db", RestartMode::Luby, aggressive),
+            ("ema+default-db", RestartMode::Ema, ClauseDbConfig::default()),
+        ] {
+            let config = SolverConfig::structural()
+                .with_restarts(restarts)
+                .with_clause_db(db);
+            let mut solver = Solver::new(&netlist, config);
+            let got = solver.solve(goal);
+            prop_assert_eq!(
+                verdict_of(&got),
+                expected,
+                "seed {}: {} changes the verdict",
                 seed,
                 label
             );

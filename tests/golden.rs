@@ -8,7 +8,9 @@
 use std::path::PathBuf;
 
 use rtlsat::baselines::default_supervisor;
-use rtlsat::hdpll::{Certification, HdpllResult, LearnConfig, Solver, SolverConfig};
+use rtlsat::hdpll::{
+    Certification, ClauseDbConfig, HdpllResult, LearnConfig, Solver, SolverConfig,
+};
 use rtlsat::ir::{text, Netlist, SignalId};
 use rtlsat::proof::{format, resolve_goal, Checker};
 
@@ -69,6 +71,17 @@ fn variants() -> Vec<(&'static str, SolverConfig)> {
         (
             "hdpll+S+P",
             SolverConfig::structural_with_learning(LearnConfig::default()),
+        ),
+        // Deletion-heavy clause-DB schedule: reductions fire every
+        // couple of lemmas, so the Unsat proofs of this corpus carry
+        // `d` sections the independent checker must accept.
+        (
+            "hdpll+S aggressive-db",
+            SolverConfig::structural().with_clause_db(ClauseDbConfig {
+                reduce: true,
+                first_reduce: 1,
+                reduce_inc: 1,
+            }),
         ),
     ]
 }
@@ -136,6 +149,64 @@ fn itc99_cases_all_variants() {
         for (label, config) in variants() {
             check_case(case, label, config);
         }
+    }
+}
+
+#[test]
+fn search_effort_within_regression_band() {
+    // `tests/golden/EFFORT` pins the conflict count of every corpus
+    // case under the default structural config (deterministic search,
+    // so the numbers are exact at pin time). A solve may drift as
+    // heuristics evolve, but must stay within 3× + 25 of the pinned
+    // count — the tripwire for search-quality blow-ups that raw
+    // verdict tests cannot see. Regenerate the pins after a deliberate
+    // heuristic change with:
+    //
+    //     RTLSAT_BLESS_EFFORT=1 cargo test --test golden search_effort
+    let path = corpus_dir().join("EFFORT");
+    let measured: Vec<(String, u64)> = corpus()
+        .iter()
+        .map(|case| {
+            let mut solver = Solver::new(&case.netlist, SolverConfig::structural());
+            let result = solver.solve(case.goal);
+            assert_eq!(result.is_unsat(), case.unsat, "{}: verdict", case.file);
+            (case.file.clone(), solver.stats().engine.conflicts)
+        })
+        .collect();
+    if std::env::var_os("RTLSAT_BLESS_EFFORT").is_some() {
+        let mut text = String::from(
+            "# <file> <conflicts> — structural-config conflict counts, pinned.\n\
+             # Regenerate: RTLSAT_BLESS_EFFORT=1 cargo test --test golden search_effort\n",
+        );
+        for (file, conflicts) in &measured {
+            text.push_str(&format!("{file} {conflicts}\n"));
+        }
+        std::fs::write(&path, text).expect("write EFFORT pins");
+        return;
+    }
+    let pins = std::fs::read_to_string(&path).expect("read tests/golden/EFFORT");
+    let pinned: std::collections::BTreeMap<&str, u64> = pins
+        .lines()
+        .map(|l| l.split('#').next().unwrap().trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut f = l.split_whitespace();
+            let file = f.next().expect("file");
+            let conflicts = f.next().expect("conflicts").parse().expect("number");
+            (file, conflicts)
+        })
+        .collect();
+    for (file, conflicts) in &measured {
+        let pin = *pinned
+            .get(file.as_str())
+            .unwrap_or_else(|| panic!("{file} missing from EFFORT — re-bless the pins"));
+        let bound = pin * 3 + 25;
+        assert!(
+            *conflicts <= bound,
+            "{file}: conflict count {conflicts} blew past the regression band \
+             (pinned {pin}, bound {bound}) — search quality regressed, or \
+             re-bless after a deliberate heuristic change"
+        );
     }
 }
 

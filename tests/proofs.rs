@@ -8,12 +8,23 @@
 
 use proptest::prelude::*;
 
-use rtlsat::hdpll::{FaultPlan, HdpllResult, LearnConfig, Solver, SolverConfig};
+use rtlsat::hdpll::{ClauseDbConfig, FaultPlan, HdpllResult, LearnConfig, Solver, SolverConfig};
 use rtlsat::ir::{Netlist, SignalId};
 use rtlsat::proof::{format, Checker, Proof, Step};
 
 mod common;
 use common::random_netlist;
+
+/// A clause-DB schedule aggressive enough that reductions (and thus
+/// deletion proof events) actually fire on the tiny random netlists of
+/// these tests — the default thresholds are tuned for real workloads.
+fn aggressive_db() -> ClauseDbConfig {
+    ClauseDbConfig {
+        reduce: true,
+        first_reduce: 1,
+        reduce_inc: 1,
+    }
+}
 
 fn variants() -> Vec<(&'static str, SolverConfig)> {
     vec![
@@ -22,6 +33,12 @@ fn variants() -> Vec<(&'static str, SolverConfig)> {
         (
             "hdpll+S+P",
             SolverConfig::structural_with_learning(LearnConfig::default()),
+        ),
+        // Deletion-heavy: every couple of lemmas triggers a reduction,
+        // so Unsat proofs carry `d` sections the checker must accept.
+        (
+            "hdpll+S aggressive-db",
+            SolverConfig::structural().with_clause_db(aggressive_db()),
         ),
     ]
 }
@@ -164,5 +181,43 @@ fn faulty_solver_cannot_certify_its_unsat() {
     assert!(
         !proof.is_complete() || Checker::check_goal(&netlist, goal, &proof).is_err(),
         "a corrupted lemma must never survive certification"
+    );
+}
+
+#[test]
+fn corrupted_deletion_bookkeeping_is_never_certified() {
+    // Retirement events are part of the trusted record: a solver that
+    // logs the deletion of a step that never existed must fail closed.
+    // The fault fires alongside the first DB reduction (0-based index).
+    // The parity instance collapses under level-0 propagation, so the
+    // conflict-rich Unsat mux workload drives this one: every leaf of
+    // its Boolean search is a conflict, and the aggressive schedule
+    // turns those lemmas into a stream of reductions.
+    let wl = rtl_bench::hotpath::mux_search(10);
+    assert!(!wl.expect_sat, "mux_search target must be infeasible");
+    let (netlist, goal) = (wl.netlist, wl.goal);
+    let mut solver = Solver::new(
+        &netlist,
+        wl.config
+            .with_clause_db(aggressive_db())
+            .with_proof(true),
+    );
+    solver.inject_faults(FaultPlan {
+        corrupt_deletion: Some(0),
+        ..FaultPlan::default()
+    });
+    let result = solver.solve(goal);
+    let reductions = solver.stats().engine.db_reductions;
+    assert!(
+        reductions >= 2,
+        "aggressive schedule must reduce at least twice (got {reductions}) — \
+         a second reduction guarantees a lemma was logged (or gapped) after \
+         the corrupted one, so the bogus retirement cannot dangle unattached"
+    );
+    assert_eq!(result, HdpllResult::Unsat, "mux_search target is Unsat");
+    let proof = solver.take_proof().expect("logging was enabled");
+    assert!(
+        !proof.is_complete() || Checker::check_goal(&netlist, goal, &proof).is_err(),
+        "a fabricated deletion must never survive certification"
     );
 }
