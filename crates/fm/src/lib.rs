@@ -39,6 +39,7 @@
 //!         assert!(model[1] >= 2);
 //!     }
 //!     FmOutcome::Unsat(_) => unreachable!("x=6, y=2 is a solution"),
+//!     FmOutcome::Aborted => unreachable!("no budget installed"),
 //! }
 //! ```
 
@@ -49,7 +50,7 @@ mod linear;
 mod solver;
 
 pub use crate::linear::LinExpr;
-pub use crate::solver::{Conflict, FmConfig, FmOutcome, Problem};
+pub use crate::solver::{Conflict, FmBudget, FmConfig, FmOutcome, Problem};
 
 #[cfg(test)]
 mod tests;

@@ -1,8 +1,78 @@
 //! The elimination engine.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use rtl_interval::Interval;
 
 use crate::linear::{div_ceil, div_floor, LinExpr};
+
+/// How many budget-guarded steps (elimination rounds, enumeration values)
+/// pass between clock/flag polls. FM steps are heavy, so this is much
+/// smaller than the propagation engine's poll period.
+const FM_POLL_PERIOD: u32 = 16;
+
+/// A cooperative deadline/cancellation budget for the oracle.
+///
+/// The propagation engine polls its own budget every few thousand steps,
+/// but a single final check can disappear into elimination or enumeration
+/// for a long time; this threads the same deadline and cancellation flag
+/// into the FM loops so `max_time` holds within a small bound even on
+/// FM-bound workloads. Default is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct FmBudget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    countdown: Cell<u32>,
+    tripped: Cell<bool>,
+}
+
+impl FmBudget {
+    /// A budget with the given wall-clock deadline and cancellation flag.
+    #[must_use]
+    pub fn new(deadline: Option<Instant>, cancel: Option<Arc<AtomicBool>>) -> Self {
+        Self {
+            deadline,
+            cancel,
+            countdown: Cell::new(0),
+            tripped: Cell::new(false),
+        }
+    }
+
+    /// `true` once the deadline has passed or the flag has been raised.
+    /// Sticky: after the first trip every call returns `true` without
+    /// re-polling, so deep enumeration recursion unwinds promptly.
+    fn expired(&self) -> bool {
+        if self.tripped.get() {
+            return true;
+        }
+        if self.deadline.is_none() && self.cancel.is_none() {
+            return false;
+        }
+        let c = self.countdown.get();
+        if c > 0 {
+            self.countdown.set(c - 1);
+            return false;
+        }
+        self.countdown.set(FM_POLL_PERIOD);
+        let hit = self.cancel.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d);
+        if hit {
+            self.tripped.set(true);
+        }
+        hit
+    }
+}
+
+/// Why `State::solve` unwound without a verdict.
+enum Halt {
+    /// An infeasible subset was derived.
+    Conflict(Prov),
+    /// The budget expired mid-search.
+    Aborted,
+}
 
 /// Provenance of a derived constraint: which caller-tagged constraints and
 /// which variable bounds it was combined from.
@@ -90,6 +160,9 @@ pub enum FmOutcome {
     Sat(Vec<i64>),
     /// No integer point exists; an infeasible subset is attached.
     Unsat(Conflict),
+    /// The budget installed via [`Problem::set_budget`] expired before a
+    /// verdict was reached. Never produced for unbudgeted problems.
+    Aborted,
 }
 
 impl FmOutcome {
@@ -98,7 +171,7 @@ impl FmOutcome {
     pub fn model(&self) -> Option<&[i64]> {
         match self {
             FmOutcome::Sat(m) => Some(m),
-            FmOutcome::Unsat(_) => None,
+            FmOutcome::Unsat(_) | FmOutcome::Aborted => None,
         }
     }
 
@@ -106,6 +179,12 @@ impl FmOutcome {
     #[must_use]
     pub fn is_unsat(&self) -> bool {
         matches!(self, FmOutcome::Unsat(_))
+    }
+
+    /// `true` for [`FmOutcome::Aborted`].
+    #[must_use]
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, FmOutcome::Aborted)
     }
 }
 
@@ -148,6 +227,7 @@ pub struct Problem {
     les: Vec<(LinExpr, usize)>,
     eqs: Vec<(LinExpr, usize)>,
     config: FmConfig,
+    budget: FmBudget,
 }
 
 impl Problem {
@@ -160,12 +240,19 @@ impl Problem {
             les: Vec::new(),
             eqs: Vec::new(),
             config: FmConfig::default(),
+            budget: FmBudget::default(),
         }
     }
 
     /// Replaces the engine configuration.
     pub fn set_config(&mut self, config: FmConfig) {
         self.config = config;
+    }
+
+    /// Installs a deadline/cancellation budget; [`Problem::solve`] then
+    /// returns [`FmOutcome::Aborted`] promptly once it expires.
+    pub fn set_budget(&mut self, budget: FmBudget) {
+        self.budget = budget;
     }
 
     /// Number of variables.
@@ -212,6 +299,7 @@ impl Problem {
         let mut state = State {
             bounds: &self.bounds,
             config: self.config,
+            budget: &self.budget,
             les: Vec::new(),
             eqs: Vec::new(),
         };
@@ -251,10 +339,11 @@ impl Problem {
                 debug_assert!(self.verify(&model), "FM produced an invalid model");
                 FmOutcome::Sat(model)
             }
-            Err(prov) => FmOutcome::Unsat(Conflict {
+            Err(Halt::Conflict(prov)) => FmOutcome::Unsat(Conflict {
                 tags: prov.tags,
                 bound_vars: prov.bound_vars,
             }),
+            Err(Halt::Aborted) => FmOutcome::Aborted,
         }
     }
 
@@ -277,6 +366,7 @@ impl Problem {
 struct State<'a> {
     bounds: &'a [Interval],
     config: FmConfig,
+    budget: &'a FmBudget,
     les: Vec<Cons>,
     eqs: Vec<Cons>,
 }
@@ -285,7 +375,7 @@ struct State<'a> {
 type PartialModel = Vec<Option<i64>>;
 
 impl State<'_> {
-    fn solve(&mut self) -> Result<PartialModel, Prov> {
+    fn solve(&mut self) -> Result<PartialModel, Halt> {
         // --- 1. equality preprocessing ---------------------------------
         let mut subs: Vec<(u32, LinExpr)> = Vec::new();
         loop {
@@ -294,13 +384,13 @@ impl State<'_> {
             for (i, c) in self.eqs.iter().enumerate() {
                 if c.expr.is_constant() {
                     if c.expr.constant() != 0 {
-                        return Err(c.prov.clone());
+                        return Err(Halt::Conflict(c.prov.clone()));
                     }
                     continue;
                 }
                 let g = c.expr.coeff_gcd();
                 if g > 1 && c.expr.constant() % g != 0 {
-                    return Err(c.prov.clone()); // no integer solution
+                    return Err(Halt::Conflict(c.prov.clone())); // no integer solution
                 }
                 // Find a ±1 coefficient to solve for.
                 if let Some(&(v, coef)) = c.expr.iter_terms().iter().find(|&&(_, c)| c.abs() == 1)
@@ -340,6 +430,11 @@ impl State<'_> {
         // --- 2. Fourier–Motzkin elimination ------------------------------
         let mut frames: Vec<Frame> = Vec::new();
         let conflict = loop {
+            // One elimination round can square the constraint count, so
+            // poll the budget per round rather than per combination.
+            if self.budget.expired() {
+                return Err(Halt::Aborted);
+            }
             // Normalize, drop trivially-true, find contradictions.
             let mut contradiction: Option<Prov> = None;
             self.les.retain_mut(|c| {
@@ -369,7 +464,7 @@ impl State<'_> {
             }
         };
         if let Some(prov) = conflict {
-            return Err(prov);
+            return Err(Halt::Conflict(prov));
         }
 
         // --- 3. back-substitution -----------------------------------------
@@ -484,7 +579,7 @@ impl State<'_> {
         &mut self,
         subs: Vec<(u32, LinExpr)>,
         frames: Vec<Frame>,
-    ) -> Result<PartialModel, Prov> {
+    ) -> Result<PartialModel, Halt> {
         // Choose the variable with the smallest domain among those still
         // appearing in constraints.
         let var = self
@@ -496,9 +591,14 @@ impl State<'_> {
         let domain = self.bounds[var as usize];
         let mut conflict = Prov::from_bound(var);
         for value in domain.iter() {
+            // Domains can be enormous, so every branch is budget-gated.
+            if self.budget.expired() {
+                return Err(Halt::Aborted);
+            }
             let mut branch = State {
                 bounds: self.bounds,
                 config: self.config,
+                budget: self.budget,
                 les: Vec::new(),
                 eqs: Vec::new(),
             };
@@ -519,10 +619,11 @@ impl State<'_> {
                     // Re-apply outer frames and substitutions.
                     return finish_outer(model, &frames, &subs, self.bounds);
                 }
-                Err(p) => conflict = conflict.union(&p),
+                Err(Halt::Conflict(p)) => conflict = conflict.union(&p),
+                Err(Halt::Aborted) => return Err(Halt::Aborted),
             }
         }
-        Err(conflict)
+        Err(Halt::Conflict(conflict))
     }
 }
 
@@ -533,7 +634,7 @@ fn finish_outer(
     frames: &[Frame],
     subs: &[(u32, LinExpr)],
     bounds: &[Interval],
-) -> Result<PartialModel, Prov> {
+) -> Result<PartialModel, Halt> {
     for frame in frames.iter().rev() {
         if model[frame.var as usize].is_some() {
             continue;

@@ -76,6 +76,7 @@ fn empty_problem_is_sat() {
     match p.solve() {
         FmOutcome::Sat(m) => assert_eq!(m.len(), 3),
         FmOutcome::Unsat(_) => panic!("empty problem must be SAT"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -88,6 +89,7 @@ fn doc_example() {
     let m = match p.solve() {
         FmOutcome::Sat(m) => m,
         FmOutcome::Unsat(c) => panic!("should be SAT, got conflict {c:?}"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     };
     assert!(p.verify(&m));
 }
@@ -102,6 +104,7 @@ fn equality_chain_substitution() {
     match p.solve() {
         FmOutcome::Sat(m) => assert_eq!(m, vec![7, 6, 5]),
         FmOutcome::Unsat(_) => panic!("consistent chain"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -113,6 +116,7 @@ fn parity_equality_unsat() {
     match p.solve() {
         FmOutcome::Unsat(c) => assert_eq!(c.tags, vec![42]),
         FmOutcome::Sat(_) => panic!("2x = 7 must be UNSAT"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -127,6 +131,7 @@ fn bounds_participate_in_conflicts() {
             assert_eq!(c.bound_vars, vec![0]);
         }
         FmOutcome::Sat(_) => panic!("must be UNSAT"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -144,6 +149,7 @@ fn conflict_identifies_subset() {
             assert!(!c.tags.contains(&0), "irrelevant constraint cited: {c:?}");
         }
         FmOutcome::Sat(_) => panic!("must be UNSAT"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -156,6 +162,7 @@ fn dark_corner_integer_gap() {
     match p.solve() {
         FmOutcome::Sat(m) => assert_eq!(m[0], 3),
         FmOutcome::Unsat(_) => panic!("x = 3 works"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 
     // 3x ≥ 4 ∧ 3x ≤ 5: real shadow non-empty (4/3..5/3) but no integer. UNSAT.
@@ -184,6 +191,7 @@ fn wrap_around_adder_model() {
             assert_eq!(m[3], 1);
         }
         FmOutcome::Unsat(_) => panic!("b = 8 is a solution"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -198,6 +206,7 @@ fn non_unit_coefficients_enumerate() {
             assert_eq!(3 * m[0] + 5 * m[1], 22);
         }
         FmOutcome::Unsat(_) => panic!("(4, 2) is a solution"),
+        FmOutcome::Aborted => panic!("no budget installed"),
     }
 }
 
@@ -216,6 +225,66 @@ fn verify_rejects_bad_models() {
 fn unknown_variable_rejected() {
     let mut p = Problem::new(boxed(1, 0, 10));
     p.add_le(LinExpr::var(5, 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Budget (deadline / cancellation)
+// ---------------------------------------------------------------------------
+
+/// An enumeration-bound problem: no ±1 coefficient anywhere, so the solver
+/// must branch over huge domains — without a budget this takes far longer
+/// than any test timeout.
+fn enumeration_bomb() -> Problem {
+    let mut p = Problem::new(boxed(3, 0, 5_000_000));
+    // 3x + 5y + 7z = 1 (mod nothing): forces enumeration, and the search
+    // space is ~1.25e20 points.
+    p.add_eq(LinExpr::terms(&[(0, 3), (1, 5), (2, 7)]).plus(-1), 0);
+    p.add_le(LinExpr::terms(&[(0, 2), (1, 2)]).plus(-9_999_999), 1);
+    p
+}
+
+#[test]
+fn expired_deadline_aborts_promptly() {
+    use crate::FmBudget;
+    let mut p = enumeration_bomb();
+    p.set_budget(FmBudget::new(
+        Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        None,
+    ));
+    let start = std::time::Instant::now();
+    assert!(p.solve().is_aborted());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "abort took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn raised_cancel_flag_aborts_promptly() {
+    use crate::FmBudget;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let flag = Arc::new(AtomicBool::new(false));
+    flag.store(true, Ordering::SeqCst);
+    let mut p = enumeration_bomb();
+    p.set_budget(FmBudget::new(None, Some(flag)));
+    assert!(p.solve().is_aborted());
+}
+
+#[test]
+fn unexpired_budget_does_not_change_verdicts() {
+    use crate::FmBudget;
+    let mut p = Problem::new(boxed(2, 0, 7));
+    p.add_eq(LinExpr::terms(&[(0, 3), (1, 5)]).plus(-22), 0);
+    p.set_budget(FmBudget::new(
+        Some(std::time::Instant::now() + std::time::Duration::from_secs(60)),
+        None,
+    ));
+    match p.solve() {
+        FmOutcome::Sat(m) => assert_eq!(3 * m[0] + 5 * m[1], 22),
+        other => panic!("expected SAT under a generous budget, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +383,7 @@ proptest! {
             FmOutcome::Unsat(c) => {
                 prop_assert!(expected.is_none(), "FM said UNSAT {c:?}, brute force found {expected:?}");
             }
+            FmOutcome::Aborted => prop_assert!(false, "no budget installed"),
         }
     }
 

@@ -58,6 +58,9 @@ struct BudgetGuard {
     cancel: Option<Arc<AtomicBool>>,
     /// Cap on constraint propagation steps (`u64::MAX` = unlimited).
     max_propagations: u64,
+    /// Cap on approximate engine memory in bytes (`u64::MAX` = unlimited),
+    /// checked against [`Engine::approx_mem_bytes`] at poll points.
+    max_memory: u64,
     /// Steps until the next deadline/cancellation poll.
     poll_countdown: u32,
 }
@@ -68,6 +71,7 @@ impl Default for BudgetGuard {
             deadline: None,
             cancel: None,
             max_propagations: u64::MAX,
+            max_memory: u64::MAX,
             poll_countdown: POLL_PERIOD,
         }
     }
@@ -137,6 +141,9 @@ pub struct EngineStats {
     /// FM oracle leaf invocations, including case-split branches (the
     /// per-final-check count is [`EngineStats::fm_calls`]).
     pub fm_subcalls: u64,
+    /// High-water mark of [`Engine::approx_mem_bytes`], sampled at budget
+    /// poll points (so it trails the true peak by at most one poll period).
+    pub mem_peak: u64,
 }
 
 pub(crate) struct Engine {
@@ -194,6 +201,10 @@ pub(crate) struct Engine {
     /// Reusable change buffer handed to the constraint contractors, so
     /// steady-state propagation performs no heap allocation.
     change_buf: Vec<(VarId, Dom)>,
+    /// Live literal count across the clause database, maintained by
+    /// [`Engine::add_clause`] / [`Engine::delete_clause`] so the memory
+    /// estimate never walks the database.
+    clause_lits: usize,
     /// Fine-grained resource guard checked inside the propagation loop.
     budget: BudgetGuard,
     /// Sticky abort: set the first time the guard trips, returned by
@@ -240,6 +251,7 @@ impl Engine {
             saved_phase: vec![Tribool::Unknown; n],
             ant_pool: Vec::new(),
             change_buf: Vec::new(),
+            clause_lits: 0,
             budget: BudgetGuard::default(),
             aborted: None,
             faults: FaultPlan::default(),
@@ -255,10 +267,50 @@ impl Engine {
         deadline: Option<Instant>,
         cancel: Option<Arc<AtomicBool>>,
         max_propagations: Option<u64>,
+        max_memory: Option<u64>,
     ) {
         self.budget.deadline = deadline;
         self.budget.cancel = cancel;
         self.budget.max_propagations = max_propagations.unwrap_or(u64::MAX);
+        self.budget.max_memory = max_memory.unwrap_or(u64::MAX);
+    }
+
+    /// An [`rtl_fm::FmBudget`] sharing this engine's deadline and
+    /// cancellation flag, for threading into final-check oracle calls.
+    pub fn fm_budget(&self) -> rtl_fm::FmBudget {
+        rtl_fm::FmBudget::new(self.budget.deadline, self.budget.cancel.clone())
+    }
+
+    /// Marks the engine aborted (sticky), e.g. when an FM final check hit
+    /// the shared budget rather than the propagation loop itself.
+    pub(crate) fn set_aborted(&mut self, reason: AbortReason) {
+        if self.aborted.is_none() {
+            self.aborted = Some(reason);
+        }
+    }
+
+    /// Re-polls the budget to attribute an abort observed elsewhere
+    /// (cancellation wins over deadline; deadline is the default when
+    /// neither is currently visible, e.g. a raced clock).
+    pub(crate) fn budget_abort_reason(&self) -> AbortReason {
+        if let Some(cancel) = &self.budget.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return AbortReason::Cancelled;
+            }
+        }
+        AbortReason::Deadline
+    }
+
+    /// Approximate resident memory of the growable search structures, in
+    /// bytes: the clause database's literals, clause headers, the
+    /// antecedent pool, and the trail. Deliberately excludes the fixed
+    /// compile-time structures — the point is to bound *growth*.
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let clause_bytes = self.clause_lits * std::mem::size_of::<HLit>()
+            + self.clauses.len() * std::mem::size_of::<HClause>();
+        let pool_bytes = self.ant_pool.capacity() * std::mem::size_of::<u32>();
+        let trail_bytes = self.trail.capacity() * std::mem::size_of::<TrailEntry>();
+        (clause_bytes + pool_bytes + trail_bytes) as u64
     }
 
     /// Installs a test-only fault plan (see [`crate::supervise::FaultPlan`]).
@@ -314,6 +366,13 @@ impl Engine {
         self.budget.poll_countdown -= 1;
         if self.budget.poll_countdown == 0 {
             self.budget.poll_countdown = POLL_PERIOD;
+            // The memory estimate is O(1) but still only worth paying at
+            // poll cadence, alongside the clock read.
+            let mem = self.approx_mem_bytes();
+            self.stats.mem_peak = self.stats.mem_peak.max(mem);
+            if mem > self.budget.max_memory {
+                return Some(AbortReason::Memory);
+            }
             return self.poll_budget();
         }
         None
@@ -736,6 +795,7 @@ impl Engine {
         for lit in &lits {
             self.clause_watch[lit.var().index()].push(id);
         }
+        self.clause_lits += lits.len();
         self.clauses.push(HClause {
             lits,
             learned,
@@ -946,6 +1006,7 @@ impl Engine {
     /// indexing) stays valid — reasons and proof steps cite ids.
     fn delete_clause(&mut self, cid: u32) {
         let lits = std::mem::take(&mut self.clauses[cid as usize].lits);
+        self.clause_lits -= lits.len();
         for lit in &lits {
             let watch = &mut self.clause_watch[lit.var().index()];
             if let Some(pos) = watch.iter().position(|&c| c == cid) {

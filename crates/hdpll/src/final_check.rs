@@ -12,7 +12,7 @@ use rtl_ir::CmpOp;
 
 use crate::compile::CKind;
 use crate::engine::{ConflictInfo, Engine};
-use crate::types::{Dom, VarId};
+use crate::types::{AbortReason, Dom, VarId};
 
 /// Outcome of the final check.
 pub(crate) enum FinalOutcome {
@@ -20,6 +20,17 @@ pub(crate) enum FinalOutcome {
     Sat(Vec<i64>),
     /// The box contains no solution; the conflicting trail entries.
     Conflict(ConflictInfo),
+    /// The engine's budget (deadline/cancellation) expired inside the
+    /// oracle. The engine is marked aborted (sticky) before returning.
+    Aborted(AbortReason),
+}
+
+/// Why `solve_with_splits` failed to produce a model.
+enum SplitErr {
+    /// Infeasible: accumulated conflict tags and bound variables.
+    Unsat(Vec<usize>, Vec<u32>),
+    /// The shared budget expired mid-oracle.
+    Aborted,
 }
 
 /// One alternative of a disjunctive (case-split) constraint.
@@ -53,6 +64,10 @@ pub(crate) fn final_check(engine: &mut Engine) -> FinalOutcome {
         }
     }
     let mut problem = Problem::new(bounds);
+    // Share the engine's deadline/cancellation with the oracle: a single
+    // final check may enumerate huge domains, far outlasting the
+    // propagation loop's own poll cadence.
+    problem.set_budget(engine.fm_budget());
 
     // Translate a solver variable into an FM term or constant.
     let value_of = |engine: &Engine, v: VarId| -> Result<i64, ()> {
@@ -212,7 +227,12 @@ pub(crate) fn final_check(engine: &mut Engine) -> FinalOutcome {
                 .collect();
             FinalOutcome::Sat(values)
         }
-        Err((tags, bound_vars)) => {
+        Err(SplitErr::Aborted) => {
+            let reason = engine.budget_abort_reason();
+            engine.set_aborted(reason);
+            FinalOutcome::Aborted(reason)
+        }
+        Err(SplitErr::Unsat(tags, bound_vars)) => {
             // Map the infeasible subset back to trail entries: the latest
             // entries of the cited constraints' variables and of the cited
             // box bounds.
@@ -247,12 +267,13 @@ fn solve_with_splits(
     splits: &[Split],
     depth: usize,
     subcalls: &mut u64,
-) -> Result<Vec<i64>, (Vec<usize>, Vec<u32>)> {
+) -> Result<Vec<i64>, SplitErr> {
     if depth == splits.len() {
         *subcalls += 1;
         return match base.solve() {
             FmOutcome::Sat(m) => Ok(m),
-            FmOutcome::Unsat(c) => Err((c.tags, c.bound_vars)),
+            FmOutcome::Unsat(c) => Err(SplitErr::Unsat(c.tags, c.bound_vars)),
+            FmOutcome::Aborted => Err(SplitErr::Aborted),
         };
     }
     let split = &splits[depth];
@@ -268,7 +289,8 @@ fn solve_with_splits(
         }
         match solve_with_splits(&branch, splits, depth + 1, subcalls) {
             Ok(m) => return Ok(m),
-            Err((t, b)) => {
+            Err(SplitErr::Aborted) => return Err(SplitErr::Aborted),
+            Err(SplitErr::Unsat(t, b)) => {
                 tags_acc.extend(t);
                 bounds_acc.extend(b);
             }
@@ -278,5 +300,5 @@ fn solve_with_splits(
     tags_acc.dedup();
     bounds_acc.sort_unstable();
     bounds_acc.dedup();
-    Err((tags_acc, bounds_acc))
+    Err(SplitErr::Unsat(tags_acc, bounds_acc))
 }

@@ -30,6 +30,13 @@ pub struct Limits {
     pub max_propagations: Option<u64>,
     /// Wall-clock budget.
     pub max_time: Option<Duration>,
+    /// Approximate cap, in bytes, on the engine's growable search
+    /// structures (clause database, antecedent pool, trail) — see
+    /// [`AbortReason::Memory`]. Lets a long-running server shed a runaway
+    /// solve instead of growing without bound. The estimate is checked at
+    /// budget-poll cadence, so brief overshoot by one poll period's
+    /// growth is possible.
+    pub max_memory: Option<u64>,
 }
 
 /// How conflicts are turned into learned information.
@@ -323,6 +330,7 @@ impl Solver {
             deadline,
             cancel.map(|c| c.flag()),
             self.config.limits.max_propagations,
+            self.config.limits.max_memory,
         );
         engine.set_faults(self.faults);
         engine.set_obs(self.obs.clone());
@@ -490,6 +498,10 @@ impl Solver {
                                 break HdpllResult::Unsat;
                             }
                         }
+                        FinalOutcome::Aborted(reason) => {
+                            abort = Some(reason);
+                            break HdpllResult::Unknown;
+                        }
                     }
                 }
             }
@@ -509,10 +521,14 @@ impl Solver {
     /// monotonic over a run).
     fn finish_stats(&mut self, engine: &Engine) {
         self.stats.engine = engine.stats;
+        // Final memory sample: in-loop sampling only runs at poll cadence,
+        // so short solves (and per-iteration memory aborts) would
+        // otherwise report a zero peak.
+        self.stats.engine.mem_peak = self.stats.engine.mem_peak.max(engine.approx_mem_bytes());
         if !self.obs.on() {
             return;
         }
-        let s = &engine.stats;
+        let s = &self.stats.engine;
         for (name, v) in [
             ("decisions", s.decisions),
             ("propagations", s.propagations),
@@ -537,6 +553,7 @@ impl Solver {
             ("max_cqueue", s.max_cqueue),
             ("max_clqueue", s.max_clqueue),
             ("ant_pool_peak", s.ant_pool_peak),
+            ("mem_peak", s.mem_peak),
         ] {
             self.obs.record_peak(name, v);
         }
@@ -554,6 +571,9 @@ impl Solver {
             .is_some_and(|m| engine.stats.propagations >= m)
         {
             return Some(AbortReason::Propagations);
+        }
+        if l.max_memory.is_some_and(|m| engine.approx_mem_bytes() > m) {
+            return Some(AbortReason::Memory);
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return Some(AbortReason::Deadline);

@@ -501,6 +501,15 @@ impl Supervisor {
         self.cancel.clone()
     }
 
+    /// Replaces the supervisor's cancel token with an externally shared
+    /// one, so one token (e.g. a server's drain signal) can cancel many
+    /// supervisors at once.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Runs the ladder until a stage produces a certified answer.
     ///
     /// Stages run in order; each gets its weighted share of the

@@ -302,6 +302,9 @@ pub enum AbortReason {
     Decisions,
     /// `Limits::max_conflicts` was reached.
     Conflicts,
+    /// `Limits::max_memory` was exceeded (approximate, from the clause
+    /// database, antecedent pool, and trail).
+    Memory,
 }
 
 impl fmt::Display for AbortReason {
@@ -312,6 +315,7 @@ impl fmt::Display for AbortReason {
             AbortReason::Propagations => "propagation budget",
             AbortReason::Decisions => "decision budget",
             AbortReason::Conflicts => "conflict budget",
+            AbortReason::Memory => "memory budget",
         })
     }
 }

@@ -101,11 +101,24 @@ pub enum Event {
         /// Interned outcome description.
         outcome: NameId,
     },
+    /// A serve-mode request beginning (request-scoped trace marker).
+    RequestStart {
+        /// Interned request id.
+        name: NameId,
+    },
+    /// A serve-mode request finishing.
+    RequestEnd {
+        /// Interned request id.
+        name: NameId,
+        /// Interned outcome label (e.g. `"SAT"`, `"error"`).
+        outcome: NameId,
+    },
 }
 
 /// The trace format version written in the JSONL header line.
-/// Version 2 added the `restart` and `db_reduce` event kinds.
-pub const TRACE_FORMAT: u32 = 2;
+/// Version 2 added the `restart` and `db_reduce` event kinds; version 3
+/// added the serve-mode `request_start` and `request_end` markers.
+pub const TRACE_FORMAT: u32 = 3;
 
 /// A bounded event buffer. Events past the capacity are counted in
 /// [`TraceBuf::dropped`] rather than grown into — the tracer never
@@ -256,6 +269,21 @@ impl TraceBuf {
                         json::escape(self.name(outcome))
                     );
                 }
+                Event::RequestStart { name } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"request_start\",\"name\":\"{}\"}}",
+                        json::escape(self.name(name))
+                    );
+                }
+                Event::RequestEnd { name, outcome } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"request_end\",\"name\":\"{}\",\"outcome\":\"{}\"}}",
+                        json::escape(self.name(name)),
+                        json::escape(self.name(outcome))
+                    );
+                }
             }
         }
         out
@@ -271,13 +299,13 @@ pub struct TraceSummary {
     pub dropped: u64,
     /// Per-kind event counts, in a fixed order (see
     /// [`TraceSummary::KINDS`]).
-    pub by_kind: [u64; 10],
+    pub by_kind: [u64; 12],
 }
 
 impl TraceSummary {
     /// The event kinds of the schema, index-aligned with
     /// [`TraceSummary::by_kind`].
-    pub const KINDS: [&'static str; 10] = [
+    pub const KINDS: [&'static str; 12] = [
         "decision",
         "batch",
         "conflict",
@@ -288,12 +316,14 @@ impl TraceSummary {
         "db_reduce",
         "stage_start",
         "stage_end",
+        "request_start",
+        "request_end",
     ];
 }
 
 /// Required integer/Boolean/string fields per event kind (the JSONL
 /// schema, version [`TRACE_FORMAT`]).
-const SCHEMA: [(&str, &[(&str, FieldKind)]); 10] = [
+const SCHEMA: [(&str, &[(&str, FieldKind)]); 12] = [
     (
         "decision",
         &[
@@ -346,6 +376,11 @@ const SCHEMA: [(&str, &[(&str, FieldKind)]); 10] = [
         "stage_end",
         &[("name", FieldKind::Str), ("outcome", FieldKind::Str)],
     ),
+    ("request_start", &[("name", FieldKind::Str)]),
+    (
+        "request_end",
+        &[("name", FieldKind::Str), ("outcome", FieldKind::Str)],
+    ),
 ];
 
 #[derive(Clone, Copy)]
@@ -355,7 +390,7 @@ enum FieldKind {
     Str,
 }
 
-/// Validates a JSONL trace against the `trace-format 2` schema: the
+/// Validates a JSONL trace against the `trace-format 3` schema: the
 /// header line, every event line's kind and required fields, and the
 /// header's event count against the actual line count.
 ///
@@ -468,6 +503,13 @@ mod tests {
             dropped: 37,
         });
         t.push(Event::StageEnd { name, outcome });
+        let req = t.intern("req-1");
+        let verdict = t.intern("SAT");
+        t.push(Event::RequestStart { name: req });
+        t.push(Event::RequestEnd {
+            name: req,
+            outcome: verdict,
+        });
         t
     }
 
@@ -475,9 +517,9 @@ mod tests {
     fn jsonl_roundtrip_validates() {
         let text = sample().to_jsonl();
         let summary = validate_jsonl(&text).expect("valid trace");
-        assert_eq!(summary.events, 10);
+        assert_eq!(summary.events, 12);
         assert_eq!(summary.dropped, 0);
-        assert_eq!(summary.by_kind.iter().sum::<u64>(), 10);
+        assert_eq!(summary.by_kind.iter().sum::<u64>(), 12);
         assert_eq!(summary.by_kind[0], 1); // one decision
     }
 
@@ -507,8 +549,8 @@ mod tests {
         let bad = good.replace("\"width\":3", "\"width\":\"three\"");
         assert!(validate_jsonl(&bad).is_err());
         // Header/body mismatch.
-        let bad = good.replace("\"events\":10", "\"events\":11");
-        assert_ne!(bad, good, "header must announce 10 events");
+        let bad = good.replace("\"events\":12", "\"events\":13");
+        assert_ne!(bad, good, "header must announce 12 events");
         assert!(validate_jsonl(&bad).is_err());
         // Not a header.
         assert!(validate_jsonl("{\"e\":\"decision\"}\n").is_err());

@@ -244,6 +244,27 @@ impl ObsHandle {
         }
     }
 
+    /// A serve-mode request is starting; `id` is the client-visible
+    /// request id (interned into the trace string table).
+    pub fn request_start(&self, id: &str) {
+        if let Some(obs) = &self.0 {
+            let mut obs = obs.borrow_mut();
+            let name = obs.trace.intern(id);
+            obs.trace.push(Event::RequestStart { name });
+        }
+    }
+
+    /// A serve-mode request finished with the given outcome label
+    /// (verdict string, `"error"`, `"overloaded"`, …).
+    pub fn request_end(&self, id: &str, outcome: &str) {
+        if let Some(obs) = &self.0 {
+            let mut obs = obs.borrow_mut();
+            let name = obs.trace.intern(id);
+            let outcome = obs.trace.intern(outcome);
+            obs.trace.push(Event::RequestEnd { name, outcome });
+        }
+    }
+
     /// Adds `v` to the named monotonic counter (end-of-solve projection
     /// from engine statistics; accumulates across ladder stages).
     pub fn record_counter(&self, name: &'static str, v: u64) {
@@ -345,6 +366,17 @@ mod tests {
         let text = h.export_jsonl().unwrap();
         assert!(text.contains("\"e\":\"stage_start\",\"name\":\"hdpll-sp\""));
         assert!(text.contains("\"outcome\":\"UNSAT (proof checked)\""));
+        validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn request_spans_appear_in_trace() {
+        let h = ObsHandle::armed(ObsConfig::default());
+        h.request_start("req-7");
+        h.request_end("req-7", "UNSAT");
+        let text = h.export_jsonl().unwrap();
+        assert!(text.contains("\"e\":\"request_start\",\"name\":\"req-7\""));
+        assert!(text.contains("\"e\":\"request_end\",\"name\":\"req-7\",\"outcome\":\"UNSAT\""));
         validate_jsonl(&text).unwrap();
     }
 }

@@ -11,7 +11,7 @@ use crate::json::{self, Value};
 /// added the clause-DB management counters (the forced/scheduled
 /// restart split, `db_reductions`, `lemmas_deleted`); version-1 records
 /// still parse, with those counters reading as zero.
-pub const STATS_FORMAT: u32 = 2;
+pub const STATS_FORMAT: u32 = 3;
 
 /// One recorded run, as reconstructed from a stats-json file.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,7 +71,7 @@ fn counter(v: &Value, name: &str) -> u64 {
 pub fn parse_record(text: &str) -> Result<RunRecord, String> {
     let v = json::parse(text)?;
     match v.get("stats_format").and_then(Value::as_u64) {
-        Some(1 | 2) => {}
+        Some(1..=3) => {}
         Some(f) => return Err(format!("unsupported stats_format {f}")),
         None => return Err("not a stats-json record (no `stats_format`)".to_string()),
     }

@@ -1,0 +1,231 @@
+//! `rtlsat serve` — a fault-tolerant batch/stream solve service
+//! (DESIGN.md §2.11).
+//!
+//! The service reads one JSON solve request per line (JSONL) from stdin
+//! or a Unix socket, runs each through the supervised solve ladder of
+//! [`rtl_hdpll::supervise`], and streams back one versioned response
+//! record per request. The response body for a completed solve is the
+//! same stats-json record the one-shot CLI writes with `--stats-json`,
+//! prefixed with serve-level envelope fields (`serve_format`, `type`,
+//! `id`, `seq`, `attempts`), so `rtlsat report` can aggregate a served
+//! session directly.
+//!
+//! Robustness invariants (pinned by `tests/serve.rs`):
+//!
+//! - **Exactly-once**: every input line produces exactly one response
+//!   record — a `result` for a completed solve, an `error` for a
+//!   malformed/unreadable/oversized request, an `overloaded` rejection
+//!   when the bounded queue is full. The stream never stalls on a bad
+//!   request and the process never crashes on one.
+//! - **Isolation**: each solve runs under `catch_unwind` (on top of the
+//!   supervisor's own per-stage isolation); a panic is degraded to a
+//!   structured record, never a crash.
+//! - **Deadlines**: every request carries its own wall-clock budget
+//!   (`timeout_ms`), enforced by the engine's budget guard all the way
+//!   into the FM oracle; `timeout_ms: 0` answers immediately.
+//! - **Retry with degradation**: a solve that dies (stage panic
+//!   escaping certification, or a memory abort) is retried once on the
+//!   next rung of the degradation ladder (`hdpll-sp` → `hdpll` →
+//!   `eager`) under the request's remaining deadline, then reported as
+//!   a structured failure.
+//! - **Backpressure**: at most `workers` solves run concurrently and at
+//!   most `queue_depth` requests wait; beyond that the service answers
+//!   `overloaded` instead of buffering without bound.
+//! - **Graceful shutdown**: on EOF or an `{"op":"shutdown"}` control
+//!   line the service stops accepting, drains in-flight solves under a
+//!   drain deadline (cancelling them through the shared [`CancelToken`]
+//!   if the deadline expires), writes a final `summary` record, and
+//!   exits 0.
+//!
+//! [`CancelToken`]: rtl_hdpll::CancelToken
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod request;
+pub mod server;
+
+use std::time::Duration;
+
+use rtl_baselines::{EagerStage, LazyStage};
+use rtl_hdpll::{FaultPlan, HdpllStage, LearnConfig, SolverConfig, Supervisor};
+use rtl_ir::Netlist;
+
+pub use record::{error_record, overloaded_record, stats_json_record, summary_record, SolveMeta};
+pub use request::{parse_line, NetlistSource, RequestLine, SolveRequest};
+pub use server::{serve, serve_unix, ServeConfig, ServeSummary};
+
+/// The serve response envelope format version (`"serve_format"` field).
+pub const SERVE_FORMAT: u32 = 1;
+
+/// Everything needed to build the supervised solve ladder for one
+/// request — shared between the one-shot CLI and the serve loop.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Primary engine: `hdpll`, `hdpll-s`, `hdpll-sp`, `eager`, `lazy`.
+    pub engine: String,
+    /// Wall-clock budget for the whole ladder.
+    pub timeout: Option<Duration>,
+    /// Cross-check proof-less UNSAT answers with the eager baseline.
+    pub check: bool,
+    /// Append the degradation ladder behind the primary engine.
+    pub fallback: bool,
+    /// Explicit cross-check budget; defaults to a tenth of the main
+    /// budget (5 s without one) and is always clamped to the main
+    /// budget — see [`check_budget`].
+    pub check_timeout: Option<Duration>,
+    /// Approximate memory cap for the engine's growable structures.
+    pub max_memory: Option<u64>,
+    /// Deterministic fault injection for the primary HDPLL stage
+    /// (testing only).
+    pub fault: FaultPlan,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            engine: "hdpll-sp".to_string(),
+            timeout: None,
+            check: false,
+            fallback: false,
+            check_timeout: None,
+            max_memory: None,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+/// Resolves the UNSAT cross-check budget: the explicit request if any,
+/// else a tenth of the main budget, else 5 s — and never more than the
+/// main budget itself (a cross-check must not outlive the solve that
+/// scheduled it).
+#[must_use]
+pub fn check_budget(timeout: Option<Duration>, requested: Option<Duration>) -> Duration {
+    let base = requested.unwrap_or_else(|| timeout.map_or(Duration::from_secs(5), |t| t / 10));
+    match timeout {
+        Some(t) => base.min(t),
+        None => base,
+    }
+}
+
+/// The next rung of the degradation ladder for a retried solve:
+/// predicate learning is dropped first, then structural decisions, then
+/// the hybrid engine itself in favour of the eager bit-blast baseline.
+#[must_use]
+pub fn degraded_engine(engine: &str) -> Option<&'static str> {
+    match engine {
+        "hdpll-sp" | "hdpll-s" => Some("hdpll"),
+        "hdpll" | "lazy" => Some("eager"),
+        _ => None,
+    }
+}
+
+/// Builds the supervisor for the selected options: the engine itself as
+/// the primary stage, plus (with `fallback`) the degradation ladder and
+/// (with `check`) the eager `Unsat` cross-check under [`check_budget`].
+pub fn build_supervisor(opts: &SolveOptions, netlist: &Netlist) -> Result<Supervisor, String> {
+    let mut sup = Supervisor::new();
+    if let Some(t) = opts.timeout {
+        sup = sup.budget(t);
+    }
+    let with_limits = |mut config: SolverConfig| {
+        config.limits.max_memory = opts.max_memory;
+        config
+    };
+    let hdpll_stage = |label: &str, config: SolverConfig| {
+        HdpllStage::new(label, with_limits(config)).with_faults(opts.fault)
+    };
+    sup = match opts.engine.as_str() {
+        "hdpll" => sup.weighted_stage(hdpll_stage("hdpll", SolverConfig::hdpll()), 2.0),
+        "hdpll-s" => sup.weighted_stage(hdpll_stage("hdpll-s", SolverConfig::structural()), 2.0),
+        "hdpll-sp" => sup.weighted_stage(
+            hdpll_stage(
+                "hdpll-sp",
+                SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist)),
+            ),
+            2.0,
+        ),
+        "eager" => sup.weighted_stage(EagerStage::default(), 2.0),
+        "lazy" => sup.weighted_stage(LazyStage::default(), 2.0),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    if opts.fallback {
+        // The ladder of last resorts behind the chosen engine: plain
+        // HDPLL (activity decisions), then the eager bit-blast, which
+        // inherits all remaining budget. Fallback stages never inherit
+        // the fault plan: they are the recovery path.
+        if opts.engine != "hdpll" {
+            sup = sup.weighted_stage(
+                HdpllStage::new("hdpll-activity", with_limits(SolverConfig::hdpll())),
+                1.0,
+            );
+        }
+        if opts.engine != "eager" {
+            sup = sup.weighted_stage(EagerStage::default(), 1.0);
+        }
+    }
+    if opts.check {
+        sup = sup.check_unsat_with(
+            EagerStage::default(),
+            check_budget(opts.timeout, opts.check_timeout),
+        );
+    }
+    Ok(sup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_budget_defaults_and_clamps() {
+        // No budgets at all: the historical 5 s fallback.
+        assert_eq!(check_budget(None, None), Duration::from_secs(5));
+        // Only a main budget: a tenth of it.
+        assert_eq!(
+            check_budget(Some(Duration::from_secs(30)), None),
+            Duration::from_secs(3)
+        );
+        // Explicit request wins…
+        assert_eq!(
+            check_budget(Some(Duration::from_secs(30)), Some(Duration::from_secs(9))),
+            Duration::from_secs(9)
+        );
+        // …but is clamped to the main budget.
+        assert_eq!(
+            check_budget(Some(Duration::from_secs(2)), Some(Duration::from_secs(9))),
+            Duration::from_secs(2)
+        );
+        // Explicit request without a main budget passes through.
+        assert_eq!(
+            check_budget(None, Some(Duration::from_secs(9))),
+            Duration::from_secs(9)
+        );
+    }
+
+    #[test]
+    fn degradation_ladder_terminates() {
+        let mut engine = "hdpll-sp";
+        let mut rungs = vec![engine.to_string()];
+        while let Some(next) = degraded_engine(engine) {
+            engine = next;
+            rungs.push(engine.to_string());
+            assert!(rungs.len() < 10, "ladder must terminate");
+        }
+        assert_eq!(rungs, ["hdpll-sp", "hdpll", "eager"]);
+        assert_eq!(degraded_engine("eager"), None);
+        assert_eq!(degraded_engine("nonsense"), None);
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        let netlist =
+            rtl_ir::text::parse("netlist t\ninput a bool\nnode goal bool = and a a\n").unwrap();
+        let opts = SolveOptions {
+            engine: "frobnicator".to_string(),
+            ..SolveOptions::default()
+        };
+        assert!(build_supervisor(&opts, &netlist).is_err());
+    }
+}

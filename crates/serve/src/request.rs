@@ -1,0 +1,269 @@
+//! JSONL request parsing for the serve loop.
+//!
+//! One request per line. A solve request names a netlist (by `file`
+//! path or `netlist` inline text), a `goal` signal, and its own budget:
+//!
+//! ```json
+//! {"id":"r1","file":"tests/golden/adder_sat.rtl","goal":"goal","timeout_ms":1000}
+//! {"id":"r2","netlist":"netlist t\ninput a bool\n…","goal":"goal","engine":"hdpll"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Unknown keys are rejected (a typo'd budget knob silently ignored
+//! would be a correctness hazard in a long-running service); unknown
+//! *values* produce per-request errors, never parser panics. The parser
+//! is the service's trust boundary: everything after it works with
+//! typed, validated data.
+
+use std::time::Duration;
+
+use rtl_hdpll::FaultPlan;
+use rtl_obs::json::{self, Value};
+
+/// Where the request's netlist comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistSource {
+    /// Read this path from the server's filesystem.
+    File(String),
+    /// Parse this inline netlist text.
+    Inline(String),
+}
+
+/// A parsed solve request.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// Client-chosen request id, echoed on the response record.
+    pub id: String,
+    /// Netlist source (file path or inline text).
+    pub source: NetlistSource,
+    /// Goal signal name to assert.
+    pub goal: String,
+    /// Engine override; `None` uses the server default.
+    pub engine: Option<String>,
+    /// Per-request wall-clock budget; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+    /// Per-request UNSAT cross-check toggle.
+    pub check: Option<bool>,
+    /// Per-request degradation-ladder toggle.
+    pub fallback: Option<bool>,
+    /// Per-request cross-check budget (clamped — see
+    /// [`crate::check_budget`]).
+    pub check_timeout_ms: Option<u64>,
+    /// Per-request memory cap in bytes.
+    pub max_memory: Option<u64>,
+    /// Deterministic fault injection (testing only).
+    pub fault: FaultPlan,
+}
+
+impl SolveRequest {
+    /// The request's wall-clock budget as a `Duration`.
+    #[must_use]
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout_ms.map(Duration::from_millis)
+    }
+
+    /// The request's cross-check budget as a `Duration`.
+    #[must_use]
+    pub fn check_timeout(&self) -> Option<Duration> {
+        self.check_timeout_ms.map(Duration::from_millis)
+    }
+}
+
+/// One parsed input line.
+#[derive(Clone, Debug)]
+pub enum RequestLine {
+    /// A solve request.
+    Solve(Box<SolveRequest>),
+    /// The `{"op":"shutdown"}` control message: stop accepting, drain,
+    /// summarize, exit.
+    Shutdown,
+}
+
+const KNOWN_KEYS: &[&str] = &[
+    "id",
+    "file",
+    "netlist",
+    "goal",
+    "engine",
+    "timeout_ms",
+    "check",
+    "fallback",
+    "check_timeout_ms",
+    "max_memory",
+    "fault",
+];
+
+const KNOWN_FAULT_KEYS: &[&str] = &[
+    "corrupt_learned_clause",
+    "drop_narrowing",
+    "spurious_conflict",
+    "stall_propagation",
+    "corrupt_deletion",
+];
+
+fn u64_field(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a boolean")),
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+fn parse_fault(v: &Value) -> Result<FaultPlan, String> {
+    let Some(fault) = v.get("fault") else {
+        return Ok(FaultPlan::default());
+    };
+    if let Value::Obj(fields) = fault {
+        for (key, _) in fields {
+            if !KNOWN_FAULT_KEYS.contains(&key.as_str()) {
+                return Err(format!("unknown fault key `{key}`"));
+            }
+        }
+    } else {
+        return Err("`fault` must be an object".to_string());
+    }
+    Ok(FaultPlan {
+        corrupt_learned_clause: u64_field(fault, "corrupt_learned_clause")?,
+        drop_narrowing: u64_field(fault, "drop_narrowing")?,
+        spurious_conflict: u64_field(fault, "spurious_conflict")?,
+        stall_propagation: u64_field(fault, "stall_propagation")?,
+        corrupt_deletion: u64_field(fault, "corrupt_deletion")?,
+    })
+}
+
+/// Parses one input line into a [`RequestLine`].
+///
+/// Every error is a plain message suitable for an `error` response
+/// record; the caller decides how to report it. Blank lines are the
+/// caller's concern (the serve loop skips them without a record).
+pub fn parse_line(line: &str) -> Result<RequestLine, String> {
+    let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let Value::Obj(fields) = &v else {
+        return Err("request must be a JSON object".to_string());
+    };
+    if let Some(op) = v.get("op") {
+        return match op.as_str() {
+            Some("shutdown") => Ok(RequestLine::Shutdown),
+            Some(other) => Err(format!("unknown op `{other}`")),
+            None => Err("`op` must be a string".to_string()),
+        };
+    }
+    for (key, _) in fields {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(format!("unknown key `{key}`"));
+        }
+    }
+    let id = str_field(&v, "id")?.ok_or("missing `id`")?;
+    if id.is_empty() || id.len() > 256 {
+        return Err("`id` must be 1..=256 bytes".to_string());
+    }
+    let goal = str_field(&v, "goal")?.ok_or("missing `goal`")?;
+    let source = match (str_field(&v, "file")?, str_field(&v, "netlist")?) {
+        (Some(path), None) => NetlistSource::File(path),
+        (None, Some(text)) => NetlistSource::Inline(text),
+        (Some(_), Some(_)) => return Err("`file` and `netlist` are mutually exclusive".to_string()),
+        (None, None) => return Err("missing netlist: give `file` or `netlist`".to_string()),
+    };
+    Ok(RequestLine::Solve(Box::new(SolveRequest {
+        id,
+        source,
+        goal,
+        engine: str_field(&v, "engine")?,
+        timeout_ms: u64_field(&v, "timeout_ms")?,
+        check: bool_field(&v, "check")?,
+        fallback: bool_field(&v, "fallback")?,
+        check_timeout_ms: u64_field(&v, "check_timeout_ms")?,
+        max_memory: u64_field(&v, "max_memory")?,
+        fault: parse_fault(&v)?,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(line: &str) -> SolveRequest {
+        match parse_line(line).unwrap() {
+            RequestLine::Solve(req) => *req,
+            RequestLine::Shutdown => panic!("expected a solve request"),
+        }
+    }
+
+    #[test]
+    fn minimal_file_request() {
+        let req = solve(r#"{"id":"r1","file":"a.rtl","goal":"g"}"#);
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.source, NetlistSource::File("a.rtl".to_string()));
+        assert_eq!(req.goal, "g");
+        assert_eq!(req.engine, None);
+        assert_eq!(req.timeout(), None);
+        assert!(req.fault.is_clean());
+    }
+
+    #[test]
+    fn full_inline_request() {
+        let req = solve(
+            r#"{"id":"r2","netlist":"netlist t\n","goal":"g","engine":"hdpll",
+                "timeout_ms":250,"check":true,"fallback":false,
+                "check_timeout_ms":25,"max_memory":1024,
+                "fault":{"stall_propagation":7}}"#,
+        );
+        assert_eq!(req.source, NetlistSource::Inline("netlist t\n".to_string()));
+        assert_eq!(req.engine.as_deref(), Some("hdpll"));
+        assert_eq!(req.timeout(), Some(Duration::from_millis(250)));
+        assert_eq!(req.check, Some(true));
+        assert_eq!(req.fallback, Some(false));
+        assert_eq!(req.check_timeout(), Some(Duration::from_millis(25)));
+        assert_eq!(req.max_memory, Some(1024));
+        assert_eq!(req.fault.stall_propagation, Some(7));
+    }
+
+    #[test]
+    fn shutdown_control_line() {
+        assert!(matches!(
+            parse_line(r#"{"op":"shutdown"}"#).unwrap(),
+            RequestLine::Shutdown
+        ));
+        assert!(parse_line(r#"{"op":"reboot"}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_messages() {
+        for bad in [
+            "not json at all",
+            "[1,2,3]",
+            r#"{"id":"x","goal":"g"}"#,                              // no netlist
+            r#"{"id":"x","file":"a","netlist":"b","goal":"g"}"#,     // both
+            r#"{"file":"a.rtl","goal":"g"}"#,                        // no id
+            r#"{"id":"","file":"a.rtl","goal":"g"}"#,                // empty id
+            r#"{"id":"x","file":"a.rtl","goal":"g","bogus":1}"#,     // unknown key
+            r#"{"id":"x","file":"a.rtl","goal":"g","timeout_ms":"soon"}"#,
+            r#"{"id":"x","file":"a.rtl","goal":"g","fault":{"nope":1}}"#,
+            r#"{"id":"x","file":"a.rtl","goal":"g","fault":3}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "must reject: {bad}");
+        }
+    }
+}

@@ -1,0 +1,628 @@
+//! The serve loop: bounded worker pool, backpressure, per-request
+//! isolation and retry, graceful drain.
+//!
+//! Concurrency model: the calling thread reads and parses the input
+//! stream; parsed jobs go through a bounded [`mpsc::sync_channel`]
+//! (`try_send` — a full queue answers `overloaded` instead of
+//! blocking); `workers` threads pull jobs and solve them; every record
+//! is written as one atomic line under an output mutex. With
+//! `workers <= 1` no threads are spawned at all and requests are
+//! processed inline in input order — the deterministic mode the
+//! byte-stability tests pin.
+//!
+//! The solver stack is single-thread by construction (`Rc` in the
+//! engine and telemetry), so nothing solver-shaped ever crosses a
+//! thread: jobs carry only strings, and each worker builds the
+//! netlist, supervisor, and telemetry sink locally per request.
+
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use rtl_hdpll::{
+    AbortReason, CancelToken, FaultPlan, HdpllResult, StageOutcome, SupervisedResult,
+};
+use rtl_obs::{ObsConfig, ObsHandle};
+
+use crate::record::{self, SolveMeta, Tally};
+use crate::request::{parse_line, NetlistSource, RequestLine, SolveRequest};
+use crate::{build_supervisor, degraded_engine, SolveOptions};
+
+/// Server-level configuration (per-request fields can override some of
+/// these — see [`SolveRequest`]).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads / maximum solves in flight. `1` (the default)
+    /// processes requests inline on the reader thread, deterministically
+    /// and in order.
+    pub workers: usize,
+    /// Bounded queue depth between reader and workers; a full queue
+    /// answers `overloaded`. Irrelevant with `workers == 1`.
+    pub queue_depth: usize,
+    /// Default engine for requests without an `engine` field.
+    pub engine: String,
+    /// Default per-request budget for requests without `timeout_ms`.
+    pub timeout: Option<Duration>,
+    /// Default UNSAT cross-check toggle.
+    pub check: bool,
+    /// Default degradation-ladder toggle.
+    pub fallback: bool,
+    /// Default cross-check budget (clamped, see [`crate::check_budget`]).
+    pub check_timeout: Option<Duration>,
+    /// Default per-request memory cap.
+    pub max_memory: Option<u64>,
+    /// How long the drain may take after EOF/shutdown before in-flight
+    /// solves are cancelled.
+    pub drain_timeout: Duration,
+    /// Input lines longer than this are rejected with an `error` record
+    /// (the rest of the line is consumed, the stream continues).
+    pub max_line_bytes: usize,
+    /// Arm per-request telemetry so result records carry counters,
+    /// histograms, and trace tallies (matches the one-shot CLI's
+    /// `--stats-json` behaviour).
+    pub telemetry: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_depth: 16,
+            engine: "hdpll-sp".to_string(),
+            timeout: None,
+            check: false,
+            fallback: false,
+            check_timeout: None,
+            max_memory: None,
+            drain_timeout: Duration::from_secs(5),
+            max_line_bytes: 1 << 20,
+            telemetry: true,
+        }
+    }
+}
+
+/// What one served stream did, returned to the caller after the final
+/// `summary` record is written.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    /// Per-record-type counts (mirrors the `summary` record).
+    pub tally: Tally,
+    /// `false` when the drain deadline expired and in-flight solves
+    /// were cancelled.
+    pub drained: bool,
+    /// `true` when the stream ended with an explicit
+    /// `{"op":"shutdown"}` (relevant for socket mode, where it shuts
+    /// the whole server down rather than just the connection).
+    pub shutdown: bool,
+}
+
+/// One queued solve job. Only plain data crosses the channel; the
+/// worker rebuilds netlist/supervisor/telemetry locally. The deadline
+/// is stamped at *enqueue* time so queueing delay counts against the
+/// request's budget — a request that sat out its whole timeout in the
+/// queue answers `UNKNOWN` promptly instead of starting a doomed solve.
+struct Job {
+    seq: u64,
+    req: SolveRequest,
+    deadline: Option<Instant>,
+}
+
+impl Job {
+    fn new(seq: u64, req: SolveRequest, config: &ServeConfig) -> Self {
+        let deadline = req
+            .timeout()
+            .or(config.timeout)
+            .map(|t| Instant::now() + t);
+        Job { seq, req, deadline }
+    }
+}
+
+/// Worker-side counters, folded into the reader's [`Tally`] after the
+/// pool drains.
+#[derive(Default)]
+struct WorkerCounts {
+    results: AtomicU64,
+    errors: AtomicU64,
+    retries: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker panic between lock and unlock cannot happen (solves are
+    // wrapped in catch_unwind), but stay robust anyway: a poisoned
+    // record stream is still better than a dead server.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reads one line (without the trailing newline), capped at `max`
+/// bytes. Returns `(line, truncated)`; a truncated line has had its
+/// excess consumed so the stream stays line-aligned. `None` at EOF.
+fn read_line_capped<R: BufRead>(input: &mut R, max: usize) -> io::Result<Option<(String, bool)>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut truncated = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a final unterminated line still counts.
+            if !saw_any {
+                return Ok(None);
+            }
+            return Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)));
+        }
+        saw_any = true;
+        if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            if !truncated {
+                let take = nl.min(max - buf.len());
+                buf.extend_from_slice(&chunk[..take]);
+                truncated = buf.len() >= max && take < nl;
+            }
+            input.consume(nl + 1);
+            return Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)));
+        }
+        let len = chunk.len();
+        if !truncated {
+            let take = len.min(max - buf.len());
+            buf.extend_from_slice(&chunk[..take]);
+            truncated = buf.len() >= max && take < len;
+        }
+        input.consume(len);
+    }
+}
+
+/// Runs one solve request end to end: netlist resolution, the
+/// supervised solve under `catch_unwind`, and at most one
+/// retry-with-degradation. Always returns exactly one record.
+fn process(
+    job: &Job,
+    config: &ServeConfig,
+    drain: &CancelToken,
+    counts: &WorkerCounts,
+) -> String {
+    let req = &job.req;
+    let seq = job.seq;
+    let fail = |detail: &str| {
+        counts.errors.fetch_add(1, Ordering::Relaxed);
+        record::error_record(Some(&req.id), seq, detail)
+    };
+
+    // Resolve the netlist and goal. Failures here are request errors,
+    // not server errors: record and move on.
+    let (case, file, source_text) = match &req.source {
+        NetlistSource::File(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+            };
+            let case = Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(path)
+                .to_string();
+            (case, path.clone(), text)
+        }
+        NetlistSource::Inline(text) => (req.id.clone(), "<inline>".to_string(), text.clone()),
+    };
+    let netlist = match rtl_ir::text::parse(&source_text) {
+        Ok(n) => n,
+        Err(e) => return fail(&format!("netlist parse error: {e}")),
+    };
+    let Some(goal) = rtl_proof::resolve_goal(&netlist, &req.goal) else {
+        return fail(&format!("no signal named `{}`", req.goal));
+    };
+    if !netlist.ty(goal).is_bool() {
+        return fail(&format!("goal `{}` is not a Boolean signal", req.goal));
+    }
+
+    let deadline = job.deadline;
+    let mut engine = req.engine.clone().unwrap_or_else(|| config.engine.clone());
+    let mut fault = req.fault;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let opts = SolveOptions {
+            engine: engine.clone(),
+            timeout: remaining,
+            check: req.check.unwrap_or(config.check),
+            fallback: req.fallback.unwrap_or(config.fallback),
+            check_timeout: req.check_timeout().or(config.check_timeout),
+            max_memory: req.max_memory.or(config.max_memory),
+            fault,
+        };
+        let mut sup = match build_supervisor(&opts, &netlist) {
+            Ok(s) => s,
+            Err(msg) => return fail(&msg),
+        };
+        let handle = if config.telemetry {
+            ObsHandle::armed(ObsConfig::default())
+        } else {
+            ObsHandle::off()
+        };
+        if handle.on() {
+            handle.request_start(&req.id);
+            sup = sup.with_obs(handle.clone());
+        }
+        // The shared drain token: cancelling it (drain-deadline expiry)
+        // makes every queued and in-flight solve answer promptly.
+        sup = sup.with_cancel(drain.clone());
+
+        // Isolation: the supervisor already catches per-stage panics;
+        // this outer guard additionally covers compile/certify paths so
+        // a poisoned request can never take the server down.
+        let solved = catch_unwind(AssertUnwindSafe(|| sup.solve(&netlist, goal)));
+
+        // Retrying only makes sense on the next ladder rung, with
+        // budget left, on a server that is not already draining hard.
+        let can_retry = |next: &Option<&str>| {
+            attempt == 1
+                && next.is_some()
+                && !drain.is_cancelled()
+                && remaining.is_none_or(|r| r > Duration::from_millis(1))
+        };
+        let next = degraded_engine(&engine);
+        match solved {
+            Ok(result) => {
+                if handle.on() {
+                    handle.request_end(&req.id, verdict_label(&result));
+                }
+                if solve_died(&result) && can_retry(&next) {
+                    counts.retries.fetch_add(1, Ordering::Relaxed);
+                    engine = next.expect("checked by can_retry").to_string();
+                    fault = FaultPlan::default();
+                    continue;
+                }
+                counts.results.fetch_add(1, Ordering::Relaxed);
+                let meta = SolveMeta {
+                    case,
+                    file,
+                    goal: req.goal.clone(),
+                    engine: engine.clone(),
+                };
+                let prefix = record::result_prefix(&req.id, seq, attempt);
+                return record::stats_json_record(&meta, &result, &handle, &prefix);
+            }
+            Err(panic) => {
+                let detail = panic_detail(&panic);
+                if handle.on() {
+                    handle.request_end(&req.id, "panic");
+                }
+                if can_retry(&next) {
+                    counts.retries.fetch_add(1, Ordering::Relaxed);
+                    engine = next.expect("checked by can_retry").to_string();
+                    fault = FaultPlan::default();
+                    continue;
+                }
+                return fail(&format!("solve panicked (attempt {attempt}): {detail}"));
+            }
+        }
+    }
+}
+
+/// `true` when a verdict-less result died rather than merely ran out of
+/// budget: a stage panicked, or the engine shed the solve on its memory
+/// cap. These are the retry-with-degradation triggers; a plain deadline
+/// expiry is final (there is no budget left to retry under).
+fn solve_died(result: &SupervisedResult) -> bool {
+    if !matches!(result.verdict, HdpllResult::Unknown) {
+        return false;
+    }
+    result.reports.iter().any(|r| {
+        matches!(r.outcome, StageOutcome::Panicked { .. })
+            || r.stats
+                .as_ref()
+                .is_some_and(|s| s.abort == Some(AbortReason::Memory))
+    })
+}
+
+fn verdict_label(result: &SupervisedResult) -> &'static str {
+    match result.verdict {
+        HdpllResult::Sat(_) => "SAT",
+        HdpllResult::Unsat => "UNSAT",
+        HdpllResult::Unknown => "UNKNOWN",
+    }
+}
+
+fn panic_detail(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn write_record<W: Write>(out: &Mutex<W>, record: &str) {
+    // A closed output (client hung up) must not kill the drain; the
+    // summary write at the end surfaces persistent failures.
+    let mut out = lock(out);
+    let _ = out.write_all(record.as_bytes());
+    let _ = out.flush();
+}
+
+/// Serves one JSONL request stream until EOF or `{"op":"shutdown"}`,
+/// then drains and writes the final `summary` record.
+///
+/// # Errors
+///
+/// Only input I/O errors abort the serve loop; per-request failures of
+/// any kind become `error` records and the loop continues. Output
+/// failures are deliberately swallowed until the final summary write.
+pub fn serve<R, W>(mut input: R, output: W, config: &ServeConfig) -> io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let out = Mutex::new(output);
+    let drain = CancelToken::new();
+    let counts = WorkerCounts::default();
+    let mut tally = Tally::default();
+    let mut seq = 0u64;
+    let mut shutdown = false;
+    let mut drained = true;
+
+    if config.workers <= 1 {
+        // Deterministic inline mode: no threads, strict input order.
+        while let Some((line, truncated)) = read_line_capped(&mut input, config.max_line_bytes)? {
+            if line.trim().is_empty() {
+                continue;
+            }
+            seq += 1;
+            if truncated {
+                tally.errors += 1;
+                let detail = format!("line exceeds {} bytes", config.max_line_bytes);
+                write_record(&out, &record::error_record(None, seq, &detail));
+                continue;
+            }
+            match parse_line(&line) {
+                Err(msg) => {
+                    tally.errors += 1;
+                    write_record(&out, &record::error_record(None, seq, &msg));
+                }
+                Ok(RequestLine::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Ok(RequestLine::Solve(req)) => {
+                    tally.requests += 1;
+                    let job = Job::new(seq, *req, config);
+                    write_record(&out, &process(&job, config, &drain, &counts));
+                }
+            }
+        }
+    } else {
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Mutex::new(rx);
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..config.workers {
+                let done_tx = done_tx.clone();
+                let (rx, out, drain, counts) = (&rx, &out, &drain, &counts);
+                scope.spawn(move || {
+                    loop {
+                        // Hold the receiver lock only for the pickup;
+                        // blocking here simply queues the other idle
+                        // workers behind the lock.
+                        let job = lock(rx).recv();
+                        let Ok(job) = job else { break };
+                        write_record(out, &process(&job, config, drain, counts));
+                    }
+                    let _ = done_tx.send(());
+                });
+            }
+            drop(done_tx);
+
+            while let Some((line, truncated)) =
+                read_line_capped(&mut input, config.max_line_bytes)?
+            {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                seq += 1;
+                if truncated {
+                    tally.errors += 1;
+                    let detail = format!("line exceeds {} bytes", config.max_line_bytes);
+                    write_record(&out, &record::error_record(None, seq, &detail));
+                    continue;
+                }
+                match parse_line(&line) {
+                    Err(msg) => {
+                        tally.errors += 1;
+                        write_record(&out, &record::error_record(None, seq, &msg));
+                    }
+                    Ok(RequestLine::Shutdown) => {
+                        shutdown = true;
+                        break;
+                    }
+                    Ok(RequestLine::Solve(req)) => {
+                        tally.requests += 1;
+                        match tx.try_send(Job::new(seq, *req, config)) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(job)) => {
+                                tally.overloaded += 1;
+                                write_record(&out, &record::overloaded_record(&job.req.id, seq));
+                            }
+                            Err(TrySendError::Disconnected(job)) => {
+                                // All workers died (cannot happen while
+                                // solves are isolated, but never drop a
+                                // request silently).
+                                tally.errors += 1;
+                                write_record(
+                                    &out,
+                                    &record::error_record(
+                                        Some(&job.req.id),
+                                        seq,
+                                        "worker pool unavailable",
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Drain: close the queue, give in-flight solves until the
+            // drain deadline, then cancel the shared token — every
+            // remaining solve answers Unknown promptly and its record
+            // is still written (exactly-once survives a hard drain).
+            drop(tx);
+            let deadline = Instant::now() + config.drain_timeout;
+            let mut remaining = config.workers;
+            while remaining > 0 {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match done_rx.recv_timeout(left) {
+                    Ok(()) => remaining -= 1,
+                    Err(RecvTimeoutError::Timeout) => {
+                        drained = false;
+                        drain.cancel();
+                        while remaining > 0 && done_rx.recv().is_ok() {
+                            remaining -= 1;
+                        }
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    tally.results = counts.results.load(Ordering::Relaxed);
+    tally.errors += counts.errors.load(Ordering::Relaxed);
+    tally.retries = counts.retries.load(Ordering::Relaxed);
+
+    let summary = record::summary_record(&tally, drained);
+    {
+        let mut out = lock(&out);
+        out.write_all(summary.as_bytes())?;
+        out.flush()?;
+    }
+    Ok(ServeSummary {
+        tally,
+        drained,
+        shutdown,
+    })
+}
+
+/// Serves connections on a Unix-domain socket, one at a time, until a
+/// connection ends with `{"op":"shutdown"}`. Each connection is its own
+/// request stream with its own summary record.
+///
+/// # Errors
+///
+/// Propagates socket bind/accept errors and per-connection input I/O
+/// errors.
+pub fn serve_unix(path: &Path, config: &ServeConfig) -> io::Result<ServeSummary> {
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    let mut last;
+    loop {
+        let (stream, _) = listener.accept()?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        last = serve(reader, stream, config)?;
+        if last.shutdown {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_str(input: &str, config: &ServeConfig) -> (String, ServeSummary) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve(input.as_bytes(), &mut out, config).expect("serve");
+        (String::from_utf8(out).expect("utf8 records"), summary)
+    }
+
+    const TINY: &str = "netlist t\\ninput a bool\\nnode goal bool = and a a\\n";
+
+    #[test]
+    fn capped_reader_preserves_line_alignment() {
+        let text = "short\nlooooooooooooong line here\nafter\n";
+        let mut r = text.as_bytes();
+        let (l1, t1) = read_line_capped(&mut r, 10).unwrap().unwrap();
+        assert_eq!((l1.as_str(), t1), ("short", false));
+        let (l2, t2) = read_line_capped(&mut r, 10).unwrap().unwrap();
+        assert_eq!(l2.len(), 10);
+        assert!(t2, "long line must be flagged truncated");
+        let (l3, t3) = read_line_capped(&mut r, 10).unwrap().unwrap();
+        assert_eq!((l3.as_str(), t3), ("after", false));
+        assert!(read_line_capped(&mut r, 10).unwrap().is_none());
+    }
+
+    #[test]
+    fn capped_reader_handles_unterminated_tail() {
+        let mut r = "no newline".as_bytes();
+        let (l, t) = read_line_capped(&mut r, 1024).unwrap().unwrap();
+        assert_eq!((l.as_str(), t), ("no newline", false));
+        assert!(read_line_capped(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn inline_solve_and_summary() {
+        let input = format!(
+            "{{\"id\":\"r1\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n"
+        );
+        let (out, summary) = serve_str(&input, &ServeConfig::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "one result + one summary: {out}");
+        assert!(lines[0].contains("\"type\":\"result\""));
+        assert!(lines[0].contains("\"id\":\"r1\""));
+        assert!(lines[0].contains("\"verdict\":\"SAT\""));
+        assert!(lines[1].contains("\"type\":\"summary\""));
+        assert!(lines[1].contains("\"drained\":true"));
+        assert_eq!(summary.tally.results, 1);
+        assert_eq!(summary.tally.errors, 0);
+        assert!(!summary.shutdown);
+    }
+
+    #[test]
+    fn malformed_lines_do_not_stall_the_stream() {
+        let input = format!(
+            "this is not json\n\
+             {{\"id\":\"r1\",\"netlist\":\"{TINY}\",\"goal\":\"nope\"}}\n\
+             {{\"id\":\"r2\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n\
+             {{\"op\":\"shutdown\"}}\n\
+             {{\"id\":\"r3\",\"netlist\":\"{TINY}\",\"goal\":\"goal\"}}\n"
+        );
+        let (out, summary) = serve_str(&input, &ServeConfig::default());
+        let lines: Vec<&str> = out.lines().collect();
+        // error (bad json), error (bad goal), result, summary — and
+        // nothing for r3 behind the shutdown.
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].contains("\"type\":\"error\"") && lines[0].contains("\"id\":null"));
+        assert!(lines[1].contains("\"type\":\"error\"") && lines[1].contains("\"id\":\"r1\""));
+        assert!(lines[2].contains("\"type\":\"result\"") && lines[2].contains("\"id\":\"r2\""));
+        assert!(lines[3].contains("\"type\":\"summary\""));
+        assert!(summary.shutdown);
+        assert_eq!(summary.tally.errors, 2);
+        assert_eq!(summary.tally.results, 1);
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_stream_continues() {
+        let big = "x".repeat(4096);
+        let input = format!(
+            "{{\"id\":\"huge\",\"netlist\":\"{big}\",\"goal\":\"g\"}}\n\
+             {{\"id\":\"r1\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n"
+        );
+        let config = ServeConfig {
+            max_line_bytes: 1024,
+            ..ServeConfig::default()
+        };
+        let (out, summary) = serve_str(&input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains("line exceeds 1024 bytes"));
+        assert!(lines[1].contains("\"verdict\":\"SAT\""));
+        assert_eq!(summary.tally.errors, 1);
+        assert_eq!(summary.tally.results, 1);
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`baselines`] | `rtl-baselines` | eager (UCLID-like) and lazy (ICS-like) baselines |
 //! | [`proof`] | `rtl-proof` | Unsat proof format and independent proof checker |
 //! | [`obs`] | `rtl-obs` | search telemetry: event trace, metrics registry, report generator |
+//! | [`serve`] | `rtl-serve` | fault-tolerant batch/stream solve service (`rtlsat serve`) |
 //! | [`itc99`] | `rtl-itc99` | reconstructed b01/b02/b04/b13 benchmarks and BMC cases |
 //!
 //! # Quick start
@@ -70,3 +71,4 @@ pub use rtl_itc99 as itc99;
 pub use rtl_obs as obs;
 pub use rtl_proof as proof;
 pub use rtl_sat as sat;
+pub use rtl_serve as serve;

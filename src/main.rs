@@ -11,6 +11,7 @@
 //! rtlsat check-proof <netlist-file> <proof-file>
 //! rtlsat check-trace <trace-file>
 //! rtlsat report <dir> [--csv]
+//! rtlsat serve [--workers <n>] [--queue <n>] [--socket <path>] [...]
 //! ```
 //!
 //! Every solve runs under the [`rtlsat::hdpll::Supervisor`]: a `SAT`
@@ -44,7 +45,9 @@
 //! validates a `--trace` file against the JSONL event schema (exit `0`
 //! valid, `1` invalid). `report` aggregates every stats-json record in
 //! a directory into the paper's per-circuit table layout (markdown, or
-//! CSV with `--csv`).
+//! CSV with `--csv`). `serve` turns the solver into a long-running
+//! batch/stream service reading JSONL solve requests from stdin or a
+//! Unix socket — see [`rtlsat::serve`] and DESIGN.md §2.11.
 //!
 //! Exit codes (solve): `0` SAT, `20` UNSAT, `30` unknown (budget
 //! exhausted), `40` unknown *because* an answer failed certification,
@@ -53,14 +56,13 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use rtlsat::baselines::{EagerStage, LazyStage};
 use rtlsat::hdpll::{
-    Certification, HdpllResult, HdpllStage, LearnConfig, SolverConfig, SolverStats,
-    SupervisedResult, Supervisor,
+    Certification, HdpllResult, SolverStats, SupervisedResult, Supervisor,
 };
 use rtlsat::ir::{text, Netlist};
 use rtlsat::obs::{self, ObsConfig, ObsHandle};
 use rtlsat::proof;
+use rtlsat::serve;
 
 struct Args {
     file: String,
@@ -69,6 +71,7 @@ struct Args {
     timeout: Option<Duration>,
     check: bool,
     fallback: bool,
+    check_timeout: Option<Duration>,
     dump_cnf: Option<String>,
     proof_out: Option<String>,
     stats: bool,
@@ -82,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
     let mut timeout = None;
     let mut check = false;
     let mut fallback = false;
+    let mut check_timeout = None;
     let mut dump_cnf = None;
     let mut proof_out = None;
     let mut stats = false;
@@ -103,6 +107,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--check" => check = true,
             "--fallback" => fallback = true,
+            "--check-timeout" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--check-timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--check-timeout expects seconds")?;
+                check_timeout = Some(Duration::from_secs(secs));
+            }
             "--dump-cnf" => {
                 dump_cnf = Some(it.next().ok_or("--dump-cnf needs a path")?);
             }
@@ -120,11 +132,17 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: rtlsat <netlist-file> <goal-signal> \
                      [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
                      [--timeout <secs>] [--check] [--fallback] \
+                     [--check-timeout <secs>] \
                      [--dump-cnf <file>] [--proof <file>] [--stats] \
                      [--stats-json <file>] [--trace <file>]\n\
                      \x20      rtlsat check-proof <netlist-file> <proof-file>\n\
                      \x20      rtlsat check-trace <trace-file>\n\
-                     \x20      rtlsat report <dir> [--csv]"
+                     \x20      rtlsat report <dir> [--csv]\n\
+                     \x20      rtlsat serve [--workers <n>] [--queue <n>] \
+                     [--engine <e>] [--timeout <secs>] [--check] \
+                     [--fallback] [--check-timeout <secs>] \
+                     [--max-memory <bytes>] [--drain-timeout <secs>] \
+                     [--socket <path>] [--no-telemetry]"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -140,6 +158,7 @@ fn parse_args() -> Result<Args, String> {
         timeout,
         check,
         fallback,
+        check_timeout,
         dump_cnf,
         proof_out,
         stats,
@@ -148,46 +167,21 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// Builds the supervisor for the selected engine: the engine itself as
-/// the primary stage, plus (with `--fallback`) the degradation ladder
-/// and (with `--check`) the eager `Unsat` cross-check.
+/// Builds the supervisor for the selected engine via the shared
+/// [`rtlsat::serve`] ladder builder: the engine itself as the primary
+/// stage, plus (with `--fallback`) the degradation ladder and (with
+/// `--check`) the eager `Unsat` cross-check under the clamped
+/// [`rtlsat::serve::check_budget`].
 fn build_supervisor(args: &Args, netlist: &Netlist) -> Result<Supervisor, String> {
-    let mut sup = Supervisor::new();
-    if let Some(t) = args.timeout {
-        sup = sup.budget(t);
-    }
-    sup = match args.engine.as_str() {
-        "hdpll" => sup.weighted_stage(HdpllStage::new("hdpll", SolverConfig::hdpll()), 2.0),
-        "hdpll-s" => {
-            sup.weighted_stage(HdpllStage::new("hdpll-s", SolverConfig::structural()), 2.0)
-        }
-        "hdpll-sp" => sup.weighted_stage(
-            HdpllStage::new(
-                "hdpll-sp",
-                SolverConfig::structural_with_learning(LearnConfig::table2_for(netlist)),
-            ),
-            2.0,
-        ),
-        "eager" => sup.weighted_stage(EagerStage::default(), 2.0),
-        "lazy" => sup.weighted_stage(LazyStage::default(), 2.0),
-        other => return Err(format!("unknown engine `{other}` (see --help)")),
+    let opts = serve::SolveOptions {
+        engine: args.engine.clone(),
+        timeout: args.timeout,
+        check: args.check,
+        fallback: args.fallback,
+        check_timeout: args.check_timeout,
+        ..serve::SolveOptions::default()
     };
-    if args.fallback {
-        // The ladder of last resorts behind the chosen engine: plain
-        // HDPLL (activity decisions), then the eager bit-blast, which
-        // inherits all remaining budget.
-        if args.engine != "hdpll" {
-            sup = sup.weighted_stage(HdpllStage::new("hdpll-activity", SolverConfig::hdpll()), 1.0);
-        }
-        if args.engine != "eager" {
-            sup = sup.weighted_stage(EagerStage::default(), 1.0);
-        }
-    }
-    if args.check {
-        let check_budget = args.timeout.map_or(Duration::from_secs(5), |t| t / 10);
-        sup = sup.check_unsat_with(EagerStage::default(), check_budget);
-    }
-    Ok(sup)
+    serve::build_supervisor(&opts, netlist).map_err(|e| format!("{e} (see --help)"))
 }
 
 /// Prints the search statistics block (`--stats`) to stderr. The block
@@ -219,6 +213,7 @@ fn print_stats(stats: &SolverStats) {
     eprintln!("c max_cqueue      {}", e.max_cqueue);
     eprintln!("c max_clqueue     {}", e.max_clqueue);
     eprintln!("c ant_pool_peak   {}", e.ant_pool_peak);
+    eprintln!("c mem_peak        {}", e.mem_peak);
     if let Some(reason) = stats.abort {
         eprintln!("c aborted         {reason}");
     }
@@ -248,132 +243,23 @@ fn print_report(result: &SupervisedResult) {
     }
 }
 
-/// Composes the `--stats-json` run record: a single self-describing
-/// JSON object (`"stats_format": 1`) holding the verdict, how it was
-/// certified, the per-stage supervisor spans, the solver counters and
-/// peaks projected through the metrics registry, and the hot-path
-/// histograms. `rtlsat report` consumes a directory of these.
+/// Composes the `--stats-json` run record through the shared
+/// [`rtlsat::serve`] record builder (one self-describing JSON object;
+/// `rtlsat report` consumes a directory of these). The serve loop emits
+/// the same record per request, with an envelope prefix.
 fn stats_json_record(args: &Args, result: &SupervisedResult, handle: &ObsHandle) -> String {
-    use std::fmt::Write as _;
-    let esc = obs::json::escape;
-
     let case = std::path::Path::new(&args.file)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or(&args.file)
         .to_string();
-    let verdict = match &result.verdict {
-        HdpllResult::Sat(_) => "SAT",
-        HdpllResult::Unsat => "UNSAT",
-        HdpllResult::Unknown => "UNKNOWN",
+    let meta = serve::SolveMeta {
+        case,
+        file: args.file.clone(),
+        goal: args.goal.clone(),
+        engine: args.engine.clone(),
     };
-    // Certification mirrors the supervisor's trust ladder: SAT models
-    // are always simulator-certified; UNSAT carries the proof /
-    // cross-check / uncertified distinction; UNKNOWN certifies nothing.
-    let certification = match &result.verdict {
-        HdpllResult::Sat(_) => "model certified",
-        HdpllResult::Unsat => match result.unsat_certification() {
-            Some(Certification::Proof) => "proof checked",
-            Some(Certification::CrossChecked) => "cross-checked",
-            _ => "uncertified",
-        },
-        HdpllResult::Unknown => "none",
-    };
-    let answering = result
-        .answered_by
-        .as_ref()
-        .and_then(|name| result.reports.iter().find(|r| &r.stage == name))
-        .and_then(|r| r.stats.as_ref());
-    let (search_ms, learn_ms) = answering.map_or((0.0, 0.0), |s| {
-        (
-            s.search_time.as_secs_f64() * 1e3,
-            s.learn_time.as_secs_f64() * 1e3,
-        )
-    });
-
-    let mut out = String::new();
-    out.push('{');
-    let _ = write!(out, "\"stats_format\":{}", obs::STATS_FORMAT);
-    let _ = write!(out, ",\"case\":\"{}\"", esc(&case));
-    let _ = write!(out, ",\"file\":\"{}\"", esc(&args.file));
-    let _ = write!(out, ",\"goal\":\"{}\"", esc(&args.goal));
-    let _ = write!(out, ",\"engine\":\"{}\"", esc(&args.engine));
-    let _ = write!(out, ",\"verdict\":\"{verdict}\"");
-    match &result.answered_by {
-        Some(stage) => {
-            let _ = write!(out, ",\"answered_by\":\"{}\"", esc(stage));
-        }
-        None => out.push_str(",\"answered_by\":null"),
-    }
-    let _ = write!(out, ",\"certification\":\"{certification}\"");
-    let _ = write!(out, ",\"search_time_ms\":{search_ms:.3}");
-    let _ = write!(out, ",\"learn_time_ms\":{learn_ms:.3}");
-
-    out.push_str(",\"stages\":[");
-    for (i, report) in result.reports.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"name\":\"{}\",\"time_ms\":{:.3},\"outcome\":\"{}\"",
-            esc(&report.stage),
-            report.time.as_secs_f64() * 1e3,
-            esc(&report.outcome.to_string()),
-        );
-        match report.stats.as_ref().and_then(|s| s.abort) {
-            Some(reason) => {
-                let _ = write!(out, ",\"abort\":\"{}\"", esc(&reason.to_string()));
-            }
-            None => out.push_str(",\"abort\":null"),
-        }
-        out.push('}');
-    }
-    out.push(']');
-
-    let snapshot = handle.snapshot().unwrap_or_default();
-    out.push_str(",\"counters\":{");
-    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{name}\":{v}");
-    }
-    out.push_str("},\"peaks\":{");
-    for (i, (name, v)) in snapshot.peaks.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{name}\":{v}");
-    }
-    out.push_str("},\"histograms\":{");
-    for (i, kind) in obs::HistKind::ALL.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let hist = snapshot.hist(*kind);
-        let _ = write!(out, "\"{}\":{{\"bounds\":[", kind.name());
-        for (j, b) in obs::HIST_BOUNDS.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{b}");
-        }
-        out.push_str("],\"counts\":[");
-        for (j, c) in hist.counts.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{c}");
-        }
-        let _ = write!(out, "],\"total\":{}}}", hist.total);
-    }
-    out.push('}');
-
-    let (events, dropped) = handle.trace_counts().unwrap_or((0, 0));
-    let _ = write!(out, ",\"trace\":{{\"events\":{events},\"dropped\":{dropped}}}");
-    out.push_str("}\n");
-    out
+    serve::stats_json_record(&meta, result, handle, "")
 }
 
 /// Reads and parses a textual netlist, reporting errors CLI-style.
@@ -506,12 +392,117 @@ fn report_command(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rtlsat serve [...]`: the long-running batch/stream solve service
+/// (DESIGN.md §2.11). Reads JSONL requests from stdin (or accepts
+/// connections on `--socket`), writes one response record per request
+/// to stdout, and exits `0` after a graceful drain.
+fn serve_command(rest: &[String]) -> ExitCode {
+    let usage = "usage: rtlsat serve [--workers <n>] [--queue <n>] \
+         [--engine <e>] [--timeout <secs>] [--check] [--fallback] \
+         [--check-timeout <secs>] [--max-memory <bytes>] \
+         [--drain-timeout <secs>] [--max-line-bytes <n>] \
+         [--socket <path>] [--no-telemetry]";
+    let mut config = serve::ServeConfig::default();
+    let mut socket = None;
+    let mut it = rest.iter();
+    let parse_num = |name: &str, v: Option<&String>| -> Result<u64, String> {
+        v.ok_or(format!("{name} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{name} expects a non-negative integer"))
+    };
+    while let Some(arg) = it.next() {
+        let r = match arg.as_str() {
+            "--workers" => parse_num("--workers", it.next()).map(|n| {
+                config.workers = (n as usize).max(1);
+            }),
+            "--queue" => parse_num("--queue", it.next()).map(|n| {
+                config.queue_depth = (n as usize).max(1);
+            }),
+            "--engine" => match it.next() {
+                Some(e) => {
+                    config.engine = e.clone();
+                    Ok(())
+                }
+                None => Err("--engine needs a value".into()),
+            },
+            "--timeout" => parse_num("--timeout", it.next()).map(|n| {
+                config.timeout = Some(Duration::from_secs(n));
+            }),
+            "--check" => {
+                config.check = true;
+                Ok(())
+            }
+            "--fallback" => {
+                config.fallback = true;
+                Ok(())
+            }
+            "--check-timeout" => parse_num("--check-timeout", it.next()).map(|n| {
+                config.check_timeout = Some(Duration::from_secs(n));
+            }),
+            "--max-memory" => parse_num("--max-memory", it.next()).map(|n| {
+                config.max_memory = Some(n);
+            }),
+            "--drain-timeout" => parse_num("--drain-timeout", it.next()).map(|n| {
+                config.drain_timeout = Duration::from_secs(n);
+            }),
+            "--max-line-bytes" => parse_num("--max-line-bytes", it.next()).map(|n| {
+                config.max_line_bytes = (n as usize).max(64);
+            }),
+            "--socket" => match it.next() {
+                Some(p) => {
+                    socket = Some(p.clone());
+                    Ok(())
+                }
+                None => Err("--socket needs a path".into()),
+            },
+            "--no-telemetry" => {
+                config.telemetry = false;
+                Ok(())
+            }
+            "--help" | "-h" => Err(usage.to_string()),
+            other => Err(format!("unexpected argument `{other}`\n{usage}")),
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+    let served = match socket {
+        Some(path) => serve::serve_unix(std::path::Path::new(&path), &config),
+        None => {
+            // `Stdout` (unlike `StdoutLock`) is `Send`, which the worker
+            // pool needs; the record mutex serializes writes anyway.
+            let stdin = std::io::stdin();
+            serve::serve(stdin.lock(), std::io::stdout(), &config)
+        }
+    };
+    match served {
+        Ok(summary) => {
+            eprintln!(
+                "c served {} requests ({} results, {} errors, {} overloaded, {} retries, drained: {})",
+                summary.tally.requests,
+                summary.tally.results,
+                summary.tally.errors,
+                summary.tally.overloaded,
+                summary.tally.retries,
+                summary.drained
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
         Some("check-proof") => return check_proof_command(&raw[1..]),
         Some("check-trace") => return check_trace_command(&raw[1..]),
         Some("report") => return report_command(&raw[1..]),
+        Some("serve") => return serve_command(&raw[1..]),
         _ => {}
     }
     let args = match parse_args() {

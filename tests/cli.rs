@@ -256,7 +256,7 @@ fn stats_flag_prints_counters() {
     // counter lines in this exact order. Growing the block means bumping
     // `stats-format` — this test is the tripwire.
     assert!(
-        stderr.contains("c stats-format    2"),
+        stderr.contains("c stats-format    3"),
         "missing stats-format header: {stderr}"
     );
     let keys = [
@@ -325,7 +325,7 @@ fn trace_stats_json_and_report_roundtrip() {
     // The trace is schema-valid JSONL, accepted by `check-trace`.
     let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
     assert!(
-        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":2,"),
+        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":3,"),
         "{trace_text}"
     );
     rtlsat::obs::validate_jsonl(&trace_text).expect("trace validates");

@@ -71,6 +71,57 @@ fn deadline_enforced_mid_sweep() {
 }
 
 #[test]
+fn deadline_holds_on_fm_bound_workload() {
+    // mux_search drives the solver into repeated Fourier–Motzkin final
+    // checks; a single oracle call used to run to completion no matter
+    // the deadline because the budget was only polled in the propagation
+    // loop. With the budget threaded into the FM loops, a tight deadline
+    // must hold within a small bound even here.
+    let w = hotpath::mux_search(14);
+    let limits = Limits {
+        max_time: Some(Duration::from_millis(5)),
+        ..Limits::default()
+    };
+    let mut solver = Solver::new(&w.netlist, w.config.with_limits(limits));
+    let start = Instant::now();
+    let result = solver.solve(w.goal);
+    let elapsed = start.elapsed();
+    // A 5 ms budget either finishes legitimately (fast machine) or
+    // aborts; it must never balloon to the full multi-second search.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "FM-bound deadline overshot: {elapsed:?}"
+    );
+    if result == HdpllResult::Unknown {
+        assert!(solver.stats().abort.is_some(), "abort reason must be reported");
+    }
+}
+
+#[test]
+fn memory_limit_sheds_runaway_solve() {
+    // A conflict-heavy UNSAT search grows the clause DB and antecedent
+    // pool without bound; a few-KiB memory cap must shed it promptly
+    // with the dedicated abort reason instead of letting it grow.
+    let w = hotpath::mux_search(14);
+    let limits = Limits {
+        max_memory: Some(8 * 1024),
+        ..Limits::default()
+    };
+    let mut solver = Solver::new(&w.netlist, w.config.with_limits(limits));
+    let result = solver.solve(w.goal);
+    assert_eq!(result, HdpllResult::Unknown, "cap must shed the solve");
+    assert_eq!(
+        solver.stats().abort,
+        Some(rtlsat::hdpll::AbortReason::Memory),
+        "abort must cite the memory budget"
+    );
+    assert!(
+        solver.stats().engine.mem_peak > 0,
+        "memory peak must be sampled"
+    );
+}
+
+#[test]
 fn cancellation_from_another_thread() {
     // An unsatisfiable search instance with no other limits: only the
     // cancel token can stop it early.
