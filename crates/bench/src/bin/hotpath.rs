@@ -188,7 +188,46 @@ fn main() {
         rows.push(row);
     }
 
-    std::fs::write(&out, render_json(&rows)).expect("write bench json");
+    // Sessioned-BMC A/B: one incremental session sweeping a buggy
+    // saturating counter (compile once, extend + assumption query per
+    // depth) against the fresh-per-depth monolithic twin. Samples are
+    // interleaved — session sweep, then fresh sweep, per sample — so
+    // the single-core speedup claim is robust to load drift.
+    let ckt = hotpath::buggy_counter(24);
+    let max_depth = 30;
+    let found = hotpath::bmc_session_sweep(&ckt, max_depth); // warm-up
+    hotpath::bmc_fresh_sweep(&ckt, found); // warm-up + agreement
+    let mut sns: Vec<u128> = Vec::with_capacity(samples.max(1));
+    let mut fns_: Vec<u128> = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let d = hotpath::bmc_session_sweep(&ckt, max_depth);
+        sns.push(start.elapsed().as_nanos());
+        assert_eq!(d, found, "bug depth drifted between samples");
+
+        let start = Instant::now();
+        hotpath::bmc_fresh_sweep(&ckt, found);
+        fns_.push(start.elapsed().as_nanos());
+    }
+    sns.sort_unstable();
+    fns_.sort_unstable();
+    let session_ab = SessionAb {
+        depths: found + 1,
+        session_min_ns: sns[0],
+        session_median_ns: sns[sns.len() / 2],
+        fresh_min_ns: fns_[0],
+        fresh_median_ns: fns_[fns_.len() / 2],
+    };
+    eprintln!(
+        "{:<24} session {:>10.3} ms  fresh {:>10.3} ms  speedup {:.2}x ({} depths)",
+        "session_bmc_counter",
+        session_ab.session_median_ns as f64 / 1e6,
+        session_ab.fresh_median_ns as f64 / 1e6,
+        session_ab.fresh_median_ns as f64 / session_ab.session_median_ns as f64,
+        session_ab.depths
+    );
+
+    std::fs::write(&out, render_json(&rows, &session_ab)).expect("write bench json");
     eprintln!("wrote {out}");
 
     // The CI gate: the tracing-off hot path (plain solver, disabled
@@ -213,8 +252,18 @@ fn main() {
     }
 }
 
+/// The sessioned-BMC interleaved A/B measurement: one incremental
+/// session sweep vs the fresh-per-depth twin over the same circuit.
+struct SessionAb {
+    depths: usize,
+    session_min_ns: u128,
+    session_median_ns: u128,
+    fresh_min_ns: u128,
+    fresh_median_ns: u128,
+}
+
 /// Renders the result rows as a stable, hand-rolled JSON document.
-fn render_json(rows: &[Row]) -> String {
+fn render_json(rows: &[Row], session_ab: &SessionAb) -> String {
     let mut s = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -254,7 +303,19 @@ fn render_json(rows: &[Row]) -> String {
         }
         s.push('\n');
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let _ = write!(
+        s,
+        "  \"session_bmc\": {{\"name\": \"session_bmc_counter\", \"depths\": {}, \"session_min_ns\": {}, \"session_median_ns\": {}, \"fresh_min_ns\": {}, \"fresh_median_ns\": {}, \"session_speedup\": {:.3}}}\n",
+        session_ab.depths,
+        session_ab.session_min_ns,
+        session_ab.session_median_ns,
+        session_ab.fresh_min_ns,
+        session_ab.fresh_median_ns,
+        session_ab.fresh_median_ns as f64 / session_ab.session_median_ns as f64
+    );
+    s.push('}');
+    s.push('\n');
     s
 }
 

@@ -19,7 +19,8 @@
 //!   under the structural decision strategy, mixing word and Boolean
 //!   propagation the way the paper's experiments do.
 
-use rtl_hdpll::{HdpllResult, LearnConfig, Solver, SolverConfig, SolverStats};
+use rtl_hdpll::{Assumption, HdpllResult, LearnConfig, Session, Solver, SolverConfig, SolverStats};
+use rtl_ir::seq::SeqCircuit;
 use rtl_ir::{CmpOp, Netlist, SignalId};
 use rtl_itc99::cases::{BmcCase, Circuit, Expected};
 
@@ -250,6 +251,92 @@ pub fn all_workloads() -> Vec<Workload> {
     let mut v = vec![deep_chain(2000), mux_search(14), clause_heavy()];
     v.extend(itc99_mixed());
     v
+}
+
+/// The sessioned-BMC A/B workload: a 6-bit saturating counter whose
+/// saturation comparator was written with `>` instead of `>=`, so the
+/// counter can exceed `limit` by one — the bug is reachable exactly at
+/// depth `limit + 1`. The same circuit as `examples/bmc_counter.rs`,
+/// parameterized so the bench sweep stays short.
+///
+/// # Panics
+///
+/// Panics on netlist construction errors (fixed shape; does not happen).
+#[must_use]
+pub fn buggy_counter(limit: i64) -> SeqCircuit {
+    let mut f = Netlist::new("saturating_counter");
+    let count = f.input_word("count", 6).unwrap();
+    let up = f.input_bool("up").unwrap();
+    let down = f.input_bool("down").unwrap();
+
+    let one = f.const_word(1, 6).unwrap();
+    let lim = f.const_word(limit, 6).unwrap();
+    let inc = f.add(count, one).unwrap();
+    let dec = f.sub(count, one).unwrap();
+
+    let over = f.cmp(CmpOp::Gt, count, lim).unwrap();
+    let can_up = f.and_not(up, over).unwrap();
+    let nonzero = f.eq_const(count, 0).unwrap();
+    let can_down = f.and_not(down, nonzero).unwrap();
+
+    let after_up = f.ite(can_up, inc, count).unwrap();
+    let next = f.ite(can_down, dec, after_up).unwrap();
+
+    let bad = f.cmp(CmpOp::Gt, count, lim).unwrap();
+
+    let mut ckt = SeqCircuit::new(f);
+    ckt.add_register(count, next, 0).unwrap();
+    ckt.add_property("saturation", bad).unwrap();
+    ckt
+}
+
+/// One full *sessioned* BMC sweep: compile frame 0 once, then per depth
+/// append a frame in place ([`Session::extend`]) and ask `bad@depth`
+/// as a single assumption query. Includes compilation, so the A/B
+/// against [`bmc_fresh_sweep`] compares end-to-end sweeps. Returns the
+/// depth the bug was found at.
+///
+/// # Panics
+///
+/// Panics if no counterexample is found through `max_depth` or a query
+/// exhausts its (absent) budget.
+#[must_use]
+pub fn bmc_session_sweep(ckt: &SeqCircuit, max_depth: usize) -> usize {
+    let mut unroller = ckt.unroller();
+    let mut base = unroller.base_netlist();
+    unroller.push_frame(&mut base).expect("frame 0");
+    let mut session = Session::new(&base, SolverConfig::structural());
+    for depth in 0..max_depth {
+        if depth > 0 {
+            session.extend(|n| unroller.push_frame(n).expect("frame"));
+        }
+        let bad = unroller.bad("saturation", depth).expect("pushed frame");
+        let certified = session.solve(&[Assumption::yes(bad)]);
+        if certified.result.is_sat() {
+            return depth;
+        }
+        assert!(certified.result.is_unsat(), "budget exhausted");
+    }
+    panic!("no counterexample through depth {max_depth}");
+}
+
+/// The fresh-per-depth twin of [`bmc_session_sweep`]: a monolithic
+/// unroll plus a fresh solver (compile included) at every depth
+/// `0..=found`, asserting the bug lands at the same depth.
+///
+/// # Panics
+///
+/// Panics if any depth disagrees with the sessioned sweep.
+pub fn bmc_fresh_sweep(ckt: &SeqCircuit, found: usize) {
+    for depth in 0..=found {
+        let bmc = ckt.unroll("saturation", depth + 1).expect("unroll");
+        let verdict = Solver::new(&bmc.netlist, SolverConfig::structural()).solve(bmc.bad);
+        assert_eq!(
+            verdict.is_sat(),
+            depth == found,
+            "fresh sweep disagrees with the session at depth {depth}"
+        );
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,15 @@ pub(crate) struct Constraint {
 }
 
 /// The full compiled form of a netlist.
+///
+/// A compilation is built *incrementally*, one netlist segment at a
+/// time ([`Compiled::extend`]): each segment allocates its signal
+/// variables first (in id order), then its auxiliary variables (in
+/// node order). A single-segment compile therefore maps signal index
+/// to variable index identically; after extension the segments
+/// interleave and [`Compiled::var_of`] records the map. The proof
+/// checker's mirror lowering follows the same allocation rule, so the
+/// two layouts stay aligned across extensions.
 #[derive(Clone, Debug)]
 pub(crate) struct Compiled {
     /// Initial (type) domain of every variable, auxiliaries included.
@@ -78,6 +87,9 @@ pub(crate) struct Compiled {
     pub decision_vars: Vec<VarId>,
     /// Activity seed per variable (netlist fanout; 0 for auxiliaries).
     pub fanout_seed: Vec<f64>,
+    /// `signal index → variable id`; identity for a single-segment
+    /// compile. Its length is the number of netlist signals consumed.
+    pub sig_var: Vec<VarId>,
 }
 
 impl Compiled {
@@ -85,15 +97,25 @@ impl Compiled {
     pub fn cons_vars(&self, ci: u32) -> &[VarId] {
         &self.var_pool[self.cons[ci as usize].vars.range()]
     }
+
+    /// The solver variable of a netlist signal.
+    pub fn var_of(&self, sig: rtl_ir::SignalId) -> VarId {
+        self.sig_var[sig.index()]
+    }
+
+    /// Number of netlist signals consumed so far.
+    pub fn signals_consumed(&self) -> usize {
+        self.sig_var.len()
+    }
 }
 
-struct Builder {
-    init_dom: Vec<Dom>,
-    cons: Vec<Constraint>,
-    var_pool: Vec<VarId>,
+struct Builder<'a> {
+    init_dom: &'a mut Vec<Dom>,
+    cons: &'a mut Vec<Constraint>,
+    var_pool: &'a mut Vec<VarId>,
 }
 
-impl Builder {
+impl Builder<'_> {
     fn aux_word(&mut self, iv: Interval) -> VarId {
         let v = VarId(u32::try_from(self.init_dom.len()).expect("variable count fits"));
         self.init_dom.push(Dom::W(iv));
@@ -115,7 +137,7 @@ impl Builder {
             other => other,
         };
         let start = self.var_pool.len();
-        push_kind_vars(&kind, &mut self.var_pool);
+        push_kind_vars(&kind, self.var_pool);
         let vars = Span {
             start: u32::try_from(start).expect("var pool fits"),
             len: (self.var_pool.len() - start) as u32,
@@ -171,28 +193,95 @@ fn type_range(n: &Netlist, sig: rtl_ir::SignalId) -> Interval {
     }
 }
 
-/// Compiles `netlist` into the constraint store.
-pub(crate) fn compile(netlist: &Netlist) -> Compiled {
-    let mut b = Builder {
-        init_dom: Vec::with_capacity(netlist.len()),
-        cons: Vec::new(),
-        var_pool: Vec::new(),
-    };
-
-    // Variables for every signal, with initial domains.
-    for id in netlist.signal_ids() {
-        let dom = match (netlist.ty(id), netlist.op(id)) {
-            (SignalType::Bool, Op::Const(c)) => Dom::B(Tribool::from(*c == 1)),
-            (SignalType::Bool, _) => Dom::B(Tribool::Unknown),
-            (SignalType::Word { .. }, Op::Const(c)) => Dom::W(Interval::point(*c)),
-            (SignalType::Word { width }, _) => Dom::W(Interval::of_width(width)),
-        };
-        b.init_dom.push(dom);
+impl Compiled {
+    /// An empty compilation (no segment consumed yet).
+    pub fn empty() -> Self {
+        Compiled {
+            init_dom: Vec::new(),
+            cons: Vec::new(),
+            var_pool: Vec::new(),
+            watch: Vec::new(),
+            decision_vars: Vec::new(),
+            fanout_seed: Vec::new(),
+            sig_var: Vec::new(),
+        }
     }
-    // One constraint per operator.
-    for id in netlist.signal_ids() {
-        let out = VarId::from_signal(id);
-        let v = VarId::from_signal;
+
+    /// Consumes the netlist suffix beyond the signals already compiled:
+    /// the segment's signal variables first, then its auxiliaries in
+    /// node order. Existing variables, constraints and watch lists are
+    /// untouched (append-only), so an engine built on this store keeps
+    /// its state and only needs to grow its parallel vectors.
+    pub fn extend(&mut self, netlist: &Netlist) {
+        let from = self.sig_var.len();
+        for id in netlist.signal_ids().skip(from) {
+            let dom = match (netlist.ty(id), netlist.op(id)) {
+                (SignalType::Bool, Op::Const(c)) => Dom::B(Tribool::from(*c == 1)),
+                (SignalType::Bool, _) => Dom::B(Tribool::Unknown),
+                (SignalType::Word { .. }, Op::Const(c)) => Dom::W(Interval::point(*c)),
+                (SignalType::Word { width }, _) => Dom::W(Interval::of_width(width)),
+            };
+            self.sig_var
+                .push(VarId(u32::try_from(self.init_dom.len()).expect(
+                    "variable count fits",
+                )));
+            self.init_dom.push(dom);
+        }
+
+        let cons_start = self.cons.len();
+        let sig_var = std::mem::take(&mut self.sig_var);
+        let mut b = Builder {
+            init_dom: &mut self.init_dom,
+            cons: &mut self.cons,
+            var_pool: &mut self.var_pool,
+        };
+        compile_nodes(&mut b, netlist, from, &sig_var);
+        self.sig_var = sig_var;
+
+        // Watch lists: grow to the new variable count, hook the new
+        // constraints (which may watch old variables too).
+        self.watch.resize(self.init_dom.len(), Vec::new());
+        for ci in cons_start..self.cons.len() {
+            let (start, len) = {
+                let span = self.cons[ci].vars;
+                (span.start as usize, span.len as usize)
+            };
+            for i in start..start + len {
+                let var = self.var_pool[i];
+                let list = &mut self.watch[var.index()];
+                if list.last() != Some(&(ci as u32)) {
+                    list.push(ci as u32);
+                }
+            }
+        }
+
+        // Decision variables: the segment's free Boolean signals.
+        for id in netlist.signal_ids().skip(from) {
+            if netlist.ty(id).is_bool() && !matches!(netlist.op(id), Op::Const(_)) {
+                self.decision_vars.push(self.sig_var[id.index()]);
+            }
+        }
+
+        // Fanout-seeded activities (paper §2.4) for the new variables.
+        // Counts come from the extended netlist, so a new segment's
+        // signals see their full fanout; already-seeded variables keep
+        // their original seed (the engine owns live activity by now).
+        let fanouts = analysis::fanout_counts(netlist);
+        self.fanout_seed.resize(self.init_dom.len(), 0.0);
+        for id in netlist.signal_ids().skip(from) {
+            self.fanout_seed[self.sig_var[id.index()].index()] =
+                f64::from(fanouts[id.index()]);
+        }
+    }
+}
+
+/// Compiles each node of `netlist.signal_ids().skip(from)` into
+/// constraints over `sig_var`-mapped variables (auxiliaries allocated
+/// on the fly).
+fn compile_nodes(b: &mut Builder<'_>, netlist: &Netlist, from: usize, sig_var: &[VarId]) {
+    for id in netlist.signal_ids().skip(from) {
+        let out = sig_var[id.index()];
+        let v = |s: rtl_ir::SignalId| sig_var[s.index()];
         let w_out = netlist.ty(id).width();
         match netlist.op(id) {
             Op::Input | Op::Const(_) => {}
@@ -305,38 +394,12 @@ pub(crate) fn compile(netlist: &Netlist) -> Compiled {
             }),
         }
     }
+}
 
-    // Watch lists.
-    let mut watch: Vec<Vec<u32>> = vec![Vec::new(); b.init_dom.len()];
-    for (ci, c) in b.cons.iter().enumerate() {
-        for &var in &b.var_pool[c.vars.range()] {
-            let list = &mut watch[var.index()];
-            if list.last() != Some(&(ci as u32)) {
-                list.push(ci as u32);
-            }
-        }
-    }
-
-    // Decision variables: free Boolean netlist signals.
-    let decision_vars: Vec<VarId> = netlist
-        .signal_ids()
-        .filter(|&id| netlist.ty(id).is_bool() && !matches!(netlist.op(id), Op::Const(_)))
-        .map(VarId::from_signal)
-        .collect();
-
-    // Fanout-seeded activities (paper §2.4).
-    let fanouts = analysis::fanout_counts(netlist);
-    let mut fanout_seed = vec![0.0f64; b.init_dom.len()];
-    for id in netlist.signal_ids() {
-        fanout_seed[id.index()] = f64::from(fanouts[id.index()]);
-    }
-
-    Compiled {
-        init_dom: b.init_dom,
-        cons: b.cons,
-        var_pool: b.var_pool,
-        watch,
-        decision_vars,
-        fanout_seed,
-    }
+/// Compiles `netlist` into the constraint store (fresh, single
+/// segment: signal index = variable index).
+pub(crate) fn compile(netlist: &Netlist) -> Compiled {
+    let mut c = Compiled::empty();
+    c.extend(netlist);
+    c
 }

@@ -23,6 +23,15 @@ impl LearnWeights {
         }
     }
 
+    /// Grows the weight table to cover variables added by an
+    /// incremental extension (new variables start unweighted — the
+    /// static learning pass only ran over the original segment).
+    pub fn grow(&mut self, num_vars: usize) {
+        if num_vars > self.by_value.len() {
+            self.by_value.resize(num_vars, [0.0; 2]);
+        }
+    }
+
     pub fn var_weight(&self, v: VarId) -> f64 {
         let [a, b] = self.by_value[v.index()];
         a + b

@@ -147,7 +147,7 @@ pub struct EngineStats {
 }
 
 pub(crate) struct Engine {
-    pub compiled: std::rc::Rc<Compiled>,
+    pub compiled: std::sync::Arc<Compiled>,
     pub doms: Vec<Dom>,
     pub trail: Vec<TrailEntry>,
     pub trail_lim: Vec<usize>,
@@ -219,7 +219,7 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    pub fn new(compiled: std::rc::Rc<Compiled>) -> Self {
+    pub fn new(compiled: std::sync::Arc<Compiled>) -> Self {
         let n = compiled.init_dom.len();
         let ncons = compiled.cons.len();
         let doms = compiled.init_dom.clone();
@@ -523,6 +523,46 @@ impl Engine {
         let ants = self.empty_ants();
         self.apply(var, Dom::B(Tribool::from(value)), Reason::Decision, ants);
         self.obs.decision(var.index() as u32, value, self.level());
+    }
+
+    /// Opens a new decision level without assigning anything. Used by
+    /// incremental sessions for an assumption that already holds: the
+    /// empty level keeps the `assumption i ↔ level i+1` correspondence,
+    /// so conflict levels still identify which assumptions are engaged.
+    pub fn open_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+        self.flipped.push(false);
+    }
+
+    /// Clears a sticky budget abort so the engine can be reused for the
+    /// next incremental query (a fresh budget is installed per call).
+    pub fn clear_abort(&mut self) {
+        self.aborted = None;
+    }
+
+    /// Grows the search state to match [`Engine::compiled`] after the
+    /// compiled problem was extended in place ([`Compiled::extend`]).
+    /// Level 0 only: existing assignments and learned clauses are kept,
+    /// new variables start at their initial domains, and every *new*
+    /// constraint is scheduled so the next [`Engine::propagate`] call
+    /// reaches a fixpoint over the enlarged problem.
+    pub fn grow(&mut self) {
+        debug_assert_eq!(self.level(), 0);
+        let n = self.compiled.init_dom.len();
+        let old_n = self.doms.len();
+        debug_assert!(n >= old_n);
+        self.doms.extend_from_slice(&self.compiled.init_dom[old_n..]);
+        self.latest.resize(n, None);
+        self.clause_watch.resize(n, Vec::new());
+        self.saved_phase.resize(n, Tribool::Unknown);
+        self.activity
+            .extend_from_slice(&self.compiled.fanout_seed[old_n..]);
+        let old_cons = self.in_cqueue.len();
+        self.in_cqueue.resize(self.compiled.cons.len(), false);
+        for ci in old_cons as u32..self.compiled.cons.len() as u32 {
+            self.in_cqueue[ci as usize] = true;
+            self.cqueue.push_back(ci);
+        }
     }
 
     /// Chronological backtracking for the learning-free search mode: undoes
@@ -840,7 +880,13 @@ impl Engine {
         // Antecedent spans start monotonically along the trail, so
         // truncating the pool at the first removed entry's span start
         // discards exactly the undone entries' antecedents.
-        let pool_mark = self.trail[target].ants.start as usize;
+        // `target == trail.len()` happens when the undone levels were all
+        // empty (e.g. `open_level` placeholders for already-true
+        // assumptions) — nothing to truncate then.
+        let pool_mark = self
+            .trail
+            .get(target)
+            .map_or(self.ant_pool.len(), |e| e.ants.start as usize);
         self.trail.truncate(target);
         self.ant_pool.truncate(pool_mark);
         self.trail_lim.truncate(level as usize);

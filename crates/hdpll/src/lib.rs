@@ -66,10 +66,15 @@ mod types;
 
 pub mod justify;
 pub mod predlearn;
+pub mod session;
 pub mod solver;
 pub mod supervise;
 
 pub use crate::engine::EngineStats;
+pub use crate::session::{
+    Assumption, Certified, Session, SessionCert, SessionFallback, SupervisedQuery,
+    SupervisedSession,
+};
 pub use crate::solver::{HdpllResult, LearningMode, Limits, Solver, SolverConfig, SolverStats};
 pub use crate::supervise::{
     CancelToken, Certification, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport,

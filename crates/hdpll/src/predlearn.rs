@@ -100,8 +100,13 @@ type Way = Vec<(VarId, bool)>;
 /// The ways of satisfying `sig = value`, when there is a *choice* (≥ 2
 /// ways). Single-way values are direct implications that ordinary
 /// propagation already finds, so they are not probed.
-fn ways_of(netlist: &Netlist, sig: SignalId, value: bool) -> Option<Vec<Way>> {
-    let v = VarId::from_signal;
+fn ways_of(
+    compiled: &crate::compile::Compiled,
+    netlist: &Netlist,
+    sig: SignalId,
+    value: bool,
+) -> Option<Vec<Way>> {
+    let v = |s: SignalId| compiled.var_of(s);
     match netlist.op(sig) {
         Op::And(ins) if !value && ins.len() >= 2 => {
             Some(ins.iter().map(|&i| vec![(v(i), false)]).collect())
@@ -161,7 +166,7 @@ pub(crate) fn run(
         if engine.abort_reason().is_some() {
             break;
         }
-        let var = VarId::from_signal(sig);
+        let var = engine.compiled.var_of(sig);
         if engine.dom(var).is_fixed() {
             continue;
         }
@@ -171,7 +176,7 @@ pub(crate) fn run(
             if engine.dom(var).is_fixed() {
                 break;
             }
-            let Some(ways) = ways_of(netlist, sig, value) else {
+            let Some(ways) = ways_of(&engine.compiled, netlist, sig, value) else {
                 continue;
             };
             report.probes += 1;

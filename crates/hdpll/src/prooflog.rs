@@ -62,6 +62,29 @@ impl ProofLog {
         })
     }
 
+    /// Starts a *goal-free* proof log for an incremental solve session:
+    /// no goal is asserted into the mirror's base, and each query's
+    /// Unsat verdict is sealed by [`ProofLog::snapshot`] into an
+    /// assumption proof (goal name `-`) instead of [`ProofLog::finish`].
+    pub fn new_free(netlist: &Netlist) -> ProofLog {
+        ProofLog {
+            mirror: Checker::new_free(netlist),
+            steps: Vec::new(),
+            gaps: 0,
+            goal: "-".to_string(),
+            clause_step: Vec::new(),
+            pending_dels: Vec::new(),
+        }
+    }
+
+    /// Grows the mirror over netlist signals appended since the last
+    /// (`new_free`/`extend`) call — the logging counterpart of
+    /// [`crate::compile::Compiled::extend`]. Admitted steps survive:
+    /// extension only adds constraints, so they remain implied.
+    pub fn extend(&mut self, netlist: &Netlist) {
+        self.mirror.extend(netlist);
+    }
+
     /// The mirror's variable count; the solver cross-checks this
     /// against its own compilation before trusting the logger.
     pub fn var_count(&self) -> u32 {
@@ -218,8 +241,114 @@ impl ProofLog {
         Proof {
             var_count: self.mirror.var_count(),
             goal: self.goal,
+            assumptions: Vec::new(),
             gaps: self.gaps,
             steps: self.steps,
+        }
+    }
+
+    /// Seals the *current* state of a session log into an assumption
+    /// proof for one Unsat-under-`assumptions` query, without consuming
+    /// the log — the session keeps learning across later queries.
+    ///
+    /// Two things separate a snapshot from [`ProofLog::finish`]:
+    ///
+    /// * **Variable translation.** The session engine allocates
+    ///   variables segment-wise as the netlist grows (each `extend`'s
+    ///   signals, then its auxiliaries), but a fresh checker lowers the
+    ///   final netlist in one segment (all signals, then all
+    ///   auxiliaries). `sig_var` (the engine's signal→variable map)
+    ///   determines the renaming: signal variables map to their signal
+    ///   index, auxiliaries to `signal_count + rank` by ascending
+    ///   engine id — the same order a single-segment lowering allocates
+    ///   them, because both walk nodes in signal-id order.
+    /// * **The final clause.** `¬a₁ ∨ … ∨ ¬aₖ` over the query's
+    ///   assumptions is *assumption-dependent*, so it must not be
+    ///   installed in the session mirror (later queries would inherit
+    ///   it). It is justified here with the non-mutating split finder;
+    ///   if that fails the snapshot (only) gains a gap and cannot
+    ///   certify. A session already at the empty clause (globally
+    ///   unsat) needs no final clause.
+    pub fn snapshot(&mut self, sig_var: &[VarId], assumptions: &[(VarId, bool)]) -> Proof {
+        let n = self.mirror.var_count() as usize;
+        let mut canon = vec![u32::MAX; n];
+        for (i, v) in sig_var.iter().enumerate() {
+            canon[v.index()] = i as u32;
+        }
+        let mut next = sig_var.len() as u32;
+        for c in &mut canon {
+            if *c == u32::MAX {
+                *c = next;
+                next += 1;
+            }
+        }
+        let tr_lit = |lit: &PLit| match *lit {
+            PLit::Bool { var, value } => PLit::Bool {
+                var: canon[var as usize],
+                value,
+            },
+            PLit::Word {
+                var,
+                lo,
+                hi,
+                positive,
+            } => PLit::Word {
+                var: canon[var as usize],
+                lo,
+                hi,
+                positive,
+            },
+        };
+        let tr_split = |split: &PSplit| match *split {
+            PSplit::Bool { var } => PSplit::Bool {
+                var: canon[var as usize],
+            },
+            PSplit::Word { var, at } => PSplit::Word {
+                var: canon[var as usize],
+                at,
+            },
+        };
+        let mut steps: Vec<Step> = self
+            .steps
+            .iter()
+            .map(|s| Step {
+                lits: s.lits.iter().map(tr_lit).collect(),
+                splits: s.splits.iter().map(tr_split).collect(),
+                ants: s.ants.clone(),
+                dels: s.dels.clone(),
+            })
+            .collect();
+        let mut gaps = self.gaps;
+        if !steps.last().is_some_and(Step::is_empty_clause) {
+            let final_lits: Vec<PLit> = assumptions
+                .iter()
+                .map(|&(var, value)| PLit::Bool {
+                    var: var.index() as u32,
+                    value: !value,
+                })
+                .collect();
+            match self.mirror.find_splits(&final_lits) {
+                Some(splits) => steps.push(Step {
+                    lits: final_lits.iter().map(tr_lit).collect(),
+                    splits: splits.iter().map(tr_split).collect(),
+                    ants: Vec::new(),
+                    dels: Vec::new(),
+                }),
+                None => gaps += 1,
+            }
+        }
+        Proof {
+            var_count: self.mirror.var_count(),
+            goal: self.goal.clone(),
+            assumptions: assumptions
+                .iter()
+                .map(|&(var, value)| PLit::Bool {
+                    var: canon[var.index()],
+                    value,
+                })
+                .collect(),
+            gaps,
+            steps,
         }
     }
 }

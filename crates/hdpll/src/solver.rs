@@ -13,7 +13,7 @@ use crate::justify::{pick_structural, Structural, StructuralIndex};
 use crate::predlearn::{self, LearnConfig, LearnReport};
 use crate::prooflog::ProofLog;
 use crate::supervise::{CancelToken, FaultPlan};
-use crate::types::{AbortReason, ClauseDbConfig, DecisionStrategy, Dom, RestartMode, VarId};
+use crate::types::{AbortReason, ClauseDbConfig, DecisionStrategy, Dom, RestartMode};
 use rtl_interval::Tribool;
 use rtl_obs::ObsHandle;
 use rtl_proof::Proof;
@@ -201,7 +201,7 @@ pub struct SolverStats {
 #[derive(Debug)]
 pub struct Solver {
     netlist: Netlist,
-    compiled: std::rc::Rc<Compiled>,
+    compiled: std::sync::Arc<Compiled>,
     config: SolverConfig,
     stats: SolverStats,
     learn_report: Option<LearnReport>,
@@ -217,7 +217,7 @@ impl Solver {
     pub fn new(netlist: &Netlist, config: SolverConfig) -> Self {
         Self {
             netlist: netlist.clone(),
-            compiled: std::rc::Rc::new(compile(netlist)),
+            compiled: std::sync::Arc::new(compile(netlist)),
             config,
             stats: SolverStats::default(),
             learn_report: None,
@@ -305,7 +305,7 @@ impl Solver {
             self.netlist.ty(constraint).is_bool(),
             "proposition {constraint} must be Boolean"
         );
-        let mut engine = Engine::new(std::rc::Rc::clone(&self.compiled));
+        let mut engine = Engine::new(std::sync::Arc::clone(&self.compiled));
         self.stats = SolverStats::default();
         self.learn_report = None;
         self.last_proof = None;
@@ -336,7 +336,7 @@ impl Solver {
         engine.set_obs(self.obs.clone());
 
         // Assert the proposition and reach the initial fixpoint.
-        if !engine.assert_external(VarId::from_signal(constraint), Dom::B(Tribool::True)) {
+        if !engine.assert_external(self.compiled.var_of(constraint), Dom::B(Tribool::True)) {
             self.finish_stats(&engine);
             self.seal_proof(proof);
             return HdpllResult::Unsat;
@@ -584,7 +584,7 @@ impl Solver {
     fn input_model(&self, values: &[i64]) -> HashMap<SignalId, i64> {
         eval::input_ids(&self.netlist)
             .into_iter()
-            .map(|id| (id, values[id.index()]))
+            .map(|id| (id, values[self.compiled.var_of(id).index()]))
             .collect()
     }
 }

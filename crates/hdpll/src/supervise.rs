@@ -772,7 +772,7 @@ fn certify_model(netlist: &Netlist, model: &HashMap<SignalId, i64>, goal: Signal
 }
 
 /// Best-effort extraction of a panic payload as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -683,7 +683,7 @@ proptest! {
         ),
     ) {
         let (n, _goal) = build_random(&steps, 0);
-        let compiled = std::rc::Rc::new(crate::compile::compile(&n));
+        let compiled = std::sync::Arc::new(crate::compile::compile(&n));
         let mut engine = crate::engine::Engine::new(compiled);
         engine.schedule_all();
         if matches!(engine.propagate(), crate::engine::Propagation::Conflict(_)) {
@@ -847,4 +847,211 @@ fn corrupted_solver_cannot_produce_a_complete_accepted_proof() {
             "{iname}: corrupted run produced a complete, accepted proof"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental sessions (crate-level smoke tests; the workspace-level
+// differential suite lives in tests/incremental.rs)
+// ---------------------------------------------------------------------------
+
+use crate::session::{Assumption, Session, SessionCert};
+
+/// One session answering many goal-as-assumption queries must agree
+/// with a fresh solver per goal, under every configuration, and must
+/// return to a quiescent trail after each query.
+#[test]
+fn session_queries_agree_with_fresh_solver() {
+    let mut configs = all_configs();
+    configs.push(("no-learning", no_learning_config()));
+    for (cname, config) in configs {
+        let config = config.with_proof(true);
+        for (iname, n, goal) in unsat_instances() {
+            let mut session = Session::new(&n, config);
+            // Interleave contradictory and satisfiable queries: each
+            // goal refuted, its negation satisfiable, twice over, so
+            // the second round reuses clauses learned in the first.
+            for round in 0..2 {
+                let certified = session.solve(&[Assumption::yes(goal)]);
+                assert!(
+                    certified.result.is_unsat(),
+                    "{cname}/{iname} round {round}: expected UNSAT"
+                );
+                assert_eq!(
+                    certified.cert,
+                    SessionCert::ProofChecked,
+                    "{cname}/{iname} round {round}: unsat not proof-checked"
+                );
+                assert!(session.is_quiescent());
+
+                let certified = session.solve(&[Assumption::no(goal)]);
+                assert!(
+                    certified.result.is_sat(),
+                    "{cname}/{iname} round {round}: ¬goal should be SAT"
+                );
+                assert_eq!(certified.cert, SessionCert::ModelVerified);
+                assert!(session.is_quiescent());
+            }
+            // Fresh per-goal solver agrees.
+            let mut fresh = Solver::new(&n, config);
+            assert!(fresh.solve(goal).is_unsat(), "{cname}/{iname}: fresh");
+        }
+    }
+}
+
+/// Assumption proofs survive the textual round-trip and re-check from a
+/// parsed copy (what an external auditor would do).
+#[test]
+fn session_assumption_proofs_roundtrip() {
+    let (_, n, goal) = unsat_instances().remove(3);
+    let mut session = Session::new(&n, SolverConfig::hdpll().with_proof(true));
+    let certified = session.solve(&[Assumption::yes(goal)]);
+    assert!(certified.result.is_unsat());
+    let proof = certified.proof.expect("proof logged");
+    assert_eq!(certified.cert, SessionCert::ProofChecked);
+    let text = rtl_proof::format::print(&proof);
+    let parsed = rtl_proof::format::parse(&text).unwrap();
+    assert_eq!(parsed, proof);
+    rtl_proof::Checker::check(&n, &parsed).expect("parsed assumption proof accepted");
+}
+
+/// `extend` grows the problem in place: facts established before the
+/// extension still hold, new signals are queryable, and proofs keep
+/// certifying.
+#[test]
+fn session_extend_preserves_and_grows() {
+    let mut n = Netlist::new("grow");
+    let x = n.input_word("x", 5).unwrap();
+    let tripled = n.mul_const(x, 3).unwrap();
+    let g21 = n.eq_const(tripled, 21).unwrap();
+    let mut session = Session::new(&n, SolverConfig::structural_with_learning(LearnConfig::default()).with_proof(true));
+
+    let certified = session.solve(&[Assumption::yes(g21)]);
+    assert!(certified.result.is_sat());
+    assert_eq!(certified.cert, SessionCert::ModelVerified);
+
+    // Grow: y = x + 1, and a goal that contradicts g21 (x = 7 → y = 8).
+    let mut g_y9 = None;
+    session.extend(|n| {
+        let one = n.const_word(1, 5).unwrap();
+        let y = n.add(x, one).unwrap();
+        g_y9 = Some(n.eq_const(y, 9).unwrap());
+    });
+    let g_y9 = g_y9.unwrap();
+
+    let sat = session.solve(&[Assumption::yes(g21), Assumption::no(g_y9)]);
+    assert!(sat.result.is_sat());
+    assert_eq!(sat.cert, SessionCert::ModelVerified);
+    if let HdpllResult::Sat(model) = &sat.result {
+        assert_eq!(model[&x], 7);
+    }
+
+    let unsat = session.solve(&[Assumption::yes(g21), Assumption::yes(g_y9)]);
+    assert!(unsat.result.is_unsat(), "x=7 forces y=8, not 9");
+    assert_eq!(unsat.cert, SessionCert::ProofChecked);
+
+    // The pre-extension query still answers the same afterwards.
+    let again = session.solve(&[Assumption::yes(g21)]);
+    assert!(again.result.is_sat());
+    assert!(session.is_quiescent());
+    assert_eq!(session.queries(), 4);
+}
+
+/// An assumption set containing both polarities of one signal is
+/// refuted by the replay itself (fixed-opposite detection), and the
+/// resulting proof still certifies.
+#[test]
+fn session_contradictory_assumptions() {
+    let mut n = Netlist::new("contra");
+    let x = n.input_bool("x").unwrap();
+    let y = n.input_bool("y").unwrap();
+    let mut session = Session::new(&n, SolverConfig::hdpll().with_proof(true));
+    let certified = session.solve(&[
+        Assumption::yes(x),
+        Assumption::yes(y),
+        Assumption::no(x),
+    ]);
+    assert!(certified.result.is_unsat());
+    assert_eq!(certified.cert, SessionCert::ProofChecked);
+    // The session is not poisoned: a consistent query still works.
+    assert!(!session.root_unsat());
+    let sat = session.solve(&[Assumption::yes(x), Assumption::no(y)]);
+    assert!(sat.result.is_sat());
+    assert_eq!(sat.cert, SessionCert::ModelVerified);
+}
+
+/// A growing session driven by the incremental unroller answers every
+/// BMC depth exactly like a fresh monolithic unroll, and Unsat depths
+/// stay proof-certified as the problem grows underneath them.
+#[test]
+fn sessioned_bmc_matches_fresh_unroll() {
+    let ckt = counter_circuit(4, 7); // reaches 7 exactly in frame 7
+    let mut unroller = ckt.unroller();
+    let base = {
+        let mut n = unroller.base_netlist();
+        unroller.push_frame(&mut n).unwrap();
+        n
+    };
+    let mut session = Session::new(&base, SolverConfig::structural().with_proof(true));
+    for depth in 0..10usize {
+        if depth > 0 {
+            session.extend(|n| unroller.push_frame(n).unwrap());
+        }
+        let bad = unroller.bad("p", depth).unwrap();
+        let certified = session.solve(&[Assumption::yes(bad)]);
+        let expect_sat = depth == 7;
+        // Cross-check: fresh monolithic unroll of the same depth.
+        let mono = ckt.unroll("p", depth + 1).unwrap();
+        let mut fresh = Solver::new(&mono.netlist, SolverConfig::structural());
+        assert_eq!(
+            fresh.solve(mono.bad).is_sat(),
+            expect_sat,
+            "depth {depth}: fresh disagrees with expectation"
+        );
+        if expect_sat {
+            assert!(certified.result.is_sat(), "depth {depth}");
+            assert_eq!(certified.cert, SessionCert::ModelVerified, "depth {depth}");
+        } else {
+            assert!(certified.result.is_unsat(), "depth {depth}");
+            assert_eq!(certified.cert, SessionCert::ProofChecked, "depth {depth}");
+        }
+        assert!(session.is_quiescent());
+    }
+}
+
+/// The supervised ladder answers like a plain session on healthy rungs
+/// and degrades to a fresh session when a rung's answers stop
+/// certifying.
+#[test]
+fn supervised_session_answers_and_degrades() {
+    let (_, n, goal) = unsat_instances().remove(1);
+    let mut ladder = crate::SupervisedSession::new(&n);
+    let q = ladder.solve(&[Assumption::yes(goal)]);
+    assert!(q.certified.result.is_unsat());
+    assert_eq!(q.certified.cert, SessionCert::ProofChecked);
+    assert_eq!(q.answered_by.as_deref(), Some("hdpll-sp"));
+    assert!(q.fallbacks.is_empty());
+    assert_eq!(ladder.degradations(), 0);
+
+    // A rung whose per-query budget is instantly exhausted degrades to
+    // the next rung, which answers.
+    let starved = (
+        "starved".to_string(),
+        SolverConfig::hdpll().with_limits(Limits {
+            max_decisions: Some(0),
+            max_conflicts: Some(0),
+            ..Limits::default()
+        }),
+    );
+    let healthy = ("hdpll".to_string(), SolverConfig::hdpll().with_proof(true));
+    let mut ladder = crate::SupervisedSession::with_rungs(&n, vec![starved, healthy]);
+    let q = ladder.solve(&[Assumption::yes(goal)]);
+    assert!(q.certified.result.is_unsat());
+    assert_eq!(q.answered_by.as_deref(), Some("hdpll"));
+    assert_eq!(q.fallbacks.len(), 1);
+    assert_eq!(q.fallbacks[0].rung, "starved");
+    // Degradation is sticky: the next query starts on the healthy rung.
+    assert_eq!(ladder.active_rung(), "hdpll");
+    let q = ladder.solve(&[Assumption::no(goal)]);
+    assert!(q.certified.result.is_sat());
+    assert!(q.fallbacks.is_empty());
 }

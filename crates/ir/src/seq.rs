@@ -263,6 +263,16 @@ impl SeqCircuit {
         })
     }
 
+    /// Starts an incremental unrolling of this circuit; see [`Unroller`].
+    #[must_use]
+    pub fn unroller(&self) -> Unroller {
+        Unroller {
+            circuit: self.clone(),
+            frame_map: Vec::new(),
+            bads: Vec::new(),
+        }
+    }
+
     /// Simulates the circuit for `per_frame_inputs.len()` frames from the
     /// initial state, returning the frame-netlist values of each frame.
     ///
@@ -293,6 +303,148 @@ impl SeqCircuit {
             trace.push(vals);
         }
         Ok(trace)
+    }
+}
+
+/// Incremental time-frame expansion: frames are appended one at a time
+/// to a caller-owned netlist, so an incremental solver session can grow
+/// its problem in place instead of recompiling a monolithic
+/// [`SeqCircuit::unroll`] per depth.
+///
+/// Unlike `unroll`, *every* property's violation cone is imported in
+/// *every* frame: the bad signal of property `p` at depth `t`
+/// ([`Unroller::bad`]) is an ordinary Boolean signal, so "is `p`
+/// violated at depth `t`?" becomes an assumption query against the one
+/// growing netlist — no re-unroll per property or per depth. The extra
+/// cones are output-observed but unasserted, so they never change the
+/// satisfiability of any individual query.
+///
+/// ```
+/// use rtl_ir::seq::SeqCircuit;
+/// use rtl_ir::{eval, Netlist};
+/// use std::collections::HashMap;
+///
+/// # fn main() -> Result<(), rtl_ir::NetlistError> {
+/// let mut f = Netlist::new("counter");
+/// let c = f.input_word("c", 4)?;
+/// let one = f.const_word(1, 4)?;
+/// let next = f.add(c, one)?;
+/// let bad = f.eq_const(c, 3)?;
+/// let mut ckt = SeqCircuit::new(f);
+/// ckt.add_register(c, next, 0)?;
+/// ckt.add_property("p1", bad)?;
+///
+/// let mut unroller = ckt.unroller();
+/// let mut n = unroller.base_netlist();
+/// for _ in 0..4 {
+///     unroller.push_frame(&mut n)?;
+/// }
+/// // The counter reaches 3 in frame 3 (0-based) and nowhere earlier.
+/// let vals = eval::eval(&n, &HashMap::new())?;
+/// assert_eq!(vals[unroller.bad("p1", 3).unwrap()], 1);
+/// assert_eq!(vals[unroller.bad("p1", 2).unwrap()], 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Unroller {
+    circuit: SeqCircuit,
+    frame_map: Vec<HashMap<SignalId, SignalId>>,
+    /// `bads[t][p]` — property `p`'s violation signal in frame `t`.
+    bads: Vec<Vec<SignalId>>,
+}
+
+impl Unroller {
+    /// A fresh netlist to unroll into (named after the frame netlist).
+    /// Any netlist works as the unroll target as long as *all* frames go
+    /// into the same one; this is the conventional starting point.
+    #[must_use]
+    pub fn base_netlist(&self) -> Netlist {
+        Netlist::new(format!("{}_inc", self.circuit.frame.name()))
+    }
+
+    /// Number of frames pushed so far.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.frame_map.len()
+    }
+
+    /// Appends the next time-frame to `out`: register states (initial
+    /// constants in frame 0, the previous frame's next-state signals
+    /// afterwards), fresh `name@t` primary inputs, the next-state
+    /// logic, and every property's violation cone.
+    ///
+    /// Strictly additive — existing signals of `out` are never
+    /// modified, which is what makes the growth compatible with an
+    /// incremental solver session's `extend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors (e.g. name clashes with
+    /// signals the caller added to `out`).
+    pub fn push_frame(&mut self, out: &mut Netlist) -> Result<(), NetlistError> {
+        let t = self.frame_map.len();
+        let circuit = &self.circuit;
+        let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+        for reg in &circuit.registers {
+            let mapped = if t == 0 {
+                match circuit.frame.ty(reg.state) {
+                    SignalType::Bool => out.const_bool(reg.init == 1),
+                    SignalType::Word { width } => out.const_word(reg.init, width)?,
+                }
+            } else {
+                self.frame_map[t - 1][&reg.next]
+            };
+            map.insert(reg.state, mapped);
+        }
+        for pi in circuit.free_inputs() {
+            let base = circuit
+                .frame
+                .signal(pi)
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| pi.to_string());
+            let name = format!("{base}@{t}");
+            let fresh = match circuit.frame.ty(pi) {
+                SignalType::Bool => out.input_bool(&name)?,
+                SignalType::Word { width } => out.input_word(&name, width)?,
+            };
+            map.insert(pi, fresh);
+        }
+        for reg in &circuit.registers {
+            out.import(&circuit.frame, reg.next, &mut map)?;
+        }
+        let mut bads = Vec::with_capacity(circuit.properties.len());
+        for (name, bad_frame) in &circuit.properties {
+            out.import(&circuit.frame, *bad_frame, &mut map)?;
+            let bad = map[bad_frame];
+            out.set_output(bad, format!("bad_{name}@{t}"))?;
+            bads.push(bad);
+        }
+        self.frame_map.push(map);
+        self.bads.push(bads);
+        Ok(())
+    }
+
+    /// Property `property`'s violation signal at depth `frame`
+    /// (0-based), or `None` if the property is unknown or the frame has
+    /// not been pushed yet. Asserting it `true` is the BMC query "can
+    /// `property` be violated exactly `frame` steps after reset?".
+    #[must_use]
+    pub fn bad(&self, property: &str, frame: usize) -> Option<SignalId> {
+        let p = self
+            .circuit
+            .properties
+            .iter()
+            .position(|(n, _)| n == property)?;
+        Some(*self.bads.get(frame)?.get(p)?)
+    }
+
+    /// The unrolled copy of frame-netlist signal `sig` in frame `frame`
+    /// (for trace reconstruction), if both exist.
+    #[must_use]
+    pub fn frame_signal(&self, frame: usize, sig: SignalId) -> Option<SignalId> {
+        self.frame_map.get(frame)?.get(&sig).copied()
     }
 }
 
@@ -377,6 +529,58 @@ mod unit {
         assert!(ckt.add_register(a, n1, 3).is_ok());
         // duplicate
         assert!(ckt.add_register(a, n1, 3).is_err());
+    }
+
+    #[test]
+    fn unroller_matches_monolithic_unroll() {
+        let (ckt, _, _) = counter();
+        let mut unroller = ckt.unroller();
+        let mut n = unroller.base_netlist();
+        for depth in 1..=8usize {
+            unroller.push_frame(&mut n).unwrap();
+            assert_eq!(unroller.frames(), depth);
+            let bad_inc = unroller.bad("p", depth - 1).unwrap();
+            let inc = eval::eval(&n, &HashMap::new()).unwrap()[bad_inc];
+            let mono = ckt.unroll("p", depth).unwrap();
+            let full = eval::eval(&mono.netlist, &HashMap::new()).unwrap()[mono.bad];
+            assert_eq!(inc, full, "depth {depth}");
+        }
+        // The 3-bit counter hits 5 exactly in frame 5.
+        let vals = eval::eval(&n, &HashMap::new()).unwrap();
+        for t in 0..8 {
+            let expect = i64::from(t == 5);
+            assert_eq!(vals[unroller.bad("p", t).unwrap()], expect, "frame {t}");
+        }
+    }
+
+    #[test]
+    fn unroller_free_inputs_and_lookup() {
+        let mut f = Netlist::new("acc");
+        let s = f.input_word("s", 8).unwrap();
+        let x = f.input_word("x", 8).unwrap();
+        let next = f.add(s, x).unwrap();
+        let bad = f.eq_const(s, 9).unwrap();
+        let mut ckt = SeqCircuit::new(f);
+        ckt.add_register(s, next, 0).unwrap();
+        ckt.add_property("p", bad).unwrap();
+        let mut unroller = ckt.unroller();
+        let mut n = unroller.base_netlist();
+        for _ in 0..3 {
+            unroller.push_frame(&mut n).unwrap();
+        }
+        let i0 = n.find("x@0").unwrap();
+        let i1 = n.find("x@1").unwrap();
+        let i2 = n.find("x@2").unwrap();
+        let inputs: HashMap<SignalId, i64> = [(i0, 4), (i1, 5), (i2, 0)].into();
+        let vals = eval::eval(&n, &inputs).unwrap();
+        assert_eq!(vals[unroller.bad("p", 2).unwrap()], 1);
+        assert_eq!(vals[unroller.bad("p", 1).unwrap()], 0);
+        // Trace reconstruction: the state register s in frame 2 is 9.
+        let s2 = unroller.frame_signal(2, s).unwrap();
+        assert_eq!(vals[s2], 9);
+        // Unknown property / unpushed frame.
+        assert!(unroller.bad("nope", 0).is_none());
+        assert!(unroller.bad("p", 3).is_none());
     }
 
     #[test]

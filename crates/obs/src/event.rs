@@ -113,12 +113,30 @@ pub enum Event {
         /// Interned outcome label (e.g. `"SAT"`, `"error"`).
         outcome: NameId,
     },
+    /// One query of an incremental solve session beginning (the span
+    /// between this and the matching [`Event::SessionQueryEnd`] covers
+    /// assumption replay, search, and certification for that query).
+    SessionQueryStart {
+        /// 0-based query ordinal within the session.
+        query: u32,
+        /// Number of assumption literals of the query.
+        assumptions: u32,
+    },
+    /// One query of an incremental solve session finishing.
+    SessionQueryEnd {
+        /// 0-based query ordinal within the session.
+        query: u32,
+        /// Interned outcome label (e.g. `"SAT"`, `"UNSAT"`).
+        outcome: NameId,
+    },
 }
 
 /// The trace format version written in the JSONL header line.
 /// Version 2 added the `restart` and `db_reduce` event kinds; version 3
-/// added the serve-mode `request_start` and `request_end` markers.
-pub const TRACE_FORMAT: u32 = 3;
+/// added the serve-mode `request_start` and `request_end` markers;
+/// version 4 added the incremental-session `session_query_start` and
+/// `session_query_end` spans.
+pub const TRACE_FORMAT: u32 = 4;
 
 /// A bounded event buffer. Events past the capacity are counted in
 /// [`TraceBuf::dropped`] rather than grown into — the tracer never
@@ -284,6 +302,19 @@ impl TraceBuf {
                         json::escape(self.name(outcome))
                     );
                 }
+                Event::SessionQueryStart { query, assumptions } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"session_query_start\",\"query\":{query},\"assumptions\":{assumptions}}}"
+                    );
+                }
+                Event::SessionQueryEnd { query, outcome } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"e\":\"session_query_end\",\"query\":{query},\"outcome\":\"{}\"}}",
+                        json::escape(self.name(outcome))
+                    );
+                }
             }
         }
         out
@@ -299,13 +330,13 @@ pub struct TraceSummary {
     pub dropped: u64,
     /// Per-kind event counts, in a fixed order (see
     /// [`TraceSummary::KINDS`]).
-    pub by_kind: [u64; 12],
+    pub by_kind: [u64; 14],
 }
 
 impl TraceSummary {
     /// The event kinds of the schema, index-aligned with
     /// [`TraceSummary::by_kind`].
-    pub const KINDS: [&'static str; 12] = [
+    pub const KINDS: [&'static str; 14] = [
         "decision",
         "batch",
         "conflict",
@@ -318,12 +349,14 @@ impl TraceSummary {
         "stage_end",
         "request_start",
         "request_end",
+        "session_query_start",
+        "session_query_end",
     ];
 }
 
 /// Required integer/Boolean/string fields per event kind (the JSONL
 /// schema, version [`TRACE_FORMAT`]).
-const SCHEMA: [(&str, &[(&str, FieldKind)]); 12] = [
+const SCHEMA: [(&str, &[(&str, FieldKind)]); 14] = [
     (
         "decision",
         &[
@@ -380,6 +413,14 @@ const SCHEMA: [(&str, &[(&str, FieldKind)]); 12] = [
     (
         "request_end",
         &[("name", FieldKind::Str), ("outcome", FieldKind::Str)],
+    ),
+    (
+        "session_query_start",
+        &[("query", FieldKind::Uint), ("assumptions", FieldKind::Uint)],
+    ),
+    (
+        "session_query_end",
+        &[("query", FieldKind::Uint), ("outcome", FieldKind::Str)],
     ),
 ];
 
@@ -510,6 +551,14 @@ mod tests {
             name: req,
             outcome: verdict,
         });
+        t.push(Event::SessionQueryStart {
+            query: 0,
+            assumptions: 2,
+        });
+        t.push(Event::SessionQueryEnd {
+            query: 0,
+            outcome: verdict,
+        });
         t
     }
 
@@ -517,9 +566,9 @@ mod tests {
     fn jsonl_roundtrip_validates() {
         let text = sample().to_jsonl();
         let summary = validate_jsonl(&text).expect("valid trace");
-        assert_eq!(summary.events, 12);
+        assert_eq!(summary.events, 14);
         assert_eq!(summary.dropped, 0);
-        assert_eq!(summary.by_kind.iter().sum::<u64>(), 12);
+        assert_eq!(summary.by_kind.iter().sum::<u64>(), 14);
         assert_eq!(summary.by_kind[0], 1); // one decision
     }
 
@@ -549,8 +598,8 @@ mod tests {
         let bad = good.replace("\"width\":3", "\"width\":\"three\"");
         assert!(validate_jsonl(&bad).is_err());
         // Header/body mismatch.
-        let bad = good.replace("\"events\":12", "\"events\":13");
-        assert_ne!(bad, good, "header must announce 12 events");
+        let bad = good.replace("\"events\":14", "\"events\":15");
+        assert_ne!(bad, good, "header must announce 14 events");
         assert!(validate_jsonl(&bad).is_err());
         // Not a header.
         assert!(validate_jsonl("{\"e\":\"decision\"}\n").is_err());

@@ -265,6 +265,25 @@ impl ObsHandle {
         }
     }
 
+    /// One query of an incremental solve session is starting.
+    pub fn session_query_start(&self, query: u32, assumptions: u32) {
+        if let Some(obs) = &self.0 {
+            obs.borrow_mut()
+                .trace
+                .push(Event::SessionQueryStart { query, assumptions });
+        }
+    }
+
+    /// One query of an incremental solve session finished with the
+    /// given outcome label (verdict string, `"UNKNOWN"`, …).
+    pub fn session_query_end(&self, query: u32, outcome: &str) {
+        if let Some(obs) = &self.0 {
+            let mut obs = obs.borrow_mut();
+            let outcome = obs.trace.intern(outcome);
+            obs.trace.push(Event::SessionQueryEnd { query, outcome });
+        }
+    }
+
     /// Adds `v` to the named monotonic counter (end-of-solve projection
     /// from engine statistics; accumulates across ladder stages).
     pub fn record_counter(&self, name: &'static str, v: u64) {

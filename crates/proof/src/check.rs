@@ -94,6 +94,19 @@ pub enum CheckError {
         /// 0-based id of the offending step.
         step: u32,
     },
+    /// An assumption literal is malformed (variable out of range or of
+    /// the wrong kind).
+    BadAssumption {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The final step of an assumption proof contains a literal that is
+    /// not the negation of a supplied assumption (so admitting it would
+    /// certify something other than "unsat under these assumptions").
+    FinalClauseNotAssumptions {
+        /// 0-based id of the final step.
+        step: u32,
+    },
 }
 
 impl std::fmt::Display for CheckError {
@@ -119,6 +132,10 @@ impl std::fmt::Display for CheckError {
             }
             CheckError::NotImplied { step } => write!(f, "step {step} does not follow"),
             CheckError::Budget { step } => write!(f, "step {step}: split replay budget exceeded"),
+            CheckError::BadAssumption { detail } => write!(f, "assumption: {detail}"),
+            CheckError::FinalClauseNotAssumptions { step } => {
+                write!(f, "step {step}: final clause cites a non-assumption literal")
+            }
         }
     }
 }
@@ -755,20 +772,38 @@ impl Checker {
     ///
     /// Fails when the goal signal is not Boolean.
     pub fn new(netlist: &Netlist, goal: SignalId) -> Result<Self, CheckError> {
+        Self::build(netlist, Some(goal))
+    }
+
+    /// Lowers the netlist *without* asserting any goal and propagates
+    /// to the initial base fixpoint. The resulting checker admits
+    /// lemmas that follow from the netlist alone (plus previously
+    /// admitted lemmas) — the base state of an incremental solve
+    /// session, where each query's goal arrives as assumptions rather
+    /// than a baked-in constraint.
+    #[must_use]
+    pub fn new_free(netlist: &Netlist) -> Self {
+        Self::build(netlist, None).expect("goal-free lowering cannot be rejected")
+    }
+
+    fn build(netlist: &Netlist, goal: Option<SignalId>) -> Result<Self, CheckError> {
         let lowered = lower(netlist);
         let mut base = lowered.init_dom.clone();
-        let goal_var = goal.index();
-        let base_conflict = match base[goal_var] {
-            VDom::B(t) => {
-                base[goal_var] = VDom::B(Tribool::True);
-                t == Tribool::False
+        let mut base_conflict = false;
+        if let Some(goal) = goal {
+            let goal_var = lowered.sig_var[goal.index()] as usize;
+            match base[goal_var] {
+                VDom::B(t) => {
+                    base[goal_var] = VDom::B(Tribool::True);
+                    base_conflict = t == Tribool::False;
+                }
+                VDom::W(_) => {
+                    return Err(CheckError::GoalNotBool {
+                        goal: crate::goal_name(netlist, goal),
+                    })
+                }
             }
-            VDom::W(_) => {
-                return Err(CheckError::GoalNotBool {
-                    goal: crate::goal_name(netlist, goal),
-                })
-            }
-        };
+        }
         let clause_watch = vec![Vec::new(); lowered.init_dom.len()];
         let mut checker = Checker {
             lowered,
@@ -809,6 +844,42 @@ impl Checker {
     #[must_use]
     pub fn var_count(&self) -> u32 {
         self.lowered.init_dom.len() as u32
+    }
+
+    /// Consumes netlist signals beyond those already lowered, growing
+    /// the variable space in the solver's incremental layout (the
+    /// segment's signals first, then its auxiliaries) and propagating
+    /// the new constraints into the base fixpoint. Previously admitted
+    /// clauses and base narrowings are retained — extension only adds
+    /// constraints, so everything admitted so far remains implied.
+    pub fn extend(&mut self, netlist: &Netlist) {
+        self.lowered.extend(netlist);
+        let new_len = self.lowered.init_dom.len();
+        self.base
+            .extend_from_slice(&self.lowered.init_dom[self.base.len()..]);
+        self.clause_watch.resize(new_len, Vec::new());
+        if !self.base_conflict {
+            let Checker {
+                lowered,
+                base,
+                clauses,
+                clause_watch,
+                deleted,
+                scratch,
+                ..
+            } = self;
+            let ctx = Ctx {
+                lowered,
+                clauses,
+                clause_watch,
+                deleted,
+            };
+            // Re-seed every contractor: new constraints mention old
+            // variables, and old narrowings propagate into new ones.
+            if !ctx.fixpoint(base, scratch, &[], true, &[]) {
+                self.base_conflict = true;
+            }
+        }
     }
 
     /// `true` once the base state itself is contradictory — every
@@ -1094,16 +1165,94 @@ impl Checker {
     }
 
     /// Checks a full proof against a netlist, resolving the goal by
-    /// the name recorded in the proof header.
+    /// the name recorded in the proof header. Assumption proofs (an
+    /// `assume` header, or the goal-free `-` marker of an incremental
+    /// session) are dispatched to [`Checker::check_assumptions`] with
+    /// the header's assumption literals.
     ///
     /// # Errors
     ///
     /// See [`CheckError`].
     pub fn check(netlist: &Netlist, proof: &Proof) -> Result<CheckReport, CheckError> {
+        if !proof.assumptions.is_empty() || proof.goal == "-" {
+            return Self::check_assumptions(netlist, &proof.assumptions, proof);
+        }
         let goal = resolve_goal(netlist, &proof.goal).ok_or_else(|| CheckError::GoalNotFound {
             goal: proof.goal.clone(),
         })?;
         Self::check_goal(netlist, goal, proof)
+    }
+
+    /// Checks an *assumption* proof: a refutation of `netlist ∧
+    /// assumptions` produced by an incremental solve session. No goal
+    /// is asserted into the base; instead the final step must be a
+    /// clause whose every literal is the negation of a supplied
+    /// assumption (the empty clause — unconditional unsat — is the
+    /// degenerate case). Admitting that clause over the goal-free base
+    /// certifies that the netlist entails `¬a₁ ∨ … ∨ ¬aₖ`, i.e. the
+    /// assumptions are jointly infeasible.
+    ///
+    /// Intermediate steps are ordinary lemmas over the goal-free base:
+    /// a session's learned clauses are globally valid (assumption
+    /// dependence surfaces as negated-assumption literals *inside* the
+    /// clause), which is what lets one session reuse them across
+    /// queries with different assumptions.
+    ///
+    /// # Errors
+    ///
+    /// See [`CheckError`]; additionally [`CheckError::BadAssumption`]
+    /// for malformed assumption literals and
+    /// [`CheckError::FinalClauseNotAssumptions`] when the final clause
+    /// speaks about anything but the assumptions.
+    pub fn check_assumptions(
+        netlist: &Netlist,
+        assumptions: &[PLit],
+        proof: &Proof,
+    ) -> Result<CheckReport, CheckError> {
+        if proof.gaps > 0 {
+            return Err(CheckError::Incomplete { gaps: proof.gaps });
+        }
+        let mut checker = Checker::new_free(netlist);
+        if proof.var_count != checker.var_count() {
+            return Err(CheckError::VarCount {
+                proof: proof.var_count,
+                lowered: checker.var_count(),
+            });
+        }
+        let n = checker.var_count();
+        for lit in assumptions {
+            let var = lit.var();
+            if var >= n {
+                return Err(CheckError::BadAssumption {
+                    detail: format!("variable {var} out of range (vars {n})"),
+                });
+            }
+            let kind_ok = matches!(
+                (lit, &checker.lowered.init_dom[var as usize]),
+                (PLit::Bool { .. }, VDom::B(_)) | (PLit::Word { .. }, VDom::W(_))
+            );
+            if !kind_ok {
+                return Err(CheckError::BadAssumption {
+                    detail: format!("literal kind mismatch on variable {var}"),
+                });
+            }
+        }
+        let Some(last) = proof.steps.last() else {
+            return Err(CheckError::Empty);
+        };
+        let final_id = (proof.steps.len() - 1) as u32;
+        for lit in &last.lits {
+            if !assumptions.iter().any(|a| a.negated() == *lit) {
+                return Err(CheckError::FinalClauseNotAssumptions { step: final_id });
+            }
+        }
+        for step in &proof.steps {
+            checker.admit(step)?;
+        }
+        Ok(CheckReport {
+            steps: checker.admitted,
+            search_nodes: checker.nodes_used,
+        })
     }
 
     /// Checks a full proof against a netlist and an explicit goal.

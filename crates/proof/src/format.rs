@@ -12,7 +12,11 @@
 //!
 //! * Header: magic+version, variable count, goal signal name, gap
 //!   count, one per line, in that order. Version 2 added the `d`
-//!   section; version-1 proofs still parse.
+//!   section; version-1 proofs still parse. Version 3 adds an optional
+//!   `assume <lits>` line after `gaps` carrying the assumption
+//!   literals of an incremental session query (the goal name is `-`
+//!   for such proofs, and the final step is a clause over the negated
+//!   assumptions rather than `f`).
 //! * One step per line. `l` opens a lemma, `f` the final empty clause.
 //!   Sections are separated by `;`: literals, then optionally
 //!   `s <splits>`, `a <antecedent-ids>`, and `d <deleted-step-ids>` in
@@ -63,13 +67,26 @@ fn write_lit(out: &mut String, lit: &PLit) {
 }
 
 /// Serializes a proof to the text format.
+///
+/// Proofs without assumptions print as version 2 (byte-identical to
+/// pre-incremental output); assumption proofs print as version 3 with
+/// an `assume` header line after `gaps`.
 #[must_use]
 pub fn print(proof: &Proof) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "rtlproof 2");
+    let version = if proof.assumptions.is_empty() { 2 } else { 3 };
+    let _ = writeln!(out, "rtlproof {version}");
     let _ = writeln!(out, "vars {}", proof.var_count);
     let _ = writeln!(out, "goal {}", proof.goal);
     let _ = writeln!(out, "gaps {}", proof.gaps);
+    if !proof.assumptions.is_empty() {
+        out.push_str("assume");
+        for lit in &proof.assumptions {
+            out.push(' ');
+            write_lit(&mut out, lit);
+        }
+        out.push('\n');
+    }
     for step in &proof.steps {
         if step.lits.is_empty() {
             out.push('f');
@@ -246,7 +263,8 @@ pub fn parse(text: &str) -> Result<Proof, ParseError> {
         .lines()
         .enumerate()
         .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
-        .filter(|(_, l)| !l.is_empty());
+        .filter(|(_, l)| !l.is_empty())
+        .peekable();
 
     let mut header = |key: &str| -> Result<(usize, String), ParseError> {
         let (line, text) = lines
@@ -270,7 +288,7 @@ pub fn parse(text: &str) -> Result<Proof, ParseError> {
     };
 
     let (line, magic) = header("rtlproof")?;
-    if magic != "1" && magic != "2" {
+    if magic != "1" && magic != "2" && magic != "3" {
         return Err(ParseError {
             line,
             message: format!("unsupported proof version `{magic}`"),
@@ -282,6 +300,23 @@ pub fn parse(text: &str) -> Result<Proof, ParseError> {
     let (line, gaps) = header("gaps")?;
     let gaps = LineParser { line, text: "" }.parse_u32(&gaps, "gap count")?;
 
+    let mut assumptions = Vec::new();
+    if let Some(&(line, text)) = lines.peek() {
+        if text.split_whitespace().next() == Some("assume") {
+            let p = LineParser { line, text };
+            if magic != "3" {
+                return Err(p.err(format!("`assume` header requires version 3, got {magic}")));
+            }
+            for tok in text.split_whitespace().skip(1) {
+                assumptions.push(p.parse_lit(tok)?);
+            }
+            if assumptions.is_empty() {
+                return Err(p.err("`assume` needs at least one literal"));
+            }
+            lines.next();
+        }
+    }
+
     let mut steps = Vec::new();
     for (line, text) in lines {
         steps.push(LineParser { line, text }.parse_step()?);
@@ -289,6 +324,7 @@ pub fn parse(text: &str) -> Result<Proof, ParseError> {
     Ok(Proof {
         var_count,
         goal,
+        assumptions,
         gaps,
         steps,
     })

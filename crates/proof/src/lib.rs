@@ -134,8 +134,15 @@ pub struct Proof {
     /// Expected solver variable count (signals + auxiliaries); checked
     /// against the checker's own lowering of the netlist.
     pub var_count: u32,
-    /// Name of the goal signal the netlist was solved under.
+    /// Name of the goal signal the netlist was solved under, or `"-"`
+    /// for an assumption proof (incremental session query) whose goal
+    /// is carried by [`Proof::assumptions`] instead.
     pub goal: String,
+    /// Assumption literals of an incremental session query (format v3
+    /// `assume` header; empty for classic goal proofs). The final step
+    /// of an assumption proof must be a clause over the negations of
+    /// these literals — see [`check::Checker::check_assumptions`].
+    pub assumptions: Vec<PLit>,
     /// Number of lemmas the producer failed to justify (skipped
     /// steps). A proof with `gaps > 0` is *incomplete* and never
     /// certifies anything.

@@ -77,20 +77,32 @@ impl PCons {
 }
 
 /// The lowered netlist: initial domains, constraints, watch lists.
+///
+/// A lowering is built *incrementally*, one netlist segment at a time
+/// ([`Lowered::extend`]): each segment allocates its signal variables
+/// first (in id order), then its auxiliary variables (in node order).
+/// A single-segment lowering — the fresh-check layout — therefore maps
+/// signal index to variable index identically; a multi-segment lowering
+/// (mirroring an incrementally extended solver session) interleaves
+/// segments, and `sig_var` records the map.
 #[derive(Clone, Debug)]
 pub(crate) struct Lowered {
     pub init_dom: Vec<VDom>,
     pub cons: Vec<PCons>,
     /// `var → constraint ids mentioning it`.
     pub watch: Vec<Vec<u32>>,
+    /// `signal index → variable id`; identity for a fresh (single
+    /// segment) lowering. Its length is the number of netlist signals
+    /// consumed so far.
+    pub sig_var: Vec<u32>,
 }
 
-struct Builder {
-    init_dom: Vec<VDom>,
-    cons: Vec<PCons>,
+struct Builder<'a> {
+    init_dom: &'a mut Vec<VDom>,
+    cons: &'a mut Vec<PCons>,
 }
 
-impl Builder {
+impl Builder<'_> {
     fn aux_word(&mut self, iv: Interval) -> u32 {
         let v = u32::try_from(self.init_dom.len()).expect("variable count fits");
         self.init_dom.push(VDom::W(iv));
@@ -144,26 +156,63 @@ fn type_range(n: &Netlist, sig: rtl_ir::SignalId) -> Interval {
     }
 }
 
-/// Lowers `netlist` into domains and constraints.
-pub(crate) fn lower(netlist: &Netlist) -> Lowered {
-    let mut b = Builder {
-        init_dom: Vec::with_capacity(netlist.len()),
-        cons: Vec::new(),
-    };
-
-    for id in netlist.signal_ids() {
-        let dom = match (netlist.ty(id), netlist.op(id)) {
-            (SignalType::Bool, Op::Const(c)) => VDom::B(Tribool::from(*c == 1)),
-            (SignalType::Bool, _) => VDom::B(Tribool::Unknown),
-            (SignalType::Word { .. }, Op::Const(c)) => VDom::W(Interval::point(*c)),
-            (SignalType::Word { width }, _) => VDom::W(Interval::of_width(width)),
-        };
-        b.init_dom.push(dom);
+impl Lowered {
+    /// An empty lowering (no segment consumed yet).
+    pub fn empty() -> Self {
+        Lowered {
+            init_dom: Vec::new(),
+            cons: Vec::new(),
+            watch: Vec::new(),
+            sig_var: Vec::new(),
+        }
     }
 
-    for id in netlist.signal_ids() {
-        let out = id.index() as u32;
-        let v = |s: &rtl_ir::SignalId| s.index() as u32;
+    /// Consumes the netlist suffix beyond the signals already lowered:
+    /// allocates the segment's signal variables first, then its
+    /// auxiliary variables in node order — the same allocation rule the
+    /// solver's incremental compile follows, so the layouts agree.
+    pub fn extend(&mut self, netlist: &Netlist) {
+        let from = self.sig_var.len();
+        for id in netlist.signal_ids().skip(from) {
+            let dom = match (netlist.ty(id), netlist.op(id)) {
+                (SignalType::Bool, Op::Const(c)) => VDom::B(Tribool::from(*c == 1)),
+                (SignalType::Bool, _) => VDom::B(Tribool::Unknown),
+                (SignalType::Word { .. }, Op::Const(c)) => VDom::W(Interval::point(*c)),
+                (SignalType::Word { width }, _) => VDom::W(Interval::of_width(width)),
+            };
+            self.sig_var
+                .push(u32::try_from(self.init_dom.len()).expect("variable count fits"));
+            self.init_dom.push(dom);
+        }
+
+        let cons_start = self.cons.len();
+        let sig_var = std::mem::take(&mut self.sig_var);
+        let mut b = Builder {
+            init_dom: &mut self.init_dom,
+            cons: &mut self.cons,
+        };
+        lower_nodes(&mut b, netlist, from, &sig_var);
+        self.sig_var = sig_var;
+
+        self.watch.resize(self.init_dom.len(), Vec::new());
+        for ci in cons_start..self.cons.len() {
+            for var in self.cons[ci].vars() {
+                let list = &mut self.watch[var as usize];
+                if list.last() != Some(&(ci as u32)) {
+                    list.push(ci as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Lowers each node of `netlist.signal_ids().skip(from)` into
+/// constraints over `sig_var`-mapped variables (auxiliaries allocated
+/// on the fly).
+fn lower_nodes(b: &mut Builder<'_>, netlist: &Netlist, from: usize, sig_var: &[u32]) {
+    for id in netlist.signal_ids().skip(from) {
+        let out = sig_var[id.index()];
+        let v = |s: &rtl_ir::SignalId| sig_var[s.index()];
         let w_out = netlist.ty(id).width();
         match netlist.op(id) {
             Op::Input | Op::Const(_) => {}
@@ -276,20 +325,12 @@ pub(crate) fn lower(netlist: &Netlist) -> Lowered {
             }),
         }
     }
+}
 
-    let mut watch: Vec<Vec<u32>> = vec![Vec::new(); b.init_dom.len()];
-    for (ci, c) in b.cons.iter().enumerate() {
-        for var in c.vars() {
-            let list = &mut watch[var as usize];
-            if list.last() != Some(&(ci as u32)) {
-                list.push(ci as u32);
-            }
-        }
-    }
-
-    Lowered {
-        init_dom: b.init_dom,
-        cons: b.cons,
-        watch,
-    }
+/// Lowers `netlist` into domains and constraints (fresh, single
+/// segment: signal index = variable index).
+pub(crate) fn lower(netlist: &Netlist) -> Lowered {
+    let mut l = Lowered::empty();
+    l.extend(netlist);
+    l
 }

@@ -55,6 +55,7 @@ fn round_trip_all_features() {
     let proof = Proof {
         var_count: 42,
         goal: "bad_p1".into(),
+        assumptions: vec![],
         gaps: 0,
         steps: vec![
             Step {
@@ -84,7 +85,19 @@ fn parse_rejects_malformed_input() {
     let header = "rtlproof 1\nvars 4\ngoal g\ngaps 0\n";
     for (bad, why) in [
         ("vars 4\ngoal g\ngaps 0\n", "missing magic"),
-        ("rtlproof 3\nvars 4\ngoal g\ngaps 0\n", "bad version"),
+        ("rtlproof 4\nvars 4\ngoal g\ngaps 0\n", "bad version"),
+        (
+            "rtlproof 2\nvars 4\ngoal g\ngaps 0\nassume b1\nf\n",
+            "assume header on version 2",
+        ),
+        (
+            "rtlproof 3\nvars 4\ngoal g\ngaps 0\nassume\nf\n",
+            "empty assume header",
+        ),
+        (
+            "rtlproof 3\nvars 4\ngoal g\ngaps 0\nassume q9\nf\n",
+            "bad assume literal",
+        ),
         (
             &format!("{header}x b1\n") as &str,
             "unknown step kind",
@@ -125,6 +138,7 @@ fn empty_clause_first_line_needs_a_contradiction() {
     let proof = Proof {
         var_count: checker.var_count(),
         goal: "goal".into(),
+        assumptions: vec![],
         gaps: 0,
         steps: vec![Step::default()],
     };
@@ -206,6 +220,7 @@ fn header_mismatches_rejected() {
     let proof = |var_count, gaps, steps| Proof {
         var_count,
         goal: "goal".into(),
+        assumptions: vec![],
         gaps,
         steps,
     };
@@ -320,6 +335,7 @@ fn proof_with_deletions_round_trips_and_certifies() {
     let proof = Proof {
         var_count: vars,
         goal: "goal".into(),
+        assumptions: vec![],
         gaps: 0,
         steps: vec![
             Step {
@@ -341,6 +357,131 @@ fn proof_with_deletions_round_trips_and_certifies() {
     let back = format::parse(&text).unwrap();
     assert_eq!(back, proof);
     assert!(Checker::check_goal(&n, goal, &back).is_ok());
+}
+
+#[test]
+fn assumption_proof_round_trips_as_v3() {
+    let proof = Proof {
+        var_count: 9,
+        goal: "-".into(),
+        assumptions: vec![lit_b(2, true), lit_w(5, 0, 3, true)],
+        gaps: 0,
+        steps: vec![Step {
+            lits: vec![lit_b(2, false), lit_w(5, 0, 3, false)],
+            ..Step::default()
+        }],
+    };
+    let text = format::print(&proof);
+    assert!(text.starts_with("rtlproof 3\n"), "{text}");
+    assert!(text.contains("assume b2 w5:0..3"), "{text}");
+    let back = format::parse(&text).expect("v3 round-trip");
+    assert_eq!(back, proof);
+    // Goal proofs still print byte-compatible version 2.
+    let classic = Proof {
+        assumptions: vec![],
+        goal: "g".into(),
+        steps: vec![Step::default()],
+        ..proof
+    };
+    assert!(format::print(&classic).starts_with("rtlproof 2\n"));
+}
+
+#[test]
+fn assumption_check_accepts_and_rejects() {
+    // x free Boolean, nx = ¬x: assuming x=1 and nx=1 is jointly
+    // infeasible, each alone is fine.
+    let mut n = Netlist::new("assume");
+    let x = n.input_bool("x").unwrap();
+    let nx = n.not(x).unwrap();
+    let (xv, nxv) = (x.index() as u32, nx.index() as u32);
+    let assumptions = vec![lit_b(xv, true), lit_b(nxv, true)];
+    let vars = Checker::new_free(&n).var_count();
+    let final_step = Step {
+        lits: vec![lit_b(xv, false), lit_b(nxv, false)],
+        ..Step::default()
+    };
+    let proof = Proof {
+        var_count: vars,
+        goal: "-".into(),
+        assumptions: assumptions.clone(),
+        gaps: 0,
+        steps: vec![final_step.clone()],
+    };
+    Checker::check_assumptions(&n, &assumptions, &proof).expect("valid assumption proof");
+    // The generic entry point dispatches on the header.
+    Checker::check(&n, &proof).expect("check() dispatches to assumptions");
+
+    // A final clause over a non-assumption literal must be rejected
+    // even if it would admit (here: the tautology-ish unit ¬x∨¬nx is
+    // fine, but citing only ¬x claims unsat under {x} alone — false).
+    let under_strength = Proof {
+        assumptions: vec![lit_b(xv, true)],
+        steps: vec![Step {
+            lits: vec![lit_b(xv, false), lit_b(nxv, false)],
+            ..Step::default()
+        }],
+        ..proof.clone()
+    };
+    assert_eq!(
+        Checker::check_assumptions(&n, &[lit_b(xv, true)], &under_strength),
+        Err(CheckError::FinalClauseNotAssumptions { step: 0 })
+    );
+
+    // Unsat under a single satisfiable assumption does not follow.
+    let bogus = Proof {
+        assumptions: vec![lit_b(xv, true)],
+        steps: vec![Step {
+            lits: vec![lit_b(xv, false)],
+            ..Step::default()
+        }],
+        ..proof.clone()
+    };
+    assert_eq!(
+        Checker::check_assumptions(&n, &[lit_b(xv, true)], &bogus),
+        Err(CheckError::NotImplied { step: 0 })
+    );
+
+    // Malformed assumption literals are rejected up front.
+    assert!(matches!(
+        Checker::check_assumptions(&n, &[lit_b(1000, true)], &proof),
+        Err(CheckError::BadAssumption { .. })
+    ));
+}
+
+#[test]
+fn goal_free_checker_extends_incrementally() {
+    // Segment 1: free Boolean x. Segment 2: nx = ¬x, c = x ∧ nx.
+    // After extension the contradiction c=1 → unsat is derivable, and
+    // the mirror layout (segment signals then segment auxes) matches
+    // what a fresh lowering of the same netlist yields here (no auxes).
+    let mut n = Netlist::new("grow");
+    let x = n.input_bool("x").unwrap();
+    let mut checker = Checker::new_free(&n);
+    assert_eq!(checker.var_count(), 1);
+
+    let nx = n.not(x).unwrap();
+    let c = n.and(&[x, nx]).unwrap();
+    checker.extend(&n);
+    assert_eq!(checker.var_count(), 3);
+    assert!(!checker.derived_empty());
+
+    // Assuming c=1 is infeasible: the unit clause ¬c admits.
+    let cv = c.index() as u32;
+    checker
+        .admit(&Step {
+            lits: vec![lit_b(cv, false)],
+            ..Step::default()
+        })
+        .expect("¬c follows from the extended netlist");
+
+    // Extension with word logic allocates auxiliaries after the
+    // segment's signals; a fresh single-segment lowering of the same
+    // netlist must agree on the total count.
+    let a = n.input_word("a", 4).unwrap();
+    let b = n.input_word("b", 4).unwrap();
+    let _sum = n.add(a, b).unwrap(); // carries a quotient aux
+    checker.extend(&n);
+    assert_eq!(checker.var_count(), Checker::new_free(&n).var_count());
 }
 
 #[test]

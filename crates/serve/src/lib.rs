@@ -121,6 +121,44 @@ pub fn degraded_engine(engine: &str) -> Option<&'static str> {
     }
 }
 
+/// Builds the rung configurations of an incremental
+/// [`SupervisedSession`](rtl_hdpll::SupervisedSession) ladder for the
+/// selected options: the engine itself, plus (with `fallback`) the
+/// plain-activity HDPLL rung. Proof logging is always on — a session's
+/// Unsat answers are certified per query by the assumption-proof
+/// checker, there is no post-hoc goal proof to check instead. The
+/// wall-clock budget applies *per query* (a session answers many).
+///
+/// # Errors
+///
+/// The bit-blast baselines (`eager`, `lazy`) keep no incremental state
+/// and cannot run sessions; unknown engines are rejected as in
+/// [`build_supervisor`].
+pub fn session_rungs(opts: &SolveOptions) -> Result<Vec<(String, SolverConfig)>, String> {
+    let with_limits = |mut config: SolverConfig| {
+        config.limits.max_memory = opts.max_memory;
+        config.limits.max_time = opts.timeout;
+        config.with_proof(true)
+    };
+    let primary = match opts.engine.as_str() {
+        "hdpll" => SolverConfig::hdpll(),
+        "hdpll-s" => SolverConfig::structural(),
+        "hdpll-sp" => SolverConfig::structural_with_learning(LearnConfig::default()),
+        "eager" | "lazy" => {
+            return Err(format!(
+                "engine `{}` cannot run incremental sessions (no persistent state)",
+                opts.engine
+            ))
+        }
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    let mut rungs = vec![(opts.engine.clone(), with_limits(primary))];
+    if opts.fallback && opts.engine != "hdpll" {
+        rungs.push(("hdpll-activity".to_string(), with_limits(SolverConfig::hdpll())));
+    }
+    Ok(rungs)
+}
+
 /// Builds the supervisor for the selected options: the engine itself as
 /// the primary stage, plus (with `fallback`) the degradation ladder and
 /// (with `check`) the eager `Unsat` cross-check under [`check_budget`].

@@ -24,13 +24,14 @@ use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use rtl_hdpll::{
-    AbortReason, CancelToken, FaultPlan, HdpllResult, StageOutcome, SupervisedResult,
+    AbortReason, Assumption, CancelToken, Certification, FaultPlan, HdpllResult, SessionCert,
+    SolverStats, StageOutcome, StageReport, SupervisedQuery, SupervisedResult, SupervisedSession,
 };
 use rtl_obs::{ObsConfig, ObsHandle};
 
 use crate::record::{self, SolveMeta, Tally};
 use crate::request::{parse_line, NetlistSource, RequestLine, SolveRequest};
-use crate::{build_supervisor, degraded_engine, SolveOptions};
+use crate::{build_supervisor, degraded_engine, session_rungs, SolveOptions};
 
 /// Server-level configuration (per-request fields can override some of
 /// these — see [`SolveRequest`]).
@@ -65,6 +66,19 @@ pub struct ServeConfig {
     /// histograms, and trace tallies (matches the one-shot CLI's
     /// `--stats-json` behaviour).
     pub telemetry: bool,
+    /// Capacity of the per-worker compile cache: repeated requests for
+    /// the same netlist content and engine reuse one incremental
+    /// [`SupervisedSession`] (compile + predicate learning done once,
+    /// learned clauses retained) instead of recompiling from scratch.
+    /// Least-recently-used entries are evicted beyond the cap. `0` (the
+    /// default) disables caching: session reuse accumulates engine
+    /// statistics across requests, so the stateless path stays the
+    /// default to keep repeated solves byte-identical. Result records on
+    /// the cached path report a `compile_cache_hit` /
+    /// `compile_cache_miss` counter for the request. Requests that ask
+    /// for a cross-check, a fault plan, or a bit-blast baseline engine
+    /// bypass the cache.
+    pub session_cache: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,7 +95,154 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(5),
             max_line_bytes: 1 << 20,
             telemetry: true,
+            session_cache: 0,
         }
+    }
+}
+
+/// A per-worker LRU cache of incremental sessions, keyed by the content
+/// hash of (engine, fallback flag, memory cap, netlist text). Sessions
+/// are deliberately worker-local: the solver stack is single-thread by
+/// construction, so nothing here ever crosses a thread.
+struct SessionCache {
+    cap: usize,
+    tick: u64,
+    entries: Vec<CacheEntry>,
+}
+
+struct CacheEntry {
+    key: u64,
+    last_used: u64,
+    ladder: SupervisedSession,
+}
+
+impl SessionCache {
+    fn new(cap: usize) -> Self {
+        SessionCache {
+            cap,
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up (bumping recency) an existing ladder.
+    fn get(&mut self, key: u64) -> Option<&mut SupervisedSession> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.iter_mut().find(|e| e.key == key)?;
+        entry.last_used = tick;
+        Some(&mut entry.ladder)
+    }
+
+    /// Inserts a freshly built ladder, evicting the least-recently-used
+    /// entry when the cap is reached, and returns it.
+    fn insert(&mut self, key: u64, ladder: SupervisedSession) -> &mut SupervisedSession {
+        self.tick += 1;
+        if self.entries.len() >= self.cap {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+            }
+        }
+        self.entries.push(CacheEntry {
+            key,
+            last_used: self.tick,
+            ladder,
+        });
+        let last = self.entries.len() - 1;
+        &mut self.entries[last].ladder
+    }
+
+    /// Drops a ladder (after a failed build or an escaped panic).
+    fn remove(&mut self, key: u64) {
+        self.entries.retain(|e| e.key != key);
+    }
+}
+
+/// FNV-1a over the request facets that determine the compiled problem.
+fn content_key(engine: &str, fallback: bool, max_memory: Option<u64>, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(engine.as_bytes());
+    eat(&[0, u8::from(fallback)]);
+    eat(&max_memory.unwrap_or(u64::MAX).to_le_bytes());
+    eat(&[0]);
+    eat(source.as_bytes());
+    h
+}
+
+/// Projects one session query into the [`SupervisedResult`] shape the
+/// record builder consumes: abandoned rungs become their own stage
+/// reports (panics preserved as such, so the retry logic sees them),
+/// the answering rung carries the session's cumulative statistics.
+fn session_result(
+    q: SupervisedQuery,
+    elapsed: Duration,
+    stats: Option<SolverStats>,
+) -> SupervisedResult {
+    let mut reports: Vec<StageReport> = q
+        .fallbacks
+        .iter()
+        .map(|f| StageReport {
+            stage: f.rung.clone(),
+            outcome: if f.why.contains("panicked") {
+                StageOutcome::Panicked {
+                    detail: f.why.clone(),
+                }
+            } else if f.why.contains("rejected") {
+                StageOutcome::CertFailed {
+                    detail: f.why.clone(),
+                }
+            } else {
+                StageOutcome::Unknown {
+                    reason: f.why.clone(),
+                }
+            },
+            time: Duration::ZERO,
+            stats: None,
+        })
+        .collect();
+    if let Some(stage) = &q.answered_by {
+        let outcome = match (&q.certified.result, q.certified.cert) {
+            (HdpllResult::Sat(_), _) => StageOutcome::CertifiedSat,
+            (HdpllResult::Unsat, SessionCert::ProofChecked) => StageOutcome::Unsat {
+                certification: Certification::Proof,
+            },
+            (HdpllResult::Unsat, _) => StageOutcome::Unsat {
+                certification: Certification::Uncertified,
+            },
+            (HdpllResult::Unknown, _) => StageOutcome::Unknown {
+                reason: q
+                    .certified
+                    .abort
+                    .map_or_else(|| "budget exhausted".to_string(), |r| r.to_string()),
+            },
+        };
+        reports.push(StageReport {
+            stage: stage.clone(),
+            outcome,
+            time: elapsed,
+            stats,
+        });
+    }
+    let proof = (q.certified.cert == SessionCert::ProofChecked)
+        .then_some(q.certified.proof)
+        .flatten();
+    SupervisedResult {
+        verdict: q.certified.result,
+        answered_by: q.answered_by,
+        reports,
+        proof,
     }
 }
 
@@ -173,14 +334,77 @@ fn read_line_capped<R: BufRead>(input: &mut R, max: usize) -> io::Result<Option<
     }
 }
 
+/// `true` when this request may run on a cached incremental session:
+/// the hdpll family keeps persistent state worth reusing, while
+/// cross-checks, fault plans, and the bit-blast baselines only exist on
+/// the one-shot supervisor path.
+fn session_eligible(config: &ServeConfig, opts: &SolveOptions) -> bool {
+    config.session_cache > 0
+        && !opts.check
+        && opts.fault.is_clean()
+        && matches!(opts.engine.as_str(), "hdpll" | "hdpll-s" | "hdpll-sp")
+}
+
+/// Answers one request on a cached [`SupervisedSession`]: look up (or
+/// build and insert) the ladder for this content key, stamp the
+/// request's remaining budget and telemetry sink on it, and run the
+/// goal as a single assumption query. A panic that escapes the ladder's
+/// own isolation evicts the entry — a session in an unknown state is
+/// never reused.
+fn solve_on_session(
+    cache: &mut SessionCache,
+    key: u64,
+    opts: &SolveOptions,
+    netlist: &rtl_ir::Netlist,
+    goal: rtl_ir::SignalId,
+    handle: &ObsHandle,
+    drain: &CancelToken,
+) -> std::thread::Result<SupervisedResult> {
+    let hit = cache.get(key).is_some();
+    handle.record_counter(
+        if hit {
+            "compile_cache_hit"
+        } else {
+            "compile_cache_miss"
+        },
+        1,
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let ladder = if hit {
+            cache.get(key).expect("probed above")
+        } else {
+            let rungs = session_rungs(opts).expect("engine gated to the hdpll family");
+            cache.insert(key, SupervisedSession::with_rungs(netlist, rungs))
+        };
+        ladder.set_timeout(opts.timeout);
+        if handle.on() {
+            ladder.set_obs(handle.clone());
+        }
+        let start = Instant::now();
+        let q = ladder.solve_cancellable(&[Assumption::yes(goal)], drain);
+        let elapsed = start.elapsed();
+        let stats = ladder.stats().copied();
+        // Release the per-request telemetry sink; the cached ladder
+        // must not keep the previous request's buffers alive.
+        ladder.set_obs(ObsHandle::off());
+        session_result(q, elapsed, stats)
+    }));
+    if outcome.is_err() {
+        cache.remove(key);
+    }
+    outcome
+}
+
 /// Runs one solve request end to end: netlist resolution, the
-/// supervised solve under `catch_unwind`, and at most one
+/// supervised solve under `catch_unwind` (or a cached-session query
+/// when the compile cache is on), and at most one
 /// retry-with-degradation. Always returns exactly one record.
 fn process(
     job: &Job,
     config: &ServeConfig,
     drain: &CancelToken,
     counts: &WorkerCounts,
+    cache: &mut SessionCache,
 ) -> String {
     let req = &job.req;
     let seq = job.seq;
@@ -233,10 +457,6 @@ fn process(
             max_memory: req.max_memory.or(config.max_memory),
             fault,
         };
-        let mut sup = match build_supervisor(&opts, &netlist) {
-            Ok(s) => s,
-            Err(msg) => return fail(&msg),
-        };
         let handle = if config.telemetry {
             ObsHandle::armed(ObsConfig::default())
         } else {
@@ -244,16 +464,26 @@ fn process(
         };
         if handle.on() {
             handle.request_start(&req.id);
-            sup = sup.with_obs(handle.clone());
         }
-        // The shared drain token: cancelling it (drain-deadline expiry)
-        // makes every queued and in-flight solve answer promptly.
-        sup = sup.with_cancel(drain.clone());
-
-        // Isolation: the supervisor already catches per-stage panics;
-        // this outer guard additionally covers compile/certify paths so
-        // a poisoned request can never take the server down.
-        let solved = catch_unwind(AssertUnwindSafe(|| sup.solve(&netlist, goal)));
+        // Isolation either way: the supervisor/ladder already catches
+        // per-stage panics; the outer guard additionally covers the
+        // compile/certify paths so a poisoned request can never take
+        // the server down. The shared drain token makes every queued
+        // and in-flight solve answer promptly once cancelled.
+        let solved = if session_eligible(config, &opts) {
+            let key = content_key(&opts.engine, opts.fallback, opts.max_memory, &source_text);
+            solve_on_session(cache, key, &opts, &netlist, goal, &handle, drain)
+        } else {
+            let mut sup = match build_supervisor(&opts, &netlist) {
+                Ok(s) => s,
+                Err(msg) => return fail(&msg),
+            };
+            if handle.on() {
+                sup = sup.with_obs(handle.clone());
+            }
+            sup = sup.with_cancel(drain.clone());
+            catch_unwind(AssertUnwindSafe(|| sup.solve(&netlist, goal)))
+        };
 
         // Retrying only makes sense on the next ladder rung, with
         // budget left, on a server that is not already draining hard.
@@ -367,6 +597,7 @@ where
 
     if config.workers <= 1 {
         // Deterministic inline mode: no threads, strict input order.
+        let mut cache = SessionCache::new(config.session_cache);
         while let Some((line, truncated)) = read_line_capped(&mut input, config.max_line_bytes)? {
             if line.trim().is_empty() {
                 continue;
@@ -390,7 +621,7 @@ where
                 Ok(RequestLine::Solve(req)) => {
                     tally.requests += 1;
                     let job = Job::new(seq, *req, config);
-                    write_record(&out, &process(&job, config, &drain, &counts));
+                    write_record(&out, &process(&job, config, &drain, &counts, &mut cache));
                 }
             }
         }
@@ -403,13 +634,18 @@ where
                 let done_tx = done_tx.clone();
                 let (rx, out, drain, counts) = (&rx, &out, &drain, &counts);
                 scope.spawn(move || {
+                    // Sessions are worker-local (the solver stack is
+                    // single-thread by construction): each worker keeps
+                    // its own cache, so a hit requires landing on a
+                    // worker that has seen the content before.
+                    let mut cache = SessionCache::new(config.session_cache);
                     loop {
                         // Hold the receiver lock only for the pickup;
                         // blocking here simply queues the other idle
                         // workers behind the lock.
                         let job = lock(rx).recv();
                         let Ok(job) = job else { break };
-                        write_record(out, &process(&job, config, drain, counts));
+                        write_record(out, &process(&job, config, drain, counts, &mut cache));
                     }
                     let _ = done_tx.send(());
                 });
@@ -604,6 +840,94 @@ mod tests {
         assert!(summary.shutdown);
         assert_eq!(summary.tally.errors, 2);
         assert_eq!(summary.tally.results, 1);
+    }
+
+    #[test]
+    fn session_cache_skips_recompile_on_identical_requests() {
+        // Satellite of the incremental-sessions PR: with the compile
+        // cache on, the second identical request reuses the cached
+        // session (counter `compile_cache_hit`) instead of recompiling
+        // (`compile_cache_miss`), and still answers the same verdict.
+        let input = format!(
+            "{{\"id\":\"a\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n\
+             {{\"id\":\"b\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n"
+        );
+        let config = ServeConfig {
+            session_cache: 8,
+            ..ServeConfig::default()
+        };
+        let (out, summary) = serve_str(&input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "two results + summary: {out}");
+        assert!(
+            lines[0].contains("\"compile_cache_miss\":1"),
+            "first request must compile: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"compile_cache_hit\":1"),
+            "second identical request must skip compile: {}",
+            lines[1]
+        );
+        for line in &lines[..2] {
+            assert!(line.contains("\"verdict\":\"SAT\""), "{line}");
+        }
+        assert_eq!(summary.tally.results, 2);
+        assert_eq!(summary.tally.errors, 0);
+    }
+
+    #[test]
+    fn session_cache_misses_on_different_content_or_options() {
+        // The content key covers netlist text AND the solve facets that
+        // change the compiled problem: a different engine or a different
+        // netlist never reuses a cached session.
+        let other = "netlist t\\ninput a bool\\nnode goal bool = not a\\n";
+        let input = format!(
+            "{{\"id\":\"a\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n\
+             {{\"id\":\"b\",\"netlist\":\"{other}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n\
+             {{\"id\":\"c\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\
+              \"engine\":\"hdpll\",\"timeout_ms\":10000}}\n\
+             {{\"id\":\"d\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\
+              \"engine\":\"eager\",\"timeout_ms\":10000}}\n"
+        );
+        let config = ServeConfig {
+            session_cache: 8,
+            ..ServeConfig::default()
+        };
+        let (out, summary) = serve_str(&input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "{out}");
+        for line in &lines[..3] {
+            assert!(
+                line.contains("\"compile_cache_miss\":1"),
+                "distinct keys must all miss: {line}"
+            );
+        }
+        // The bit-blast baseline bypasses the cache entirely: no
+        // cache counter at all.
+        assert!(
+            !lines[3].contains("compile_cache"),
+            "eager must bypass the session cache: {}",
+            lines[3]
+        );
+        assert_eq!(summary.tally.results, 4);
+    }
+
+    #[test]
+    fn session_cache_evicts_least_recently_used() {
+        let n = rtl_ir::text::parse("netlist t\ninput a bool\nnode goal bool = and a a\n")
+            .expect("tiny netlist");
+        let mut cache = SessionCache::new(2);
+        cache.insert(1, SupervisedSession::new(&n));
+        cache.insert(2, SupervisedSession::new(&n));
+        assert!(cache.get(1).is_some(), "bump 1 to most-recent");
+        cache.insert(3, SupervisedSession::new(&n));
+        assert_eq!(cache.entries.len(), 2, "cap holds");
+        assert!(cache.get(2).is_none(), "2 was least-recently-used");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        cache.remove(3);
+        assert!(cache.get(3).is_none(), "removed after a failure");
     }
 
     #[test]

@@ -2,13 +2,20 @@
 //! a saturation bug, hunted across increasing bounds — the workload shape
 //! of the paper's evaluation (`bXX_p(k)`).
 //!
+//! The hunt runs on an incremental [`Session`]: the circuit is compiled
+//! once, each new time-frame is appended in place with
+//! [`Session::extend`], and every depth is a single assumption query
+//! (`bad@k = 1`) against the same growing engine — learned clauses from
+//! shallow depths keep pruning the deep ones. A fresh-per-depth sweep
+//! over monolithic unrolls runs alongside for comparison.
+//!
 //! ```text
 //! cargo run --example bmc_counter
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rtlsat::hdpll::{HdpllResult, Solver, SolverConfig};
+use rtlsat::hdpll::{Assumption, Session, SessionCert, Solver, SolverConfig};
 use rtlsat::ir::seq::SeqCircuit;
 use rtlsat::ir::{CmpOp, Netlist, NetlistError};
 
@@ -46,34 +53,88 @@ fn buggy_counter() -> Result<SeqCircuit, NetlistError> {
 
 fn main() -> Result<(), NetlistError> {
     let ckt = buggy_counter()?;
-    println!("hunting the saturation bug by BMC:");
-    for frames in [10usize, 20, 30, 41, 42, 45] {
-        let bmc = ckt.unroll("saturation", frames)?;
+    let max_depth = 45usize;
+
+    println!("hunting the saturation bug by incremental BMC (one session):");
+    let mut unroller = ckt.unroller();
+    let mut base = unroller.base_netlist();
+    unroller.push_frame(&mut base)?;
+    let build = Instant::now();
+    let mut session = Session::new(&base, SolverConfig::structural().with_proof(true));
+    println!("  compiled frame 0 in {:?}", build.elapsed());
+
+    let mut session_total = Duration::ZERO;
+    let mut found_at = None;
+    for depth in 0..max_depth {
+        if depth > 0 {
+            session.extend(|n| unroller.push_frame(n).expect("frame"));
+        }
+        let bad = unroller.bad("saturation", depth).expect("pushed frame");
+        let start = Instant::now();
+        let certified = session.solve(&[Assumption::yes(bad)]);
+        let elapsed = start.elapsed();
+        session_total += elapsed;
+        if certified.result.is_sat() {
+            assert_eq!(certified.cert, SessionCert::ModelVerified);
+            let model = match &certified.result {
+                rtlsat::hdpll::HdpllResult::Sat(m) => m,
+                _ => unreachable!(),
+            };
+            // Reconstruct the input trace frame by frame.
+            let ups: Vec<i64> = (0..=depth)
+                .map(|t| {
+                    let sig = session
+                        .netlist()
+                        .find(&format!("up@{t}"))
+                        .expect("input");
+                    model[&sig]
+                })
+                .collect();
+            println!(
+                "  depth {depth:>3}: SAT in {elapsed:?} — counterexample drives `up` {} times",
+                ups.iter().sum::<i64>()
+            );
+            println!("    (the counter passes 40 because `>` lets 40 + 1 through)");
+            found_at = Some(depth);
+            break;
+        }
+        assert!(certified.result.is_unsat(), "budget exhausted");
+        assert_eq!(
+            certified.cert,
+            SessionCert::ProofChecked,
+            "every incremental UNSAT carries a checker-accepted proof"
+        );
+        if depth % 10 == 9 {
+            println!("  depth {depth:>3}: UNSAT (proof checked) in {elapsed:?}");
+        }
+    }
+    let depths_solved = found_at.map_or(max_depth, |d| d + 1);
+    println!(
+        "  session sweep: {depths_solved} depths, {session_total:?} total, \
+         {} conflicts",
+        session.stats().engine.conflicts
+    );
+
+    println!("fresh-per-depth sweep over monolithic unrolls (comparison):");
+    let mut fresh_total = Duration::ZERO;
+    for depth in 0..depths_solved {
+        let bmc = ckt.unroll("saturation", depth + 1)?;
         let mut solver = Solver::new(&bmc.netlist, SolverConfig::structural());
         let start = Instant::now();
         let verdict = solver.solve(bmc.bad);
-        let elapsed = start.elapsed();
-        match verdict {
-            HdpllResult::Sat(model) => {
-                // Reconstruct the input trace frame by frame.
-                let ups: Vec<i64> = (0..frames)
-                    .map(|t| {
-                        let sig = bmc.netlist.find(&format!("up@{t}")).expect("input");
-                        model[&sig]
-                    })
-                    .collect();
-                println!(
-                    "  {frames:>3} frames: SAT in {elapsed:?} — counterexample drives `up` {} times",
-                    ups.iter().sum::<i64>()
-                );
-                println!("    (the counter passes 40 because `>` lets 40 + 1 through)");
-                break;
-            }
-            HdpllResult::Unsat => {
-                println!("  {frames:>3} frames: UNSAT in {elapsed:?}");
-            }
-            HdpllResult::Unknown => println!("  {frames:>3} frames: budget exhausted"),
+        fresh_total += start.elapsed();
+        if verdict.is_sat() {
+            println!("  depth {depth:>3}: SAT (agrees with the session)");
+            assert_eq!(found_at, Some(depth), "session and fresh sweeps agree");
         }
+    }
+    println!("  fresh sweep: {depths_solved} depths, {fresh_total:?} total");
+    if fresh_total > session_total {
+        println!(
+            "  session reuse saved {:?} ({:.1}× faster)",
+            fresh_total - session_total,
+            fresh_total.as_secs_f64() / session_total.as_secs_f64().max(1e-9)
+        );
     }
     Ok(())
 }

@@ -2,10 +2,16 @@
 //!
 //! Reads a netlist in the textual format of [`rtl_ir::text`], asserts a
 //! named Boolean signal, and decides satisfiability with a selectable
-//! engine:
+//! engine. A comma-separated `<goal-signal>` list runs the
+//! multi-property path instead: the netlist is compiled **once** into
+//! an incremental [`rtlsat::hdpll::SupervisedSession`] and every goal
+//! is answered as an assumption query against it (learned clauses are
+//! shared across goals; each `UNSAT` carries its own checker-accepted
+//! assumption proof):
 //!
 //! ```text
-//! rtlsat <netlist-file> <goal-signal> [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
+//! rtlsat <netlist-file> <goal-signal>[,<goal-signal>...]
+//!        [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy]
 //!        [--timeout <secs>] [--check] [--fallback] [--dump-cnf <file>]
 //!        [--proof <file>] [--stats] [--stats-json <file>] [--trace <file>]
 //! rtlsat check-proof <netlist-file> <proof-file>
@@ -57,7 +63,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use rtlsat::hdpll::{
-    Certification, HdpllResult, SolverStats, SupervisedResult, Supervisor,
+    Assumption, Certification, HdpllResult, SessionCert, SolverStats, SupervisedResult,
+    SupervisedSession, Supervisor,
 };
 use rtlsat::ir::{text, Netlist};
 use rtlsat::obs::{self, ObsConfig, ObsHandle};
@@ -401,7 +408,7 @@ fn serve_command(rest: &[String]) -> ExitCode {
          [--engine <e>] [--timeout <secs>] [--check] [--fallback] \
          [--check-timeout <secs>] [--max-memory <bytes>] \
          [--drain-timeout <secs>] [--max-line-bytes <n>] \
-         [--socket <path>] [--no-telemetry]";
+         [--session-cache <n>] [--socket <path>] [--no-telemetry]";
     let mut config = serve::ServeConfig::default();
     let mut socket = None;
     let mut it = rest.iter();
@@ -447,6 +454,9 @@ fn serve_command(rest: &[String]) -> ExitCode {
             }),
             "--max-line-bytes" => parse_num("--max-line-bytes", it.next()).map(|n| {
                 config.max_line_bytes = (n as usize).max(64);
+            }),
+            "--session-cache" => parse_num("--session-cache", it.next()).map(|n| {
+                config.session_cache = n as usize;
             }),
             "--socket" => match it.next() {
                 Some(p) => {
@@ -496,6 +506,133 @@ fn serve_command(rest: &[String]) -> ExitCode {
     }
 }
 
+/// The multi-property solve path: one incremental
+/// [`SupervisedSession`] compiled from the netlist answers every goal
+/// as an assumption query — the ladder degrades to a fresh session on
+/// a rung failure, and each UNSAT carries a per-query checked
+/// assumption proof (written to `<proof-path>.<goal>` with `--proof`).
+///
+/// Exit code: `0` if any goal is SAT, else `20` if all are UNSAT, else
+/// `30` (some query exhausted its budget), `40` if a query's answer
+/// failed certification on every rung.
+fn solve_session(
+    args: &Args,
+    netlist: &Netlist,
+    goal_names: &[&str],
+    goals: &[rtlsat::ir::SignalId],
+) -> ExitCode {
+    if goals.is_empty() {
+        eprintln!("missing <goal-signal> (see --help)");
+        return ExitCode::from(2);
+    }
+    let opts = serve::SolveOptions {
+        engine: args.engine.clone(),
+        timeout: args.timeout,
+        check: args.check,
+        fallback: args.fallback,
+        check_timeout: args.check_timeout,
+        ..serve::SolveOptions::default()
+    };
+    let rungs = match serve::session_rungs(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg} (see --help)");
+            return ExitCode::from(2);
+        }
+    };
+    let mut session = SupervisedSession::with_rungs(netlist, rungs);
+    let handle = if args.trace.is_some() {
+        ObsHandle::armed(ObsConfig::default())
+    } else {
+        ObsHandle::off()
+    };
+    if handle.on() {
+        session.set_obs(handle.clone());
+    }
+    let (mut sats, mut unsats, mut unknowns, mut cert_failures) = (0u32, 0u32, 0u32, 0u32);
+    for (name, &goal) in goal_names.iter().zip(goals) {
+        let q = session.solve(&[Assumption::yes(goal)]);
+        if args.stats {
+            for f in &q.fallbacks {
+                eprintln!("c goal {name}: rung {} abandoned: {}", f.rung, f.why);
+            }
+        }
+        match &q.certified.result {
+            HdpllResult::Sat(model) => {
+                sats += 1;
+                let mut inputs: Vec<(&str, i64)> = model
+                    .iter()
+                    .filter_map(|(&sig, &v)| netlist.signal(sig).name().map(|n| (n, v)))
+                    .collect();
+                inputs.sort();
+                let assigns: Vec<String> =
+                    inputs.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                println!("goal {name}: SAT  {}", assigns.join(" "));
+            }
+            HdpllResult::Unsat => {
+                unsats += 1;
+                let cert = match q.certified.cert {
+                    SessionCert::ProofChecked => "proof checked",
+                    _ => "uncertified",
+                };
+                println!("goal {name}: UNSAT ({cert})");
+                if let (Some(path), Some(p)) = (&args.proof_out, &q.certified.proof) {
+                    if q.certified.cert == SessionCert::ProofChecked {
+                        let out = format!("{path}.{name}");
+                        if let Err(e) = std::fs::write(&out, proof::format::print(p)) {
+                            eprintln!("cannot write `{out}`: {e}");
+                            return ExitCode::from(2);
+                        }
+                        eprintln!("wrote checked UNSAT proof to {out}");
+                    }
+                }
+            }
+            HdpllResult::Unknown => {
+                unknowns += 1;
+                if q.fallbacks.iter().any(|f| f.why.contains("rejected")) {
+                    cert_failures += 1;
+                    println!("goal {name}: UNKNOWN (certification failure)");
+                } else {
+                    println!("goal {name}: UNKNOWN (budget exhausted)");
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.trace {
+        let jsonl = handle.export_jsonl().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        let (events, dropped) = handle.trace_counts().unwrap_or((0, 0));
+        eprintln!("c wrote event trace to {path} ({events} events, {dropped} dropped)");
+    }
+    if args.stats {
+        eprintln!(
+            "c session: {} goals on rung `{}` ({} degradations)",
+            goals.len(),
+            session.active_rung(),
+            session.degradations()
+        );
+    }
+    if args.stats_json.is_some() {
+        eprintln!("c warning: --stats-json covers single-goal solves only; nothing written");
+    }
+    println!(
+        "session: {sats} SAT, {unsats} UNSAT, {unknowns} unknown of {} goals",
+        goals.len()
+    );
+    if sats > 0 {
+        ExitCode::SUCCESS
+    } else if unknowns == 0 {
+        ExitCode::from(20)
+    } else if cert_failures > 0 {
+        ExitCode::from(40)
+    } else {
+        ExitCode::from(30)
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
@@ -519,14 +656,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(goal) = proof::resolve_goal(&netlist, &args.goal) else {
-        eprintln!("no signal named `{}` in `{}`", args.goal, args.file);
-        return ExitCode::from(2);
-    };
-    if !netlist.ty(goal).is_bool() {
-        eprintln!("goal `{}` is not a Boolean signal", args.goal);
-        return ExitCode::from(2);
+    // A comma-separated goal list runs the multi-property path: one
+    // incremental session answers every goal (compile once, solve many).
+    let goal_names: Vec<&str> = args.goal.split(',').filter(|s| !s.is_empty()).collect();
+    let mut goals = Vec::with_capacity(goal_names.len());
+    for name in &goal_names {
+        let Some(goal) = proof::resolve_goal(&netlist, name) else {
+            eprintln!("no signal named `{name}` in `{}`", args.file);
+            return ExitCode::from(2);
+        };
+        if !netlist.ty(goal).is_bool() {
+            eprintln!("goal `{name}` is not a Boolean signal");
+            return ExitCode::from(2);
+        }
+        goals.push(goal);
     }
+    let [goal] = goals[..] else {
+        return solve_session(&args, &netlist, &goal_names, &goals);
+    };
 
     if let Some(path) = &args.dump_cnf {
         // Bit-blast goal=1 into DIMACS for external SAT solvers.

@@ -325,7 +325,7 @@ fn trace_stats_json_and_report_roundtrip() {
     // The trace is schema-valid JSONL, accepted by `check-trace`.
     let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
     assert!(
-        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":3,"),
+        trace_text.starts_with("{\"trace\":\"rtl-obs\",\"format\":4,"),
         "{trace_text}"
     );
     rtlsat::obs::validate_jsonl(&trace_text).expect("trace validates");

@@ -9,7 +9,8 @@ use std::path::PathBuf;
 
 use rtlsat::baselines::default_supervisor;
 use rtlsat::hdpll::{
-    Certification, ClauseDbConfig, HdpllResult, LearnConfig, Solver, SolverConfig,
+    Assumption, Certification, ClauseDbConfig, HdpllResult, LearnConfig, Session, SessionCert,
+    Solver, SolverConfig,
 };
 use rtlsat::ir::{text, Netlist, SignalId};
 use rtlsat::proof::{format, resolve_goal, Checker};
@@ -25,15 +26,17 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
-/// Parses `MANIFEST` (`<file> <goal-signal> <sat|unsat>` per line) and
-/// loads every listed netlist.
+/// Parses the single-goal `MANIFEST` lines (`<file> <goal-signal>
+/// <sat|unsat>`) and loads every listed netlist. Multi-query lines
+/// (tokens of the form `goal=verdict`, see [`multi_corpus`]) are
+/// skipped here.
 fn corpus() -> Vec<Case> {
     let dir = corpus_dir();
     let manifest = std::fs::read_to_string(dir.join("MANIFEST")).expect("read MANIFEST");
     let mut cases = Vec::new();
     for line in manifest.lines() {
         let line = line.split('#').next().unwrap().trim();
-        if line.is_empty() {
+        if line.is_empty() || line.contains('=') {
             continue;
         }
         let mut f = line.split_whitespace();
@@ -61,6 +64,56 @@ fn corpus() -> Vec<Case> {
         });
     }
     assert!(cases.len() >= 15, "golden corpus shrank: {}", cases.len());
+    cases
+}
+
+struct MultiCase {
+    file: String,
+    netlist: Netlist,
+    /// `(goal-name, goal, unsat)` per pinned query, in MANIFEST order.
+    queries: Vec<(String, SignalId, bool)>,
+}
+
+/// Parses the multi-query `MANIFEST` lines
+/// (`<file> <goal>=<sat|unsat>...`): one netlist, several properties
+/// with pinned verdicts, answered by one incremental session per file.
+fn multi_corpus() -> Vec<MultiCase> {
+    let dir = corpus_dir();
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).expect("read MANIFEST");
+    let mut cases = Vec::new();
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap().trim();
+        if line.is_empty() || !line.contains('=') {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let file = f.next().expect("file");
+        let source =
+            std::fs::read_to_string(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let netlist = text::parse(&source).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let queries: Vec<(String, SignalId, bool)> = f
+            .map(|tok| {
+                let (goal_name, verdict) = tok
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("MANIFEST: bad multi token `{tok}` in `{line}`"));
+                let goal = resolve_goal(&netlist, goal_name)
+                    .unwrap_or_else(|| panic!("{file}: no goal signal `{goal_name}`"));
+                let unsat = match verdict {
+                    "sat" => false,
+                    "unsat" => true,
+                    other => panic!("MANIFEST: bad verdict `{other}` for {file}"),
+                };
+                (goal_name.to_string(), goal, unsat)
+            })
+            .collect();
+        assert!(queries.len() >= 2, "{file}: a multi entry needs 2+ queries");
+        cases.push(MultiCase {
+            file: file.to_string(),
+            netlist,
+            queries,
+        });
+    }
+    assert!(cases.len() >= 3, "multi-query corpus shrank: {}", cases.len());
     cases
 }
 
@@ -124,8 +177,11 @@ fn check_case(case: &Case, label: &str, config: SolverConfig) {
 #[test]
 fn manifest_covers_every_netlist() {
     let dir = corpus_dir();
-    let listed: std::collections::BTreeSet<String> =
-        corpus().into_iter().map(|c| c.file).collect();
+    let listed: std::collections::BTreeSet<String> = corpus()
+        .into_iter()
+        .map(|c| c.file)
+        .chain(multi_corpus().into_iter().map(|c| c.file))
+        .collect();
     for entry in std::fs::read_dir(&dir).expect("list golden dir") {
         let name = entry.unwrap().file_name().into_string().unwrap();
         if name.ends_with(".rtl") {
@@ -207,6 +263,56 @@ fn search_effort_within_regression_band() {
              (pinned {pin}, bound {bound}) — search quality regressed, or \
              re-bless after a deliberate heuristic change"
         );
+    }
+}
+
+/// The tier-1 gate on session reuse: every multi-query entry is
+/// answered by ONE incremental [`Session`] per solver variant, in
+/// MANIFEST order and reversed (clause retention from earlier queries
+/// must never flip a later verdict). Every verdict must match the pin
+/// and a fresh single-shot solver; every UNSAT must carry an
+/// assumption proof that a fresh independent checker accepts.
+#[test]
+fn multi_query_sessions_match_manifest() {
+    for case in multi_corpus() {
+        for (label, config) in variants() {
+            for reversed in [false, true] {
+                let mut session = Session::new(&case.netlist, config.with_proof(true));
+                let mut order: Vec<usize> = (0..case.queries.len()).collect();
+                if reversed {
+                    order.reverse();
+                }
+                for i in order {
+                    let (goal_name, goal, unsat) = &case.queries[i];
+                    let certified = session.solve(&[Assumption::yes(*goal)]);
+                    let tag = format!("{}: {label} goal `{goal_name}`", case.file);
+                    assert_eq!(certified.result.is_unsat(), *unsat, "{tag}: verdict");
+                    if *unsat {
+                        assert_eq!(
+                            certified.cert,
+                            SessionCert::ProofChecked,
+                            "{tag}: UNSAT without a checked proof"
+                        );
+                        let proof = certified.proof.as_ref().expect("checked implies proof");
+                        Checker::check_assumptions(&case.netlist, &proof.assumptions, proof)
+                            .unwrap_or_else(|e| panic!("{tag}: fresh checker rejected: {e}"));
+                    } else {
+                        assert_eq!(
+                            certified.cert,
+                            SessionCert::ModelVerified,
+                            "{tag}: SAT without a verified model"
+                        );
+                    }
+                    let mut fresh = Solver::new(&case.netlist, config);
+                    assert_eq!(
+                        fresh.solve(*goal).is_unsat(),
+                        *unsat,
+                        "{tag}: session and fresh solver disagree"
+                    );
+                }
+                assert!(session.is_quiescent(), "{}: trail not restored", case.file);
+            }
+        }
     }
 }
 

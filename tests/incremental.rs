@@ -1,0 +1,239 @@
+//! The differential incremental-vs-fresh gate: everything an
+//! incremental [`Session`] answers must match what a fresh single-shot
+//! solve of the same question produces.
+//!
+//! Two proptest harnesses over the deterministic random-netlist
+//! generator of `tests/common`:
+//!
+//! - `session_queries_match_fresh_solves` — one session answers a
+//!   stream of random assumption sets under every engine variant; each
+//!   verdict must equal a fresh solver's verdict on the conjunction of
+//!   the assumed literals, every UNSAT must carry an assumption proof a
+//!   fresh independent checker accepts, every SAT a simulator-verified
+//!   model, and re-asking the first question at the end must return the
+//!   same verdict (learned-clause retention never flips an answer).
+//! - `interleaved_extend_and_solve` — solves and in-place [`Session::
+//!   extend`] growth interleave; queries over the grown netlist still
+//!   match fresh solves, and the trail returns to decision level zero
+//!   (`is_quiescent`) after every query.
+
+use proptest::prelude::*;
+
+use rtlsat::hdpll::{
+    Assumption, ClauseDbConfig, HdpllResult, LearnConfig, Session, SessionCert, Solver,
+    SolverConfig,
+};
+use rtlsat::ir::{eval, Netlist, SignalId};
+use rtlsat::proof::Checker;
+
+mod common;
+use common::{random_netlist, Rng};
+
+fn variants() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("hdpll", SolverConfig::hdpll()),
+        ("hdpll+S", SolverConfig::structural()),
+        (
+            "hdpll+S+P",
+            SolverConfig::structural_with_learning(LearnConfig::default()),
+        ),
+        // Deletion-heavy clause DB: retained-clause bookkeeping and the
+        // proof `d` sections must survive across queries.
+        (
+            "hdpll+S aggressive-db",
+            SolverConfig::structural().with_clause_db(ClauseDbConfig {
+                reduce: true,
+                first_reduce: 1,
+                reduce_inc: 1,
+            }),
+        ),
+    ]
+}
+
+/// Every Boolean signal of the netlist — the pool assumption sets are
+/// drawn from.
+fn bool_pool(n: &Netlist) -> Vec<SignalId> {
+    (0..n.len())
+        .map(SignalId::from_index)
+        .filter(|&s| n.ty(s).is_bool())
+        .collect()
+}
+
+/// Draws a non-empty assumption set (1–3 distinct signals, random
+/// polarity) from the pool.
+fn draw_assumptions(pool: &[SignalId], rng: &mut Rng) -> Vec<Assumption> {
+    let mut asm: Vec<Assumption> = Vec::new();
+    for _ in 0..1 + rng.below(3) {
+        let s = pool[rng.below(pool.len())];
+        if asm.iter().any(|a| a.signal == s) {
+            continue;
+        }
+        asm.push(if rng.flip() {
+            Assumption::yes(s)
+        } else {
+            Assumption::no(s)
+        });
+    }
+    asm
+}
+
+/// The fresh-solve reference: conjoins the assumed literals into one
+/// goal node on a clone of the netlist and solves it from scratch.
+fn fresh_verdict(netlist: &Netlist, asm: &[Assumption], config: SolverConfig) -> bool {
+    let mut n = netlist.clone();
+    let terms: Vec<SignalId> = asm
+        .iter()
+        .map(|a| if a.value { a.signal } else { n.not(a.signal).unwrap() })
+        .collect();
+    let conj = n.and(&terms).unwrap();
+    match Solver::new(&n, config).solve(conj) {
+        HdpllResult::Sat(_) => true,
+        HdpllResult::Unsat => false,
+        HdpllResult::Unknown => panic!("no budget set — instances are tiny"),
+    }
+}
+
+/// Asserts one certified session answer against the fresh reference:
+/// verdict equality, a fresh-checker-accepted assumption proof for
+/// UNSAT, a simulator-verified model (satisfying every assumption) for
+/// SAT.
+fn assert_certified(
+    netlist: &Netlist,
+    asm: &[Assumption],
+    certified: &rtlsat::hdpll::Certified,
+    expected_sat: bool,
+    tag: &str,
+) {
+    match &certified.result {
+        HdpllResult::Sat(model) => {
+            prop_assert!(expected_sat, "{tag}: session SAT, fresh UNSAT");
+            prop_assert_eq!(
+                certified.cert,
+                SessionCert::ModelVerified,
+                "{}: SAT without a verified model",
+                tag
+            );
+            let vals = eval::eval(netlist, model).expect("model evaluates");
+            for a in asm {
+                prop_assert_eq!(
+                    vals.get(a.signal),
+                    Some(i64::from(a.value)),
+                    "{}: model violates an assumption",
+                    tag
+                );
+            }
+        }
+        HdpllResult::Unsat => {
+            prop_assert!(!expected_sat, "{tag}: session UNSAT, fresh SAT");
+            prop_assert_eq!(
+                certified.cert,
+                SessionCert::ProofChecked,
+                "{}: UNSAT without a checked proof",
+                tag
+            );
+            let proof = certified.proof.as_ref().expect("checked implies proof");
+            let report = Checker::check_assumptions(netlist, &proof.assumptions, proof)
+                .unwrap_or_else(|e| panic!("{tag}: fresh checker rejected: {e}"));
+            prop_assert!(report.steps as usize <= proof.len() + 1);
+        }
+        HdpllResult::Unknown => prop_assert!(false, "{tag}: no budget set, Unknown impossible"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn session_queries_match_fresh_solves(seed in any::<u64>()) {
+        let (netlist, goal) = random_netlist(seed);
+        let pool = bool_pool(&netlist);
+        for (label, config) in variants() {
+            let mut rng = Rng(seed ^ 0xD1F7);
+            let mut session = Session::new(&netlist, config.with_proof(true));
+            // The generator's goal first — the question a one-shot
+            // solve would ask — then random assumption sets.
+            let mut sets = vec![vec![Assumption::yes(goal)]];
+            for _ in 0..3 {
+                sets.push(draw_assumptions(&pool, &mut rng));
+            }
+            let mut first_verdict = None;
+            for (i, asm) in sets.iter().enumerate() {
+                let expected = fresh_verdict(&netlist, asm, config);
+                let certified = session.solve(asm);
+                let tag = format!("seed {seed}: {label} query {i}");
+                assert_certified(&netlist, asm, &certified, expected, &tag);
+                prop_assert!(session.is_quiescent(), "{}: trail not at level 0", tag);
+                if i == 0 {
+                    first_verdict = Some(certified.result.is_sat());
+                }
+            }
+            // Clause retention must never flip an answer: the first
+            // question, re-asked after everything learned since.
+            let again = session.solve(&sets[0]);
+            prop_assert_eq!(
+                Some(again.result.is_sat()),
+                first_verdict,
+                "seed {}: {} verdict flipped on re-ask",
+                seed,
+                label
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_extend_and_solve(seed in any::<u64>()) {
+        let (netlist, goal) = random_netlist(seed);
+        for (label, config) in variants() {
+            let mut rng = Rng(seed ^ 0xE27E);
+            let mut session = Session::new(&netlist, config.with_proof(true));
+            let mut asm = vec![Assumption::yes(goal)];
+            for round in 0..3 {
+                let tag = format!("seed {seed}: {label} round {round}");
+                let expected = fresh_verdict(session.netlist(), &asm, config);
+                let certified = session.solve(&asm);
+                assert_certified(session.netlist(), &asm, &certified, expected, &tag);
+                prop_assert!(session.is_quiescent(), "{}: trail not at level 0", tag);
+
+                // Grow in place: new logic over the existing signals,
+                // exactly the BMC extend pattern.
+                session.extend(|n| grow_random(n, &mut rng));
+                let pool = bool_pool(session.netlist());
+                asm = draw_assumptions(&pool, &mut rng);
+            }
+            let expected = fresh_verdict(session.netlist(), &asm, config);
+            let certified = session.solve(&asm);
+            let tag = format!("seed {seed}: {label} final");
+            assert_certified(session.netlist(), &asm, &certified, expected, &tag);
+            prop_assert_eq!(session.queries(), 4, "one solve per round + final");
+        }
+    }
+}
+
+/// Appends 2–4 random nodes over the netlist's existing signals.
+fn grow_random(n: &mut Netlist, rng: &mut Rng) {
+    let bools = bool_pool(n);
+    let words: Vec<SignalId> = (0..n.len())
+        .map(SignalId::from_index)
+        .filter(|&s| !n.ty(s).is_bool())
+        .collect();
+    for _ in 0..2 + rng.below(3) {
+        let x = bools[rng.below(bools.len())];
+        let y = bools[rng.below(bools.len())];
+        match rng.below(4) {
+            0 => {
+                n.not(x).unwrap();
+            }
+            1 => {
+                n.xor(x, y).unwrap();
+            }
+            2 if words.len() >= 2 => {
+                let a = words[rng.below(words.len())];
+                let b = words[rng.below(words.len())];
+                n.cmp(rtlsat::ir::CmpOp::Le, a, b).unwrap();
+            }
+            _ => {
+                n.and(&[x, y]).unwrap();
+            }
+        }
+    }
+}

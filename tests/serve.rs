@@ -39,7 +39,9 @@ fn corpus() -> Vec<(String, String, String)> {
     manifest
         .lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        // Multi-query entries (`goal=verdict` tokens) are session-only;
+        // the serve corpus keeps to the single-goal lines.
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.contains('='))
         .map(|l| {
             let mut parts = l.split_whitespace();
             let file = golden_dir().join(parts.next().expect("file"));
