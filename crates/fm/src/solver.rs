@@ -261,6 +261,12 @@ impl Problem {
         self.bounds.len()
     }
 
+    /// Number of constraints added so far (`≤` plus `=`).
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.les.len() + self.eqs.len()
+    }
+
     /// Adds the constraint `expr ≤ 0` with conflict tag `tag`.
     ///
     /// # Panics
@@ -294,57 +300,133 @@ impl Problem {
 
     /// Decides the problem: returns an integer point satisfying every
     /// constraint inside every domain, or an infeasible subset.
+    ///
+    /// The constraint graph (variables as nodes, constraints as
+    /// hyperedges) is first split into connected components, each decided
+    /// independently. Under-constrained systems — the common case for a
+    /// final check over a mostly-propagated solution box — decompose into
+    /// many small subsystems, and both elimination and the enumeration
+    /// fallback are superlinear in subsystem size, so the split is worth
+    /// far more than its linear cost. Infeasibility of any component is
+    /// infeasibility of the whole, and its infeasible subset (which never
+    /// cites another component) is reported directly.
     #[must_use]
     pub fn solve(&self) -> FmOutcome {
-        let mut state = State {
-            bounds: &self.bounds,
-            config: self.config,
-            budget: &self.budget,
-            les: Vec::new(),
-            eqs: Vec::new(),
-        };
-        // Materialize domain bounds as constraints so they participate in
-        // elimination and provenance uniformly.
-        for (i, b) in self.bounds.iter().enumerate() {
-            let v = i as u32;
-            // x − hi ≤ 0
-            state.les.push(Cons {
-                expr: LinExpr::var(v, 1).plus(-b.hi()),
-                prov: Prov::from_bound(v),
-            });
-            // lo − x ≤ 0
-            state.les.push(Cons {
-                expr: LinExpr::var(v, -1).plus(b.lo()),
-                prov: Prov::from_bound(v),
-            });
+        let n = self.bounds.len();
+        // Union-find over variables; constraints connect their terms.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                parent[v as usize] = parent[parent[v as usize] as usize];
+                v = parent[v as usize];
+            }
+            v
         }
+        for (e, _) in self.les.iter().chain(self.eqs.iter()) {
+            let terms = e.iter_terms();
+            for w in terms.windows(2) {
+                let (a, b) = (find(&mut parent, w[0].0), find(&mut parent, w[1].0));
+                if a != b {
+                    parent[a.max(b) as usize] = a.min(b);
+                }
+            }
+        }
+        // Constant constraints belong to no component; decide them here.
         for (e, tag) in &self.les {
-            state.les.push(Cons {
-                expr: e.clone(),
-                prov: Prov::from_tag(*tag),
-            });
+            if e.is_constant() && e.constant() > 0 {
+                return FmOutcome::Unsat(Conflict {
+                    tags: vec![*tag],
+                    bound_vars: Vec::new(),
+                });
+            }
         }
         for (e, tag) in &self.eqs {
-            state.eqs.push(Cons {
-                expr: e.clone(),
-                prov: Prov::from_tag(*tag),
-            });
-        }
-        match state.solve() {
-            Ok(assignment) => {
-                // Fill unconstrained variables with their lower bounds.
-                let model: Vec<i64> = (0..self.bounds.len())
-                    .map(|i| assignment[i].unwrap_or_else(|| self.bounds[i].lo()))
-                    .collect();
-                debug_assert!(self.verify(&model), "FM produced an invalid model");
-                FmOutcome::Sat(model)
+            if e.is_constant() && e.constant() != 0 {
+                return FmOutcome::Unsat(Conflict {
+                    tags: vec![*tag],
+                    bound_vars: Vec::new(),
+                });
             }
-            Err(Halt::Conflict(prov)) => FmOutcome::Unsat(Conflict {
-                tags: prov.tags,
-                bound_vars: prov.bound_vars,
-            }),
-            Err(Halt::Aborted) => FmOutcome::Aborted,
         }
+        // Group constraints by component root via flat sorted arrays (in
+        // root order, so the traversal is deterministic; and no
+        // per-root allocations — a vec-of-vecs here costs more than the
+        // solves on mostly-unconstrained boxes).
+        let mut les_by_root: Vec<(u32, usize)> = self
+            .les
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (e, _))| {
+                e.iter_terms().first().map(|&(v, _)| (find(&mut parent, v), i))
+            })
+            .collect();
+        let mut eqs_by_root: Vec<(u32, usize)> = self
+            .eqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (e, _))| {
+                e.iter_terms().first().map(|&(v, _)| (find(&mut parent, v), i))
+            })
+            .collect();
+        les_by_root.sort_unstable();
+        eqs_by_root.sort_unstable();
+        let mut roots: Vec<u32> = les_by_root
+            .iter()
+            .chain(eqs_by_root.iter())
+            .map(|&(r, _)| r)
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+
+        // Unconstrained variables sit at their lower bounds.
+        let mut model: Vec<i64> = self.bounds.iter().map(|b| b.lo()).collect();
+        let range_of = |by_root: &[(u32, usize)], root: u32| {
+            let lo = by_root.partition_point(|&(r, _)| r < root);
+            let hi = by_root.partition_point(|&(r, _)| r <= root);
+            lo..hi
+        };
+        for &root in &roots {
+            let mut state = State {
+                bounds: &self.bounds,
+                config: self.config,
+                budget: &self.budget,
+                les: Vec::new(),
+                eqs: Vec::new(),
+                bounds_materialized: false,
+            };
+            for &(_, i) in &les_by_root[range_of(&les_by_root, root)] {
+                let (e, tag) = &self.les[i];
+                state.les.push(Cons {
+                    expr: e.clone(),
+                    prov: Prov::from_tag(*tag),
+                });
+            }
+            for &(_, i) in &eqs_by_root[range_of(&eqs_by_root, root)] {
+                let (e, tag) = &self.eqs[i];
+                state.eqs.push(Cons {
+                    expr: e.clone(),
+                    prov: Prov::from_tag(*tag),
+                });
+            }
+            match state.solve() {
+                Ok(assignment) => {
+                    for (v, value) in assignment.iter().enumerate() {
+                        if let Some(value) = *value {
+                            model[v] = value;
+                        }
+                    }
+                }
+                Err(Halt::Conflict(prov)) => {
+                    return FmOutcome::Unsat(Conflict {
+                        tags: prov.tags,
+                        bound_vars: prov.bound_vars,
+                    })
+                }
+                Err(Halt::Aborted) => return FmOutcome::Aborted,
+            }
+        }
+        debug_assert!(self.verify(&model), "FM produced an invalid model");
+        FmOutcome::Sat(model)
     }
 
     /// Checks a candidate model against every constraint and domain.
@@ -369,18 +451,80 @@ struct State<'a> {
     budget: &'a FmBudget,
     les: Vec<Cons>,
     eqs: Vec<Cons>,
+    /// Whether domain-bound rows are already present in `les` (set once
+    /// at the top level; enumeration branches inherit them).
+    bounds_materialized: bool,
+}
+
+/// The interval range of `expr` over the domain box (exact in `i128`, so
+/// it cannot overflow for `i64` coefficients and bounds).
+fn range_over(expr: &LinExpr, bounds: &[Interval]) -> (i128, i128) {
+    let mut lo = i128::from(expr.constant());
+    let mut hi = lo;
+    for &(v, c) in expr.iter_terms() {
+        let b = bounds[v as usize];
+        let x = i128::from(c) * i128::from(b.lo());
+        let y = i128::from(c) * i128::from(b.hi());
+        lo += x.min(y);
+        hi += x.max(y);
+    }
+    (lo, hi)
 }
 
 /// Per-variable model under construction: `None` = not yet assigned.
 type PartialModel = Vec<Option<i64>>;
 
 impl State<'_> {
+    /// Adds the two domain-bound rows (`x ≤ hi`, `lo ≤ x`) for every
+    /// variable still occurring in a constraint. Variables occurring
+    /// nowhere need no rows — they take their lower bound in the model.
+    fn materialize_bounds(&mut self) {
+        let mut live: Vec<u32> = self
+            .les
+            .iter()
+            .flat_map(|c| c.expr.iter_terms().iter().map(|&(v, _)| v))
+            .collect();
+        live.sort_unstable();
+        live.dedup();
+        for v in live {
+            let b = self.bounds[v as usize];
+            // x − hi ≤ 0
+            self.les.push(Cons {
+                expr: LinExpr::var(v, 1).plus(-b.hi()),
+                prov: Prov::from_bound(v),
+            });
+            // lo − x ≤ 0
+            self.les.push(Cons {
+                expr: LinExpr::var(v, -1).plus(b.lo()),
+                prov: Prov::from_bound(v),
+            });
+        }
+        self.bounds_materialized = true;
+    }
+
     fn solve(&mut self) -> Result<PartialModel, Halt> {
         // --- 1. equality preprocessing ---------------------------------
+        //
+        // Pivot order matters enormously here: substituting an arbitrary
+        // unit-coefficient variable can fill previously-sparse
+        // constraints, and once expressions densify, the elimination
+        // phase below loses exactness and falls back to enumeration.
+        // Choose pivots by the Markowitz rule — minimize
+        // (occurrences elsewhere − 1) · (pivot row terms − 1), the
+        // worst-case fill-in of the substitution — so chain-structured
+        // systems (BMC unrollings) eliminate with zero fill.
         let mut subs: Vec<(u32, LinExpr)> = Vec::new();
         loop {
-            // Normalize equalities; detect contradictions.
-            let mut substitution: Option<(usize, u32, LinExpr)> = None;
+            use std::collections::HashMap;
+            let mut occ: HashMap<u32, usize> = HashMap::new();
+            for c in self.eqs.iter().chain(self.les.iter()) {
+                for &(v, _) in c.expr.iter_terms() {
+                    *occ.entry(v).or_insert(0) += 1;
+                }
+            }
+            // Normalize equalities; detect contradictions; pick the pivot
+            // (eq, var) with the smallest Markowitz fill score.
+            let mut best: Option<(usize, usize, u32, i64)> = None; // (score, eq, var, coef)
             for (i, c) in self.eqs.iter().enumerate() {
                 if c.expr.is_constant() {
                     if c.expr.constant() != 0 {
@@ -392,27 +536,53 @@ impl State<'_> {
                 if g > 1 && c.expr.constant() % g != 0 {
                     return Err(Halt::Conflict(c.prov.clone())); // no integer solution
                 }
-                // Find a ±1 coefficient to solve for.
-                if let Some(&(v, coef)) = c.expr.iter_terms().iter().find(|&&(_, c)| c.abs() == 1)
-                {
-                    // coef·v + r = 0  ⇒  v = −r/coef
-                    let mut r = c.expr.clone();
-                    r = r.add_scaled(&LinExpr::var(v, coef), -1);
-                    let replacement = r.scaled(-coef); // −r when coef = 1, r when coef = −1
-                    substitution = Some((i, v, replacement));
-                    break;
+                let row = c.expr.num_terms() - 1;
+                for &(v, coef) in c.expr.iter_terms() {
+                    if coef.abs() == 1 {
+                        let score = (occ[&v] - 1) * row;
+                        let key = (score, i, v, coef);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
                 }
             }
-            let Some((idx, var, replacement)) = substitution else {
+            let Some((_, idx, var, coef)) = best else {
                 break;
             };
+            // coef·var + r = 0  ⇒  var = −r/coef
             let eq = self.eqs.remove(idx);
+            let r = eq.expr.add_scaled(&LinExpr::var(var, coef), -1);
+            let replacement = r.scaled(-coef); // −r when coef = 1, r when coef = −1
             subs.push((var, replacement.clone()));
             for c in self.eqs.iter_mut().chain(self.les.iter_mut()) {
                 if c.expr.coeff(var) != 0 {
                     c.expr = c.expr.substitute(var, &replacement);
                     c.prov = c.prov.union(&eq.prov);
                 }
+            }
+            // The pivot's own domain still constrains the replacement
+            // (lo ≤ r ≤ hi) — but only when the replacement's interval
+            // range can actually escape it. On ICP-narrowed boxes the
+            // bounds are almost always implied, and skipping them keeps
+            // the inequality system sparse (materialized bound rows of
+            // substituted variables are exactly what densifies it).
+            let (rlo, rhi) = range_over(&replacement, self.bounds);
+            let b = self.bounds[var as usize];
+            let prov = eq.prov.union(&Prov::from_bound(var));
+            if rhi > i128::from(b.hi()) {
+                // r − hi ≤ 0
+                self.les.push(Cons {
+                    expr: replacement.clone().plus(-b.hi()),
+                    prov: prov.clone(),
+                });
+            }
+            if rlo < i128::from(b.lo()) {
+                // lo − r ≤ 0
+                self.les.push(Cons {
+                    expr: replacement.scaled(-1).plus(b.lo()),
+                    prov,
+                });
             }
         }
         // Remaining equalities: split into two inequalities.
@@ -425,6 +595,13 @@ impl State<'_> {
                 expr: c.expr.scaled(-1),
                 prov: c.prov,
             });
+        }
+        // Materialize domain bounds as constraints — but only for the
+        // variables that still occur, so elimination and provenance see
+        // them uniformly without drowning in rows for untouched
+        // variables (those take their lower bound in the model).
+        if !self.bounds_materialized {
+            self.materialize_bounds();
         }
 
         // --- 2. Fourier–Motzkin elimination ------------------------------
@@ -601,6 +778,7 @@ impl State<'_> {
                 budget: self.budget,
                 les: Vec::new(),
                 eqs: Vec::new(),
+                bounds_materialized: true,
             };
             let replacement = LinExpr::constant_expr(value);
             for c in &self.les {

@@ -77,8 +77,8 @@ pub use crate::session::{
 };
 pub use crate::solver::{HdpllResult, LearningMode, Limits, Solver, SolverConfig, SolverStats};
 pub use crate::supervise::{
-    CancelToken, Certification, FaultPlan, HdpllStage, SolveStage, StageOutcome, StageReport,
-    StageRun, SupervisedResult, Supervisor,
+    CancelToken, Certification, FaultPlan, HdpllStage, PreprocSummary, SolveStage, StageOutcome,
+    StageReport, StageRun, SupervisedResult, Supervisor,
 };
 pub use crate::types::{
     AbortReason, ClauseDbConfig, DecisionStrategy, HLit, RestartMode, VarId,

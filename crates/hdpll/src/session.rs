@@ -42,6 +42,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use rtl_ir::simplify::{SignalMap, Simplifier, SimplifyStats};
 use rtl_ir::{analysis, eval, Netlist, SignalId};
 use rtl_obs::ObsHandle;
 use rtl_proof::{Checker, Proof};
@@ -131,6 +132,11 @@ enum Verdict {
 /// [module documentation](self).
 pub struct Session {
     netlist: Netlist,
+    /// Word-level preprocessing state, when enabled: the engine solves
+    /// `pre.netlist()` (the simplified image), assumptions are mapped
+    /// through `pre.map`, and Sat models are read back over the
+    /// *original* inputs so certification stays against [`Self::netlist`].
+    pre: Option<Simplifier>,
     engine: Engine,
     config: SolverConfig,
     proof: Option<ProofLog>,
@@ -146,13 +152,33 @@ pub struct Session {
 impl Session {
     /// Compiles `netlist`, reaches the level-0 fixpoint, and (when
     /// configured) runs the static predicate-learning pass — the
-    /// one-time cost all subsequent queries share.
+    /// one-time cost all subsequent queries share. Word-level
+    /// preprocessing ([`rtl_ir::simplify`]) is on; see
+    /// [`Session::with_preproc`] to disable it.
     #[must_use]
     pub fn new(netlist: &Netlist, config: SolverConfig) -> Session {
-        let compiled = Arc::new(compile(netlist));
+        Session::with_preproc(netlist, config, true)
+    }
+
+    /// Like [`Session::new`], with explicit control over word-level
+    /// preprocessing. When `preproc` is on, the engine compiles the
+    /// *simplified* image of the netlist (no cone pruning — future
+    /// queries may constrain any signal, so every signal keeps an
+    /// image); Sat models are translated back and certified against the
+    /// original, and Unsat proofs check against the simplified netlist
+    /// ([`Session::proof_netlist`]).
+    #[must_use]
+    pub fn with_preproc(netlist: &Netlist, config: SolverConfig, preproc: bool) -> Session {
+        let pre = preproc.then(|| {
+            let mut s = Simplifier::new(netlist.name());
+            s.process(netlist);
+            s
+        });
+        let solved = pre.as_ref().map_or(netlist, Simplifier::netlist);
+        let compiled = Arc::new(compile(solved));
         let engine = Engine::new(compiled);
         let proof = if config.proof {
-            let p = ProofLog::new_free(netlist);
+            let p = ProofLog::new_free(solved);
             (p.var_count() as usize == engine.compiled.init_dom.len()).then_some(p)
         } else {
             None
@@ -160,6 +186,7 @@ impl Session {
         let num_vars = engine.doms.len();
         let mut s = Session {
             netlist: netlist.clone(),
+            pre,
             engine,
             config,
             proof,
@@ -176,7 +203,8 @@ impl Session {
         }
         if let (Some(cfg), false) = (s.config.learn, s.root_unsat) {
             let mut weights = std::mem::take(&mut s.weights);
-            let report = predlearn::run(&mut s.engine, &s.netlist, &cfg, &mut weights, &mut s.proof);
+            let solved = s.pre.as_ref().map_or(&s.netlist, Simplifier::netlist);
+            let report = predlearn::run(&mut s.engine, solved, &cfg, &mut weights, &mut s.proof);
             s.weights = weights;
             s.stats.learn_time = report.time;
             if report.proved_unsat {
@@ -193,10 +221,33 @@ impl Session {
         self.obs = obs;
     }
 
-    /// The session's netlist as grown so far.
+    /// The session's netlist as grown so far (the *original*; Sat
+    /// models and their certification are in terms of this netlist).
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
+    }
+
+    /// The netlist the engine actually solves and Unsat proofs are
+    /// stated over: the simplified image when preprocessing is on, the
+    /// original otherwise. Re-check a [`Certified::proof`] against
+    /// *this* netlist with a fresh [`rtl_proof::Checker`].
+    #[must_use]
+    pub fn proof_netlist(&self) -> &Netlist {
+        self.pre.as_ref().map_or(&self.netlist, Simplifier::netlist)
+    }
+
+    /// Preprocessing counters (`None` when preprocessing is off).
+    #[must_use]
+    pub fn preproc_stats(&self) -> Option<SimplifyStats> {
+        self.pre.as_ref().map(Simplifier::stats)
+    }
+
+    /// The old→new signal map (`None` when preprocessing is off). The
+    /// map is total: sessions never cone-prune.
+    #[must_use]
+    pub fn preproc_map(&self) -> Option<SignalMap> {
+        self.pre.as_ref().map(Simplifier::signal_map)
     }
 
     /// Cumulative engine statistics across all queries so far (the
@@ -242,14 +293,22 @@ impl Session {
         self.engine.backtrack(0);
         self.engine.clear_abort();
         grow(&mut self.netlist);
+        // The simplifier's output is itself append-only, so the grown
+        // image extends the compiled problem the same way the raw
+        // netlist would.
+        if let Some(pre) = &mut self.pre {
+            pre.process(&self.netlist);
+        }
+        let solved = self.pre.as_ref().map_or(&self.netlist, Simplifier::netlist);
         // The engine holds the only long-lived handle between queries,
         // so this extends in place without a deep copy.
-        Arc::make_mut(&mut self.engine.compiled).extend(&self.netlist);
-        debug_assert_eq!(self.engine.compiled.signals_consumed(), self.netlist.len());
+        Arc::make_mut(&mut self.engine.compiled).extend(solved);
+        debug_assert_eq!(self.engine.compiled.signals_consumed(), solved.len());
         self.engine.grow();
         self.weights.grow(self.engine.doms.len());
         if let Some(p) = &mut self.proof {
-            p.extend(&self.netlist);
+            let solved = self.pre.as_ref().map_or(&self.netlist, Simplifier::netlist);
+            p.extend(solved);
             // The mirror and the engine grew from the same netlist; a
             // divergence means a lowering bug — drop logging rather
             // than emit proofs about the wrong variables.
@@ -313,9 +372,16 @@ impl Session {
                 a.signal
             );
         }
+        // Assumption signals live in the original netlist; the engine
+        // solves the simplified image, so map each through the preproc
+        // map first (an assumption on a folded-to-constant signal lands
+        // on the constant's variable and is decided by propagation).
         let asm: Vec<(VarId, bool)> = assumptions
             .iter()
-            .map(|a| (self.engine.compiled.var_of(a.signal), a.value))
+            .map(|a| {
+                let sig = self.pre.as_ref().map_or(a.signal, |p| p.map(a.signal));
+                (self.engine.compiled.var_of(sig), a.value)
+            })
             .collect();
 
         if self.root_unsat {
@@ -341,6 +407,7 @@ impl Session {
         let verdict = {
             let Session {
                 netlist,
+                pre,
                 engine,
                 config,
                 proof,
@@ -348,6 +415,7 @@ impl Session {
                 has_weights,
                 ..
             } = self;
+            let solved = pre.as_ref().map_or(&*netlist, Simplifier::netlist);
             let weights_ref = has_weights.then_some(&*weights);
 
             // Chronological flipping would flip assumption decisions;
@@ -366,7 +434,7 @@ impl Session {
                     // `StructuralIndex` scores by topological level,
                     // indexed by *variable*; translate the signal-level
                     // vector through the (segment-wise) allocation map.
-                    let levels = analysis::levels(netlist);
+                    let levels = analysis::levels(solved);
                     let mut var_levels = vec![0u32; engine.doms.len()];
                     for (sig, &lvl) in levels.iter().enumerate() {
                         var_levels[engine.compiled.sig_var[sig].index()] = lvl;
@@ -465,9 +533,16 @@ impl Session {
 
         let certified = match verdict {
             Verdict::Sat(values) => {
+                // Read the model over the *original* inputs (inputs are
+                // never merged or pruned by session preprocessing, so
+                // each has its own image variable); certification below
+                // replays it through the original netlist.
                 let model: HashMap<SignalId, i64> = eval::input_ids(&self.netlist)
                     .into_iter()
-                    .map(|id| (id, values[self.engine.compiled.var_of(id).index()]))
+                    .map(|id| {
+                        let sig = self.pre.as_ref().map_or(id, |p| p.map(id));
+                        (id, values[self.engine.compiled.var_of(sig).index()])
+                    })
                     .collect();
                 let cert = match eval::eval(&self.netlist, &model) {
                     Ok(vals) => {
@@ -523,15 +598,19 @@ impl Session {
     fn certify_unsat(&mut self, asm: &[(VarId, bool)]) -> Certified {
         let Session {
             netlist,
+            pre,
             engine,
             proof,
             ..
         } = self;
+        // Proofs are stated over the netlist the engine solved: the
+        // simplified image when preprocessing is on.
+        let solved = pre.as_ref().map_or(&*netlist, Simplifier::netlist);
         let proof = proof
             .as_mut()
             .map(|p| p.snapshot(&engine.compiled.sig_var, asm));
         let cert = match &proof {
-            Some(p) => match Checker::check_assumptions(netlist, &p.assumptions, p) {
+            Some(p) => match Checker::check_assumptions(solved, &p.assumptions, p) {
                 Ok(_) => SessionCert::ProofChecked,
                 Err(_) => SessionCert::Uncertified,
             },
@@ -599,6 +678,7 @@ pub struct SupervisedSession {
     session: Option<Session>,
     obs: ObsHandle,
     degradations: u32,
+    preproc: bool,
 }
 
 impl SupervisedSession {
@@ -634,7 +714,17 @@ impl SupervisedSession {
             session: None,
             obs: ObsHandle::off(),
             degradations: 0,
+            preproc: true,
         }
+    }
+
+    /// Enables or disables word-level preprocessing on every rung's
+    /// session (the default is on). Takes effect on the next session
+    /// build; call before the first query.
+    #[must_use]
+    pub fn with_preproc(mut self, on: bool) -> Self {
+        self.preproc = on;
+        self
     }
 
     /// Installs a telemetry handle, shared by every rung's session
@@ -665,6 +755,14 @@ impl SupervisedSession {
     #[must_use]
     pub fn stats(&self) -> Option<&crate::SolverStats> {
         self.session.as_ref().map(Session::stats)
+    }
+
+    /// The live session, if any (`None` right after construction or
+    /// after a degradation dropped it). Use it to reach
+    /// [`Session::proof_netlist`] when re-checking a query's proof.
+    #[must_use]
+    pub fn session(&self) -> Option<&Session> {
+        self.session.as_ref()
     }
 
     /// The label of the rung currently answering queries.
@@ -723,8 +821,9 @@ impl SupervisedSession {
             if self.session.is_none() {
                 let netlist = &self.netlist;
                 let obs = self.obs.clone();
+                let preproc = self.preproc;
                 let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut s = Session::new(netlist, config);
+                    let mut s = Session::with_preproc(netlist, config, preproc);
                     s.set_obs(obs);
                     s
                 }));

@@ -43,7 +43,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rtl_ir::{eval, Netlist, SignalId};
+use rtl_ir::simplify::{simplify, SignalMap, SimplifyStats};
+use rtl_ir::{eval, Netlist, Op, SignalId};
 use rtl_obs::ObsHandle;
 use rtl_proof::{Checker, Proof};
 
@@ -351,6 +352,29 @@ pub struct StageReport {
     pub stats: Option<SolverStats>,
 }
 
+/// What the stage-0 preprocessing transform did to the problem the
+/// ladder actually solved (see [`rtl_ir::simplify`]).
+///
+/// When present, the ladder ran on `netlist`/`goal` instead of the
+/// caller's originals: `Sat` models were translated back through `map`
+/// and re-certified against the *original* netlist before being
+/// reported, while the `proof` of an `Unsat` verdict refutes the
+/// *simplified* netlist — persist this summary alongside the proof
+/// (`rtlsat --proof` writes a `.preproc` bundle) so an offline checker
+/// can re-derive the rewrites and validate the pair.
+#[derive(Clone, Debug)]
+pub struct PreprocSummary {
+    /// Rewrite counters (signals before/after, folds, shares, cone).
+    pub stats: SimplifyStats,
+    /// The simplified netlist the ladder solved.
+    pub netlist: Netlist,
+    /// The goal's image in the simplified netlist.
+    pub goal: SignalId,
+    /// Old → new signal map (partial: cone-pruned signals have no
+    /// image).
+    pub map: SignalMap,
+}
+
 /// The certified result of [`Supervisor::solve`].
 #[derive(Clone, Debug)]
 pub struct SupervisedResult {
@@ -366,7 +390,14 @@ pub struct SupervisedResult {
     pub reports: Vec<StageReport>,
     /// The checked proof behind an `Unsat` verdict certified with
     /// [`Certification::Proof`] (dump it with [`rtl_proof::format`]).
+    /// When [`SupervisedResult::preproc`] is `Some`, the proof refutes
+    /// the *simplified* netlist recorded there.
     pub proof: Option<Proof>,
+    /// The stage-0 preprocessing summary, when the ladder solved a
+    /// simplified netlist (`None` with `--no-preproc`, or when the
+    /// goal folded to a constant and the supervisor fell back to the
+    /// original problem).
+    pub preproc: Option<PreprocSummary>,
 }
 
 impl SupervisedResult {
@@ -414,13 +445,28 @@ impl SupervisedResult {
 /// assert!(result.verdict.is_sat());
 /// assert_eq!(result.answered_by.as_deref(), Some("hdpll"));
 /// ```
-#[derive(Default)]
 pub struct Supervisor {
     stages: Vec<(Box<dyn SolveStage>, f64)>,
     budget: Option<Duration>,
     unsat_check: Option<(Box<dyn SolveStage>, Duration)>,
     cancel: CancelToken,
     obs: ObsHandle,
+    preproc: bool,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Self {
+            stages: Vec::new(),
+            budget: None,
+            unsat_check: None,
+            cancel: CancelToken::default(),
+            obs: ObsHandle::off(),
+            // Stage-0 word-level preprocessing is on by default; the
+            // CLI's `--no-preproc` flag is the escape hatch.
+            preproc: true,
+        }
+    }
 }
 
 impl fmt::Debug for Supervisor {
@@ -510,7 +556,25 @@ impl Supervisor {
         self
     }
 
+    /// Enables or disables the stage-0 word-level preprocessing
+    /// transform (on by default). With it on, the ladder solves the
+    /// [`rtl_ir::simplify`]-reduced netlist; `Sat` models are
+    /// translated back and re-certified against the original, and the
+    /// [`SupervisedResult::preproc`] summary records the evidence an
+    /// offline proof check needs.
+    #[must_use]
+    pub fn with_preproc(mut self, on: bool) -> Self {
+        self.preproc = on;
+        self
+    }
+
     /// Runs the ladder until a stage produces a certified answer.
+    ///
+    /// With preprocessing enabled (the default), the
+    /// [`rtl_ir::simplify`] pipeline first shrinks the problem; the
+    /// ladder then solves the simplified netlist, and `Sat` models are
+    /// translated back through the signal map and re-certified against
+    /// the *original* netlist before they become the verdict.
     ///
     /// Stages run in order; each gets its weighted share of the
     /// remaining budget. A stage's `Sat` is re-simulated and its
@@ -518,6 +582,58 @@ impl Supervisor {
     /// verdict; discredited, exhausted, and panicking stages are
     /// recorded and the ladder falls through to the next rung.
     pub fn solve(&mut self, netlist: &Netlist, goal: SignalId) -> SupervisedResult {
+        if !self.preproc {
+            return self.solve_ladder(netlist, goal, None);
+        }
+        let obs = self.obs.clone();
+        obs.stage_start("preproc");
+        let pre = simplify(netlist, &[goal]);
+        let stats = pre.stats;
+        obs.record_counter("preproc_signals_removed", stats.removed() as u64);
+        obs.record_counter("preproc_subterms_shared", stats.shares);
+        obs.record_counter("preproc_folds", stats.folds);
+        let goal_new = pre.map.get(goal).expect("the goal is a preprocessing root");
+        let folded = matches!(pre.netlist.op(goal_new), Op::Const(_));
+        obs.stage_end(
+            "preproc",
+            &format!(
+                "{} -> {} signals, {} shared, {} folds{}",
+                stats.signals_before,
+                stats.signals_after,
+                stats.shares,
+                stats.folds,
+                if folded { ", goal folded" } else { "" },
+            ),
+        );
+        if folded {
+            // The rewrites decided the query outright. A constant goal
+            // yields no search and no usable proof, so run the ladder
+            // on the untouched original: its certification — proof,
+            // model, or cross-check — then speaks about the caller's
+            // netlist directly and nothing downstream changes shape.
+            return self.solve_ladder(netlist, goal, None);
+        }
+        let mut result = self.solve_ladder(&pre.netlist, goal_new, Some((netlist, goal, &pre.map)));
+        result.preproc = Some(PreprocSummary {
+            stats,
+            netlist: pre.netlist,
+            goal: goal_new,
+            map: pre.map,
+        });
+        result
+    }
+
+    /// The degradation ladder proper. `original` is present when
+    /// `netlist`/`goal` are the preprocessed problem: `Sat` models are
+    /// then translated through the map and certified against the
+    /// original netlist/goal instead, so the simplifier never has to be
+    /// trusted.
+    fn solve_ladder(
+        &mut self,
+        netlist: &Netlist,
+        goal: SignalId,
+        original: Option<(&Netlist, SignalId, &SignalMap)>,
+    ) -> SupervisedResult {
         let deadline = self.budget.map(|b| Instant::now() + b);
         let cancel = self.cancel.clone();
         let obs = self.obs.clone();
@@ -570,30 +686,49 @@ impl Supervisor {
                     result: HdpllResult::Sat(model),
                     stats,
                     ..
-                }) => match certify_model(netlist, &model, goal) {
-                    None => {
-                        push_report(&obs, &mut reports, StageReport {
-                            stage: name.clone(),
-                            outcome: StageOutcome::CertifiedSat,
+                }) => {
+                    // When the ladder runs on a preprocessed netlist,
+                    // translate the model back and certify it against
+                    // the *original* — the verdict then carries the
+                    // translated model, and a simplifier bug surfaces
+                    // as a certification failure, never a wrong answer.
+                    let (model, failure) = match original {
+                        Some((orig, orig_goal, map)) => {
+                            let translated = map.translate_model(orig, &model);
+                            let failure = certify_model(orig, &translated, orig_goal);
+                            (translated, failure)
+                        }
+                        None => {
+                            let failure = certify_model(netlist, &model, goal);
+                            (model, failure)
+                        }
+                    };
+                    match failure {
+                        None => {
+                            push_report(&obs, &mut reports, StageReport {
+                                stage: name.clone(),
+                                outcome: StageOutcome::CertifiedSat,
+                                time: start.elapsed(),
+                                stats,
+                            });
+                            return SupervisedResult {
+                                verdict: HdpllResult::Sat(model),
+                                answered_by: Some(name),
+                                reports,
+                                proof: None,
+                                preproc: None,
+                            };
+                        }
+                        Some(why) => push_report(&obs, &mut reports, StageReport {
+                            stage: name,
+                            outcome: StageOutcome::CertFailed {
+                                detail: format!("SAT model rejected: {why}"),
+                            },
                             time: start.elapsed(),
                             stats,
-                        });
-                        return SupervisedResult {
-                            verdict: HdpllResult::Sat(model),
-                            answered_by: Some(name),
-                            reports,
-                            proof: None,
-                        };
+                        }),
                     }
-                    Some(why) => push_report(&obs, &mut reports, StageReport {
-                        stage: name,
-                        outcome: StageOutcome::CertFailed {
-                            detail: format!("SAT model rejected: {why}"),
-                        },
-                        time: start.elapsed(),
-                        stats,
-                    }),
-                },
+                }
                 Ok(StageRun {
                     result: HdpllResult::Unsat,
                     stats,
@@ -619,6 +754,7 @@ impl Supervisor {
                                 answered_by: Some(name),
                                 reports,
                                 proof: Some(checked),
+                                preproc: None,
                             };
                         }
                         ProofCheck::Invalid(why) => push_report(&obs, &mut reports, StageReport {
@@ -657,6 +793,7 @@ impl Supervisor {
                                         answered_by: Some(name),
                                         reports,
                                         proof: None,
+                                        preproc: None,
                                     };
                                 }
                             }
@@ -686,6 +823,7 @@ impl Supervisor {
             answered_by: None,
             reports,
             proof: None,
+            preproc: None,
         }
     }
 

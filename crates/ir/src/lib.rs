@@ -65,6 +65,7 @@ mod types;
 pub mod analysis;
 pub mod eval;
 pub mod seq;
+pub mod simplify;
 pub mod text;
 
 pub use crate::netlist::{Netlist, Signal};

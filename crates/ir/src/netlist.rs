@@ -188,7 +188,7 @@ impl Netlist {
         Ok(())
     }
 
-    fn push(&mut self, ty: SignalType, op: Op) -> SignalId {
+    pub(crate) fn push(&mut self, ty: SignalType, op: Op) -> SignalId {
         let id = SignalId(u32::try_from(self.signals.len()).expect("netlist too large"));
         self.signals.push(Signal { ty, op, name: None });
         id

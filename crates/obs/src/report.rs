@@ -10,8 +10,11 @@ use crate::json::{self, Value};
 /// The stats-json format version (`"stats_format"` field). Version 2
 /// added the clause-DB management counters (the forced/scheduled
 /// restart split, `db_reductions`, `lemmas_deleted`); version-1 records
-/// still parse, with those counters reading as zero.
-pub const STATS_FORMAT: u32 = 3;
+/// still parse, with those counters reading as zero. Version 4 added
+/// the word-level preprocessing span and counters
+/// (`preproc_signals_removed`, `preproc_subterms_shared`,
+/// `preproc_folds`); older records still parse, without them.
+pub const STATS_FORMAT: u32 = 4;
 
 /// One recorded run, as reconstructed from a stats-json file.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,7 +74,7 @@ fn counter(v: &Value, name: &str) -> u64 {
 pub fn parse_record(text: &str) -> Result<RunRecord, String> {
     let v = json::parse(text)?;
     match v.get("stats_format").and_then(Value::as_u64) {
-        Some(1..=3) => {}
+        Some(1..=4) => {}
         Some(f) => return Err(format!("unsupported stats_format {f}")),
         None => return Err("not a stats-json record (no `stats_format`)".to_string()),
     }

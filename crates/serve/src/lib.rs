@@ -80,6 +80,9 @@ pub struct SolveOptions {
     /// Deterministic fault injection for the primary HDPLL stage
     /// (testing only).
     pub fault: FaultPlan,
+    /// Word-level preprocessing ([`rtl_ir::simplify`]) before the solve
+    /// (on by default; the CLI's `--no-preproc` turns it off).
+    pub preproc: bool,
 }
 
 impl Default for SolveOptions {
@@ -92,6 +95,7 @@ impl Default for SolveOptions {
             check_timeout: None,
             max_memory: None,
             fault: FaultPlan::default(),
+            preproc: true,
         }
     }
 }
@@ -163,7 +167,7 @@ pub fn session_rungs(opts: &SolveOptions) -> Result<Vec<(String, SolverConfig)>,
 /// the primary stage, plus (with `fallback`) the degradation ladder and
 /// (with `check`) the eager `Unsat` cross-check under [`check_budget`].
 pub fn build_supervisor(opts: &SolveOptions, netlist: &Netlist) -> Result<Supervisor, String> {
-    let mut sup = Supervisor::new();
+    let mut sup = Supervisor::new().with_preproc(opts.preproc);
     if let Some(t) = opts.timeout {
         sup = sup.budget(t);
     }

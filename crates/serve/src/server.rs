@@ -79,6 +79,11 @@ pub struct ServeConfig {
     /// for a cross-check, a fault plan, or a bit-blast baseline engine
     /// bypass the cache.
     pub session_cache: usize,
+    /// Word-level preprocessing before each solve (on by default; the
+    /// CLI's `--no-preproc` turns it off). On the cached-session path
+    /// the cache key is the *post-preprocessing* netlist text, so
+    /// requests differing only in dead logic share a compiled session.
+    pub preproc: bool,
 }
 
 impl Default for ServeConfig {
@@ -96,12 +101,15 @@ impl Default for ServeConfig {
             max_line_bytes: 1 << 20,
             telemetry: true,
             session_cache: 0,
+            preproc: true,
         }
     }
 }
 
 /// A per-worker LRU cache of incremental sessions, keyed by the content
-/// hash of (engine, fallback flag, memory cap, netlist text). Sessions
+/// hash of (engine, fallback flag, memory cap, netlist text — the
+/// *post-preprocessing* text plus goal image when preprocessing is on,
+/// so dead-logic variants of one problem share a session). Sessions
 /// are deliberately worker-local: the solver stack is single-thread by
 /// construction, so nothing here ever crosses a thread.
 struct SessionCache {
@@ -243,6 +251,7 @@ fn session_result(
         answered_by: q.answered_by,
         reports,
         proof,
+        preproc: None,
     }
 }
 
@@ -374,7 +383,12 @@ fn solve_on_session(
             cache.get(key).expect("probed above")
         } else {
             let rungs = session_rungs(opts).expect("engine gated to the hdpll family");
-            cache.insert(key, SupervisedSession::with_rungs(netlist, rungs))
+            // Session-internal preprocessing stays off: the serve loop
+            // already simplified the netlist (when `preproc` is on)
+            // before keying the cache, so the session would only redo
+            // an idempotent pass.
+            let ladder = SupervisedSession::with_rungs(netlist, rungs).with_preproc(false);
+            cache.insert(key, ladder)
         };
         ladder.set_timeout(opts.timeout);
         if handle.on() {
@@ -393,6 +407,38 @@ fn solve_on_session(
         cache.remove(key);
     }
     outcome
+}
+
+/// Translates a cached-session Sat verdict back into the original
+/// netlist's signal space and re-certifies it there: the session solved
+/// (and certified against) the simplified image, so the simplifier is
+/// never part of the trusted base — a translated model the reference
+/// simulator rejects discredits the answer instead of shipping it.
+fn translate_session_verdict(
+    mut result: SupervisedResult,
+    original: &rtl_ir::Netlist,
+    goal: rtl_ir::SignalId,
+    map: &rtl_ir::simplify::SignalMap,
+) -> SupervisedResult {
+    if let HdpllResult::Sat(model) = &result.verdict {
+        let translated = map.translate_model(original, model);
+        let certified = rtl_ir::eval::check_model(original, &translated, goal).unwrap_or(false);
+        if certified {
+            result.verdict = HdpllResult::Sat(translated);
+        } else {
+            result.reports.push(StageReport {
+                stage: "preproc-translate".to_string(),
+                outcome: StageOutcome::CertFailed {
+                    detail: "translated model rejected by the original netlist".to_string(),
+                },
+                time: Duration::ZERO,
+                stats: None,
+            });
+            result.answered_by = None;
+            result.verdict = HdpllResult::Unknown;
+        }
+    }
+    result
 }
 
 /// Runs one solve request end to end: netlist resolution, the
@@ -456,6 +502,7 @@ fn process(
             check_timeout: req.check_timeout().or(config.check_timeout),
             max_memory: req.max_memory.or(config.max_memory),
             fault,
+            preproc: config.preproc,
         };
         let handle = if config.telemetry {
             ObsHandle::armed(ObsConfig::default())
@@ -471,8 +518,32 @@ fn process(
         // the server down. The shared drain token makes every queued
         // and in-flight solve answer promptly once cancelled.
         let solved = if session_eligible(config, &opts) {
-            let key = content_key(&opts.engine, opts.fallback, opts.max_memory, &source_text);
-            solve_on_session(cache, key, &opts, &netlist, goal, &handle, drain)
+            if opts.preproc {
+                // Simplify against the goal first and key the cache on
+                // the *post-preprocessing* text: requests that differ
+                // only in dead or foldable logic collapse onto one
+                // compiled session. The goal image joins the key so two
+                // goals over the same simplified netlist never collide.
+                handle.stage_start("preproc");
+                let pre = rtl_ir::simplify::simplify(&netlist, &[goal]);
+                let stats = pre.stats;
+                handle.record_counter("preproc_signals_removed", stats.removed() as u64);
+                handle.record_counter("preproc_subterms_shared", stats.shares);
+                handle.record_counter("preproc_folds", stats.folds);
+                handle.stage_end(
+                    "preproc",
+                    &format!("{} -> {} signals", stats.signals_before, stats.signals_after),
+                );
+                let goal_new = pre.map.get(goal).expect("the goal is a preprocessing root");
+                let mut keyed = rtl_ir::text::to_text(&pre.netlist);
+                keyed.push_str(&format!("\ngoal-id {}", goal_new.index()));
+                let key = content_key(&opts.engine, opts.fallback, opts.max_memory, &keyed);
+                solve_on_session(cache, key, &opts, &pre.netlist, goal_new, &handle, drain)
+                    .map(|r| translate_session_verdict(r, &netlist, goal, &pre.map))
+            } else {
+                let key = content_key(&opts.engine, opts.fallback, opts.max_memory, &source_text);
+                solve_on_session(cache, key, &opts, &netlist, goal, &handle, drain)
+            }
         } else {
             let mut sup = match build_supervisor(&opts, &netlist) {
                 Ok(s) => s,
@@ -867,6 +938,43 @@ mod tests {
         assert!(
             lines[1].contains("\"compile_cache_hit\":1"),
             "second identical request must skip compile: {}",
+            lines[1]
+        );
+        for line in &lines[..2] {
+            assert!(line.contains("\"verdict\":\"SAT\""), "{line}");
+        }
+        assert_eq!(summary.tally.results, 2);
+        assert_eq!(summary.tally.errors, 0);
+    }
+
+    #[test]
+    fn session_cache_hits_across_dead_logic_variants() {
+        // The cache key is the *post-preprocessing* netlist text: two
+        // requests whose sources differ only in dead logic (a node
+        // outside the goal cone) simplify to the same text and must
+        // share one compiled session.
+        let with_dead =
+            "netlist t\\ninput a bool\\ninput z w8\\nnode dead w8 = add z z\\n\
+             node goal bool = and a a\\n";
+        let input = format!(
+            "{{\"id\":\"a\",\"netlist\":\"{TINY}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n\
+             {{\"id\":\"b\",\"netlist\":\"{with_dead}\",\"goal\":\"goal\",\"timeout_ms\":10000}}\n"
+        );
+        let config = ServeConfig {
+            session_cache: 8,
+            ..ServeConfig::default()
+        };
+        let (out, summary) = serve_str(&input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "two results + summary: {out}");
+        assert!(
+            lines[0].contains("\"compile_cache_miss\":1"),
+            "first request must compile: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"compile_cache_hit\":1"),
+            "dead-logic variant must share the session: {}",
             lines[1]
         );
         for line in &lines[..2] {

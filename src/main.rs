@@ -84,6 +84,7 @@ struct Args {
     stats: bool,
     stats_json: Option<String>,
     trace: Option<String>,
+    preproc: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
     let mut stats = false;
     let mut stats_json = None;
     let mut trace = None;
+    let mut preproc = true;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -129,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                 proof_out = Some(it.next().ok_or("--proof needs a path")?);
             }
             "--stats" => stats = true,
+            "--no-preproc" => preproc = false,
             "--stats-json" => {
                 stats_json = Some(it.next().ok_or("--stats-json needs a path")?);
             }
@@ -139,17 +142,19 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: rtlsat <netlist-file> <goal-signal> \
                      [--engine hdpll|hdpll-s|hdpll-sp|eager|lazy] \
                      [--timeout <secs>] [--check] [--fallback] \
-                     [--check-timeout <secs>] \
+                     [--check-timeout <secs>] [--no-preproc] \
                      [--dump-cnf <file>] [--proof <file>] [--stats] \
                      [--stats-json <file>] [--trace <file>]\n\
-                     \x20      rtlsat check-proof <netlist-file> <proof-file>\n\
+                     \x20      rtlsat preprocess <netlist-file> [<goal-signal>]\n\
+                     \x20      rtlsat check-proof <netlist-file> <proof-file> \
+                     [--preproc <bundle-file>]\n\
                      \x20      rtlsat check-trace <trace-file>\n\
                      \x20      rtlsat report <dir> [--csv]\n\
                      \x20      rtlsat serve [--workers <n>] [--queue <n>] \
                      [--engine <e>] [--timeout <secs>] [--check] \
                      [--fallback] [--check-timeout <secs>] \
                      [--max-memory <bytes>] [--drain-timeout <secs>] \
-                     [--socket <path>] [--no-telemetry]"
+                     [--socket <path>] [--no-telemetry] [--no-preproc]"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -171,6 +176,7 @@ fn parse_args() -> Result<Args, String> {
         stats,
         stats_json,
         trace,
+        preproc,
     })
 }
 
@@ -186,6 +192,7 @@ fn build_supervisor(args: &Args, netlist: &Netlist) -> Result<Supervisor, String
         check: args.check,
         fallback: args.fallback,
         check_timeout: args.check_timeout,
+        preproc: args.preproc,
         ..serve::SolveOptions::default()
     };
     serve::build_supervisor(&opts, netlist).map_err(|e| format!("{e} (see --help)"))
@@ -228,6 +235,16 @@ fn print_stats(stats: &SolverStats) {
 
 /// Prints the supervisor's per-stage report (`--stats`) to stderr.
 fn print_report(result: &SupervisedResult) {
+    if let Some(pre) = &result.preproc {
+        eprintln!(
+            "c preproc         {} -> {} signals, {} shared, {} folds, {} pruned",
+            pre.stats.signals_before,
+            pre.stats.signals_after,
+            pre.stats.shares,
+            pre.stats.folds,
+            pre.stats.coi_dropped
+        );
+    }
     for report in &result.reports {
         eprintln!(
             "c stage {:<16} {:>10.3} ms  {}",
@@ -276,12 +293,80 @@ fn load_netlist(path: &str) -> Result<Netlist, String> {
     text::parse(&source).map_err(|e| format!("{path}: {e}"))
 }
 
-/// `rtlsat check-proof <netlist> <proof>`: re-validates a dumped proof
-/// from scratch with the independent checker. Exit `0` accepted, `1`
+/// `rtlsat preprocess <netlist-file> [<goal-signal>[,<goal-signal>...]]`:
+/// runs the certification-preserving simplify pipeline and dumps the
+/// simplified netlist to stdout. With goals, the pipeline also prunes
+/// to their cone of influence; without, every signal keeps an image
+/// (the incremental-session shape). The `c preproc` stats header goes
+/// to stderr so stdout stays a parseable netlist.
+fn preprocess_command(rest: &[String]) -> ExitCode {
+    let (netlist_path, goal_arg) = match rest {
+        [n] => (n, None),
+        [n, g] => (n, Some(g)),
+        _ => {
+            eprintln!("usage: rtlsat preprocess <netlist-file> [<goal-signal>[,<goal-signal>...]]");
+            return ExitCode::from(2);
+        }
+    };
+    let netlist = match load_netlist(netlist_path) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match goal_arg {
+        Some(goal_list) => {
+            let mut roots = Vec::new();
+            for name in goal_list.split(',').filter(|s| !s.is_empty()) {
+                let Some(goal) = proof::resolve_goal(&netlist, name) else {
+                    eprintln!("no signal named `{name}` in `{netlist_path}`");
+                    return ExitCode::from(2);
+                };
+                roots.push(goal);
+            }
+            rtlsat::ir::simplify::simplify(&netlist, &roots)
+        }
+        None => rtlsat::ir::simplify::simplify_full(&netlist),
+    };
+    let s = &result.stats;
+    eprintln!("c preproc signals_before {}", s.signals_before);
+    eprintln!("c preproc signals_after  {}", s.signals_after);
+    eprintln!("c preproc folds          {}", s.folds);
+    eprintln!("c preproc shares         {}", s.shares);
+    eprintln!("c preproc ite_collapsed  {}", s.ite_collapsed);
+    eprintln!("c preproc coi_dropped    {}", s.coi_dropped);
+    print!("{}", text::to_text(&result.netlist));
+    ExitCode::SUCCESS
+}
+
+/// `rtlsat check-proof <netlist> <proof> [--preproc <bundle>]`:
+/// re-validates a dumped proof from scratch with the independent
+/// checker. With `--preproc`, the proof is checked against the
+/// *simplified* netlist published in the bundle — after the bundle
+/// itself is validated by deterministically re-running the rewrites on
+/// the original netlist (text, map, and goal image must all agree), so
+/// the simplifier never joins the trusted base. Exit `0` accepted, `1`
 /// rejected, `2` usage/input errors.
 fn check_proof_command(rest: &[String]) -> ExitCode {
-    let [netlist_path, proof_path] = rest else {
-        eprintln!("usage: rtlsat check-proof <netlist-file> <proof-file>");
+    let usage = "usage: rtlsat check-proof <netlist-file> <proof-file> [--preproc <bundle-file>]";
+    let mut positional = Vec::new();
+    let mut bundle_path = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preproc" => match it.next() {
+                Some(p) => bundle_path = Some(p.clone()),
+                None => {
+                    eprintln!("--preproc needs a path\n{usage}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [netlist_path, proof_path] = &positional[..] else {
+        eprintln!("{usage}");
         return ExitCode::from(2);
     };
     let netlist = match load_netlist(netlist_path) {
@@ -305,6 +390,52 @@ fn check_proof_command(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // With a bundle: validate it against the original, then check the
+    // proof against the re-derived simplified netlist.
+    if let Some(bundle_path) = bundle_path {
+        let bundle_text = match std::fs::read_to_string(&bundle_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{bundle_path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let bundle = match rtlsat::ir::simplify::bundle_parse(&bundle_text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{bundle_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let derived = match rtlsat::ir::simplify::bundle_validate(&netlist, &bundle) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("REJECTED: preproc bundle invalid: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let checked = match &bundle.goal {
+            // Goal-mode bundle: a goal proof over the simplified
+            // netlist, rooted at the published (and re-derived) image.
+            Some((_, goal_new)) => proof::Checker::check_goal(&derived.netlist, *goal_new, &proof),
+            // Full-mode bundle: an assumption proof that carries its
+            // own assumed literals (the incremental-session shape).
+            None => proof::Checker::check_assumptions(&derived.netlist, &proof.assumptions, &proof),
+        };
+        return match checked {
+            Ok(report) => {
+                println!(
+                    "VERIFIED ({} steps, {} search nodes; preproc bundle validated)",
+                    report.steps, report.search_nodes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("REJECTED: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     let Some(goal) = proof::resolve_goal(&netlist, &proof.goal) else {
         eprintln!(
             "{proof_path}: goal `{}` not found in `{netlist_path}`",
@@ -408,7 +539,8 @@ fn serve_command(rest: &[String]) -> ExitCode {
          [--engine <e>] [--timeout <secs>] [--check] [--fallback] \
          [--check-timeout <secs>] [--max-memory <bytes>] \
          [--drain-timeout <secs>] [--max-line-bytes <n>] \
-         [--session-cache <n>] [--socket <path>] [--no-telemetry]";
+         [--session-cache <n>] [--socket <path>] [--no-telemetry] \
+         [--no-preproc]";
     let mut config = serve::ServeConfig::default();
     let mut socket = None;
     let mut it = rest.iter();
@@ -467,6 +599,10 @@ fn serve_command(rest: &[String]) -> ExitCode {
             },
             "--no-telemetry" => {
                 config.telemetry = false;
+                Ok(())
+            }
+            "--no-preproc" => {
+                config.preproc = false;
                 Ok(())
             }
             "--help" | "-h" => Err(usage.to_string()),
@@ -531,6 +667,7 @@ fn solve_session(
         check: args.check,
         fallback: args.fallback,
         check_timeout: args.check_timeout,
+        preproc: args.preproc,
         ..serve::SolveOptions::default()
     };
     let rungs = match serve::session_rungs(&opts) {
@@ -540,7 +677,7 @@ fn solve_session(
             return ExitCode::from(2);
         }
     };
-    let mut session = SupervisedSession::with_rungs(netlist, rungs);
+    let mut session = SupervisedSession::with_rungs(netlist, rungs).with_preproc(args.preproc);
     let handle = if args.trace.is_some() {
         ObsHandle::armed(ObsConfig::default())
     } else {
@@ -598,6 +735,24 @@ fn solve_session(
             }
         }
     }
+    // The per-goal assumption proofs are stated over the session's
+    // preprocessed netlist: persist one full-mode bundle next to them
+    // (assumption proofs carry their own literals, so no goal line).
+    if let (true, Some(path), Some(live)) = (unsats > 0, &args.proof_out, session.session()) {
+        if let (Some(map), Some(stats)) = (live.preproc_map(), live.preproc_stats()) {
+            let res = rtlsat::ir::simplify::SimplifyResult {
+                netlist: live.proof_netlist().clone(),
+                map,
+                stats,
+            };
+            let out = format!("{path}.preproc");
+            if let Err(e) = std::fs::write(&out, rtlsat::ir::simplify::bundle_to_text_full(&res)) {
+                eprintln!("cannot write `{out}`: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote preproc bundle to {out}");
+        }
+    }
     if let Some(path) = &args.trace {
         let jsonl = handle.export_jsonl().unwrap_or_default();
         if let Err(e) = std::fs::write(path, jsonl) {
@@ -636,6 +791,7 @@ fn solve_session(
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
+        Some("preprocess") => return preprocess_command(&raw[1..]),
         Some("check-proof") => return check_proof_command(&raw[1..]),
         Some("check-trace") => return check_trace_command(&raw[1..]),
         Some("report") => return report_command(&raw[1..]),
@@ -762,6 +918,26 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                         eprintln!("wrote checked UNSAT proof to {path}");
+                        // With preprocessing on, the proof is stated
+                        // over the simplified netlist: persist the
+                        // (map, simplified-text) evidence next to it so
+                        // `check-proof --preproc` can re-derive and
+                        // validate the whole chain offline.
+                        if let Some(pre) = &result.preproc {
+                            let res = rtlsat::ir::simplify::SimplifyResult {
+                                netlist: pre.netlist.clone(),
+                                map: pre.map.clone(),
+                                stats: pre.stats,
+                            };
+                            let bundle =
+                                rtlsat::ir::simplify::bundle_to_text(&args.goal, pre.goal, &res);
+                            let out = format!("{path}.preproc");
+                            if let Err(e) = std::fs::write(&out, bundle) {
+                                eprintln!("cannot write `{out}`: {e}");
+                                return ExitCode::from(2);
+                            }
+                            eprintln!("wrote preproc bundle to {out}");
+                        }
                     }
                     None => eprintln!(
                         "warning: no checked proof available for this UNSAT \

@@ -256,7 +256,7 @@ fn stats_flag_prints_counters() {
     // counter lines in this exact order. Growing the block means bumping
     // `stats-format` — this test is the tripwire.
     assert!(
-        stderr.contains("c stats-format    3"),
+        stderr.contains("c stats-format    4"),
         "missing stats-format header: {stderr}"
     );
     let keys = [
@@ -377,4 +377,123 @@ fn trace_stats_json_and_report_roundtrip() {
     assert!(out.status.success(), "{csv}");
     assert!(csv.starts_with("case,goal,engine,verdict,"), "{csv}");
     assert!(csv.contains("demo,both,"), "{csv}");
+}
+
+#[test]
+fn preprocess_subcommand_emits_parseable_netlist() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_preproc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    // Full mode: every signal keeps an image, stdout re-parses.
+    let out = bin()
+        .arg("preprocess")
+        .arg(&netlist)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    rtlsat::ir::text::parse(&stdout)
+        .unwrap_or_else(|e| panic!("preprocess output does not re-parse: {e}\n{stdout}"));
+    for key in [
+        "c preproc signals_before",
+        "c preproc signals_after",
+        "c preproc folds",
+        "c preproc shares",
+        "c preproc ite_collapsed",
+        "c preproc coi_dropped",
+    ] {
+        assert!(stderr.contains(key), "missing `{key}` in stats: {stderr}");
+    }
+
+    // Goal mode: logic outside the cone of `hit` (gt, both) is pruned.
+    let out = bin()
+        .arg("preprocess")
+        .arg(&netlist)
+        .arg("hit")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    let pruned = rtlsat::ir::text::parse(&stdout).expect("goal-mode output re-parses");
+    assert!(pruned.find("hit").is_some(), "{stdout}");
+    assert!(pruned.find("gt").is_none(), "gt survived COI pruning: {stdout}");
+    assert!(pruned.find("both").is_none(), "both survived COI pruning: {stdout}");
+}
+
+#[test]
+fn no_preproc_flag_preserves_verdicts() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_no_preproc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    for (goal, code) in [("hit", 0), ("both", 20)] {
+        let default = bin().arg(&netlist).arg(goal).output().expect("binary runs");
+        let off = bin()
+            .arg(&netlist)
+            .arg(goal)
+            .arg("--no-preproc")
+            .output()
+            .expect("binary runs");
+        assert_eq!(default.status.code(), Some(code), "{goal} with preproc");
+        assert_eq!(off.status.code(), Some(code), "{goal} with --no-preproc");
+        // Same verdict line either way.
+        let line = |o: &std::process::Output| {
+            String::from_utf8_lossy(&o.stdout)
+                .lines()
+                .next()
+                .unwrap_or_default()
+                .split_whitespace()
+                .next()
+                .unwrap_or_default()
+                .to_string()
+        };
+        assert_eq!(line(&default), line(&off), "{goal}: verdicts diverge");
+    }
+}
+
+#[test]
+fn check_proof_accepts_and_rejects_preproc_bundles() {
+    let dir = std::env::temp_dir().join("rtlsat_cli_preproc_bundle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let netlist = write_netlist(&dir);
+    let proof_path = dir.join("both.proof");
+    let out = bin()
+        .arg(&netlist)
+        .arg("both")
+        .args(["--proof", proof_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    // The preproc bundle rides along next to the proof.
+    let bundle_path = dir.join("both.proof.preproc");
+    let bundle_text = std::fs::read_to_string(&bundle_path).expect("bundle written");
+    assert!(bundle_text.starts_with("rtlpreproc 1"), "{bundle_text}");
+
+    // check-proof validates the bundle, then the proof against the
+    // re-derived simplified netlist.
+    let out = bin()
+        .arg("check-proof")
+        .arg(&netlist)
+        .arg(&proof_path)
+        .args(["--preproc", bundle_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.starts_with("VERIFIED"), "{stdout}");
+    assert!(stdout.contains("preproc bundle validated"), "{stdout}");
+
+    // A tampered bundle (published netlist text altered) is rejected.
+    let tampered_path = dir.join("tampered.preproc");
+    std::fs::write(&tampered_path, bundle_text.replace("cmp.eq", "cmp.ne")).unwrap();
+    let out = bin()
+        .arg("check-proof")
+        .arg(&netlist)
+        .arg(&proof_path)
+        .args(["--preproc", tampered_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.starts_with("REJECTED"), "{stdout}");
 }

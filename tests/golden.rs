@@ -294,8 +294,14 @@ fn multi_query_sessions_match_manifest() {
                             "{tag}: UNSAT without a checked proof"
                         );
                         let proof = certified.proof.as_ref().expect("checked implies proof");
-                        Checker::check_assumptions(&case.netlist, &proof.assumptions, proof)
-                            .unwrap_or_else(|e| panic!("{tag}: fresh checker rejected: {e}"));
+                        // Session proofs are stated over the session's
+                        // (preprocessed) solve netlist.
+                        Checker::check_assumptions(
+                            session.proof_netlist(),
+                            &proof.assumptions,
+                            proof,
+                        )
+                        .unwrap_or_else(|e| panic!("{tag}: fresh checker rejected: {e}"));
                     } else {
                         assert_eq!(
                             certified.cert,
@@ -312,6 +318,42 @@ fn multi_query_sessions_match_manifest() {
                 }
                 assert!(session.is_quiescent(), "{}: trail not restored", case.file);
             }
+        }
+    }
+}
+
+/// The whole corpus, word-level preprocessing on AND off: the pinned
+/// verdict must be identical either way, UNSAT must stay
+/// proof-certified, and neither run may report a certification failure.
+/// This is the tier-1 tripwire for a rewrite that changes satisfiability.
+#[test]
+fn preproc_on_off_verdicts_identical() {
+    for case in corpus() {
+        let on = default_supervisor(&case.netlist, None, false).solve(&case.netlist, case.goal);
+        let off = default_supervisor(&case.netlist, None, false)
+            .with_preproc(false)
+            .solve(&case.netlist, case.goal);
+        for (label, result) in [("preproc-on", &on), ("preproc-off", &off)] {
+            assert_eq!(
+                result.verdict.is_unsat(),
+                case.unsat,
+                "{}: {label} verdict diverged from the pin",
+                case.file
+            );
+            if case.unsat {
+                assert_eq!(
+                    result.unsat_certification(),
+                    Some(Certification::Proof),
+                    "{}: {label} UNSAT lost its proof certification",
+                    case.file
+                );
+            }
+            assert_eq!(
+                result.cert_failures(),
+                0,
+                "{}: {label} certification failures",
+                case.file
+            );
         }
     }
 }

@@ -97,8 +97,13 @@ fn fresh_verdict(netlist: &Netlist, asm: &[Assumption], config: SolverConfig) ->
 /// verdict equality, a fresh-checker-accepted assumption proof for
 /// UNSAT, a simulator-verified model (satisfying every assumption) for
 /// SAT.
+/// `netlist` is the session's *original* netlist (models are stated
+/// over it); `proof_netlist` is what the engine solved — the session's
+/// preprocessed image ([`Session::proof_netlist`]) — which is what an
+/// independent checker must re-check assumption proofs against.
 fn assert_certified(
     netlist: &Netlist,
+    proof_netlist: &Netlist,
     asm: &[Assumption],
     certified: &rtlsat::hdpll::Certified,
     expected_sat: bool,
@@ -132,7 +137,7 @@ fn assert_certified(
                 tag
             );
             let proof = certified.proof.as_ref().expect("checked implies proof");
-            let report = Checker::check_assumptions(netlist, &proof.assumptions, proof)
+            let report = Checker::check_assumptions(proof_netlist, &proof.assumptions, proof)
                 .unwrap_or_else(|e| panic!("{tag}: fresh checker rejected: {e}"));
             prop_assert!(report.steps as usize <= proof.len() + 1);
         }
@@ -161,7 +166,7 @@ proptest! {
                 let expected = fresh_verdict(&netlist, asm, config);
                 let certified = session.solve(asm);
                 let tag = format!("seed {seed}: {label} query {i}");
-                assert_certified(&netlist, asm, &certified, expected, &tag);
+                assert_certified(&netlist, session.proof_netlist(), asm, &certified, expected, &tag);
                 prop_assert!(session.is_quiescent(), "{}: trail not at level 0", tag);
                 if i == 0 {
                     first_verdict = Some(certified.result.is_sat());
@@ -191,7 +196,7 @@ proptest! {
                 let tag = format!("seed {seed}: {label} round {round}");
                 let expected = fresh_verdict(session.netlist(), &asm, config);
                 let certified = session.solve(&asm);
-                assert_certified(session.netlist(), &asm, &certified, expected, &tag);
+                assert_certified(session.netlist(), session.proof_netlist(), &asm, &certified, expected, &tag);
                 prop_assert!(session.is_quiescent(), "{}: trail not at level 0", tag);
 
                 // Grow in place: new logic over the existing signals,
@@ -203,7 +208,7 @@ proptest! {
             let expected = fresh_verdict(session.netlist(), &asm, config);
             let certified = session.solve(&asm);
             let tag = format!("seed {seed}: {label} final");
-            assert_certified(session.netlist(), &asm, &certified, expected, &tag);
+            assert_certified(session.netlist(), session.proof_netlist(), &asm, &certified, expected, &tag);
             prop_assert_eq!(session.queries(), 4, "one solve per round + final");
         }
     }
