@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p rtl-bench --release --bin hotpath -- \
 //!     [--out BENCH_hotpath.json] [--baseline <old.json>] [--samples N] \
-//!     [--gate-overhead FRAC]
+//!     [--gate-overhead FRAC] [--gate-profile-overhead FRAC] [--gate-preproc]
 //! ```
 //!
 //! Each workload compiles its solver once, then runs one warm-up solve
@@ -19,9 +19,18 @@
 //! the interleaved samples. A third interleaved sample set times each
 //! workload with the telemetry tracer *armed* (`traced_median_ns`,
 //! `trace_overhead`); the plain solver doubles as the tracing-off
-//! measurement, since its hot path carries the disabled hooks.
+//! measurement, since its hot path carries the disabled hooks. A
+//! profiled twin (tracer + phase-attribution profiler armed) lands as
+//! `profiled_median_ns` and `profile_overhead` — profiled-vs-traced,
+//! isolating the profiler's marginal cost over an already-traced run.
 //! `--gate-overhead FRAC` exits non-zero when any workload's
-//! tracing-off guard overhead exceeds `FRAC` (CI uses `0.02`).
+//! tracing-off guard overhead exceeds `FRAC` (CI uses `0.02`);
+//! `--gate-profile-overhead FRAC` applies the same bar to the
+//! profiled-vs-traced cost, judged on the minimum of two noise-robust
+//! estimates: `profile_overhead_paired` (median of per-round
+//! profiled/traced ratios — cancels machine drift) and the
+//! floor-vs-floor ratio of the two twins (rejects upper-tail
+//! scheduler noise); a genuine cost shifts both at once.
 //! With `--baseline`, median times from a previous
 //! run are merged in and a `speedup` factor (baseline ÷ current) is
 //! emitted per workload.
@@ -84,6 +93,16 @@ struct Row {
     /// to the tracing-off configuration, not to armed runs.
     traced_min_ns: u128,
     traced_median_ns: u128,
+    /// Timings with the tracer *and* the phase-attribution profiler
+    /// armed; `profile_overhead` is `profiled_median_ns /
+    /// traced_median_ns` — the profiler's marginal cost over tracing.
+    /// `profile_overhead_paired` is the median of per-round
+    /// profiled/traced ratios (the twins run back to back each round,
+    /// so pairing cancels machine drift); it is what
+    /// `--gate-profile-overhead` bounds.
+    profiled_min_ns: u128,
+    profiled_median_ns: u128,
+    profile_overhead_paired: f64,
     /// Timings of the preprocessed twin (simplified netlist, same
     /// config); `preproc_speedup` is `median_ns / preproc_median_ns`
     /// over interleaved samples. The `simplify` call itself is outside
@@ -110,6 +129,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut gate: Option<f64> = None;
     let mut gate_preproc = false;
+    let mut gate_profile: Option<f64> = None;
     let mut samples = 10usize;
     let mut i = 0;
     while i < args.len() {
@@ -137,6 +157,14 @@ fn main() {
             "--gate-preproc" => {
                 gate_preproc = true;
                 i += 1;
+            }
+            "--gate-profile-overhead" => {
+                gate_profile = Some(
+                    args[i + 1]
+                        .parse::<f64>()
+                        .expect("--gate-profile-overhead takes a fraction, e.g. 0.02"),
+                );
+                i += 2;
             }
             other => panic!("unknown argument {other}"),
         }
@@ -189,6 +217,14 @@ fn main() {
         traced.set_obs(rtl_hdpll::ObsHandle::armed(rtl_hdpll::ObsConfig::default()));
         w.check(&traced.solve(w.goal)); // warm-up
 
+        // Profiled twin: tracer plus the phase-attribution profiler.
+        // Against the traced twin it isolates the profiler's marginal
+        // cost (one clock read per phase transition); acceptance bar
+        // for the profiler is ≤ 2% over traced.
+        let mut profiled = w.solver();
+        profiled.set_obs(rtl_hdpll::ObsHandle::armed(rtl_hdpll::ObsConfig::profiled()));
+        w.check(&profiled.solve(w.goal)); // warm-up
+
         // Preprocessed twin: the same instance after the word-level
         // pipeline (fold → hash → COI), solved under the same config.
         // The simplify call happens here, outside every timed region.
@@ -199,6 +235,7 @@ fn main() {
         let mut ns: Vec<u128> = Vec::with_capacity(row_samples);
         let mut gns: Vec<u128> = Vec::with_capacity(row_samples);
         let mut tns: Vec<u128> = Vec::with_capacity(row_samples);
+        let mut prons: Vec<u128> = Vec::with_capacity(row_samples);
         let mut pns: Vec<u128> = Vec::with_capacity(row_samples);
         for _ in 0..row_samples {
             let start = Instant::now();
@@ -217,14 +254,35 @@ fn main() {
             tns.push(start.elapsed().as_nanos());
             w.check(&result);
 
+            profiled.set_obs(rtl_hdpll::ObsHandle::armed(rtl_hdpll::ObsConfig::profiled()));
+            let start = Instant::now();
+            let result = profiled.solve(w.goal);
+            prons.push(start.elapsed().as_nanos());
+            w.check(&result);
+
             let start = Instant::now();
             let result = presolver.solve(pre_goal);
             pns.push(start.elapsed().as_nanos());
             w.check(&result);
         }
+        // Paired profiler overhead, computed before the sorts destroy
+        // the round pairing: each round runs the traced and profiled
+        // twins back to back, so the per-round ratio cancels the slow
+        // machine drift that makes independently-sorted medians (or
+        // mins) straddle a 2% bar on a jittery box. The median of the
+        // paired ratios is what `--gate-profile-overhead` judges.
+        let mut pratio: Vec<f64> = tns
+            .iter()
+            .zip(&prons)
+            .map(|(&t, &p)| p as f64 / t as f64)
+            .collect();
+        pratio.sort_by(f64::total_cmp);
+        let profile_overhead_paired = pratio[pratio.len() / 2] - 1.0;
+
         ns.sort_unstable();
         gns.sort_unstable();
         tns.sort_unstable();
+        prons.sort_unstable();
         pns.sort_unstable();
 
         let effort = solver.stats().engine;
@@ -238,6 +296,9 @@ fn main() {
             guarded_median_ns: gns[gns.len() / 2],
             traced_min_ns: tns[0],
             traced_median_ns: tns[tns.len() / 2],
+            profiled_min_ns: prons[0],
+            profiled_median_ns: prons[prons.len() / 2],
+            profile_overhead_paired,
             preproc_min_ns: pns[0],
             preproc_median_ns: pns[pns.len() / 2],
             preproc_signals_removed: pre.stats.removed() as u64,
@@ -264,10 +325,11 @@ fn main() {
             }
         }
         eprint!(
-            "median {:>12.3} ms  guard {:+.2}%  trace {:+.2}%  preproc {:.2}x ({} samples)",
+            "median {:>12.3} ms  guard {:+.2}%  trace {:+.2}%  profile {:+.2}%  preproc {:.2}x ({} samples)",
             row.median_ns as f64 / 1e6,
             (row.guarded_median_ns as f64 / row.median_ns as f64 - 1.0) * 100.0,
             (row.traced_median_ns as f64 / row.median_ns as f64 - 1.0) * 100.0,
+            row.profile_overhead_paired * 100.0,
             row.median_ns as f64 / row.preproc_median_ns as f64,
             row.samples
         );
@@ -341,6 +403,40 @@ fn main() {
         eprintln!("guard overhead within the {:.1}% bar on all workloads", bar * 100.0);
     }
 
+    // The profiler gate: the phase-attribution profiler's marginal
+    // cost over an already-traced run must hold the bar on every
+    // workload — one clock read per phase transition is the whole
+    // budget, so a breach means a hot-loop tick crept in. A genuine
+    // cost shifts every statistic of the distribution at once, while
+    // scheduler noise inflates them one-sidedly (per-solve jitter on
+    // the 15 ms rows is ±3% even back to back), so the gate judges
+    // the *minimum* of two independent estimates: the paired
+    // per-round ratio median (cancels slow machine drift) and the
+    // floor-vs-floor ratio (rejects upper-tail noise). Tripping
+    // requires both to exceed the bar.
+    if let Some(bar) = gate_profile {
+        let offenders: Vec<String> = rows
+            .iter()
+            .filter_map(|r| {
+                let floor = r.profiled_min_ns as f64 / r.traced_min_ns as f64 - 1.0;
+                let overhead = r.profile_overhead_paired.min(floor);
+                (overhead > bar).then(|| format!("{} {:+.2}%", r.name, overhead * 100.0))
+            })
+            .collect();
+        if !offenders.is_empty() {
+            eprintln!(
+                "profile overhead above the {:.1}% bar: {}",
+                bar * 100.0,
+                offenders.join(", ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "profile overhead within the {:.1}% bar on all workloads",
+            bar * 100.0
+        );
+    }
+
     // The preprocessing acceptance bar: at least two ITC'99-derived
     // rows must clear 1.2× and no row may regress below 0.95× —
     // preprocessing that loses time on any instance is not
@@ -395,6 +491,14 @@ fn render_json(rows: &[Row], session_ab: &SessionAb) -> String {
             r.traced_min_ns,
             r.traced_median_ns,
             r.traced_median_ns as f64 / r.median_ns as f64 - 1.0
+        );
+        let _ = write!(
+            s,
+            ", \"profiled_min_ns\": {}, \"profiled_median_ns\": {}, \"profile_overhead\": {:.4}, \"profile_overhead_paired\": {:.4}",
+            r.profiled_min_ns,
+            r.profiled_median_ns,
+            r.profiled_median_ns as f64 / r.traced_median_ns as f64 - 1.0,
+            r.profile_overhead_paired
         );
         let _ = write!(
             s,

@@ -44,7 +44,7 @@ use std::time::Instant;
 
 use rtl_ir::simplify::{SignalMap, Simplifier, SimplifyStats};
 use rtl_ir::{analysis, eval, Netlist, SignalId};
-use rtl_obs::ObsHandle;
+use rtl_obs::{DurHist, ObsHandle, PhaseAcc};
 use rtl_proof::{Checker, Proof};
 
 use crate::compile::compile;
@@ -54,7 +54,10 @@ use crate::final_check::{final_check, FinalOutcome};
 use crate::justify::{pick_structural, Structural, StructuralIndex};
 use crate::predlearn;
 use crate::prooflog::ProofLog;
-use crate::solver::{HdpllResult, LearningMode, Limits, SolverConfig, SolverStats};
+use crate::solver::{
+    flush_search_phases, HdpllResult, LearningMode, Limits, SolverConfig, SolverStats,
+    P_ANALYZE, P_DECIDE, P_FINAL, P_PROOF, P_PROPAGATE, P_RESTART, SEARCH_PHASES,
+};
 use crate::supervise::CancelToken;
 use crate::types::{AbortReason, DecisionStrategy, Dom, RestartMode, VarId};
 
@@ -147,6 +150,11 @@ pub struct Session {
     queries: u32,
     stats: SolverStats,
     obs: ObsHandle,
+    /// One-time construction costs, held until a profiled query can
+    /// flush them into the profile tree ([`Self::setup_reported`]).
+    preproc_ns: u64,
+    compile_ns: u64,
+    setup_reported: bool,
 }
 
 impl Session {
@@ -169,13 +177,17 @@ impl Session {
     /// ([`Session::proof_netlist`]).
     #[must_use]
     pub fn with_preproc(netlist: &Netlist, config: SolverConfig, preproc: bool) -> Session {
+        let preproc_start = Instant::now();
         let pre = preproc.then(|| {
             let mut s = Simplifier::new(netlist.name());
             s.process(netlist);
             s
         });
+        let preproc_ns = u64::try_from(preproc_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let solved = pre.as_ref().map_or(netlist, Simplifier::netlist);
+        let compile_start = Instant::now();
         let compiled = Arc::new(compile(solved));
+        let compile_ns = u64::try_from(compile_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let engine = Engine::new(compiled);
         let proof = if config.proof {
             let p = ProofLog::new_free(solved);
@@ -196,6 +208,9 @@ impl Session {
             queries: 0,
             stats: SolverStats::default(),
             obs: ObsHandle::off(),
+            preproc_ns,
+            compile_ns,
+            setup_reported: false,
         };
         s.engine.schedule_all();
         if matches!(s.engine.propagate(), Propagation::Conflict(_)) {
@@ -352,9 +367,34 @@ impl Session {
     fn solve_inner(&mut self, assumptions: &[Assumption], cancel: Option<CancelToken>) -> Certified {
         let query = self.queries;
         self.queries += 1;
+        // One-time construction costs (preprocessing, compilation, the
+        // static predicate pass) are flushed into the profile tree at
+        // the first profiled query — construction ran before a handle
+        // could be installed.
+        if self.obs.profiling() && !self.setup_reported {
+            self.setup_reported = true;
+            if self.pre.is_some() {
+                self.obs.profile_leaf(
+                    "preproc",
+                    self.preproc_ns,
+                    1,
+                    &DurHist::single_ns(self.preproc_ns),
+                );
+            }
+            self.obs
+                .profile_leaf("compile", self.compile_ns, 1, &DurHist::single_ns(self.compile_ns));
+            let learn_ns =
+                u64::try_from(self.stats.learn_time.as_nanos()).unwrap_or(u64::MAX);
+            if learn_ns > 0 {
+                self.obs
+                    .profile_leaf("predlearn", learn_ns, 1, &DurHist::single_ns(learn_ns));
+            }
+        }
         self.obs
             .session_query_start(query, assumptions.len() as u32);
+        self.obs.profile_enter("query");
         let certified = self.run_query(assumptions, cancel);
+        self.obs.profile_exit();
         let outcome = match &certified.result {
             HdpllResult::Sat(_) => "SAT",
             HdpllResult::Unsat => "UNSAT",
@@ -404,6 +444,8 @@ impl Session {
         self.engine.schedule_all();
         let stats_base = self.engine.stats;
 
+        let mut acc = PhaseAcc::<SEARCH_PHASES>::new(self.obs.profiling());
+        self.obs.profile_enter("search");
         let verdict = {
             let Session {
                 netlist,
@@ -444,41 +486,54 @@ impl Session {
                 DecisionStrategy::Activity => None,
             };
 
-            let handle_conflict =
-                |engine: &mut Engine, proof: &mut Option<ProofLog>, conflict: &ConflictInfo| {
-                    let bool_only = learning == LearningMode::BoolOnly;
-                    match engine.analyze_mode(conflict, bool_only) {
-                        None => false,
-                        Some(mut a) => {
-                            let used = std::mem::take(&mut a.used);
-                            let cid = engine.learn_and_backtrack(a);
-                            if let Some(p) = proof.as_mut() {
-                                p.log_engine_clause(engine, cid, Vec::new(), &used);
-                            }
-                            if engine.should_restart(restart_mode) {
-                                engine.restart();
-                            }
-                            if let Some(dropped) = engine.maybe_reduce(&db_cfg) {
-                                if let Some(p) = proof.as_mut() {
-                                    p.log_deletions(&dropped);
-                                }
-                            }
-                            true
+            let handle_conflict = |engine: &mut Engine,
+                                   proof: &mut Option<ProofLog>,
+                                   conflict: &ConflictInfo,
+                                   acc: &mut PhaseAcc<SEARCH_PHASES>| {
+                let bool_only = learning == LearningMode::BoolOnly;
+                match engine.analyze_mode(conflict, bool_only) {
+                    None => false,
+                    Some(mut a) => {
+                        let used = std::mem::take(&mut a.used);
+                        let cid = engine.learn_and_backtrack(a);
+                        acc.tick(P_ANALYZE);
+                        if let Some(p) = proof.as_mut() {
+                            p.log_engine_clause(engine, cid, Vec::new(), &used);
+                            acc.tick(P_PROOF);
                         }
+                        if engine.should_restart(restart_mode) {
+                            engine.restart();
+                            acc.tick(P_RESTART);
+                        }
+                        if let Some(dropped) = engine.maybe_reduce(&db_cfg) {
+                            if let Some(p) = proof.as_mut() {
+                                p.log_deletions(&dropped);
+                                acc.tick(P_PROOF);
+                            }
+                        }
+                        true
                     }
-                };
+                }
+            };
 
             let search_start = Instant::now();
+            acc.begin();
             let verdict = loop {
                 match engine.propagate() {
                     Propagation::Conflict(conflict) => {
-                        if !handle_conflict(engine, proof, &conflict) {
+                        acc.tick(P_PROPAGATE);
+                        let live = handle_conflict(engine, proof, &conflict, &mut acc);
+                        acc.tick(P_ANALYZE);
+                        if !live {
                             break Verdict::RootUnsat;
                         }
                         continue;
                     }
-                    Propagation::Aborted(reason) => break Verdict::Unknown(reason),
-                    Propagation::Fixpoint => {}
+                    Propagation::Aborted(reason) => {
+                        acc.tick(P_PROPAGATE);
+                        break Verdict::Unknown(reason);
+                    }
+                    Propagation::Fixpoint => acc.tick(P_PROPAGATE),
                 }
                 if let Some(reason) = exceeded(&config.limits, engine, &stats_base, deadline) {
                     break Verdict::Unknown(reason);
@@ -498,6 +553,7 @@ impl Session {
                         },
                         Dom::W(_) => unreachable!("assumptions are validated Boolean"),
                     }
+                    acc.tick(P_DECIDE);
                     continue;
                 }
                 let decision = match &structural_index {
@@ -506,7 +562,10 @@ impl Session {
                         Structural::Done => None,
                         Structural::JConflict(conflict) => {
                             engine.stats.j_conflicts += 1;
-                            if !handle_conflict(engine, proof, &conflict) {
+                            acc.tick(P_DECIDE);
+                            let live = handle_conflict(engine, proof, &conflict, &mut acc);
+                            acc.tick(P_ANALYZE);
+                            if !live {
                                 break Verdict::RootUnsat;
                             }
                             continue;
@@ -515,22 +574,40 @@ impl Session {
                     None => pick_activity(engine, weights_ref, true),
                 };
                 match decision {
-                    Some((var, value)) => engine.decide(var, value),
-                    None => match final_check(engine) {
-                        FinalOutcome::Sat(values) => break Verdict::Sat(values),
-                        FinalOutcome::Conflict(conflict) => {
-                            if !handle_conflict(engine, proof, &conflict) {
-                                break Verdict::RootUnsat;
+                    Some((var, value)) => {
+                        engine.decide(var, value);
+                        acc.tick(P_DECIDE);
+                    }
+                    None => {
+                        acc.tick(P_DECIDE);
+                        match final_check(engine) {
+                            FinalOutcome::Sat(values) => {
+                                acc.tick(P_FINAL);
+                                break Verdict::Sat(values);
+                            }
+                            FinalOutcome::Conflict(conflict) => {
+                                acc.tick(P_FINAL);
+                                let live = handle_conflict(engine, proof, &conflict, &mut acc);
+                                acc.tick(P_ANALYZE);
+                                if !live {
+                                    break Verdict::RootUnsat;
+                                }
+                            }
+                            FinalOutcome::Aborted(reason) => {
+                                acc.tick(P_FINAL);
+                                break Verdict::Unknown(reason);
                             }
                         }
-                        FinalOutcome::Aborted(reason) => break Verdict::Unknown(reason),
-                    },
+                    }
                 }
             };
             self.stats.search_time += search_start.elapsed();
             verdict
         };
+        flush_search_phases(&self.obs, &acc);
+        self.obs.profile_exit();
 
+        self.obs.profile_enter("certify");
         let certified = match verdict {
             Verdict::Sat(values) => {
                 // Read the model over the *original* inputs (inputs are
@@ -576,6 +653,7 @@ impl Session {
                 abort: Some(reason),
             },
         };
+        self.obs.profile_exit();
 
         // Quiescence: only level-0 facts stay live between queries.
         self.engine.backtrack(0);

@@ -15,8 +15,40 @@ use crate::prooflog::ProofLog;
 use crate::supervise::{CancelToken, FaultPlan};
 use crate::types::{AbortReason, ClauseDbConfig, DecisionStrategy, Dom, RestartMode};
 use rtl_interval::Tribool;
-use rtl_obs::ObsHandle;
+use rtl_obs::{DurHist, ObsHandle, PhaseAcc};
 use rtl_proof::Proof;
+
+/// Phase slots of the search loop's [`PhaseAcc`] (DESIGN.md §2.14):
+/// time is accumulated locally at phase boundaries and flushed into
+/// the profiler as leaves under the `search` span once per solve.
+pub(crate) const P_PROPAGATE: usize = 0;
+pub(crate) const P_DECIDE: usize = 1;
+pub(crate) const P_ANALYZE: usize = 2;
+pub(crate) const P_RESTART: usize = 3;
+pub(crate) const P_PROOF: usize = 4;
+pub(crate) const P_FINAL: usize = 5;
+pub(crate) const SEARCH_PHASES: usize = 6;
+const SEARCH_PHASE_NAMES: [&str; SEARCH_PHASES] = [
+    "propagate",
+    "decide",
+    "analyze",
+    "restart",
+    "proof",
+    "final_check",
+];
+
+/// Flushes a search-loop accumulator into the profiler as leaves under
+/// the currently open span (shared by [`Solver`] and
+/// [`crate::session::Session`]).
+pub(crate) fn flush_search_phases(obs: &ObsHandle, acc: &PhaseAcc<SEARCH_PHASES>) {
+    if !acc.is_on() {
+        return;
+    }
+    for (i, name) in SEARCH_PHASE_NAMES.iter().enumerate() {
+        let (ns, count, hist) = acc.phase(i);
+        obs.profile_leaf(name, ns, count, hist);
+    }
+}
 
 /// Resource budget for [`Solver::solve`]; exceeding any bound returns
 /// [`HdpllResult::Unknown`] (the experiment harness's "timeout").
@@ -208,6 +240,11 @@ pub struct Solver {
     faults: FaultPlan,
     obs: ObsHandle,
     last_proof: Option<Proof>,
+    /// Wall time of the one-time compile in [`Solver::new`], reported
+    /// to the profiler on the first solve (the telemetry handle is
+    /// installed only after construction).
+    compile_ns: u64,
+    compile_reported: bool,
 }
 
 impl Solver {
@@ -215,15 +252,20 @@ impl Solver {
     /// configuration.
     #[must_use]
     pub fn new(netlist: &Netlist, config: SolverConfig) -> Self {
+        let compile_start = Instant::now();
+        let compiled = std::sync::Arc::new(compile(netlist));
+        let compile_ns = u64::try_from(compile_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Self {
             netlist: netlist.clone(),
-            compiled: std::sync::Arc::new(compile(netlist)),
+            compiled,
             config,
             stats: SolverStats::default(),
             learn_report: None,
             faults: FaultPlan::default(),
             obs: ObsHandle::off(),
             last_proof: None,
+            compile_ns,
+            compile_reported: false,
         }
     }
 
@@ -334,6 +376,12 @@ impl Solver {
         );
         engine.set_faults(self.faults);
         engine.set_obs(self.obs.clone());
+        let prof = self.obs.profiling();
+        if prof && !self.compile_reported {
+            self.compile_reported = true;
+            self.obs
+                .profile_leaf("compile", self.compile_ns, 1, &DurHist::single_ns(self.compile_ns));
+        }
 
         // Assert the proposition and reach the initial fixpoint.
         if !engine.assert_external(self.compiled.var_of(constraint), Dom::B(Tribool::True)) {
@@ -359,7 +407,9 @@ impl Solver {
         // Static predicate learning (§3), timed separately (Table 1).
         let mut weights = LearnWeights::new(engine.doms.len());
         if let Some(cfg) = self.config.learn {
+            self.obs.profile_enter("predlearn");
             let report = predlearn::run(&mut engine, &self.netlist, &cfg, &mut weights, &mut proof);
+            self.obs.profile_exit();
             self.stats.learn_time = report.time;
             let unsat = report.proved_unsat;
             self.learn_report = Some(report);
@@ -405,7 +455,8 @@ impl Solver {
         let corrupt_deletion = self.faults.corrupt_deletion;
         let handle_conflict = |engine: &mut Engine,
                                proof: &mut Option<ProofLog>,
-                               conflict: &crate::engine::ConflictInfo|
+                               conflict: &crate::engine::ConflictInfo,
+                               acc: &mut PhaseAcc<SEARCH_PHASES>|
          -> bool {
             match learning {
                 LearningMode::Hybrid | LearningMode::BoolOnly => {
@@ -415,14 +466,17 @@ impl Solver {
                         Some(mut a) => {
                             let used = std::mem::take(&mut a.used);
                             let cid = engine.learn_and_backtrack(a);
+                            acc.tick(P_ANALYZE);
                             if let Some(p) = proof.as_mut() {
                                 p.log_engine_clause(engine, cid, Vec::new(), &used);
+                                acc.tick(P_PROOF);
                             }
                             // Scheduled restart, then DB housekeeping
                             // (post-restart the trail is short, so few
                             // lemmas are locked as reasons).
                             if engine.should_restart(restart_mode) {
                                 engine.restart();
+                                acc.tick(P_RESTART);
                             }
                             if let Some(dropped) = engine.maybe_reduce(&db_cfg) {
                                 if let Some(p) = proof.as_mut() {
@@ -432,6 +486,7 @@ impl Solver {
                                         p.log_bogus_deletion();
                                     }
                                     p.log_deletions(&dropped);
+                                    acc.tick(P_PROOF);
                                 }
                             }
                             true
@@ -444,26 +499,34 @@ impl Solver {
                     // the path lemmas speak about the stack as it stands.
                     if let Some(p) = proof.as_mut() {
                         p.log_path(&engine.decision_stack());
+                        acc.tick(P_PROOF);
                     }
                     engine.flip_chronological()
                 }
             }
         };
+        self.obs.profile_enter("search");
+        let mut acc = PhaseAcc::<SEARCH_PHASES>::new(prof);
         let search_start = Instant::now();
+        acc.begin();
         let mut abort = None;
         let result = loop {
             match engine.propagate() {
                 Propagation::Conflict(conflict) => {
-                    if !handle_conflict(&mut engine, &mut proof, &conflict) {
+                    acc.tick(P_PROPAGATE);
+                    let live = handle_conflict(&mut engine, &mut proof, &conflict, &mut acc);
+                    acc.tick(P_ANALYZE);
+                    if !live {
                         break HdpllResult::Unsat;
                     }
                     continue;
                 }
                 Propagation::Aborted(reason) => {
+                    acc.tick(P_PROPAGATE);
                     abort = Some(reason);
                     break HdpllResult::Unknown;
                 }
-                Propagation::Fixpoint => {}
+                Propagation::Fixpoint => acc.tick(P_PROPAGATE),
             }
             if let Some(reason) = self.exceeded(&engine, deadline) {
                 abort = Some(reason);
@@ -475,7 +538,10 @@ impl Solver {
                     Structural::Done => None,
                     Structural::JConflict(conflict) => {
                         engine.stats.j_conflicts += 1;
-                        if !handle_conflict(&mut engine, &mut proof, &conflict) {
+                        acc.tick(P_DECIDE);
+                        let live = handle_conflict(&mut engine, &mut proof, &conflict, &mut acc);
+                        acc.tick(P_ANALYZE);
+                        if !live {
                             break HdpllResult::Unsat;
                         }
                         continue;
@@ -484,21 +550,31 @@ impl Solver {
                 None => pick_activity(&engine, weights_ref, true),
             };
             match decision {
-                Some((var, value)) => engine.decide(var, value),
+                Some((var, value)) => {
+                    engine.decide(var, value);
+                    acc.tick(P_DECIDE);
+                }
                 None => {
+                    acc.tick(P_DECIDE);
                     // All decision variables assigned: arithmetic check of
                     // the solution box (§2.4).
                     match final_check(&mut engine) {
                         FinalOutcome::Sat(values) => {
+                            acc.tick(P_FINAL);
                             let model = self.input_model(&values);
                             break HdpllResult::Sat(model);
                         }
                         FinalOutcome::Conflict(conflict) => {
-                            if !handle_conflict(&mut engine, &mut proof, &conflict) {
+                            acc.tick(P_FINAL);
+                            let live =
+                                handle_conflict(&mut engine, &mut proof, &conflict, &mut acc);
+                            acc.tick(P_ANALYZE);
+                            if !live {
                                 break HdpllResult::Unsat;
                             }
                         }
                         FinalOutcome::Aborted(reason) => {
+                            acc.tick(P_FINAL);
                             abort = Some(reason);
                             break HdpllResult::Unknown;
                         }
@@ -507,6 +583,8 @@ impl Solver {
             }
         };
         self.stats.search_time = search_start.elapsed();
+        flush_search_phases(&self.obs, &acc);
+        self.obs.profile_exit();
         self.finish_stats(&engine);
         self.stats.abort = abort;
         if result.is_unsat() {

@@ -587,7 +587,9 @@ impl Supervisor {
         }
         let obs = self.obs.clone();
         obs.stage_start("preproc");
+        obs.profile_enter("preproc");
         let pre = simplify(netlist, &[goal]);
+        obs.profile_exit();
         let stats = pre.stats;
         obs.record_counter("preproc_signals_removed", stats.removed() as u64);
         obs.record_counter("preproc_subterms_shared", stats.shares);
@@ -672,7 +674,13 @@ impl Supervisor {
             let stage = &mut self.stages[i].0;
             let name = stage.name().to_string();
             obs.stage_start(&name);
+            // The stage span wraps the (possibly panicking) run; unwind
+            // back to this depth afterwards so a panic inside the stage
+            // cannot leave the profiler's span stack unbalanced.
+            let span_depth = obs.profile_depth();
+            obs.profile_enter(&name);
             let run = catch_unwind(AssertUnwindSafe(|| stage.run(netlist, goal, slice, &cancel)));
+            obs.profile_unwind(span_depth);
             match run {
                 Err(payload) => push_report(&obs, &mut reports, StageReport {
                     stage: name,
@@ -692,6 +700,7 @@ impl Supervisor {
                     // the *original* — the verdict then carries the
                     // translated model, and a simplifier bug surfaces
                     // as a certification failure, never a wrong answer.
+                    obs.profile_enter("certify");
                     let (model, failure) = match original {
                         Some((orig, orig_goal, map)) => {
                             let translated = map.translate_model(orig, &model);
@@ -703,6 +712,7 @@ impl Supervisor {
                             (model, failure)
                         }
                     };
+                    obs.profile_exit();
                     match failure {
                         None => {
                             push_report(&obs, &mut reports, StageReport {
@@ -739,7 +749,13 @@ impl Supervisor {
                     // extra solve. A *complete* proof that fails the
                     // check discredits the stage outright — it claimed a
                     // full derivation and the derivation is wrong.
-                    match certify_proof(netlist, goal, proof) {
+                    let check = {
+                        obs.profile_enter("certify");
+                        let check = certify_proof(netlist, goal, proof);
+                        obs.profile_exit();
+                        check
+                    };
+                    match check {
                         ProofCheck::Valid(checked) => {
                             push_report(&obs, &mut reports, StageReport {
                                 stage: name.clone(),
@@ -766,7 +782,13 @@ impl Supervisor {
                             stats,
                         }),
                         ProofCheck::Absent => {
-                            match self.cross_check_unsat(netlist, goal, &cancel) {
+                            let cross = {
+                                obs.profile_enter("certify");
+                                let cross = self.cross_check_unsat(netlist, goal, &cancel);
+                                obs.profile_exit();
+                                cross
+                            };
+                            match cross {
                                 UnsatCheck::Refuted(why) => push_report(&obs, &mut reports, StageReport {
                                     stage: name,
                                     outcome: StageOutcome::CertFailed {

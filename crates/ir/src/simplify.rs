@@ -53,6 +53,10 @@ pub struct SimplifyStats {
     pub coi_dropped: u64,
     /// `Ite` nodes collapsed under a known select or equal branches.
     pub ite_collapsed: u64,
+    /// Wall-clock microseconds spent rewriting (cumulative across
+    /// [`Simplifier::process`] calls). Observability only: it feeds the
+    /// phase profiler and must never reach a deterministic surface.
+    pub time_us: u64,
 }
 
 impl SimplifyStats {
@@ -158,8 +162,13 @@ pub fn simplify(netlist: &Netlist, roots: &[SignalId]) -> SimplifyResult {
     s.process(netlist);
     let mut result = s.finish(netlist);
     // Prune to the cone of the mapped roots, composing the maps.
+    let prune_start = std::time::Instant::now();
     let new_roots: Vec<SignalId> = roots.iter().filter_map(|&r| result.map.get(r)).collect();
     let (pruned, prune_map, dropped) = prune_cone(&result.netlist, &new_roots);
+    result.stats.time_us = result
+        .stats
+        .time_us
+        .saturating_add(u64::try_from(prune_start.elapsed().as_micros()).unwrap_or(u64::MAX));
     if dropped > 0 {
         result.map = SignalMap {
             map: result
@@ -354,12 +363,17 @@ impl Simplifier {
     /// earlier `process` argument).
     pub fn process(&mut self, netlist: &Netlist) {
         debug_assert!(netlist.len() >= self.map.len(), "netlist must grow append-only");
+        let start = std::time::Instant::now();
         for id in netlist.signal_ids().skip(self.map.len()) {
             let sig = netlist.signal(id);
             let new_id = self.emit(sig.ty(), sig.op(), sig.name());
             self.map.push(new_id);
         }
         self.forward_outputs(netlist);
+        self.stats.time_us = self
+            .stats
+            .time_us
+            .saturating_add(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
     }
 
     /// Forwards output declarations for the processed prefix.

@@ -22,6 +22,8 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod prom;
 pub mod report;
 
 use std::cell::RefCell;
@@ -29,6 +31,10 @@ use std::rc::Rc;
 
 pub use event::{validate_jsonl, Event, TraceBuf, TraceSummary, TRACE_FORMAT};
 pub use metrics::{Hist, HistKind, Metrics, MetricsSnapshot, HIST_BOUNDS};
+pub use profile::{
+    DurHist, PhaseAcc, ProfRow, ProfileSnapshot, Profiler, RollingHist, DUR_BOUNDS_US, DUR_BUCKETS,
+};
+pub use prom::{validate_exposition, Prom};
 pub use report::{load_dir, parse_record, render_csv, render_markdown, RunRecord, STATS_FORMAT};
 
 /// Configuration for an armed telemetry sink.
@@ -40,6 +46,11 @@ pub struct ObsConfig {
     /// Emit one `PropBatch` event (and sample the worklist depths) every
     /// this many propagation steps.
     pub batch_period: u32,
+    /// Arm the phase-attribution profiler ([`profile`]). Off by
+    /// default: profile data is wall-clock-derived, so only explicitly
+    /// profiled runs carry it (the trace and metrics streams stay
+    /// byte-identical either way).
+    pub profile: bool,
 }
 
 impl Default for ObsConfig {
@@ -47,15 +58,29 @@ impl Default for ObsConfig {
         ObsConfig {
             trace_capacity: 1 << 20,
             batch_period: 1024,
+            profile: false,
         }
     }
 }
 
-/// The telemetry sink: trace buffer plus metrics registry.
+impl ObsConfig {
+    /// The default configuration with the phase profiler armed.
+    #[must_use]
+    pub fn profiled() -> Self {
+        ObsConfig {
+            profile: true,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// The telemetry sink: trace buffer plus metrics registry, plus (when
+/// configured) the phase-attribution profiler.
 #[derive(Debug)]
 pub struct Obs {
     trace: TraceBuf,
     metrics: Metrics,
+    profiler: Option<Profiler>,
     batch_period: u32,
     batch_countdown: u32,
 }
@@ -66,6 +91,7 @@ impl Obs {
         Obs {
             trace: TraceBuf::new(config.trace_capacity),
             metrics: Metrics::default(),
+            profiler: config.profile.then(Profiler::new),
             batch_period: period,
             batch_countdown: period,
         }
@@ -299,6 +325,74 @@ impl ObsHandle {
         }
     }
 
+    /// Whether the phase-attribution profiler is armed. Hot loops read
+    /// this once and accumulate locally in a
+    /// [`PhaseAcc`](profile::PhaseAcc) rather than calling into the
+    /// sink per iteration.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|obs| obs.borrow().profiler.is_some())
+    }
+
+    /// Opens a profiler span named `name` (no-op unless profiling).
+    pub fn profile_enter(&self, name: &str) {
+        if let Some(obs) = &self.0 {
+            if let Some(p) = &mut obs.borrow_mut().profiler {
+                p.enter(name);
+            }
+        }
+    }
+
+    /// Closes the innermost profiler span (no-op unless profiling).
+    pub fn profile_exit(&self) {
+        if let Some(obs) = &self.0 {
+            if let Some(p) = &mut obs.borrow_mut().profiler {
+                p.exit();
+            }
+        }
+    }
+
+    /// The profiler's current span-stack depth (0 when not profiling);
+    /// pair with [`ObsHandle::profile_unwind`] around code that may
+    /// panic with spans open.
+    #[must_use]
+    pub fn profile_depth(&self) -> usize {
+        self.0.as_ref().map_or(0, |obs| {
+            obs.borrow().profiler.as_ref().map_or(0, Profiler::depth)
+        })
+    }
+
+    /// Exits profiler spans until the stack is back to `depth` frames.
+    pub fn profile_unwind(&self, depth: usize) {
+        if let Some(obs) = &self.0 {
+            if let Some(p) = &mut obs.borrow_mut().profiler {
+                p.unwind(depth);
+            }
+        }
+    }
+
+    /// Flushes locally-accumulated phase time into the profiler as a
+    /// leaf under the currently open span (see
+    /// [`Profiler::leaf`]; no-op unless profiling).
+    pub fn profile_leaf(&self, name: &str, ns: u64, count: u64, hist: &DurHist) {
+        if let Some(obs) = &self.0 {
+            if let Some(p) = &mut obs.borrow_mut().profiler {
+                p.leaf(name, ns, count, hist);
+            }
+        }
+    }
+
+    /// A snapshot of the profiler's span tree (`None` when off or not
+    /// profiling).
+    #[must_use]
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        self.0
+            .as_ref()
+            .and_then(|obs| obs.borrow().profiler.as_ref().map(Profiler::snapshot))
+    }
+
     /// The trace as JSONL (`None` when off).
     #[must_use]
     pub fn export_jsonl(&self) -> Option<String> {
@@ -344,6 +438,7 @@ mod tests {
         let h = ObsHandle::armed(ObsConfig {
             trace_capacity: 64,
             batch_period: 2,
+            ..ObsConfig::default()
         });
         let clone = h.clone();
         h.decision(3, false, 1);
@@ -375,6 +470,29 @@ mod tests {
         let snap = h.snapshot().unwrap();
         assert_eq!(snap.counter("decisions"), Some(10));
         assert_eq!(snap.peak("max_cqueue"), Some(9));
+    }
+
+    #[test]
+    fn profiler_arms_only_on_request_and_snapshots_through_handle() {
+        // Default config: armed telemetry, but no profiler.
+        let h = ObsHandle::armed(ObsConfig::default());
+        assert!(!h.profiling());
+        h.profile_enter("stage");
+        h.profile_exit();
+        assert_eq!(h.profile_snapshot(), None);
+        // Profiled config: spans and leaves land in the snapshot.
+        let h = ObsHandle::armed(ObsConfig::profiled());
+        assert!(h.profiling());
+        let depth = h.profile_depth();
+        h.profile_enter("stage");
+        h.profile_enter("search");
+        h.profile_leaf("propagate", 2000, 3, &DurHist::single_ns(700));
+        h.profile_unwind(depth);
+        assert_eq!(h.profile_depth(), 0);
+        let snap = h.profile_snapshot().unwrap();
+        let paths: Vec<&str> = snap.rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["stage", "stage;search", "stage;search;propagate"]);
+        assert_eq!(snap.rows[2].calls, 3);
     }
 
     #[test]

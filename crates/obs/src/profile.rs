@@ -1,0 +1,681 @@
+//! Phase-attribution profiling (DESIGN.md §2.14): a lightweight
+//! hierarchical span profiler plus the log-bucketed duration histograms
+//! shared with the serve-loop latency metrics.
+//!
+//! The profiler answers "where did the wall time go?" for a single
+//! solve: named phases (preproc, compile, predlearn, propagate, decide,
+//! analyze/learn, restarts, FM final check, proof logging,
+//! certification) form an explicit enter/exit stack, and every span
+//! duration lands in a log-bucketed histogram. Two design rules keep it
+//! out of the determinism story:
+//!
+//! - **Clock trust boundary**: the monotonic clock is read, never
+//!   *acted on*. No search decision, event, or counter depends on a
+//!   profiler reading; wall-clock numbers flow one way, into the
+//!   `profile` section of stats-json and the folded-stack export.
+//! - **No new trace events**: hot phases accumulate into per-phase
+//!   nanosecond buckets ([`PhaseAcc`]) owned by the solver loop itself
+//!   and are flushed once per solve, so the counter-stamped event
+//!   stream stays byte-identical whether the profiler is armed or not.
+//!
+//! [`ProfileSnapshot::strip_wall_clock`] is what the determinism tests
+//! compare: phase paths and call counts are deterministic, durations
+//! are not.
+
+use std::time::Instant;
+
+/// Upper bounds of the log-bucketed duration histogram, in
+/// microseconds (powers of two). Bucket `i` counts durations
+/// `<= DUR_BOUNDS_US[i]` (and greater than the previous bound); one
+/// extra overflow bucket counts everything beyond the last bound
+/// (~8.4 s).
+pub const DUR_BOUNDS_US: [u64; 24] = [
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1024,
+    2048,
+    4096,
+    8192,
+    16384,
+    32768,
+    65536,
+    131_072,
+    262_144,
+    524_288,
+    1_048_576,
+    2_097_152,
+    4_194_304,
+    8_388_608,
+];
+
+/// Number of buckets in a [`DurHist`] (the bounds plus overflow).
+pub const DUR_BUCKETS: usize = DUR_BOUNDS_US.len() + 1;
+
+/// A log-bucketed duration histogram over [`DUR_BOUNDS_US`], with an
+/// exact total count and microsecond sum for mean/rate derivation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurHist {
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub counts: [u64; DUR_BUCKETS],
+    /// Total recorded durations.
+    pub total: u64,
+    /// Sum of recorded durations, microseconds (exact, not bucketed).
+    pub sum_us: u64,
+}
+
+impl Default for DurHist {
+    fn default() -> Self {
+        DurHist {
+            counts: [0; DUR_BUCKETS],
+            total: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+/// Bucket index for a duration of `us` microseconds: `ceil(log2(us))`
+/// clamped into the bucket range (bucket 0 is `<= 1 µs`).
+#[inline]
+#[must_use]
+pub fn bucket_of_us(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        let b = (u64::BITS - (us - 1).leading_zeros()) as usize;
+        b.min(DUR_BUCKETS - 1)
+    }
+}
+
+impl DurHist {
+    /// Records one duration of `us` microseconds.
+    #[inline]
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_of_us(us)] += 1;
+        self.total += 1;
+        self.sum_us += us;
+    }
+
+    /// Records one duration of `ns` nanoseconds (bucketed at
+    /// microsecond resolution; sub-microsecond spans land in bucket 0).
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.record_us(ns / 1000);
+    }
+
+    /// A histogram holding a single `ns`-nanosecond observation.
+    #[must_use]
+    pub fn single_ns(ns: u64) -> Self {
+        let mut h = DurHist::default();
+        h.record_ns(ns);
+        h
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &DurHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in microseconds: the
+    /// upper bound of the bucket holding the rank-`ceil(q·total)`
+    /// observation. The estimate is exact to within one log bucket
+    /// (i.e. at most 2× the true value, for in-range durations); the
+    /// overflow bucket reports twice the last bound. Returns 0 for an
+    /// empty histogram.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * total), at least rank 1.
+        let rank = {
+            let r = (q * self.total as f64).ceil() as u64;
+            r.clamp(1, self.total)
+        };
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return DUR_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(DUR_BOUNDS_US[DUR_BOUNDS_US.len() - 1] * 2);
+            }
+        }
+        DUR_BOUNDS_US[DUR_BOUNDS_US.len() - 1] * 2
+    }
+}
+
+/// A rolling window over [`DurHist`]s: observations land in the active
+/// window *and* a cumulative histogram; [`RollingHist::rotate`]
+/// retires the oldest window. Quantiles are estimated over the merged
+/// recent windows, so a latency spike ages out after `windows`
+/// rotations, while the cumulative histogram (for e.g. a Prometheus
+/// exposition, whose counters must be monotonic) never forgets.
+#[derive(Clone, Debug)]
+pub struct RollingHist {
+    windows: Vec<DurHist>,
+    active: usize,
+    cumulative: DurHist,
+}
+
+impl RollingHist {
+    /// A rolling histogram over `windows` windows (at least one).
+    #[must_use]
+    pub fn new(windows: usize) -> Self {
+        RollingHist {
+            windows: vec![DurHist::default(); windows.max(1)],
+            active: 0,
+            cumulative: DurHist::default(),
+        }
+    }
+
+    /// Records one duration of `us` microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.windows[self.active].record_us(us);
+        self.cumulative.record_us(us);
+    }
+
+    /// Advances to the next window, clearing what it held (the oldest
+    /// observations age out of the rolling view).
+    pub fn rotate(&mut self) {
+        self.active = (self.active + 1) % self.windows.len();
+        self.windows[self.active] = DurHist::default();
+    }
+
+    /// The merged recent windows (the rolling view).
+    #[must_use]
+    pub fn rolling(&self) -> DurHist {
+        let mut m = DurHist::default();
+        for w in &self.windows {
+            m.merge(w);
+        }
+        m
+    }
+
+    /// The cumulative, never-rotated histogram.
+    #[must_use]
+    pub fn cumulative(&self) -> &DurHist {
+        &self.cumulative
+    }
+
+    /// Quantile estimate over the rolling view (see
+    /// [`DurHist::quantile_us`]).
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.rolling().quantile_us(q)
+    }
+}
+
+/// One node of the profiler's span tree.
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    total_ns: u64,
+    hist: DurHist,
+}
+
+/// The hierarchical span profiler: an explicit enter/exit stack over a
+/// tree of named phases, monotonic-clock timed. See the [module
+/// documentation](self) for the design rules.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<(usize, Instant)>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    fn find_or_create(&mut self, name: &str) -> usize {
+        let siblings = match self.stack.last() {
+            Some(&(parent, _)) => &self.nodes[parent].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings
+            .iter()
+            .find(|&&idx| self.nodes[idx].name == name)
+        {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            children: Vec::new(),
+            calls: 0,
+            total_ns: 0,
+            hist: DurHist::default(),
+        });
+        match self.stack.last() {
+            Some(&(parent, _)) => self.nodes[parent].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    /// Opens a span named `name` under the currently open span (or at
+    /// the root). Re-entering a name under the same parent accumulates
+    /// into the same node.
+    pub fn enter(&mut self, name: &str) {
+        let idx = self.find_or_create(name);
+        self.stack.push((idx, Instant::now()));
+    }
+
+    /// Closes the innermost open span, attributing its wall time. A
+    /// stray exit (empty stack) is ignored.
+    pub fn exit(&mut self) {
+        if let Some((idx, start)) = self.stack.pop() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let node = &mut self.nodes[idx];
+            node.calls += 1;
+            node.total_ns += ns;
+            node.hist.record_ns(ns);
+        }
+    }
+
+    /// Current stack depth; pair with [`Profiler::unwind`] to restore
+    /// balance around code that may panic with spans open.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Exits spans until the stack is back to `depth` frames.
+    pub fn unwind(&mut self, depth: usize) {
+        while self.stack.len() > depth {
+            self.exit();
+        }
+    }
+
+    /// Attributes pre-accumulated time to a leaf phase under the
+    /// currently open span: `ns` nanoseconds over `count` spans whose
+    /// duration distribution is `hist`. This is how the solver's hot
+    /// loop reports — it accumulates locally (no per-iteration calls
+    /// into the sink) and flushes once. No-op when `count` and `ns`
+    /// are both zero.
+    pub fn leaf(&mut self, name: &str, ns: u64, count: u64, hist: &DurHist) {
+        if ns == 0 && count == 0 {
+            return;
+        }
+        let idx = self.find_or_create(name);
+        let node = &mut self.nodes[idx];
+        node.calls += count;
+        node.total_ns += ns;
+        node.hist.merge(hist);
+    }
+
+    /// A deterministic snapshot of the span tree: rows in depth-first,
+    /// first-entered order (identical solves enter phases in identical
+    /// order, so the row order is itself deterministic).
+    #[must_use]
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let mut rows = Vec::with_capacity(self.nodes.len());
+        for &root in &self.roots {
+            self.collect(root, "", &mut rows);
+        }
+        ProfileSnapshot { rows }
+    }
+
+    fn collect(&self, idx: usize, prefix: &str, rows: &mut Vec<ProfRow>) {
+        let node = &self.nodes[idx];
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        let child_ns: u64 = node
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].total_ns)
+            .sum();
+        rows.push(ProfRow {
+            path: path.clone(),
+            calls: node.calls,
+            total_us: node.total_ns / 1000,
+            self_us: node.total_ns.saturating_sub(child_ns) / 1000,
+            hist: node.hist,
+        });
+        for &c in &node.children {
+            self.collect(c, &path, rows);
+        }
+    }
+}
+
+/// One row of a [`ProfileSnapshot`]: a phase identified by its
+/// `;`-joined path from the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfRow {
+    /// Root-to-phase path, `;`-separated (flamegraph folded syntax).
+    pub path: String,
+    /// Number of spans (or accumulated iterations) attributed here.
+    pub calls: u64,
+    /// Total wall time including children, microseconds.
+    pub total_us: u64,
+    /// Wall time excluding children, microseconds.
+    pub self_us: u64,
+    /// Span-duration distribution.
+    pub hist: DurHist,
+}
+
+/// A deterministic-ordered export of the profiler's span tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Rows in depth-first, first-entered order.
+    pub rows: Vec<ProfRow>,
+}
+
+impl ProfileSnapshot {
+    /// Flamegraph-compatible folded-stack lines: one
+    /// `path;to;phase <self-microseconds>` line per phase, in snapshot
+    /// order. Every phase appears (even at 0 µs) so the *set* of lines
+    /// is deterministic across identical solves.
+    #[must_use]
+    pub fn folded(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for row in &self.rows {
+            let _ = writeln!(out, "{} {}", row.path, row.self_us);
+        }
+        out
+    }
+
+    /// The snapshot with every wall-clock-derived field zeroed (total,
+    /// self, histogram), keeping phase paths and call counts — the
+    /// comparable residue for the determinism tests.
+    #[must_use]
+    pub fn strip_wall_clock(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| ProfRow {
+                    path: r.path.clone(),
+                    calls: r.calls,
+                    total_us: 0,
+                    self_us: 0,
+                    hist: DurHist::default(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-phase time accumulation for a hot loop: `N` fixed phase slots,
+/// one [`Instant`] read per phase *transition* (not per enter/exit
+/// pair), plain-`u64` accumulation, no shared-sink traffic. The
+/// owning loop calls [`PhaseAcc::tick`]`(phase)` at each phase
+/// boundary — the elapsed time since the previous boundary is
+/// attributed to `phase` — and flushes the totals into the profiler as
+/// [leaves](Profiler::leaf) once the loop ends. When built disarmed
+/// every call is a single predictable branch.
+#[derive(Clone, Debug)]
+pub struct PhaseAcc<const N: usize> {
+    on: bool,
+    last: Option<Instant>,
+    ns: [u64; N],
+    count: [u64; N],
+    hist: [DurHist; N],
+}
+
+impl<const N: usize> PhaseAcc<N> {
+    /// A new accumulator; when `on` is false every method is inert.
+    #[must_use]
+    pub fn new(on: bool) -> Self {
+        PhaseAcc {
+            on,
+            last: None,
+            ns: [0; N],
+            count: [0; N],
+            hist: [DurHist::default(); N],
+        }
+    }
+
+    /// Whether the accumulator is armed.
+    #[inline]
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Marks the start of the first phase (or re-anchors the clock
+    /// after untimed work that should not be attributed anywhere).
+    #[inline]
+    pub fn begin(&mut self) {
+        if self.on {
+            self.last = Some(Instant::now());
+        }
+    }
+
+    /// Phase boundary: attributes the time since the previous boundary
+    /// to `phase` and anchors the next span at now.
+    #[inline]
+    pub fn tick(&mut self, phase: usize) {
+        if self.on {
+            let now = Instant::now();
+            if let Some(last) = self.last {
+                let ns = u64::try_from(now.duration_since(last).as_nanos()).unwrap_or(u64::MAX);
+                self.ns[phase] += ns;
+                self.count[phase] += 1;
+                self.hist[phase].record_ns(ns);
+            }
+            self.last = Some(now);
+        }
+    }
+
+    /// The accumulated `(nanoseconds, span count, histogram)` of one
+    /// phase slot.
+    #[must_use]
+    pub fn phase(&self, i: usize) -> (u64, u64, &DurHist) {
+        (self.ns[i], self.count[i], &self.hist[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        assert_eq!(bucket_of_us(0), 0);
+        assert_eq!(bucket_of_us(1), 0);
+        assert_eq!(bucket_of_us(2), 1);
+        assert_eq!(bucket_of_us(3), 2);
+        assert_eq!(bucket_of_us(4), 2);
+        assert_eq!(bucket_of_us(5), 3);
+        assert_eq!(bucket_of_us(1024), 10);
+        assert_eq!(bucket_of_us(1025), 11);
+        // Anything beyond the last bound lands in the overflow bucket.
+        assert_eq!(bucket_of_us(u64::MAX), DUR_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_on_known_distributions_are_within_bucket_error() {
+        // Uniform 1..=1000 µs: true p50 = 500, p99 = 990. A log-bucket
+        // estimate returns the upper bound of the covering bucket, so
+        // it is within a factor of two above the true value.
+        let mut h = DurHist::default();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        assert!((500..=1024).contains(&p50), "p50 estimate {p50}");
+        assert!((990..=2048).contains(&p99), "p99 estimate {p99}");
+        // Point mass at 300 µs: every quantile is the 512 bucket bound.
+        let mut point = DurHist::default();
+        for _ in 0..100 {
+            point.record_us(300);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(point.quantile_us(q), 512);
+        }
+        // Bimodal: 90 fast (≤1 µs), 10 slow (~1 ms). p50 sits in the
+        // fast mode, p99 in the slow mode.
+        let mut bi = DurHist::default();
+        for _ in 0..90 {
+            bi.record_us(1);
+        }
+        for _ in 0..10 {
+            bi.record_us(1000);
+        }
+        assert_eq!(bi.quantile_us(0.50), 1);
+        assert_eq!(bi.quantile_us(0.99), 1024);
+        // Empty histogram: all-zero quantiles.
+        assert_eq!(DurHist::default().quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_rank_uses_ceiling() {
+        // Two observations in distinct buckets: p50 must pick the
+        // first (rank ceil(0.5·2) = 1), p51 the second.
+        let mut h = DurHist::default();
+        h.record_us(1);
+        h.record_us(100);
+        assert_eq!(h.quantile_us(0.50), 1);
+        assert_eq!(h.quantile_us(0.51), 128);
+    }
+
+    #[test]
+    fn rolling_window_ages_out_spikes() {
+        let mut r = RollingHist::new(3);
+        for _ in 0..100 {
+            r.record_us(10_000); // a slow epoch
+        }
+        r.rotate();
+        for _ in 0..100 {
+            r.record_us(10);
+        }
+        // The spike is still inside the 3-window rolling view…
+        assert!(r.quantile_us(0.99) >= 10_000);
+        r.rotate();
+        r.rotate();
+        for _ in 0..100 {
+            r.record_us(10);
+        }
+        // …but ages out after enough rotations.
+        assert!(r.quantile_us(0.99) <= 16);
+        // The cumulative histogram never forgets.
+        assert_eq!(r.cumulative().total, 300);
+    }
+
+    #[test]
+    fn profiler_builds_a_tree_and_folds_it() {
+        let mut p = Profiler::new();
+        p.enter("stage");
+        p.enter("search");
+        p.leaf("propagate", 3_000_000, 10, &DurHist::single_ns(300_000));
+        p.leaf("decide", 1_000_000, 9, &DurHist::single_ns(111_111));
+        p.exit(); // search
+        p.exit(); // stage
+        let snap = p.snapshot();
+        let paths: Vec<&str> = snap.rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "stage",
+                "stage;search",
+                "stage;search;propagate",
+                "stage;search;decide"
+            ]
+        );
+        // The search span's self time excludes its leaves (saturating:
+        // these synthetic leaves exceed the span's tiny wall time).
+        let search = &snap.rows[1];
+        assert_eq!(search.self_us, 0);
+        assert_eq!(snap.rows[2].total_us, 3000);
+        assert_eq!(snap.rows[2].calls, 10);
+        let folded = snap.folded();
+        for line in folded.lines() {
+            let (path, us) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(!path.is_empty());
+            us.parse::<u64>().expect("numeric self time");
+        }
+        assert!(folded.contains("stage;search;propagate "));
+    }
+
+    #[test]
+    fn reentered_spans_accumulate_into_one_node() {
+        let mut p = Profiler::new();
+        for _ in 0..3 {
+            p.enter("stage");
+            p.enter("search");
+            p.exit();
+            p.exit();
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap.rows.len(), 2);
+        assert_eq!(snap.rows[0].calls, 3);
+        assert_eq!(snap.rows[1].calls, 3);
+    }
+
+    #[test]
+    fn unwind_restores_balance_after_abandoned_spans() {
+        let mut p = Profiler::new();
+        let depth = p.depth();
+        p.enter("stage");
+        p.enter("search");
+        // A panic unwound past the exits; the supervisor truncates.
+        p.unwind(depth);
+        assert_eq!(p.depth(), 0);
+        // Both abandoned spans still got their time attributed.
+        let snap = p.snapshot();
+        assert_eq!(snap.rows.len(), 2);
+        assert!(snap.rows.iter().all(|r| r.calls == 1));
+    }
+
+    #[test]
+    fn strip_wall_clock_keeps_paths_and_calls_only() {
+        let mut p = Profiler::new();
+        p.enter("a");
+        p.leaf("b", 5_000, 2, &DurHist::single_ns(2_500));
+        p.exit();
+        let s = p.snapshot().strip_wall_clock();
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[1].path, "a;b");
+        assert_eq!(s.rows[1].calls, 2);
+        assert!(s.rows.iter().all(|r| r.total_us == 0
+            && r.self_us == 0
+            && r.hist == DurHist::default()));
+    }
+
+    #[test]
+    fn phase_acc_attributes_transitions() {
+        const P_A: usize = 0;
+        const P_B: usize = 1;
+        let mut acc = PhaseAcc::<2>::new(true);
+        acc.begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        acc.tick(P_A);
+        acc.tick(P_B);
+        let (ns_a, n_a, h_a) = acc.phase(P_A);
+        assert!(ns_a >= 2_000_000, "phase A got {ns_a} ns");
+        assert_eq!(n_a, 1);
+        assert_eq!(h_a.total, 1);
+        let (_, n_b, _) = acc.phase(P_B);
+        assert_eq!(n_b, 1);
+        // Disarmed: fully inert.
+        let mut off = PhaseAcc::<2>::new(false);
+        off.begin();
+        off.tick(P_A);
+        assert_eq!(off.phase(P_A), (0, 0, &DurHist::default()));
+    }
+}

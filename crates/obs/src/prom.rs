@@ -1,0 +1,188 @@
+//! A hand-rolled Prometheus text-format exposition writer (the
+//! live-metrics sibling of the [`crate::json`] writer — same
+//! no-dependencies policy).
+//!
+//! Emits the subset of the exposition format the serve loop needs:
+//! `# HELP` / `# TYPE` headers (once per metric family, however many
+//! labelled samples follow), `counter` / `gauge` samples with optional
+//! labels, and `histogram` families rendered from a [`DurHist`]
+//! (cumulative `_bucket{le=…}` series plus `_sum` / `_count`).
+
+use std::fmt::Write as _;
+
+use crate::profile::{DurHist, DUR_BOUNDS_US};
+
+/// An in-progress Prometheus text exposition.
+#[derive(Debug, Default)]
+pub struct Prom {
+    out: String,
+    seen: Vec<String>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Prom {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Self {
+        Prom::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if self.seen.iter().any(|s| s == name) {
+            return;
+        }
+        self.seen.push(name.to_string());
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Appends one counter sample (header emitted on the family's
+    /// first sample).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, "counter", help);
+        let _ = writeln!(self.out, "{name}{} {value}", fmt_labels(labels));
+    }
+
+    /// Appends one gauge sample (header emitted on the family's first
+    /// sample).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, "gauge", help);
+        let _ = writeln!(self.out, "{name}{} {value}", fmt_labels(labels));
+    }
+
+    /// Appends a histogram family rendered from `hist`: cumulative
+    /// `_bucket` series over [`DUR_BOUNDS_US`] plus the mandatory
+    /// `+Inf` bucket, `_sum` (microseconds) and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &DurHist) {
+        self.header(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for (i, &bound) in DUR_BOUNDS_US.iter().enumerate() {
+            cumulative += hist.counts[i];
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += hist.counts[DUR_BOUNDS_US.len()];
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(self.out, "{name}_sum {}", hist.sum_us);
+        let _ = writeln!(self.out, "{name}_count {}", hist.total);
+    }
+
+    /// The finished exposition text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A light structural validation of an exposition produced by [`Prom`]
+/// (used by the CI round-trip and the serve tests): every line is a
+/// comment or a `name{labels} value` sample, every sample's family was
+/// announced by a `# TYPE` line first.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut typed: Vec<&str> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| format!("line {n}: TYPE without name"))?;
+            match it.next() {
+                Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                other => return Err(format!("line {n}: bad TYPE kind {other:?}")),
+            }
+            typed.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no sample value: {line}"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {n}: non-numeric value {value:?}"))?;
+        let name = name_labels.split('{').next().unwrap_or(name_labels);
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(f))
+            .unwrap_or(name);
+        if !typed.contains(&family) {
+            return Err(format!("line {n}: sample for unannounced family {family}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_emit_headers_once() {
+        let mut p = Prom::new();
+        p.counter("rtlsat_x_total", "things", &[("kind", "a")], 3);
+        p.counter("rtlsat_x_total", "things", &[("kind", "b")], 4);
+        p.gauge("rtlsat_depth", "queue depth", &[], 1.5);
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE rtlsat_x_total counter").count(), 1);
+        assert!(text.contains("rtlsat_x_total{kind=\"a\"} 3\n"));
+        assert!(text.contains("rtlsat_x_total{kind=\"b\"} 4\n"));
+        assert!(text.contains("rtlsat_depth 1.5\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut h = DurHist::default();
+        h.record_us(1);
+        h.record_us(3);
+        h.record_us(1_000_000_000); // overflow bucket
+        let mut p = Prom::new();
+        p.histogram("rtlsat_lat_us", "latency", &h);
+        let text = p.finish();
+        assert!(text.contains("rtlsat_lat_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("rtlsat_lat_us_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("rtlsat_lat_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("rtlsat_lat_us_count 3\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = Prom::new();
+        p.counter("rtlsat_e_total", "weird", &[("why", "a\"b\\c\nd")], 1);
+        let text = p.finish();
+        assert!(text.contains("why=\"a\\\"b\\\\c\\nd\""), "{text}");
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_text() {
+        assert!(validate_exposition("rtlsat_x 1").is_err()); // no TYPE
+        assert!(validate_exposition("# TYPE rtlsat_x wat\nrtlsat_x 1").is_err());
+        assert!(validate_exposition("# TYPE rtlsat_x counter\nrtlsat_x one").is_err());
+        assert!(validate_exposition("# TYPE rtlsat_x counter\nrtlsat_x 1").is_ok());
+    }
+}

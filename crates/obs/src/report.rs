@@ -14,7 +14,11 @@ use crate::json::{self, Value};
 /// the word-level preprocessing span and counters
 /// (`preproc_signals_removed`, `preproc_subterms_shared`,
 /// `preproc_folds`); older records still parse, without them.
-pub const STATS_FORMAT: u32 = 4;
+/// Version 5 added the optional `profile` section (phase-attribution
+/// wall-clock breakdown, DESIGN.md §2.14) and the per-phase report
+/// columns derived from it; records without one read as all-zero
+/// phase times.
+pub const STATS_FORMAT: u32 = 5;
 
 /// One recorded run, as reconstructed from a stats-json file.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +53,14 @@ pub struct RunRecord {
     pub search_ms: f64,
     /// Number of supervisor stages the run went through.
     pub stages: u64,
+    /// Wall time attributed to constraint propagation by the phase
+    /// profiler, milliseconds (0 when the record has no `profile`
+    /// section).
+    pub prop_ms: f64,
+    /// Wall time attributed to decisions (structural or activity).
+    pub decide_ms: f64,
+    /// Wall time attributed to conflict analysis / learning.
+    pub analyze_ms: f64,
 }
 
 fn req_str(v: &Value, key: &str) -> Result<String, String> {
@@ -65,6 +77,30 @@ fn counter(v: &Value, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Sums `total_us` over profile rows whose path ends in `;<phase>`
+/// (or is exactly `<phase>`), in milliseconds. Records without a
+/// `profile` section read 0.
+fn profile_phase_ms(v: &Value, phase: &str) -> f64 {
+    let suffix = format!(";{phase}");
+    let Some(rows) = v
+        .get("profile")
+        .and_then(|p| p.get("phases"))
+        .and_then(Value::as_arr)
+    else {
+        return 0.0;
+    };
+    let us: f64 = rows
+        .iter()
+        .filter(|r| {
+            r.get("path")
+                .and_then(Value::as_str)
+                .is_some_and(|p| p == phase || p.ends_with(&suffix))
+        })
+        .filter_map(|r| r.get("total_us").and_then(Value::as_f64))
+        .sum();
+    us / 1000.0
+}
+
 /// Parses one stats-json document into a [`RunRecord`].
 ///
 /// # Errors
@@ -74,7 +110,7 @@ fn counter(v: &Value, name: &str) -> u64 {
 pub fn parse_record(text: &str) -> Result<RunRecord, String> {
     let v = json::parse(text)?;
     match v.get("stats_format").and_then(Value::as_u64) {
-        Some(1..=4) => {}
+        Some(1..=5) => {}
         Some(f) => return Err(format!("unsupported stats_format {f}")),
         None => return Err("not a stats-json record (no `stats_format`)".to_string()),
     }
@@ -107,6 +143,9 @@ pub fn parse_record(text: &str) -> Result<RunRecord, String> {
             .get("stages")
             .and_then(Value::as_arr)
             .map_or(0, |s| s.len() as u64),
+        prop_ms: profile_phase_ms(&v, "propagate"),
+        decide_ms: profile_phase_ms(&v, "decide"),
+        analyze_ms: profile_phase_ms(&v, "analyze"),
     })
 }
 
@@ -160,16 +199,16 @@ pub fn render_markdown(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| Ckt | Goal | Engine | Verdict | Decisions | Backtracks | Conflicts | Learned | Restarts | Deleted | Learn time | Search time | Certification |"
+        "| Ckt | Goal | Engine | Verdict | Decisions | Backtracks | Conflicts | Learned | Restarts | Deleted | Learn time | Search time | Prop time | Decide time | Analyze time | Certification |"
     );
     let _ = writeln!(
         out,
-        "|-----|------|--------|---------|-----------|------------|-----------|---------|----------|---------|------------|-------------|---------------|"
+        "|-----|------|--------|---------|-----------|------------|-----------|---------|----------|---------|------------|-------------|-----------|-------------|--------------|---------------|"
     );
     for r in records {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.case,
             r.goal,
             r.engine,
@@ -182,6 +221,9 @@ pub fn render_markdown(records: &[RunRecord]) -> String {
             r.lemmas_deleted,
             fmt_ms(r.learn_ms),
             fmt_ms(r.search_ms),
+            fmt_ms(r.prop_ms),
+            fmt_ms(r.decide_ms),
+            fmt_ms(r.analyze_ms),
             r.certification,
         );
     }
@@ -194,12 +236,12 @@ pub fn render_markdown(records: &[RunRecord]) -> String {
 pub fn render_csv(records: &[RunRecord]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "case,goal,engine,verdict,decisions,backtracks,conflicts,learned,restarts,lemmas_deleted,learn_ms,search_ms,certification,answered_by,stages\n",
+        "case,goal,engine,verdict,decisions,backtracks,conflicts,learned,restarts,lemmas_deleted,learn_ms,search_ms,prop_ms,decide_ms,analyze_ms,certification,answered_by,stages\n",
     );
     for r in records {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{}",
             r.case,
             r.goal,
             r.engine,
@@ -212,6 +254,9 @@ pub fn render_csv(records: &[RunRecord]) -> String {
             r.lemmas_deleted,
             r.learn_ms,
             r.search_ms,
+            r.prop_ms,
+            r.decide_ms,
+            r.analyze_ms,
             r.certification,
             r.answered_by,
             r.stages,
@@ -256,6 +301,28 @@ mod tests {
         assert!(parse_record("{\"stats_format\":99}").is_err());
         assert!(parse_record("{\"other\":1}").is_err());
         assert!(parse_record("not json").is_err());
+    }
+
+    #[test]
+    fn profile_section_feeds_phase_columns() {
+        let with_profile = SAMPLE.replace(
+            ",\"trace\":",
+            r#","profile":{"phases":[{"path":"hdpll-sp","calls":1,"total_us":900,"self_us":100},{"path":"hdpll-sp;search","calls":1,"total_us":800,"self_us":50},{"path":"hdpll-sp;search;propagate","calls":40,"total_us":500,"self_us":500},{"path":"hdpll-sp;search;decide","calls":12,"total_us":150,"self_us":150},{"path":"hdpll-sp;search;analyze","calls":4,"total_us":100,"self_us":100}]},"trace":"#,
+        );
+        let r = parse_record(&with_profile).unwrap();
+        assert!((r.prop_ms - 0.5).abs() < 1e-9, "prop_ms {}", r.prop_ms);
+        assert!((r.decide_ms - 0.15).abs() < 1e-9);
+        assert!((r.analyze_ms - 0.1).abs() < 1e-9);
+        let md = render_markdown(&[r.clone()]);
+        assert!(md.contains("| Prop time |"));
+        assert!(md.contains("| 0.50 ms | 0.15 ms | 0.10 ms |"), "{md}");
+        let csv = render_csv(&[r]);
+        assert!(csv.contains(",0.500,0.150,0.100,"), "{csv}");
+        // A record without a profile section reads zero phase times.
+        let bare = parse_record(SAMPLE).unwrap();
+        assert_eq!(bare.prop_ms, 0.0);
+        assert_eq!(bare.decide_ms, 0.0);
+        assert_eq!(bare.analyze_ms, 0.0);
     }
 
     #[test]

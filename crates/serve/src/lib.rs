@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod record;
 pub mod request;
 pub mod server;
@@ -52,12 +53,18 @@ use rtl_baselines::{EagerStage, LazyStage};
 use rtl_hdpll::{FaultPlan, HdpllStage, LearnConfig, SolverConfig, Supervisor};
 use rtl_ir::Netlist;
 
+pub use metrics::{ServeMetrics, SlowRing};
 pub use record::{error_record, overloaded_record, stats_json_record, summary_record, SolveMeta};
 pub use request::{parse_line, NetlistSource, RequestLine, SolveRequest};
 pub use server::{serve, serve_unix, ServeConfig, ServeSummary};
 
 /// The serve response envelope format version (`"serve_format"` field).
-pub const SERVE_FORMAT: u32 = 1;
+///
+/// v2 (this release): `overloaded` records carry `queue_depth` and
+/// `in_flight`; a new `metrics` record type (opt-in via
+/// `--metrics-every`) interleaves live counters and latency quantiles
+/// into the stream; `{"op":"status"}` answers a Prometheus exposition.
+pub const SERVE_FORMAT: u32 = 2;
 
 /// Everything needed to build the supervised solve ladder for one
 /// request — shared between the one-shot CLI and the serve loop.

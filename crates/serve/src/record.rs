@@ -158,6 +158,42 @@ pub fn stats_json_record(
 
     let (events, dropped) = handle.trace_counts().unwrap_or((0, 0));
     let _ = write!(out, ",\"trace\":{{\"events\":{events},\"dropped\":{dropped}}}");
+
+    // The profile section (stats-format v5) appears only when the
+    // handle was armed with `ObsConfig::profile` — plain trace/metrics
+    // runs stay byte-identical to v4 output modulo the format number.
+    if let Some(snap) = handle.profile_snapshot() {
+        out.push_str(",\"profile\":{\"bounds_us\":[");
+        for (i, b) in obs::DUR_BOUNDS_US.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("],\"phases\":[");
+        for (i, row) in snap.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"calls\":{},\"total_us\":{},\"self_us\":{}",
+                esc(&row.path),
+                row.calls,
+                row.total_us,
+                row.self_us,
+            );
+            out.push_str(",\"hist\":[");
+            for (j, c) in row.hist.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
     out.push_str("}\n");
     out
 }
@@ -188,11 +224,12 @@ pub fn error_record(id: Option<&str>, seq: u64, detail: &str) -> String {
 }
 
 /// An `overloaded` rejection: the bounded request queue was full. The
-/// client may retry after backing off.
+/// client may retry after backing off. Since serve-format v2 the
+/// record carries the queue state that caused the rejection.
 #[must_use]
-pub fn overloaded_record(id: &str, seq: u64) -> String {
+pub fn overloaded_record(id: &str, seq: u64, queue_depth: u64, in_flight: u64) -> String {
     format!(
-        "{{\"serve_format\":{SERVE_FORMAT},\"type\":\"overloaded\",\"id\":\"{}\",\"seq\":{seq},\"error\":\"request queue full\"}}\n",
+        "{{\"serve_format\":{SERVE_FORMAT},\"type\":\"overloaded\",\"id\":\"{}\",\"seq\":{seq},\"queue_depth\":{queue_depth},\"in_flight\":{in_flight},\"error\":\"request queue full\"}}\n",
         obs::json::escape(id)
     )
 }
@@ -234,7 +271,7 @@ mod tests {
         for record in [
             error_record(Some("r1"), 3, "bad \"quote\""),
             error_record(None, 0, "malformed"),
-            overloaded_record("r2", 4),
+            overloaded_record("r2", 4, 8, 2),
             summary_record(
                 &Tally {
                     requests: 5,
@@ -254,6 +291,15 @@ mod tests {
             );
             assert!(v.get("type").and_then(json::Value::as_str).is_some());
         }
+    }
+
+    #[test]
+    fn overloaded_records_carry_queue_state() {
+        let record = overloaded_record("r9", 12, 16, 4);
+        let v = json::parse(record.trim_end()).unwrap();
+        assert_eq!(v.get("queue_depth").and_then(json::Value::as_u64), Some(16));
+        assert_eq!(v.get("in_flight").and_then(json::Value::as_u64), Some(4));
+        assert_eq!(v.get("seq").and_then(json::Value::as_u64), Some(12));
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub enum RequestLine {
     /// The `{"op":"shutdown"}` control message: stop accepting, drain,
     /// summarize, exit.
     Shutdown,
+    /// The `{"op":"status"}` control message: answer with a Prometheus
+    /// text exposition of the live serve metrics.
+    Status,
 }
 
 const KNOWN_KEYS: &[&str] = &[
@@ -166,6 +169,7 @@ pub fn parse_line(line: &str) -> Result<RequestLine, String> {
     if let Some(op) = v.get("op") {
         return match op.as_str() {
             Some("shutdown") => Ok(RequestLine::Shutdown),
+            Some("status") => Ok(RequestLine::Status),
             Some(other) => Err(format!("unknown op `{other}`")),
             None => Err("`op` must be a string".to_string()),
         };
@@ -207,7 +211,7 @@ mod tests {
     fn solve(line: &str) -> SolveRequest {
         match parse_line(line).unwrap() {
             RequestLine::Solve(req) => *req,
-            RequestLine::Shutdown => panic!("expected a solve request"),
+            _ => panic!("expected a solve request"),
         }
     }
 
@@ -247,6 +251,14 @@ mod tests {
             RequestLine::Shutdown
         ));
         assert!(parse_line(r#"{"op":"reboot"}"#).is_err());
+    }
+
+    #[test]
+    fn status_control_line() {
+        assert!(matches!(
+            parse_line(r#"{"op":"status"}"#).unwrap(),
+            RequestLine::Status
+        ));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use rtl_hdpll::{
 };
 use rtl_obs::{ObsConfig, ObsHandle};
 
+use crate::metrics::{ServeMetrics, SlowRing};
 use crate::record::{self, SolveMeta, Tally};
 use crate::request::{parse_line, NetlistSource, RequestLine, SolveRequest};
 use crate::{build_supervisor, degraded_engine, session_rungs, SolveOptions};
@@ -84,6 +85,23 @@ pub struct ServeConfig {
     /// the cache key is the *post-preprocessing* netlist text, so
     /// requests differing only in dead logic share a compiled session.
     pub preproc: bool,
+    /// Interleave a `metrics` record into the stream every N answered
+    /// requests (`--metrics-every <n>`). `None` (the default) keeps the
+    /// stream free of wall-clock records — the byte-determinism mode.
+    pub metrics_every_n: Option<u64>,
+    /// Interleave a `metrics` record when this much wall clock passed
+    /// since the previous one (`--metrics-every <secs>s`). Checked at
+    /// record-write time, so an idle stream writes none.
+    pub metrics_every: Option<Duration>,
+    /// Capture full diagnostics (result record with profile section,
+    /// request trace) for requests slower than this many milliseconds
+    /// into the [`SlowRing`]. Also arms the phase profiler on every
+    /// request so the captured record carries a `profile` section.
+    pub slow_ms: Option<u64>,
+    /// Directory of the slow-request capture ring (default `slow/`).
+    pub slow_dir: std::path::PathBuf,
+    /// Maximum number of capture files kept in the slow ring.
+    pub slow_ring_cap: u64,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +120,11 @@ impl Default for ServeConfig {
             telemetry: true,
             session_cache: 0,
             preproc: true,
+            metrics_every_n: None,
+            metrics_every: None,
+            slow_ms: None,
+            slow_dir: std::path::PathBuf::from("slow"),
+            slow_ring_cap: 32,
         }
     }
 }
@@ -451,7 +474,10 @@ fn process(
     drain: &CancelToken,
     counts: &WorkerCounts,
     cache: &mut SessionCache,
+    slow: Option<&SlowRing>,
+    metrics: &ServeMetrics,
 ) -> String {
+    let started = Instant::now();
     let req = &job.req;
     let seq = job.seq;
     let fail = |detail: &str| {
@@ -505,7 +531,13 @@ fn process(
             preproc: config.preproc,
         };
         let handle = if config.telemetry {
-            ObsHandle::armed(ObsConfig::default())
+            // Slow-request capture needs per-phase attribution, so the
+            // profiler rides along whenever `--slow-ms` is armed; plain
+            // telemetry stays profile-free (and byte-deterministic).
+            ObsHandle::armed(ObsConfig {
+                profile: config.slow_ms.is_some(),
+                ..ObsConfig::default()
+            })
         } else {
             ObsHandle::off()
         };
@@ -584,7 +616,20 @@ fn process(
                     engine: engine.clone(),
                 };
                 let prefix = record::result_prefix(&req.id, seq, attempt);
-                return record::stats_json_record(&meta, &result, &handle, &prefix);
+                let line = record::stats_json_record(&meta, &result, &handle, &prefix);
+                if let (Some(slow_ms), Some(ring)) = (config.slow_ms, slow) {
+                    let elapsed = started.elapsed();
+                    if elapsed >= Duration::from_millis(slow_ms) {
+                        let trace = handle.export_jsonl();
+                        if ring
+                            .capture(&req.id, seq, elapsed, &line, trace.as_deref())
+                            .is_ok()
+                        {
+                            metrics.observe_slow_capture();
+                        }
+                    }
+                }
+                return line;
             }
             Err(panic) => {
                 let detail = panic_detail(&panic);
@@ -653,7 +698,28 @@ fn write_record<W: Write>(out: &Mutex<W>, record: &str) {
 /// Only input I/O errors abort the serve loop; per-request failures of
 /// any kind become `error` records and the loop continues. Output
 /// failures are deliberately swallowed until the final summary write.
-pub fn serve<R, W>(mut input: R, output: W, config: &ServeConfig) -> io::Result<ServeSummary>
+pub fn serve<R, W>(input: R, output: W, config: &ServeConfig) -> io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let metrics = ServeMetrics::new();
+    serve_with_metrics(input, output, config, &metrics)
+}
+
+/// Like [`serve`], with an externally owned [`ServeMetrics`] aggregate:
+/// the socket server shares one across all connections, so a `status`
+/// probe on a fresh connection reports the server's whole lifetime.
+///
+/// # Errors
+///
+/// As for [`serve`].
+pub fn serve_with_metrics<R, W>(
+    mut input: R,
+    output: W,
+    config: &ServeConfig,
+    metrics: &ServeMetrics,
+) -> io::Result<ServeSummary>
 where
     R: BufRead,
     W: Write + Send,
@@ -665,6 +731,16 @@ where
     let mut seq = 0u64;
     let mut shutdown = false;
     let mut drained = true;
+    let slow_ring = config
+        .slow_ms
+        .map(|_| SlowRing::new(&config.slow_dir, config.slow_ring_cap));
+    let slow = slow_ring.as_ref();
+    let metrics_due = |out: &Mutex<W>| {
+        if let Some(m) = metrics.maybe_metrics_record(config.metrics_every_n, config.metrics_every)
+        {
+            write_record(out, &m);
+        }
+    };
 
     if config.workers <= 1 {
         // Deterministic inline mode: no threads, strict input order.
@@ -689,10 +765,20 @@ where
                     shutdown = true;
                     break;
                 }
+                Ok(RequestLine::Status) => {
+                    write_record(&out, &metrics.prometheus());
+                }
                 Ok(RequestLine::Solve(req)) => {
                     tally.requests += 1;
+                    metrics.observe_request();
                     let job = Job::new(seq, *req, config);
-                    write_record(&out, &process(&job, config, &drain, &counts, &mut cache));
+                    metrics.inflight_inc();
+                    let t0 = Instant::now();
+                    let rec = process(&job, config, &drain, &counts, &mut cache, slow, metrics);
+                    metrics.inflight_dec();
+                    metrics.observe_record(0, &rec, t0.elapsed());
+                    write_record(&out, &rec);
+                    metrics_due(&out);
                 }
             }
         }
@@ -701,9 +787,10 @@ where
         let rx = Mutex::new(rx);
         let (done_tx, done_rx) = mpsc::channel::<()>();
         std::thread::scope(|scope| -> io::Result<()> {
-            for _ in 0..config.workers {
+            for worker in 0..config.workers {
                 let done_tx = done_tx.clone();
                 let (rx, out, drain, counts) = (&rx, &out, &drain, &counts);
+                let metrics_due = &metrics_due;
                 scope.spawn(move || {
                     // Sessions are worker-local (the solver stack is
                     // single-thread by construction): each worker keeps
@@ -716,7 +803,14 @@ where
                         // workers behind the lock.
                         let job = lock(rx).recv();
                         let Ok(job) = job else { break };
-                        write_record(out, &process(&job, config, drain, counts, &mut cache));
+                        metrics.queue_dec();
+                        metrics.inflight_inc();
+                        let t0 = Instant::now();
+                        let rec = process(&job, config, drain, counts, &mut cache, slow, metrics);
+                        metrics.inflight_dec();
+                        metrics.observe_record(worker, &rec, t0.elapsed());
+                        write_record(out, &rec);
+                        metrics_due(out);
                     }
                     let _ = done_tx.send(());
                 });
@@ -745,13 +839,26 @@ where
                         shutdown = true;
                         break;
                     }
+                    Ok(RequestLine::Status) => {
+                        write_record(&out, &metrics.prometheus());
+                    }
                     Ok(RequestLine::Solve(req)) => {
                         tally.requests += 1;
+                        metrics.observe_request();
                         match tx.try_send(Job::new(seq, *req, config)) {
-                            Ok(()) => {}
+                            Ok(()) => metrics.queue_inc(),
                             Err(TrySendError::Full(job)) => {
                                 tally.overloaded += 1;
-                                write_record(&out, &record::overloaded_record(&job.req.id, seq));
+                                metrics.observe_overloaded();
+                                write_record(
+                                    &out,
+                                    &record::overloaded_record(
+                                        &job.req.id,
+                                        seq,
+                                        metrics.queue_depth(),
+                                        metrics.in_flight(),
+                                    ),
+                                );
                             }
                             Err(TrySendError::Disconnected(job)) => {
                                 // All workers died (cannot happen while
@@ -802,6 +909,13 @@ where
     tally.errors += counts.errors.load(Ordering::Relaxed);
     tally.retries = counts.retries.load(Ordering::Relaxed);
 
+    // With a metrics cadence configured, flush the last partial window
+    // before the summary so window deltas across all `metrics` records
+    // sum exactly to the summary totals.
+    if config.metrics_every_n.is_some() || config.metrics_every.is_some() {
+        write_record(&out, &metrics.final_metrics_record());
+    }
+
     let summary = record::summary_record(&tally, drained);
     {
         let mut out = lock(&out);
@@ -825,11 +939,15 @@ where
 /// errors.
 pub fn serve_unix(path: &Path, config: &ServeConfig) -> io::Result<ServeSummary> {
     let listener = std::os::unix::net::UnixListener::bind(path)?;
+    // One metrics aggregate for the whole socket lifetime: a `status`
+    // probe on a fresh connection reports counters accumulated across
+    // every prior connection, not just its own stream.
+    let metrics = ServeMetrics::new();
     let mut last;
     loop {
         let (stream, _) = listener.accept()?;
         let reader = io::BufReader::new(stream.try_clone()?);
-        last = serve(reader, stream, config)?;
+        last = serve_with_metrics(reader, stream, config, &metrics)?;
         if last.shutdown {
             break;
         }

@@ -17,6 +17,7 @@
 //! rtlsat check-proof <netlist-file> <proof-file>
 //! rtlsat check-trace <trace-file>
 //! rtlsat report <dir> [--csv]
+//! rtlsat profile <netlist-file> <goal-signal> [--engine <e>] [...]
 //! rtlsat serve [--workers <n>] [--queue <n>] [--socket <path>] [...]
 //! ```
 //!
@@ -150,11 +151,15 @@ fn parse_args() -> Result<Args, String> {
                      [--preproc <bundle-file>]\n\
                      \x20      rtlsat check-trace <trace-file>\n\
                      \x20      rtlsat report <dir> [--csv]\n\
+                     \x20      rtlsat profile <netlist-file> <goal-signal> \
+                     [--engine <e>] [--timeout <secs>] [--no-preproc]\n\
                      \x20      rtlsat serve [--workers <n>] [--queue <n>] \
                      [--engine <e>] [--timeout <secs>] [--check] \
                      [--fallback] [--check-timeout <secs>] \
                      [--max-memory <bytes>] [--drain-timeout <secs>] \
-                     [--socket <path>] [--no-telemetry] [--no-preproc]"
+                     [--socket <path>] [--metrics-every <n|Ns>] \
+                     [--slow-ms <ms>] [--slow-dir <dir>] [--slow-ring <n>] \
+                     [--no-telemetry] [--no-preproc]"
                     .into());
             }
             other => positional.push(other.to_string()),
@@ -478,6 +483,14 @@ fn check_trace_command(rest: &[String]) -> ExitCode {
                 "VALID ({} events, {} dropped)",
                 summary.events, summary.dropped
             );
+            if summary.dropped > 0 {
+                eprintln!(
+                    "warning: trace is truncated — {} events were dropped at \
+                     the ring-buffer cap; counters and histograms in the \
+                     stats-json record remain complete",
+                    summary.dropped
+                );
+            }
             for (kind, count) in obs::TraceSummary::KINDS.iter().zip(summary.by_kind.iter()) {
                 if *count > 0 {
                     println!("  {kind:<12} {count}");
@@ -530,6 +543,88 @@ fn report_command(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rtlsat profile <netlist-file> <goal-signal> [...]`: one supervised
+/// solve with the phase-attribution profiler armed, printed as
+/// folded-stack lines (`preproc 1234`, `hdpll-sp;search;propagate 987`,
+/// …micros) on stdout — the input format of `flamegraph.pl` and any
+/// folded-stack consumer. The verdict goes to stderr so stdout stays
+/// pipeable. Exit `0` on any verdict, `2` on usage/input errors.
+fn profile_command(rest: &[String]) -> ExitCode {
+    let usage = "usage: rtlsat profile <netlist-file> <goal-signal> \
+         [--engine <e>] [--timeout <secs>] [--no-preproc]";
+    let mut positional = Vec::new();
+    let mut engine = "hdpll-sp".to_string();
+    let mut timeout = None;
+    let mut preproc = true;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => match it.next() {
+                Some(e) => engine = e.clone(),
+                None => {
+                    eprintln!("--engine needs a value\n{usage}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => timeout = Some(Duration::from_secs(secs)),
+                None => {
+                    eprintln!("--timeout expects seconds\n{usage}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-preproc" => preproc = false,
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return ExitCode::from(2);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [netlist_path, goal_name] = &positional[..] else {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    };
+    let netlist = match load_netlist(netlist_path) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(goal) = proof::resolve_goal(&netlist, goal_name) else {
+        eprintln!("no signal named `{goal_name}` in `{netlist_path}`");
+        return ExitCode::from(2);
+    };
+    let opts = serve::SolveOptions {
+        engine: engine.clone(),
+        timeout,
+        preproc,
+        ..serve::SolveOptions::default()
+    };
+    let mut sup = match serve::build_supervisor(&opts, &netlist) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = ObsHandle::armed(ObsConfig::profiled());
+    sup = sup.with_obs(handle.clone());
+    let result = sup.solve(&netlist, goal);
+    let verdict = match &result.verdict {
+        HdpllResult::Sat(_) => "SAT",
+        HdpllResult::Unsat => "UNSAT",
+        HdpllResult::Unknown => "UNKNOWN",
+    };
+    match handle.profile_snapshot() {
+        Some(snap) => print!("{}", snap.folded()),
+        None => eprintln!("c profiler produced no samples"),
+    }
+    eprintln!("c verdict {verdict} (engine {engine})");
+    ExitCode::SUCCESS
+}
+
 /// `rtlsat serve [...]`: the long-running batch/stream solve service
 /// (DESIGN.md §2.11). Reads JSONL requests from stdin (or accepts
 /// connections on `--socket`), writes one response record per request
@@ -539,8 +634,9 @@ fn serve_command(rest: &[String]) -> ExitCode {
          [--engine <e>] [--timeout <secs>] [--check] [--fallback] \
          [--check-timeout <secs>] [--max-memory <bytes>] \
          [--drain-timeout <secs>] [--max-line-bytes <n>] \
-         [--session-cache <n>] [--socket <path>] [--no-telemetry] \
-         [--no-preproc]";
+         [--session-cache <n>] [--socket <path>] \
+         [--metrics-every <n|Ns>] [--slow-ms <ms>] [--slow-dir <dir>] \
+         [--slow-ring <n>] [--no-telemetry] [--no-preproc]";
     let mut config = serve::ServeConfig::default();
     let mut socket = None;
     let mut it = rest.iter();
@@ -597,6 +693,34 @@ fn serve_command(rest: &[String]) -> ExitCode {
                 }
                 None => Err("--socket needs a path".into()),
             },
+            // `--metrics-every 50` emits a `metrics` record every 50
+            // handled requests; `--metrics-every 10s` every 10 seconds.
+            "--metrics-every" => match it.next() {
+                Some(v) => match v.strip_suffix('s') {
+                    Some(secs) => secs
+                        .parse()
+                        .map(|n: u64| config.metrics_every = Some(Duration::from_secs(n)))
+                        .map_err(|_| "--metrics-every expects <n> requests or <n>s".to_string()),
+                    None => v
+                        .parse()
+                        .map(|n: u64| config.metrics_every_n = Some(n.max(1)))
+                        .map_err(|_| "--metrics-every expects <n> requests or <n>s".to_string()),
+                },
+                None => Err("--metrics-every needs a value".into()),
+            },
+            "--slow-ms" => parse_num("--slow-ms", it.next()).map(|n| {
+                config.slow_ms = Some(n);
+            }),
+            "--slow-dir" => match it.next() {
+                Some(p) => {
+                    config.slow_dir = std::path::PathBuf::from(p);
+                    Ok(())
+                }
+                None => Err("--slow-dir needs a path".into()),
+            },
+            "--slow-ring" => parse_num("--slow-ring", it.next()).map(|n| {
+                config.slow_ring_cap = n.max(1);
+            }),
             "--no-telemetry" => {
                 config.telemetry = false;
                 Ok(())
@@ -795,6 +919,7 @@ fn main() -> ExitCode {
         Some("check-proof") => return check_proof_command(&raw[1..]),
         Some("check-trace") => return check_trace_command(&raw[1..]),
         Some("report") => return report_command(&raw[1..]),
+        Some("profile") => return profile_command(&raw[1..]),
         Some("serve") => return serve_command(&raw[1..]),
         _ => {}
     }

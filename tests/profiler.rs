@@ -1,0 +1,189 @@
+//! Determinism tests for the phase-attribution profiler (DESIGN.md
+//! §2.14).
+//!
+//! The profiler measures wall time, which no test can pin — so the
+//! invariants here are about everything *except* the times:
+//!
+//! - **Shape determinism**: identical solves produce identical span
+//!   trees — same phase paths, same call counts, in the same order —
+//!   once the wall-clock-derived fields are stripped.
+//! - **Search neutrality**: arming the profiler must not change the
+//!   search path. Decisions, conflicts, and propagations are equal to
+//!   the profiler-off run bit for bit.
+//! - **Output formats**: folded-stack lines parse (`path <micros>`),
+//!   and the stats-json `profile` section appears exactly when the
+//!   handle was armed with `ObsConfig::profiled()`.
+
+use std::process::Command;
+
+use rtlsat::hdpll::{LearnConfig, Solver, SolverConfig};
+use rtlsat::ir::text;
+use rtlsat::obs::{json, ObsConfig, ObsHandle};
+use rtlsat::proof::resolve_goal;
+use rtlsat::serve::{build_supervisor, stats_json_record, SolveMeta, SolveOptions};
+
+fn golden(name: &str) -> (rtlsat::ir::Netlist, rtlsat::ir::SignalId) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    let source = std::fs::read_to_string(&path).expect("golden netlist");
+    let netlist = text::parse(&source).expect("parse");
+    let goal = resolve_goal(&netlist, "goal").expect("goal signal");
+    (netlist, goal)
+}
+
+/// One supervised solve with the profiler armed; returns the snapshot.
+fn profiled_solve(name: &str) -> rtlsat::obs::ProfileSnapshot {
+    let (netlist, goal) = golden(name);
+    let handle = ObsHandle::armed(ObsConfig::profiled());
+    let mut sup = build_supervisor(&SolveOptions::default(), &netlist)
+        .expect("supervisor")
+        .with_obs(handle.clone());
+    let _ = sup.solve(&netlist, goal);
+    handle.profile_snapshot().expect("profiled handle has a snapshot")
+}
+
+#[test]
+fn stripped_snapshots_identical_across_identical_solves() {
+    // Same netlist, same config, fresh supervisor each time: the span
+    // tree (paths, order, call counts) must be identical — only the
+    // measured times may differ run to run.
+    for case in ["mux_tree_sat.rtl", "cmp_ladder_unsat.rtl", "adder_sat.rtl"] {
+        let first = profiled_solve(case).strip_wall_clock();
+        for _ in 0..2 {
+            let again = profiled_solve(case).strip_wall_clock();
+            assert_eq!(first, again, "span tree drifted on {case}");
+        }
+        assert!(
+            first.rows.iter().any(|r| r.path.contains("compile")),
+            "compile phase missing on {case}: {:?}",
+            first.rows.iter().map(|r| &r.path).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn armed_profiler_takes_the_identical_search_path() {
+    // The profiler reads a clock at phase boundaries; it must never
+    // influence a decision. Counters of the armed run equal the
+    // profiler-off run exactly.
+    for case in ["mux_tree_sat.rtl", "mux_tree_unsat.rtl", "cmp_ladder_sat.rtl"] {
+        let (netlist, goal) = golden(case);
+        let config = SolverConfig::structural_with_learning(LearnConfig::default());
+
+        let mut plain = Solver::new(&netlist, config);
+        let off = plain.solve(goal);
+
+        let mut armed = Solver::new(&netlist, config);
+        armed.set_obs(ObsHandle::armed(ObsConfig::profiled()));
+        let on = armed.solve(goal);
+
+        assert_eq!(
+            std::mem::discriminant(&off),
+            std::mem::discriminant(&on),
+            "verdict changed under the profiler on {case}"
+        );
+        let (a, b) = (plain.stats().engine, armed.stats().engine);
+        assert_eq!(a.decisions, b.decisions, "decisions drifted on {case}");
+        assert_eq!(a.conflicts, b.conflicts, "conflicts drifted on {case}");
+        assert_eq!(
+            a.propagations, b.propagations,
+            "propagations drifted on {case}"
+        );
+        assert_eq!(a.learned, b.learned, "learned clauses drifted on {case}");
+    }
+}
+
+#[test]
+fn folded_output_is_parseable_flamegraph_input() {
+    let snap = profiled_solve("mux_tree_sat.rtl");
+    let folded = snap.folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (path, micros) = line.rsplit_once(' ').expect("`path <micros>` shape");
+        assert!(!path.is_empty(), "empty path in: {line}");
+        micros
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-numeric micros in: {line}"));
+        // Folded frame separators are semicolons; frames are non-empty.
+        assert!(
+            path.split(';').all(|frame| !frame.is_empty()),
+            "empty frame in: {line}"
+        );
+    }
+}
+
+#[test]
+fn stats_json_profile_section_appears_only_when_profiled() {
+    let (netlist, goal) = golden("mux_tree_sat.rtl");
+    let meta = SolveMeta {
+        case: "mux_tree_sat".to_string(),
+        file: "mux_tree_sat.rtl".to_string(),
+        goal: "goal".to_string(),
+        engine: "hdpll-sp".to_string(),
+    };
+
+    // Profiled run: the record carries a `profile` section with the
+    // log-bucket bounds and one row per phase.
+    let handle = ObsHandle::armed(ObsConfig::profiled());
+    let mut sup = build_supervisor(&SolveOptions::default(), &netlist)
+        .expect("supervisor")
+        .with_obs(handle.clone());
+    let result = sup.solve(&netlist, goal);
+    let record = stats_json_record(&meta, &result, &handle, "");
+    let v = json::parse(record.trim_end()).expect("record parses");
+    let profile = v.get("profile").expect("profile section present");
+    let json::Value::Arr(bounds) = profile.get("bounds_us").expect("bounds_us") else {
+        panic!("bounds_us must be an array");
+    };
+    assert_eq!(bounds.len(), rtlsat::obs::DUR_BOUNDS_US.len());
+    let json::Value::Arr(phases) = profile.get("phases").expect("phases") else {
+        panic!("phases must be an array");
+    };
+    assert!(!phases.is_empty());
+    for row in phases {
+        for key in ["path", "calls", "total_us", "self_us", "hist"] {
+            assert!(row.get(key).is_some(), "phase row missing `{key}`");
+        }
+    }
+
+    // Default (trace-only) run: byte-for-byte no profile section — this
+    // is what keeps the deterministic record comparisons of the serve
+    // suite valid.
+    let handle = ObsHandle::armed(ObsConfig::default());
+    let mut sup = build_supervisor(&SolveOptions::default(), &netlist)
+        .expect("supervisor")
+        .with_obs(handle.clone());
+    let result = sup.solve(&netlist, goal);
+    let record = stats_json_record(&meta, &result, &handle, "");
+    let v = json::parse(record.trim_end()).expect("record parses");
+    assert!(
+        v.get("profile").is_none(),
+        "unprofiled record must not carry a profile section"
+    );
+}
+
+#[test]
+fn profile_subcommand_emits_folded_lines() {
+    let file = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/mux_tree_sat.rtl");
+    let out = Command::new(env!("CARGO_BIN_EXE_rtlsat"))
+        .arg("profile")
+        .arg(&file)
+        .arg("goal")
+        .output()
+        .expect("run rtlsat profile");
+    assert!(out.status.success(), "profile must exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(!stdout.trim().is_empty(), "folded output on stdout");
+    for line in stdout.lines() {
+        let (path, micros) = line.rsplit_once(' ').expect("`path <micros>` shape");
+        assert!(!path.is_empty());
+        assert!(micros.parse::<u64>().is_ok(), "bad line: {line}");
+    }
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("c verdict SAT"),
+        "verdict goes to stderr: {stderr}"
+    );
+}

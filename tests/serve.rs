@@ -94,7 +94,7 @@ fn parse_record(line: &str) -> Value {
     let v = json::parse(line).unwrap_or_else(|e| panic!("invalid JSON record: {e}\n{line}"));
     assert_eq!(
         v.get("serve_format").and_then(Value::as_u64),
-        Some(1),
+        Some(2),
         "missing serve_format: {line}"
     );
     let ty = v
@@ -107,14 +107,28 @@ fn parse_record(line: &str) -> Value {
                 assert!(v.get(key).is_some(), "result record missing `{key}`: {line}");
             }
         }
-        "error" | "overloaded" => {
+        "error" => {
             for key in ["id", "seq", "error"] {
+                assert!(v.get(key).is_some(), "{ty} record missing `{key}`: {line}");
+            }
+        }
+        // Since serve-format v2 a rejection reports the queue state
+        // that caused it.
+        "overloaded" => {
+            for key in ["id", "seq", "error", "queue_depth", "in_flight"] {
                 assert!(v.get(key).is_some(), "{ty} record missing `{key}`: {line}");
             }
         }
         "summary" => {
             for key in ["requests", "results", "errors", "overloaded", "retries", "drained"] {
                 assert!(v.get(key).is_some(), "summary missing `{key}`: {line}");
+            }
+        }
+        // Opt-in (`--metrics-every`) live-metrics records: window
+        // deltas plus cumulative totals plus latency quantiles.
+        "metrics" => {
+            for key in ["uptime_ms", "window", "total", "latency_us", "queue_depth", "in_flight"] {
+                assert!(v.get(key).is_some(), "metrics record missing `{key}`: {line}");
             }
         }
         other => panic!("unknown record type `{other}`: {line}"),
@@ -558,6 +572,221 @@ fn unix_socket_serves_connections() {
 
     let status = child.wait().expect("server exits after shutdown op");
     assert!(status.success(), "socket server must exit 0");
+}
+
+fn u64_of(v: &Value, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing `{}`", path.join(".")));
+    }
+    cur.as_u64()
+        .unwrap_or_else(|| panic!("`{}` not a u64", path.join(".")))
+}
+
+#[test]
+fn metrics_records_window_sums_reconcile_with_summary() {
+    // A 200-request stream under `--metrics-every 20`: the interleaved
+    // `metrics` records must partition the session — summing the window
+    // columns across every metrics record (the final flush included)
+    // reproduces the summary record's totals exactly, and the last
+    // record's cumulative totals equal the summary directly.
+    let corpus = corpus();
+    let mut input = String::new();
+    for i in 0..200 {
+        let (file, goal, _) = &corpus[i % corpus.len()];
+        input.push_str(&format!(
+            "{{\"id\":\"m{i}\",\"file\":\"{file}\",\"goal\":\"{goal}\",\"timeout_ms\":60000}}\n"
+        ));
+    }
+    let (lines, exit) = run_serve(&input, &["--metrics-every", "20"]);
+    assert_eq!(exit, 0);
+
+    let metrics: Vec<Value> = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"metrics\""))
+        .map(|l| parse_record(l))
+        .collect();
+    assert!(
+        metrics.len() >= 10,
+        "200 handled / every-20 must yield at least 10 metrics records, got {}",
+        metrics.len()
+    );
+    let summary = lines
+        .iter()
+        .find(|l| l.contains("\"type\":\"summary\""))
+        .map(|l| parse_record(l))
+        .expect("summary record");
+
+    for field in ["requests", "results", "errors", "overloaded"] {
+        let window_sum: u64 = metrics.iter().map(|m| u64_of(m, &["window", field])).sum();
+        assert_eq!(
+            window_sum,
+            u64_of(&summary, &[field]),
+            "window `{field}` columns must sum to the summary"
+        );
+        assert_eq!(
+            u64_of(metrics.last().unwrap(), &["total", field]),
+            u64_of(&summary, &[field]),
+            "final cumulative `{field}` must equal the summary"
+        );
+    }
+    // Verdict counters partition the results, and the latency count of
+    // the last rolling window set covers at most the handled records.
+    let last = metrics.last().unwrap();
+    let verdicts = u64_of(last, &["total", "sat"])
+        + u64_of(last, &["total", "unsat"])
+        + u64_of(last, &["total", "unknown"]);
+    assert_eq!(verdicts, u64_of(&summary, &["results"]));
+    for m in &metrics {
+        for key in ["p50", "p90", "p99", "count", "sum"] {
+            let _ = u64_of(m, &["latency_us", key]);
+        }
+    }
+}
+
+#[test]
+fn status_probe_answers_prometheus_exposition() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("rtlsat_serve_status_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("status.sock");
+    let _ = std::fs::remove_file(&sock);
+    let mut child: Child = bin()
+        .arg("serve")
+        .args(["--socket", sock.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn socket server");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // First connection: three solves, then EOF.
+    let corpus = corpus();
+    let mut conn = UnixStream::connect(&sock).expect("connect");
+    for (i, (file, goal, _)) in corpus.iter().take(3).enumerate() {
+        conn.write_all(
+            format!(
+                "{{\"id\":\"q{i}\",\"file\":\"{file}\",\"goal\":\"{goal}\",\"timeout_ms\":60000}}\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    }
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    let summary = reply
+        .lines()
+        .find(|l| l.contains("\"type\":\"summary\""))
+        .map(parse_record)
+        .expect("first connection summary");
+    let handled = u64_of(&summary, &["results"]) + u64_of(&summary, &["errors"]);
+    assert_eq!(u64_of(&summary, &["results"]), 3);
+
+    // Second connection: a status probe. The exposition reports the
+    // whole server lifetime (metrics are shared across connections), so
+    // its histogram count reconciles with the first connection's
+    // summary.
+    let mut conn = UnixStream::connect(&sock).expect("reconnect");
+    conn.write_all(b"{\"op\":\"status\"}\n").unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    // The probe's connection still ends with its own summary line;
+    // everything before it is the exposition.
+    let exposition: String = reply
+        .lines()
+        .filter(|l| !l.starts_with('{'))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    rtlsat::obs::validate_exposition(&exposition)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{exposition}"));
+    assert!(
+        exposition.contains(&format!("rtlsat_request_latency_us_count {handled}\n")),
+        "histogram count must reconcile with the summary ({handled} handled):\n{exposition}"
+    );
+    let verdict_total: u64 = exposition
+        .lines()
+        .filter(|l| l.starts_with("rtlsat_results_total{"))
+        .map(|l| {
+            l.rsplit_once(' ')
+                .and_then(|(_, n)| n.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("bad sample line: {l}"))
+        })
+        .sum();
+    assert_eq!(verdict_total, 3, "per-verdict counters sum to results");
+    assert!(exposition.contains("rtlsat_queue_depth 0\n"), "{exposition}");
+    assert!(exposition.contains("rtlsat_in_flight 0\n"), "{exposition}");
+
+    // Third connection: shut the server down.
+    let mut conn = UnixStream::connect(&sock).expect("reconnect for shutdown");
+    conn.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    let status = child.wait().expect("server exits");
+    assert!(status.success());
+}
+
+#[test]
+fn slow_captures_land_in_a_bounded_ring() {
+    // `--slow-ms 0` classifies every request as slow; with a ring of 2
+    // and 3 requests, at most 2 capture files survive and each carries
+    // the full result record (profile section included — the slow path
+    // arms the profiler) plus the request trace.
+    let dir = std::env::temp_dir().join(format!("rtlsat_serve_slow_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = corpus();
+    let mut input = String::new();
+    for i in 0..3 {
+        let (file, goal, _) = &corpus[i % corpus.len()];
+        input.push_str(&format!(
+            "{{\"id\":\"s{i}\",\"file\":\"{file}\",\"goal\":\"{goal}\",\"timeout_ms\":60000}}\n"
+        ));
+    }
+    let (lines, exit) = run_serve(
+        &input,
+        &[
+            "--slow-ms",
+            "0",
+            "--slow-dir",
+            dir.to_str().unwrap(),
+            "--slow-ring",
+            "2",
+        ],
+    );
+    assert_eq!(exit, 0);
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"type\":\"result\""))
+            .count(),
+        3
+    );
+
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("slow dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 2, "ring caps the capture count: {files:?}");
+    for path in &files {
+        let body = std::fs::read_to_string(path).unwrap();
+        let v = json::parse(body.trim_end())
+            .unwrap_or_else(|e| panic!("capture must be valid JSON ({e}): {path:?}"));
+        assert_eq!(v.get("slow_capture").and_then(Value::as_u64), Some(1));
+        let record = v.get("record").expect("captured record");
+        assert!(record.get("profile").is_some(), "slow capture carries the profile section");
+        assert!(v.get("trace").and_then(Value::as_str).is_some(), "capture carries the trace");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The CI soak: pipe the golden corpus through one server process for
